@@ -1,0 +1,99 @@
+"""F1 — Figure 1 (the consensus specification) and the ADT layer.
+
+Figure 1 is the sequential consensus specification; its reproduction is
+the ``consensus_adt`` output function.  The harness checks the figure's
+semantics exhaustively over bounded histories — "the first process
+executing will impose its value to all others" — and benchmarks the ADT
+layer (output-function folding, the universal ADT's derivation of other
+ADTs), which underpins every checker in the repository.
+
+Run standalone:  python benchmarks/bench_adts.py
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.adt import (
+    apply_adt_to_universal_output,
+    consensus_adt,
+    decide,
+    propose,
+    queue_adt,
+    enq,
+    deq,
+    universal_adt,
+)
+
+
+def figure1_census(values=("a", "b", "c"), max_len=5):
+    """Exhaustively verify f([p(v1), ..., p(vn)]) = d(v1)."""
+    adt = consensus_adt()
+    checked = 0
+    for length in range(1, max_len + 1):
+        for combo in itertools.product(values, repeat=length):
+            history = tuple(propose(v) for v in combo)
+            for i in range(1, length + 1):
+                assert adt.output(history[:i]) == decide(combo[0])
+                checked += 1
+    return checked
+
+
+def universal_derivation_census(values=("a", "b"), max_len=4):
+    """Section 6: deriving consensus from universal-object responses."""
+    cons = consensus_adt()
+    universal = universal_adt()
+    checked = 0
+    for length in range(1, max_len + 1):
+        for combo in itertools.product(values, repeat=length):
+            history = tuple(propose(v) for v in combo)
+            response = universal.output(history)
+            assert apply_adt_to_universal_output(cons, response) == decide(
+                combo[0]
+            )
+            checked += 1
+    return checked
+
+
+class TestFigure1:
+    def test_exhaustive_census(self):
+        assert figure1_census() > 1000
+
+    def test_universal_derivation(self):
+        assert universal_derivation_census() > 20
+
+
+@pytest.mark.benchmark(group="adts-f1")
+def test_bench_consensus_output(benchmark):
+    adt = consensus_adt()
+    history = tuple(propose(f"v{i}") for i in range(50))
+    benchmark(adt.output, history)
+
+
+@pytest.mark.benchmark(group="adts-f1")
+def test_bench_universal_output(benchmark):
+    adt = universal_adt()
+    history = tuple(propose(f"v{i}") for i in range(50))
+    benchmark(adt.output, history)
+
+
+@pytest.mark.benchmark(group="adts-f1")
+def test_bench_queue_fold(benchmark):
+    adt = queue_adt()
+    history = tuple(
+        enq(i) if i % 2 == 0 else deq() for i in range(60)
+    )
+    benchmark(adt.output, history)
+
+
+def main():
+    n = figure1_census()
+    print(f"F1: Figure 1 semantics verified on {n} (history, index) pairs")
+    m = universal_derivation_census()
+    print(
+        f"    universal-ADT derivation (Section 6) verified on {m} histories"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,204 @@
+"""E4 + E8 — the intra-object composition theorem and Theorem 2 at scale.
+
+The harness regenerates the paper's central formal results as counts:
+
+* **E4 (Theorem 5)** — over simulated Quorum+Backup executions and all
+  bounded interleavings of their phase projections, count traces where
+  both premises hold and the conclusion holds; a single "premises hold,
+  conclusion fails" row entry would falsify the reproduction;
+* **E8 (Theorem 2)** — over the same traces, count SLin(1,m) traces whose
+  projection onto sigT is linearizable;
+* an **ablation** of the paper's "switching without agreement": the cost
+  (extra consensus rounds) a naive agreement-based switch would add,
+  measured as the message complexity of running one more consensus per
+  switch versus the zero extra rounds of the paper's design.
+
+Run standalone:  python benchmarks/bench_composition.py
+"""
+
+import pytest
+
+from repro.core.adt import consensus_adt
+from repro.core.composition import (
+    check_composition_theorem,
+    check_theorem_2,
+    decompose,
+    interleavings,
+)
+from repro.core.speculative import consensus_rinit
+from repro.mp import ComposedConsensus
+
+ADT = consensus_adt()
+
+
+def jitter(rng):
+    return rng.uniform(0.5, 1.5)
+
+
+def simulated_trace(seed, n_clients=2, late_client=True):
+    """A contended burst plus, optionally, one late fast-path client.
+
+    The late client decides in phase 1 *after* the early clients have
+    switched, so the phase projections overlap in time and admit many
+    distinct interleavings — the interesting inputs for Theorem 5.
+    """
+    system = ComposedConsensus(n_servers=3, seed=seed, delay=jitter)
+    values = [f"v{i}" for i in range(n_clients)]
+    for i, v in enumerate(values):
+        system.propose(f"c{i}", v, at=0.0)
+    if late_client:
+        values.append("vlate")
+        system.propose("late", "vlate", at=12.0)
+    system.run()
+    return system.trace(), values
+
+
+def theorem5_census(seeds=range(10), interleavings_per_trace=25, n_clients=3):
+    held = 0
+    vacuous = 0
+    falsified = 0
+    checked = 0
+    for seed in seeds:
+        trace, values = simulated_trace(seed, n_clients=n_clients)
+        rinit = consensus_rinit(values, max_extra=1)
+        t12, t23 = decompose(trace, 1, 2, 3)
+        for candidate in interleavings(
+            t12, t23, 2, limit=interleavings_per_trace
+        ):
+            ok, why = check_composition_theorem(
+                candidate, 1, 2, 3, ADT, rinit
+            )
+            checked += 1
+            if not ok:
+                falsified += 1
+            elif "premise fails" in why:
+                vacuous += 1
+            else:
+                held += 1
+    return {
+        "checked": checked,
+        "held": held,
+        "vacuous": vacuous,
+        "falsified": falsified,
+    }
+
+
+def theorem2_census(seeds=range(10)):
+    held = 0
+    vacuous = 0
+    falsified = 0
+    for seed in seeds:
+        trace, values = simulated_trace(seed)
+        rinit = consensus_rinit(values, max_extra=1)
+        ok, why = check_theorem_2(trace, 3, ADT, rinit)
+        if not ok:
+            falsified += 1
+        elif "premise fails" in why:
+            vacuous += 1
+        else:
+            held += 1
+    return {"held": held, "vacuous": vacuous, "falsified": falsified}
+
+
+def switch_cost_ablation(seeds=range(6)):
+    """Messages per decision: the paper's agreement-free switch versus a
+    hypothetical switch that runs one extra consensus to agree on the
+    switch value (lower bound: one more Paxos round trip per switch)."""
+    rows = []
+    for seed in seeds:
+        system = ComposedConsensus(n_servers=3, seed=seed, delay=jitter)
+        outcomes = [
+            system.propose(f"c{i}", f"v{i}", at=0.0) for i in range(3)
+        ]
+        system.run()
+        switches = sum(1 for o in outcomes if o.switched)
+        actual = system.stats.sent
+        # An agreement-based switch would run >= 1 extra Paxos phase-2
+        # round per switching client: n accept + n*learners accepted.
+        n = system.n_servers
+        learners = switches + n
+        hypothetical = actual + switches * (n + n * learners)
+        rows.append(
+            {
+                "seed": seed,
+                "switches": switches,
+                "messages": actual,
+                "with_agreement": hypothetical,
+            }
+        )
+    return rows
+
+
+class TestTheorem5:
+    @pytest.fixture(scope="class")
+    def census(self):
+        return theorem5_census()
+
+    def test_never_falsified(self, census):
+        assert census["falsified"] == 0
+
+    def test_nonvacuously_exercised(self, census):
+        assert census["held"] == census["checked"] > 0
+
+    def test_coverage(self, census):
+        # Mixed fast/slow runs yield multiple interleavings per trace.
+        assert census["checked"] >= 20
+
+
+class TestTheorem2:
+    @pytest.fixture(scope="class")
+    def census(self):
+        return theorem2_census()
+
+    def test_never_falsified(self, census):
+        assert census["falsified"] == 0
+
+    def test_nonvacuous(self, census):
+        assert census["held"] > 5
+
+
+class TestSwitchAblation:
+    def test_agreement_free_switch_is_cheaper(self):
+        for row in switch_cost_ablation():
+            if row["switches"]:
+                assert row["messages"] < row["with_agreement"]
+
+
+@pytest.mark.benchmark(group="composition-e4")
+def test_bench_theorem5_one_trace(benchmark):
+    trace, values = simulated_trace(3)
+    rinit = consensus_rinit(values, max_extra=1)
+    benchmark(check_composition_theorem, trace, 1, 2, 3, ADT, rinit)
+
+
+@pytest.mark.benchmark(group="composition-e4")
+def test_bench_theorem2_one_trace(benchmark):
+    trace, values = simulated_trace(3)
+    rinit = consensus_rinit(values, max_extra=1)
+    benchmark(check_theorem_2, trace, 3, ADT, rinit)
+
+
+def main():
+    c5 = theorem5_census()
+    print("E4: Theorem 5 census over simulated traces + interleavings")
+    print(
+        f"  checked={c5['checked']} held={c5['held']} "
+        f"vacuous={c5['vacuous']} falsified={c5['falsified']}"
+    )
+    c2 = theorem2_census()
+    print("E8: Theorem 2 census over simulated traces")
+    print(
+        f"  held={c2['held']} vacuous={c2['vacuous']} "
+        f"falsified={c2['falsified']}"
+    )
+    print("\nablation: agreement-free switching (messages per run)")
+    print(f"{'seed':>5} {'switches':>9} {'actual':>8} {'with agreement':>15}")
+    for row in switch_cost_ablation():
+        print(
+            f"{row['seed']:>5} {row['switches']:>9} {row['messages']:>8} "
+            f"{row['with_agreement']:>15}"
+        )
+
+
+if __name__ == "__main__":
+    main()

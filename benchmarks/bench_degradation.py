@@ -1,0 +1,212 @@
+"""E2 — graceful degradation under contention and faults (paper §2.1/2.4).
+
+Two series:
+
+* **contention sweep** — fraction of clients taking the slow path and
+  mean latency as the number of concurrent proposers grows (random
+  per-message delays let servers see proposals in different orders);
+  expected shape: the fast-path fraction collapses as contention rises,
+  latency degrades smoothly toward (and never below) the Backup cost —
+  "an adversary can easily weaken the system by always making it abort
+  the fast path";
+* **crash series** — latency with 0 or 1 crashed servers (out of 3) and
+  safety with 2 (no decision, no disagreement: Backup needs a majority).
+
+Run standalone:  python benchmarks/bench_degradation.py
+"""
+
+import statistics
+
+import pytest
+
+from repro.mp import ComposedConsensus
+
+
+def jitter(rng):
+    return rng.uniform(0.5, 1.5)
+
+
+def contention_point(n_clients: int, seeds=range(8)):
+    """Aggregate fast-path fraction and mean latency at one load level."""
+    fast = 0
+    total = 0
+    latencies = []
+    for seed in seeds:
+        system = ComposedConsensus(
+            n_servers=3, seed=seed, delay=jitter, expected_clients=16
+        )
+        outcomes = [
+            system.propose(f"c{i}", f"v{i}", at=0.0)
+            for i in range(n_clients)
+        ]
+        system.run()
+        decisions = {o.decided_value for o in outcomes}
+        assert len(decisions) == 1, (seed, decisions)
+        for o in outcomes:
+            total += 1
+            latencies.append(o.latency)
+            if o.path == "fast":
+                fast += 1
+    return {
+        "clients": n_clients,
+        "fast_fraction": fast / total,
+        "mean_latency": statistics.mean(latencies),
+        "max_latency": max(latencies),
+    }
+
+
+def contention_series(levels=(1, 2, 4, 8)):
+    return [contention_point(n) for n in levels]
+
+
+def crash_point(crashes: int):
+    system = ComposedConsensus(n_servers=3, seed=1)
+    for i in range(crashes):
+        system.crash_server(i, at=0.0)
+    outcome = system.propose("c", "v", at=1.0)
+    system.run(until=300.0)
+    return {
+        "crashes": crashes,
+        "decided": outcome.decided_value is not None,
+        "path": outcome.path,
+        "latency": outcome.latency,
+    }
+
+
+def crash_series():
+    return [crash_point(k) for k in (0, 1, 2)]
+
+
+def timeout_ablation(timeouts=(2.0, 4.0, 8.0, 16.0)):
+    """Design-choice ablation: the Quorum timer trades fast-path safety
+    margin against crash-recovery latency.  Short timers switch early,
+    lowering crash latency but risking spurious slow paths under jittery
+    delays; long timers the reverse."""
+    rows = []
+    for timeout in timeouts:
+        crash = ComposedConsensus(
+            n_servers=3, seed=1, quorum_timeout=timeout
+        )
+        crash.crash_server(2, at=0.0)
+        o_crash = crash.propose("c", "v", at=1.0)
+        crash.run(until=400.0)
+
+        spurious = 0
+        for seed in range(10):
+            jittery = ComposedConsensus(
+                n_servers=3,
+                seed=seed,
+                delay=lambda rng: rng.uniform(0.5, 1.5),
+                quorum_timeout=timeout,
+            )
+            o = jittery.propose("c", "v", at=0.0)
+            jittery.run(until=400.0)
+            if o.path == "slow":
+                spurious += 1
+        rows.append(
+            {
+                "timeout": timeout,
+                "crash_latency": o_crash.latency,
+                "spurious_slow": spurious,
+            }
+        )
+    return rows
+
+
+class TestContentionShape:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return contention_series()
+
+    def test_uncontended_is_all_fast(self, series):
+        assert series[0]["fast_fraction"] == 1.0
+        assert series[0]["mean_latency"] <= 3.0
+
+    def test_fast_fraction_collapses_under_contention(self, series):
+        assert series[-1]["fast_fraction"] < 0.5
+
+    def test_latency_degrades_monotonically_in_shape(self, series):
+        # The mean latency at the highest load strictly exceeds the
+        # uncontended latency (the adversary can force the slow path).
+        assert series[-1]["mean_latency"] > series[0]["mean_latency"]
+
+    def test_slow_path_still_bounded(self, series):
+        assert all(p["max_latency"] < 60.0 for p in series)
+
+
+class TestCrashShape:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return crash_series()
+
+    def test_fault_free_fast(self, series):
+        assert series[0] == {
+            "crashes": 0,
+            "decided": True,
+            "path": "fast",
+            "latency": 2.0,
+        }
+
+    def test_single_crash_slow_but_live(self, series):
+        assert series[1]["decided"]
+        assert series[1]["path"] == "slow"
+        assert series[1]["latency"] > 2.0
+
+    def test_majority_crash_safe_but_not_live(self, series):
+        assert not series[2]["decided"]
+
+
+class TestTimeoutAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return timeout_ablation()
+
+    def test_crash_latency_tracks_timeout(self, rows):
+        latencies = [r["crash_latency"] for r in rows]
+        assert latencies == sorted(latencies)
+        assert latencies[0] < latencies[-1]
+
+    def test_uncontended_jitter_rarely_spurious(self, rows):
+        # With a timeout comfortably above the max RTT (3.0), the fast
+        # path never misfires.
+        generous = [r for r in rows if r["timeout"] >= 4.0]
+        assert all(r["spurious_slow"] == 0 for r in generous)
+
+
+@pytest.mark.benchmark(group="degradation-e2")
+def test_bench_contended_round(benchmark):
+    benchmark(contention_point, 4, range(2))
+
+
+@pytest.mark.benchmark(group="degradation-e2")
+def test_bench_crash_round(benchmark):
+    benchmark(crash_point, 1)
+
+
+def main():
+    print("E2a: contention sweep (3 servers, random delays)")
+    print(f"{'clients':>8} {'fast%':>8} {'mean lat':>10} {'max lat':>9}")
+    for p in contention_series():
+        print(
+            f"{p['clients']:>8} {100 * p['fast_fraction']:>7.0f}% "
+            f"{p['mean_latency']:>10.2f} {p['max_latency']:>9.2f}"
+        )
+    print("\nE2c: Quorum-timeout ablation")
+    print(f"{'timeout':>8} {'crash latency':>14} {'spurious slow/10':>17}")
+    for r in timeout_ablation():
+        print(
+            f"{r['timeout']:>8.1f} {r['crash_latency']:>14.1f} "
+            f"{r['spurious_slow']:>17}"
+        )
+    print("\nE2b: crash series (3 servers)")
+    print(f"{'crashes':>8} {'decided':>8} {'path':>6} {'latency':>9}")
+    for p in crash_series():
+        lat = f"{p['latency']:.1f}" if p["latency"] is not None else "-"
+        print(
+            f"{p['crashes']:>8} {str(p['decided']):>8} {p['path']:>6} "
+            f"{lat:>9}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+"""E5 — invariants I1-I5 over adversarial execution sweeps (§2.4/§2.5).
+
+The paper proves the example algorithms satisfy I1-I3 (first phases) and
+I4-I5 (second phases); this harness *measures* it: the table counts
+invariant violations over randomized executions of both substrates under
+increasing adversity (contention, message loss, crashes, duplication for
+message passing; random schedules for shared memory).  Expected shape:
+all-zero violation columns with hundreds of executions per row.
+
+Run standalone:  python benchmarks/bench_invariants.py
+"""
+
+import pytest
+
+from repro.core.actions import sig_phase
+from repro.core.invariants import (
+    check_first_phase_invariants,
+    check_second_phase_invariants,
+)
+from repro.mp import ComposedConsensus
+from repro.sm import run_composed
+
+
+def jitter(rng):
+    return rng.uniform(0.5, 1.5)
+
+
+MP_REGIMES = [
+    ("clean", dict(delay=jitter)),
+    ("loss 10%", dict(delay=jitter, loss_rate=0.1)),
+    ("dup 20%", dict(delay=jitter, duplicate_rate=0.2)),
+    ("crash 1", dict(delay=jitter, crash=0)),
+    ("loss+crash", dict(delay=jitter, loss_rate=0.1, crash=2)),
+]
+
+
+def mp_row(label, config, seeds=range(12), n_clients=3):
+    config = dict(config)
+    crash = config.pop("crash", None)
+    violations = {"I1": 0, "I2": 0, "I3": 0, "I4": 0, "I5": 0}
+    runs = 0
+    for seed in seeds:
+        system = ComposedConsensus(n_servers=3, seed=seed, **config)
+        if crash is not None:
+            system.crash_server(crash, at=2.0)
+        for i in range(n_clients):
+            system.propose(f"c{i}", f"v{i}", at=0.0)
+        system.run(until=500.0)
+        runs += 1
+        for report in check_first_phase_invariants(
+            system.first_phase_trace(), 2
+        ):
+            if not report.ok:
+                violations[report.name] += 1
+        for report in check_second_phase_invariants(
+            system.second_phase_trace(), 2
+        ):
+            if not report.ok:
+                violations[report.name] += 1
+    return {"regime": label, "runs": runs, **violations}
+
+
+def mp_table():
+    return [mp_row(label, config) for label, config in MP_REGIMES]
+
+
+def sm_row(n_clients, seeds=range(60)):
+    violations = {"I1": 0, "I2": 0, "I3": 0, "I4": 0, "I5": 0}
+    runs = 0
+    for seed in seeds:
+        proposals = [(f"c{i}", f"v{i}") for i in range(n_clients)]
+        run = run_composed(proposals, mode="random", seed=seed)
+        runs += 1
+        p1 = run.trace.project(sig_phase(1, 2).contains)
+        p2 = run.trace.project(sig_phase(2, 3).contains)
+        for report in check_first_phase_invariants(p1, 2):
+            if not report.ok:
+                violations[report.name] += 1
+        for report in check_second_phase_invariants(p2, 2):
+            if not report.ok:
+                violations[report.name] += 1
+    return {"clients": n_clients, "runs": runs, **violations}
+
+
+def sm_table():
+    return [sm_row(n) for n in (2, 3, 4)]
+
+
+class TestMessagePassingInvariants:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return mp_table()
+
+    def test_no_violations_any_regime(self, table):
+        for row in table:
+            for name in ("I1", "I2", "I3", "I4", "I5"):
+                assert row[name] == 0, row
+
+    def test_all_regimes_ran(self, table):
+        assert all(row["runs"] >= 10 for row in table)
+
+
+class TestSharedMemoryInvariants:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return sm_table()
+
+    def test_no_violations(self, table):
+        for row in table:
+            for name in ("I1", "I2", "I3", "I4", "I5"):
+                assert row[name] == 0, row
+
+    def test_coverage(self, table):
+        assert sum(row["runs"] for row in table) >= 150
+
+
+@pytest.mark.benchmark(group="invariants-e5")
+def test_bench_mp_invariant_check(benchmark):
+    system = ComposedConsensus(n_servers=3, seed=3, delay=jitter)
+    for i in range(3):
+        system.propose(f"c{i}", f"v{i}", at=0.0)
+    system.run()
+    trace = system.first_phase_trace()
+    benchmark(check_first_phase_invariants, trace, 2)
+
+
+@pytest.mark.benchmark(group="invariants-e5")
+def test_bench_sm_execution_and_check(benchmark):
+    def round():
+        run = run_composed(
+            [("c1", "v1"), ("c2", "v2")], mode="random", seed=5
+        )
+        p1 = run.trace.project(sig_phase(1, 2).contains)
+        return check_first_phase_invariants(p1, 2)
+
+    benchmark(round)
+
+
+def main():
+    print("E5a: message-passing invariant census (violations per regime)")
+    header = f"{'regime':<12} {'runs':>5} " + " ".join(
+        f"{n:>4}" for n in ("I1", "I2", "I3", "I4", "I5")
+    )
+    print(header)
+    for row in mp_table():
+        print(
+            f"{row['regime']:<12} {row['runs']:>5} "
+            + " ".join(f"{row[n]:>4}" for n in ("I1", "I2", "I3", "I4", "I5"))
+        )
+    print("\nE5b: shared-memory invariant census")
+    print(header.replace("regime", "clients"))
+    for row in sm_table():
+        print(
+            f"{row['clients']:<12} {row['runs']:>5} "
+            + " ".join(f"{row[n]:>4}" for n in ("I1", "I2", "I3", "I4", "I5"))
+        )
+    print("\npaper: I1-I3 hold for Quorum/RCons, I4-I5 for Backup/CASCons")
+
+
+if __name__ == "__main__":
+    main()

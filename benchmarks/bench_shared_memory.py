@@ -1,0 +1,161 @@
+"""F2 + F3 + E7 — the shared-memory algorithms and the register-only claim.
+
+Regenerates:
+
+* **F2 (Figure 2, RCons)** — behaviour census of the register-based phase
+  over scheduling regimes: decisions vs switches, splitter outcomes;
+* **F3 (Figure 3, CASCons)** — the CAS phase decides the first installed
+  switch value for every caller;
+* **E7** — the §2.5 motivation, "is it possible to devise an object that
+  uses only registers in contention-free executions but always executes
+  correctly?": a primitive-operation census (register ops vs CAS) as the
+  interleaving adversary intensifies.  Expected shape: zero CAS in the
+  sequential column, CAS appearing exactly in executions that switched,
+  and agreement everywhere.
+
+Run standalone:  python benchmarks/bench_shared_memory.py
+"""
+
+import pytest
+
+from repro.sm import explore_composed, run_composed
+
+
+def census(mode, seeds, n_clients=3):
+    rows = {
+        "mode": mode,
+        "runs": 0,
+        "fast": 0,
+        "slow": 0,
+        "reads": 0,
+        "writes": 0,
+        "cas": 0,
+        "disagreements": 0,
+    }
+    for seed in seeds:
+        proposals = [(f"c{i}", f"v{i}") for i in range(n_clients)]
+        run = run_composed(proposals, mode=mode, seed=seed)
+        rows["runs"] += 1
+        reads, writes, cas = run.counts.snapshot()
+        rows["reads"] += reads
+        rows["writes"] += writes
+        rows["cas"] += cas
+        if len(run.decisions) != 1:
+            rows["disagreements"] += 1
+        for outcome in run.outcomes.values():
+            rows[outcome.path] = rows.get(outcome.path, 0) + 1
+    return rows
+
+
+def table():
+    return [
+        census("sequential", [0]),
+        census("round_robin", [0]),
+        census("random", range(40)),
+    ]
+
+
+class TestE7Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table()
+
+    def test_sequential_uses_zero_cas(self, rows):
+        sequential = rows[0]
+        assert sequential["cas"] == 0
+        assert sequential["slow"] == 0
+
+    def test_contention_uses_cas(self, rows):
+        contended = rows[2]
+        assert contended["cas"] > 0
+        assert contended["slow"] > 0
+
+    def test_agreement_everywhere(self, rows):
+        assert all(r["disagreements"] == 0 for r in rows)
+
+    def test_cas_only_when_switching(self, rows):
+        # Each slow client performs exactly one CAS.
+        contended = rows[2]
+        assert contended["cas"] == contended["slow"]
+
+
+class TestF2RConsCensus:
+    def test_exhaustive_two_client_census(self):
+        total = 0
+        winners = 0
+        for run in explore_composed([("c1", "v1"), ("c2", "v2")]):
+            total += 1
+            fast = [o for o in run.outcomes.values() if o.path == "fast"]
+            # At most one client can win the splitter outright; the other
+            # either adopts its decision or switches.
+            assert len(fast) <= 2
+            if fast:
+                winners += 1
+        assert total > 5000
+        assert 0 < winners < total
+
+
+class TestF3CASCons:
+    def test_first_cas_wins_in_every_interleaving(self):
+        from repro.sm.cascons import cascons_switch_program
+        from repro.sm.memory import SharedMemory
+        from repro.sm.scheduler import InterleavingScheduler, explore_schedules
+
+        def setup():
+            memory = SharedMemory()
+            outcomes = {}
+
+            def program(c, v):
+                outcomes[c] = yield from cascons_switch_program(v)
+
+            setup.outcomes = outcomes
+            return memory, {
+                "c1": program("c1", "v1"),
+                "c2": program("c2", "v2"),
+            }
+
+        for schedule, memory in explore_schedules(setup):
+            decided = {v for _, v in setup.outcomes.values()}
+            assert len(decided) == 1, schedule
+            assert memory.counts.cas == 2
+
+
+@pytest.mark.benchmark(group="shared-memory-e7")
+def test_bench_sequential_run(benchmark):
+    benchmark(
+        run_composed,
+        [("c1", "v1"), ("c2", "v2"), ("c3", "v3")],
+        "sequential",
+    )
+
+
+@pytest.mark.benchmark(group="shared-memory-e7")
+def test_bench_random_run(benchmark):
+    benchmark(
+        run_composed,
+        [("c1", "v1"), ("c2", "v2"), ("c3", "v3")],
+        "random",
+        7,
+    )
+
+
+def main():
+    print("E7: primitive-operation census, RCons+CASCons (3 clients)")
+    print(
+        f"{'regime':<12} {'runs':>5} {'fast':>6} {'slow':>6} "
+        f"{'reads':>7} {'writes':>7} {'CAS':>6} {'disagree':>9}"
+    )
+    for r in table():
+        print(
+            f"{r['mode']:<12} {r['runs']:>5} {r['fast']:>6} {r['slow']:>6} "
+            f"{r['reads']:>7} {r['writes']:>7} {r['cas']:>6} "
+            f"{r['disagreements']:>9}"
+        )
+    print(
+        "\npaper: contention-free executions use only registers; "
+        "CAS appears exactly on the switch path"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,170 @@
+"""Quickstart: the speculative-linearizability toolkit in five minutes.
+
+Walks through the paper's core artifacts:
+
+1. check linearizability of hand-written consensus traces (the examples
+   of Section 2.2) with both the new and the classical checker;
+2. check *speculative* linearizability of a phase trace with switches;
+3. run the simulated Quorum+Backup consensus and verify its recorded
+   trace against the theory — including the intra-object composition
+   theorem.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    Trace,
+    check_composition_theorem,
+    consensus_adt,
+    consensus_rinit,
+    inv,
+    is_linearizable,
+    is_linearizable_classical,
+    is_speculatively_linearizable,
+    linearize,
+    res,
+    strip_phase_tags,
+    swi,
+)
+from repro.core.adt import decide, propose
+from repro.mp import ComposedConsensus
+
+
+def section(title):
+    print()
+    print("=" * 64)
+    print(title)
+    print("=" * 64)
+
+
+def demo_linearizability():
+    section("1. Linearizability of consensus traces (paper §2.2)")
+    adt = consensus_adt()
+
+    good = Trace(
+        [
+            inv("c1", 1, propose("v1")),
+            inv("c2", 1, propose("v2")),
+            res("c2", 1, propose("v2"), decide("v2")),
+            res("c1", 1, propose("v1"), decide("v2")),
+        ]
+    )
+    result = linearize(good, adt)
+    print("good trace linearizable:", result.ok)
+    print("  witness linearization:", result.master)
+    print("  classical checker agrees:", is_linearizable_classical(good, adt))
+
+    bad = Trace(
+        [
+            inv("c1", 1, propose("v1")),
+            inv("c2", 1, propose("v2")),
+            res("c1", 1, propose("v1"), decide("v1")),
+            res("c2", 1, propose("v2"), decide("v2")),
+        ]
+    )
+    print("split-decision trace linearizable:", is_linearizable(bad, adt))
+
+
+def demo_speculative():
+    section("2. Speculative linearizability of a phase trace (paper §2.3)")
+    adt = consensus_adt()
+    rinit = consensus_rinit(["v1", "v2"], max_extra=1)
+
+    # c1 decides v1 in the first phase; c2 aborts, carrying switch value
+    # v1 (I1: switches agree with decisions).
+    phase_trace = Trace(
+        [
+            inv("c1", 1, propose("v1")),
+            inv("c2", 1, propose("v2")),
+            res("c1", 1, propose("v1"), decide("v1")),
+            swi("c2", 2, propose("v2"), "v1"),
+        ]
+    )
+    print(
+        "phase trace is SLin(1,2):",
+        is_speculatively_linearizable(phase_trace, 1, 2, adt, rinit),
+    )
+
+    conflicting = Trace(
+        [
+            inv("c1", 1, propose("v1")),
+            inv("c2", 1, propose("v2")),
+            res("c1", 1, propose("v1"), decide("v1")),
+            swi("c2", 2, propose("v2"), "v2"),  # contradicts the decision
+        ]
+    )
+    print(
+        "conflicting switch is SLin(1,2):",
+        is_speculatively_linearizable(conflicting, 1, 2, adt, rinit),
+    )
+
+
+def demo_simulation():
+    section("3. Simulated Quorum+Backup consensus (paper §2.1/§2.4)")
+    adt = consensus_adt()
+
+    # Fault-free, contention-free: the fast path decides in 2 delays.
+    system = ComposedConsensus(n_servers=3, seed=0)
+    outcome = system.propose("alice", "v-alice", at=0.0)
+    system.run()
+    print(
+        f"uncontended: path={outcome.path} latency="
+        f"{outcome.latency} message delays"
+    )
+
+    # Contention (random delays): clients fall back to Backup but agree.
+    def jitter(rng):
+        return rng.uniform(0.5, 1.5)
+
+    system = ComposedConsensus(n_servers=3, seed=7, delay=jitter)
+    values = ["v0", "v1", "v2"]
+    outcomes = [
+        system.propose(f"client{i}", v, at=0.0)
+        for i, v in enumerate(values)
+    ]
+    system.run()
+    for o in outcomes:
+        print(
+            f"  {o.client}: path={o.path} decided={o.decided_value} "
+            f"latency={o.latency:.1f}"
+        )
+
+    trace = system.trace()
+    print("recorded", len(trace), "interface actions")
+    print(
+        "projection linearizable:",
+        is_linearizable(strip_phase_tags(trace), adt),
+    )
+    rinit = consensus_rinit(values, max_extra=1)
+    ok, why = check_composition_theorem(trace, 1, 2, 3, adt, rinit)
+    print("intra-object composition theorem:", ok, "-", why)
+
+
+def demo_report():
+    section("4. The one-call verification report")
+    from repro.core import verify_phases
+
+    def jitter(rng):
+        return rng.uniform(0.5, 1.5)
+
+    system = ComposedConsensus(n_servers=3, seed=3, delay=jitter)
+    values = ["v1", "v2"]
+    for i, v in enumerate(values):
+        system.propose(f"c{i}", v, at=0.0)
+    system.run()
+    report = verify_phases(
+        system.trace(),
+        [1, 2, 3],
+        consensus_adt(),
+        consensus_rinit(values, max_extra=1),
+        check_invariants=True,
+    )
+    print(report.render())
+
+
+if __name__ == "__main__":
+    demo_linearizability()
+    demo_speculative()
+    demo_simulation()
+    demo_report()
+    print("\nAll quickstart checks completed.")

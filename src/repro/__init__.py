@@ -1,0 +1,27 @@
+"""repro — an executable reproduction of *Speculative Linearizability*.
+
+Guerraoui, Kuncak, Losa — PLDI 2012.
+
+Subpackages:
+
+* :mod:`repro.core` — the trace-based theory: linearizability (new and
+  classical definitions, both with complete checkers), speculative
+  linearizability, trace properties, intra-object composition.
+* :mod:`repro.ioa` — the I/O-automata formalization of Section 6: the
+  specification automaton, automaton composition, invariant checking and
+  refinement checking (the model-checked counterpart of the paper's
+  Isabelle proof).
+* :mod:`repro.mp` — the message-passing substrate (discrete-event
+  simulator with crashes and loss) plus the Quorum and Backup (Paxos)
+  phases of Section 2.1 and their composition.
+* :mod:`repro.sm` — the shared-memory substrate (atomic-step interleaving
+  machine) plus the splitter, RCons and CASCons of Section 2.5.
+* :mod:`repro.smr` — speculative state machine replication over the
+  universal ADT (Section 6's application) and a replicated KV store.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

@@ -1,0 +1,91 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro              # list experiments
+    python -m repro all          # run every harness
+    python -m repro e1 e6        # run selected experiments
+    python -m repro examples     # run the example scripts
+
+Each experiment prints the table/series described in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+EXPERIMENTS = {
+    "f1": ("bench_adts", "Figure 1 — consensus specification census"),
+    "e1": ("bench_latency", "2 vs 3 message delays"),
+    "e2": ("bench_degradation", "contention / crash degradation"),
+    "e3": ("bench_checkers", "Theorem 1 agreement census + checker ablation"),
+    "e4": ("bench_composition", "Theorems 5 and 2 censuses + switch ablation"),
+    "e5": ("bench_invariants", "invariants I1-I5 under adversity"),
+    "e6": ("bench_ioa", "model-checked composition theorem"),
+    "e7": ("bench_shared_memory", "registers-vs-CAS census (RCons/CASCons)"),
+    "e9": ("bench_smr", "speculative SMR / replicated KV store"),
+    "sweep": (
+        "bench_enumeration",
+        "exhaustive trace-level Theorem-5 sweeps",
+    ),
+}
+
+EXAMPLES = [
+    "quickstart.py",
+    "mp_consensus.py",
+    "sm_consensus.py",
+    "smr_kv_store.py",
+    "lock_service.py",
+    "custom_phase.py",
+]
+
+
+def run_bench(module_name: str) -> None:
+    """Import a benchmark harness by path and run its main()."""
+    path = os.path.join(ROOT, "benchmarks", f"{module_name}.py")
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+def run_examples() -> None:
+    for script in EXAMPLES:
+        print(f"\n{'#' * 70}\n# examples/{script}\n{'#' * 70}")
+        subprocess.run(
+            [sys.executable, os.path.join(ROOT, "examples", script)],
+            check=True,
+        )
+
+
+def main(argv) -> int:
+    args = [a.lower() for a in argv]
+    if not args:
+        print(__doc__)
+        print("experiments:")
+        for key, (module, title) in EXPERIMENTS.items():
+            print(f"  {key:<4} {title}  ({module}.py)")
+        print("  examples   run the example scripts")
+        return 0
+    if args == ["all"]:
+        args = list(EXPERIMENTS)
+    for arg in args:
+        if arg == "examples":
+            run_examples()
+            continue
+        if arg not in EXPERIMENTS:
+            print(f"unknown experiment {arg!r}; run with no args to list")
+            return 1
+        module, title = EXPERIMENTS[arg]
+        print(f"\n{'#' * 70}\n# {arg.upper()}: {title}\n{'#' * 70}")
+        run_bench(module)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,324 @@
+"""Classical linearizability* (Appendix A of the paper, Defs 37-46).
+
+This module formalizes the Herlihy-Wing-style definition the paper calls
+``linearizable*`` and provides a complete checker for it:
+
+* sequential traces (Def. 37) and agreement with an ADT (Def. 38);
+* complete traces and completions (Defs 39-40) — note the paper's
+  completion extends the trace with responses for *all* pending
+  invocations (pending invocations are not dropped);
+* reorderings and preservation of the order of non-overlapping operations
+  (Defs 41-44);
+* ``linearizable*`` for complete traces (Def. 45) and in general (Def. 46).
+
+The checker is the standard Wing-Gong search: repeatedly pick a *minimal*
+operation — one that no other remaining operation finished before —
+verify its output against the ADT's output function, and recurse.  Pending
+invocations participate with an infinite response time and an
+unconstrained output (their completion response is appended at the end of
+the trace, so any output the ADT produces is acceptable).
+
+Theorem 1 states this definition is equivalent to the new one in
+``linearizability.py``; the test suite checks that equivalence on randomly
+generated traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .actions import Input, Invocation, Output, Response
+from .adt import ADT
+from .traces import Trace, is_wellformed, pending_invocations
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A (possibly pending) operation extracted from a well-formed trace.
+
+    ``res_index`` is ``math.inf`` for pending operations and ``output`` is
+    then ``None`` (unconstrained by Definition 46's completion).
+    """
+
+    client: Hashable
+    input: Input
+    inv_index: int
+    res_index: float
+    output: Optional[Output]
+
+    @property
+    def pending(self) -> bool:
+        """True iff the operation has no response in the original trace."""
+        return math.isinf(self.res_index)
+
+
+def extract_operations(trace: Trace) -> List[Operation]:
+    """Pair each invocation with its response (or mark it pending).
+
+    Requires a well-formed trace: per client, invocations and responses
+    alternate, so pairing is positional.
+    """
+    open_invocation: Dict[Hashable, Tuple[int, Input]] = {}
+    operations: List[Operation] = []
+    for index, action in enumerate(trace):
+        if isinstance(action, Invocation):
+            open_invocation[action.client] = (index, action.input)
+        elif isinstance(action, Response):
+            inv_index, input = open_invocation.pop(action.client)
+            operations.append(
+                Operation(
+                    client=action.client,
+                    input=input,
+                    inv_index=inv_index,
+                    res_index=index,
+                    output=action.output,
+                )
+            )
+    for client, (inv_index, input) in open_invocation.items():
+        operations.append(
+            Operation(
+                client=client,
+                input=input,
+                inv_index=inv_index,
+                res_index=math.inf,
+                output=None,
+            )
+        )
+    return operations
+
+
+# ---------------------------------------------------------------------------
+# Definitional artifacts (used directly by tests)
+# ---------------------------------------------------------------------------
+
+
+def is_sequential(trace: Trace) -> bool:
+    """Definition 37: alternating inv/res where res(i+1) answers inv(i)."""
+    actions = trace.actions
+    if len(actions) % 2 != 0:
+        # A sequential trace in the paper's appendix pairs every invocation
+        # with the immediately following response; an odd-length candidate
+        # can still be "sequential" per Def. 37 if it ends in an
+        # invocation, but agreement checks (Def. 38) are stated for fully
+        # paired traces.  We accept a trailing invocation.
+        pass
+    for i, action in enumerate(actions):
+        if i % 2 == 0:
+            if not isinstance(action, Invocation):
+                return False
+        else:
+            previous = actions[i - 1]
+            if not isinstance(action, Response):
+                return False
+            if (
+                action.client != previous.client
+                or action.input != previous.input
+            ):
+                return False
+    return True
+
+
+def agrees_with_adt(trace: Trace, adt: ADT) -> bool:
+    """Definition 38: each output equals f applied to the inputs so far."""
+    if not is_sequential(trace):
+        return False
+    history: List[Input] = []
+    state = adt.initial_state
+    for action in trace:
+        if isinstance(action, Invocation):
+            history.append(action.input)
+            state, output = adt.transition(state, action.input)
+        else:
+            if action.output != output:
+                return False
+    return True
+
+
+def is_reordering(candidate: Trace, trace: Trace) -> bool:
+    """Definition 41: same length and same multiset of actions.
+
+    A permutation sigma with ``candidate(sigma(i)) = trace(i)`` exists iff
+    the two traces contain the same actions with the same multiplicities.
+    """
+    if len(candidate) != len(trace):
+        return False
+    from collections import Counter
+
+    return Counter(candidate.actions) == Counter(trace.actions)
+
+
+def find_permutation(candidate: Trace, trace: Trace) -> Optional[List[int]]:
+    """A permutation sigma with ``candidate[sigma[i]] == trace[i]``.
+
+    Among the possibly many permutations (repeated actions), matches
+    occurrences in order, which suffices for checking Definition 44 because
+    equal actions are interchangeable.
+    """
+    if len(candidate) != len(trace):
+        return None
+    slots: Dict[object, List[int]] = {}
+    for j, action in enumerate(candidate):
+        slots.setdefault(action, []).append(j)
+    sigma: List[int] = []
+    for action in trace:
+        bucket = slots.get(action)
+        if not bucket:
+            return None
+        sigma.append(bucket.pop(0))
+    return sigma
+
+
+def preserves_nonoverlap_order(
+    candidate: Trace, trace: Trace, sigma: Sequence[int]
+) -> bool:
+    """Definition 44 for complete traces.
+
+    For invocation indices ``i, j`` of ``trace``: if the response to ``i``
+    precedes ``j`` then ``sigma(i) < sigma(j)``; and each response must
+    immediately follow its invocation in the reordering.
+    """
+    operations = extract_operations(trace)
+    for op in operations:
+        if op.pending:
+            return False  # Definition 44 is stated for complete traces
+        if sigma[int(op.res_index)] != sigma[op.inv_index] + 1:
+            return False
+    for op1 in operations:
+        for op2 in operations:
+            if op1 is op2:
+                continue
+            if op1.res_index < op2.inv_index:
+                if not sigma[op1.inv_index] < sigma[op2.inv_index]:
+                    return False
+    return True
+
+
+def check_classical_witness(
+    trace: Trace, candidate: Trace, adt: ADT
+) -> bool:
+    """Definition 45 made executable for a *complete* trace.
+
+    True iff ``candidate`` agrees with the ADT, is a reordering of
+    ``trace`` and preserves the order of non-overlapping operations.
+    """
+    if not is_reordering(candidate, trace):
+        return False
+    if not agrees_with_adt(candidate, adt):
+        return False
+    sigma = find_permutation(candidate, trace)
+    if sigma is None:
+        return False
+    return preserves_nonoverlap_order(candidate, trace, sigma)
+
+
+# ---------------------------------------------------------------------------
+# The Wing-Gong search
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClassicalResult:
+    """Outcome of a classical linearizability* check.
+
+    On success ``linearization`` is the witness sequential trace (with the
+    completion's responses included for pending operations).
+    """
+
+    ok: bool
+    linearization: Optional[Trace] = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _search(
+    operations: List[Operation],
+    remaining: FrozenSet[int],
+    state: Hashable,
+    adt: ADT,
+    order: List[int],
+    visited: Set[Tuple[FrozenSet[int], Hashable]],
+) -> bool:
+    if not remaining:
+        return True
+    try:
+        key = (remaining, state)
+        if key in visited:
+            return False
+        visited.add(key)
+    except TypeError:
+        pass  # unhashable ADT state: search without memoization
+
+    # The earliest response among remaining operations bounds minimality:
+    # an operation is minimal iff it was invoked before every remaining
+    # response, i.e. before this bound.
+    bound = min(operations[i].res_index for i in remaining)
+    for i in sorted(remaining):
+        op = operations[i]
+        if op.inv_index > bound:
+            continue
+        new_state, output = adt.transition(state, op.input)
+        if op.output is not None and output != op.output:
+            continue
+        order.append(i)
+        if _search(operations, remaining - {i}, new_state, adt, order, visited):
+            return True
+        order.pop()
+    return False
+
+
+def linearize_classical(trace: Trace, adt: ADT) -> ClassicalResult:
+    """Check linearizability* (Definition 46) and return a witness.
+
+    The witness is the sequential trace of a linearizable completion: each
+    pending operation appears with the output the ADT assigns it at its
+    chosen linearization point.
+    """
+    if not is_wellformed(trace):
+        return ClassicalResult(False, reason="trace is not well-formed")
+
+    operations = extract_operations(trace)
+    for op in operations:
+        if not adt.is_input(op.input):
+            return ClassicalResult(
+                False, reason=f"invalid ADT input {op.input!r}"
+            )
+
+    order: List[int] = []
+    visited: Set[Tuple[FrozenSet[int], Hashable]] = set()
+    found = _search(
+        operations,
+        frozenset(range(len(operations))),
+        adt.initial_state,
+        adt,
+        order,
+        visited,
+    )
+    if not found:
+        return ClassicalResult(False, reason="no valid reordering exists")
+
+    actions: List[object] = []
+    state = adt.initial_state
+    for i in order:
+        op = operations[i]
+        state, output = adt.transition(state, op.input)
+        actions.append(Invocation(op.client, 1, op.input))
+        actions.append(Response(op.client, 1, op.input, output))
+    return ClassicalResult(True, linearization=Trace(actions))
+
+
+def is_linearizable_classical(trace: Trace, adt: ADT) -> bool:
+    """Boolean wrapper around :func:`linearize_classical`."""
+    return linearize_classical(trace, adt).ok

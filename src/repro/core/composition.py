@@ -1,0 +1,204 @@
+"""Intra-object composition of speculation phases (Sections 5.6, App. C).
+
+Theorem 3/5: if ``S1 |= SLin(m,n)`` and ``S2 |= SLin(n,o)`` then
+``proj(S1 ‖ S2, sigT(m,o)) |= SLin(m,o)``.
+
+At trace level, composing two phases means interleaving a trace of phase
+``(m, n)`` with a trace of phase ``(n, o)`` such that the *shared* actions
+— the switches tagged ``n``, which are aborts of the first phase and inits
+of the second — occur exactly once and project back correctly into each
+component.  This module provides:
+
+* :func:`shared_actions` / :func:`components_compatible` — the
+  synchronization discipline;
+* :func:`interleavings` / :func:`random_interleaving` — enumerate or
+  sample composed traces of two component traces;
+* :func:`decompose` — recover the component projections of a composed
+  trace;
+* :func:`check_composition_theorem` — the executable statement of
+  Theorem 5 for one composed trace: *if* both projections satisfy
+  speculative linearizability *then* so does the composition.
+
+The test-suite and ``benchmarks/bench_composition.py`` run this check over
+systematically generated and randomly simulated traces; a single
+counterexample would falsify the reproduction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .actions import Action, Switch, sig_phase
+from .adt import ADT
+from .linearizability import is_linearizable
+from .speculative import RInit, is_speculatively_linearizable
+from .traces import Trace, strip_phase_tags
+
+
+def shared_actions(trace: Trace, n: int) -> Tuple[Action, ...]:
+    """The switch actions tagged ``n`` — the synchronization alphabet."""
+    return tuple(
+        a for a in trace if isinstance(a, Switch) and a.phase == n
+    )
+
+
+def components_compatible(t_mn: Trace, t_no: Trace, n: int) -> bool:
+    """True iff the two phase traces agree on their shared actions.
+
+    Composition synchronizes the first phase's aborts with the second
+    phase's inits: both components must contain the same sequence of
+    switch actions tagged ``n``, in the same order.
+    """
+    return shared_actions(t_mn, n) == shared_actions(t_no, n)
+
+
+def decompose(trace: Trace, m: int, n: int, o: int) -> Tuple[Trace, Trace]:
+    """Project a composed trace back onto its two phase signatures."""
+    sig1 = sig_phase(m, n)
+    sig2 = sig_phase(n, o)
+    return (
+        trace.project(sig1.contains),
+        trace.project(sig2.contains),
+    )
+
+
+def interleavings(
+    t_mn: Trace,
+    t_no: Trace,
+    n: int,
+    limit: Optional[int] = None,
+) -> Iterator[Trace]:
+    """Enumerate composed traces of two compatible phase traces.
+
+    A composed trace merges the two components preserving each one's
+    internal order, with each shared (tag-``n``) switch contributed once.
+    ``limit`` caps the number of interleavings yielded.
+    """
+    if not components_compatible(t_mn, t_no, n):
+        return
+
+    a = t_mn.actions
+    b = t_no.actions
+    produced = 0
+
+    def is_shared(action: Action) -> bool:
+        return isinstance(action, Switch) and action.phase == n
+
+    def merge(i: int, j: int, acc: List[Action]) -> Iterator[Trace]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if i == len(a) and j == len(b):
+            produced += 1
+            yield Trace(acc)
+            return
+        # Synchronized step: both components are at the same shared action.
+        if (
+            i < len(a)
+            and j < len(b)
+            and is_shared(a[i])
+            and is_shared(b[j])
+            and a[i] == b[j]
+        ):
+            acc.append(a[i])
+            yield from merge(i + 1, j + 1, acc)
+            acc.pop()
+            return
+        # Independent step from the first component.
+        if i < len(a) and not is_shared(a[i]):
+            acc.append(a[i])
+            yield from merge(i + 1, j, acc)
+            acc.pop()
+        # Independent step from the second component.
+        if j < len(b) and not is_shared(b[j]):
+            acc.append(b[j])
+            yield from merge(i, j + 1, acc)
+            acc.pop()
+
+    yield from merge(0, 0, [])
+
+
+def random_interleaving(
+    t_mn: Trace, t_no: Trace, n: int, rng: random.Random
+) -> Optional[Trace]:
+    """Sample one composed trace uniformly-ish by random merge choices."""
+    if not components_compatible(t_mn, t_no, n):
+        return None
+
+    def is_shared(action: Action) -> bool:
+        return isinstance(action, Switch) and action.phase == n
+
+    a = list(t_mn.actions)
+    b = list(t_no.actions)
+    i = j = 0
+    acc: List[Action] = []
+    while i < len(a) or j < len(b):
+        choices = []
+        if (
+            i < len(a)
+            and j < len(b)
+            and is_shared(a[i])
+            and is_shared(b[j])
+            and a[i] == b[j]
+        ):
+            choices.append("sync")
+        if i < len(a) and not is_shared(a[i]):
+            choices.append("a")
+        if j < len(b) and not is_shared(b[j]):
+            choices.append("b")
+        if not choices:
+            return None  # blocked: one side waits at a shared action
+        pick = rng.choice(choices)
+        if pick == "sync":
+            acc.append(a[i])
+            i += 1
+            j += 1
+        elif pick == "a":
+            acc.append(a[i])
+            i += 1
+        else:
+            acc.append(b[j])
+            j += 1
+    return Trace(acc)
+
+
+def check_composition_theorem(
+    trace: Trace,
+    m: int,
+    n: int,
+    o: int,
+    adt: ADT,
+    rinit: RInit,
+) -> Tuple[bool, str]:
+    """The executable statement of Theorem 5 on one composed trace.
+
+    Returns ``(True, reason)`` when the implication holds (either a
+    premise fails, with the reason saying which, or the conclusion holds)
+    and ``(False, reason)`` when both premises hold but the conclusion
+    fails — a counterexample to the theorem.
+    """
+    t_mn, t_no = decompose(trace, m, n, o)
+    if not is_speculatively_linearizable(t_mn, m, n, adt, rinit):
+        return True, "premise fails: t_mn not SLin(m,n)"
+    if not is_speculatively_linearizable(t_no, n, o, adt, rinit):
+        return True, "premise fails: t_no not SLin(n,o)"
+    if is_speculatively_linearizable(trace, m, o, adt, rinit):
+        return True, "composition is SLin(m,o)"
+    return False, "COUNTEREXAMPLE: premises hold but composition fails"
+
+
+def check_theorem_2(trace: Trace, m: int, adt: ADT, rinit: RInit) -> Tuple[bool, str]:
+    """Theorem 2: ``proj(SLin(1, m), acts(sigT)) = Lin``.
+
+    For a trace satisfying SLin(1, m), the projection onto plain
+    invocation/response actions must be linearizable.  (The converse
+    inclusion — every linearizable trace arises as such a projection — is
+    witnessed by taking the trace itself with no switches.)
+    """
+    if not is_speculatively_linearizable(trace, 1, m, adt, rinit):
+        return True, "premise fails: trace not SLin(1,m)"
+    projected = strip_phase_tags(trace)
+    if is_linearizable(projected, adt):
+        return True, "projection is linearizable"
+    return False, "COUNTEREXAMPLE: SLin(1,m) trace projects to non-Lin trace"

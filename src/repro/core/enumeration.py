@@ -1,0 +1,204 @@
+"""Exhaustive enumeration of well-formed phase traces (small scopes).
+
+The theorems of the paper are universally quantified over traces.  The
+simulators exercise *algorithm-generated* traces; this module closes the
+gap by enumerating **every** well-formed trace of a speculation phase up
+to a length bound over a finite universe of clients and values — the
+trace-level analogue of the automaton model checking in
+:mod:`repro.ioa`.  The test-suite and benchmarks sweep these universes
+through the speculative-linearizability checker and the composition
+theorem.
+
+Enumeration is incremental: each client is a small state machine (idle /
+open / switched-out / done), so only well-formed continuations are ever
+generated — the search space is the set of well-formed traces, not the
+set of all action strings.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from .actions import Action, Invocation, Response, Switch
+from .adt import ADT
+from .traces import Trace
+
+IDLE = "idle"
+OPEN = "open"
+GONE = "gone"  # aborted out of the phase
+
+
+def enumerate_phase_traces(
+    m: int,
+    n: int,
+    clients: Sequence[Hashable],
+    inputs: Sequence,
+    outputs: Sequence,
+    switch_values: Sequence,
+    max_len: int,
+    max_ops_per_client: int = 2,
+) -> Iterator[Trace]:
+    """All (m, n)-well-formed traces up to ``max_len`` actions.
+
+    * clients in a first phase (``m == 1``) start idle and invoke at tag
+      ``m``; in a later phase they first switch in (tag ``m``) carrying
+      an input and a switch value;
+    * an open operation may complete with any output (tag ``m``) or
+      abort (tag ``n``) with any switch value;
+    * ``max_ops_per_client`` bounds per-client operations.
+
+    The enumeration includes traces with pending operations (every
+    prefix of a yielded trace is itself yielded).
+    """
+    clients = tuple(clients)
+
+    def continuations(state, ops_used):
+        for i, client in enumerate(clients):
+            status, open_input = state[i]
+            if status == IDLE and ops_used[i] < max_ops_per_client:
+                if m == 1 or ops_used[i] > 0:
+                    for payload in inputs:
+                        yield (
+                            Invocation(client, m, payload),
+                            i,
+                            (OPEN, payload),
+                            1,
+                        )
+                else:
+                    # First action of a later-phase client: switch in.
+                    for payload in inputs:
+                        for value in switch_values:
+                            yield (
+                                Switch(client, m, payload, value),
+                                i,
+                                (OPEN, payload),
+                                1,
+                            )
+            elif status == OPEN:
+                for output in outputs:
+                    yield (
+                        Response(client, m, open_input, output),
+                        i,
+                        (IDLE, None),
+                        0,
+                    )
+                for value in switch_values:
+                    yield (
+                        Switch(client, n, open_input, value),
+                        i,
+                        (GONE, None),
+                        0,
+                    )
+
+    def walk(
+        actions: List[Action],
+        state: Tuple,
+        ops_used: Tuple[int, ...],
+    ) -> Iterator[Trace]:
+        yield Trace(actions)
+        if len(actions) >= max_len:
+            return
+        for action, i, new_status, op_inc in continuations(state, ops_used):
+            new_state = state[:i] + (new_status,) + state[i + 1 :]
+            new_ops = (
+                ops_used[:i] + (ops_used[i] + op_inc,) + ops_used[i + 1 :]
+            )
+            actions.append(action)
+            yield from walk(actions, new_state, new_ops)
+            actions.pop()
+
+    initial = tuple((IDLE, None) for _ in clients)
+    yield from walk([], initial, tuple(0 for _ in clients))
+
+
+def enumerate_consensus_phase_traces(
+    m: int,
+    n: int,
+    clients: Sequence[Hashable],
+    values: Sequence[Hashable],
+    max_len: int,
+    max_ops_per_client: int = 1,
+) -> Iterator[Trace]:
+    """Consensus-shaped phase traces: propose inputs, decide outputs,
+    values as switch payloads."""
+    from .adt import decide, propose
+
+    return enumerate_phase_traces(
+        m,
+        n,
+        clients,
+        inputs=[propose(v) for v in values],
+        outputs=[decide(v) for v in values],
+        switch_values=list(values),
+        max_len=max_len,
+        max_ops_per_client=max_ops_per_client,
+    )
+
+
+def count_traces(iterator: Iterator[Trace]) -> int:
+    """Length of an enumeration (drains the iterator)."""
+    return sum(1 for _ in iterator)
+
+
+def enumerate_composed_consensus_traces(
+    clients: Sequence[Hashable],
+    values: Sequence[Hashable],
+    max_len: int,
+) -> Iterator[Trace]:
+    """All well-formed (1, 3) composed consensus traces up to ``max_len``.
+
+    Clients invoke at tag 1, may respond at tag 1, may switch through
+    tag 2 (after which they may respond at tag 2 or abort at tag 3).
+    This is the input space for exhaustive trace-level checking of the
+    composition theorem.
+    """
+    from .adt import decide, propose
+
+    clients = tuple(clients)
+    inputs = [propose(v) for v in values]
+    outputs = [decide(v) for v in values]
+
+    # Client statuses: idle1 -> open1 -> (idle1 | open2 | gone)
+    #                  open2 -> (done2-idle | gone)
+    def continuations(state):
+        for i, client in enumerate(clients):
+            status, open_input = state[i]
+            if status == "idle1":
+                for payload in inputs:
+                    yield Invocation(client, 1, payload), i, ("open1", payload)
+            elif status == "open1":
+                for output in outputs:
+                    yield Response(client, 1, open_input, output), i, (
+                        "done",
+                        None,
+                    )
+                for value in values:
+                    yield Switch(client, 2, open_input, value), i, (
+                        "open2",
+                        open_input,
+                    )
+            elif status == "open2":
+                for output in outputs:
+                    yield Response(client, 2, open_input, output), i, (
+                        "done",
+                        None,
+                    )
+                for value in values:
+                    yield Switch(client, 3, open_input, value), i, (
+                        "gone",
+                        None,
+                    )
+
+    def walk(actions, state):
+        yield Trace(actions)
+        if len(actions) >= max_len:
+            return
+        for action, i, new_status in continuations(state):
+            actions.append(action)
+            yield from walk(
+                actions, state[:i] + (new_status,) + state[i + 1 :]
+            )
+            actions.pop()
+
+    initial = tuple(("idle1", None) for _ in clients)
+    yield from walk([], initial)

@@ -1,0 +1,397 @@
+"""The paper's new definition of linearizability (Section 4, Defs 5-15).
+
+A trace ``t`` is linearizable iff it is well-formed and admits a
+*linearization function* ``g`` mapping each response index to a *commit
+history* (a sequence of ADT inputs) such that:
+
+* **Explains** (Def. 7):  ``out = f_T(g(i))`` for each response at ``i``;
+* **Validity** (Defs 10/11): ``elems(g(i))`` is included in the multiset of
+  inputs invoked before ``i``, and ``g(i)`` ends with the responding
+  client's input;
+* **Commit Order** (Def. 12): commit histories form a chain under the
+  *strict* prefix order;
+* **Real-Time Order** (repair, see below): if the response at commit
+  index ``i`` occurs before the *invocation* answered at commit index
+  ``j``, then ``g(i)`` is a strict prefix of ``g(j)``.
+
+The last condition does not appear in the paper's Definition 6, but it is
+necessary for Theorem 1 (equivalence with classical linearizability) to
+hold: without it, the trace ``[inv(w, write(2)), res(w, ok),
+inv(r, read), res(r, value=None)]`` — a read invoked *after* a completed
+write returning the pre-write value — admits a linearization function
+(commit the read's singleton history first, then embed it under the
+write's), yet it is rejected by the classical definition, which preserves
+the order of non-overlapping operations (Definition 44).  The appendix's
+Lemma 4 proof implicitly uses this property when it claims the
+constructed reordering is a classical witness.  The test-suite carries
+the counterexample (``test_equivalence.py``) and checks that, with the
+repair, the two complete checkers agree over large random trace
+families.
+
+Two artifacts live here:
+
+1. :func:`check_linearization_function` — verifies a user-supplied ``g``
+   against the definition (the definition made executable);
+2. :func:`linearize` / :func:`is_linearizable` — a complete search for a
+   witness ``g``.  Commit Order means all commit histories are prefixes of
+   a single master history, so the search builds that master history left
+   to right: at each step it either *commits* a not-yet-explained response
+   (appending its input and checking Explains + Validity) or *interleaves*
+   the input of another invocation (e.g. one that remains pending).  The
+   search is exponential in the worst case — linearizability checking is
+   NP-hard — but memoization on (master, committed) states keeps it fast at
+   the trace sizes used by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .actions import Input, Invocation, Response
+from .adt import ADT, History
+from .multisets import Multiset, elems
+from .sequences import is_strict_prefix
+from .traces import Trace, inputs, is_wellformed
+
+
+@dataclass(frozen=True)
+class LinearizationResult:
+    """Outcome of a linearizability check.
+
+    ``ok`` is the verdict; on success ``witness`` maps each response index
+    (0-based position in the trace) to its commit history, and ``master``
+    is the longest commit history (the full linearization).  On failure
+    ``reason`` holds a human-readable explanation.
+    """
+
+    ok: bool
+    witness: Optional[Mapping[int, History]] = None
+    master: Optional[History] = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _response_positions(trace: Trace) -> List[int]:
+    return [
+        i for i, a in enumerate(trace.actions) if isinstance(a, Response)
+    ]
+
+
+def invocation_positions(trace: Trace) -> Dict[int, int]:
+    """Map each response position to the position where its operation
+    *started*.
+
+    An operation starts at its invocation, or — in a phase trace whose
+    clients enter via an init switch — at that switch.  Crucially, a
+    switch occurring while the client's operation is already open (the
+    pass-through of a composed trace) does **not** restart the
+    operation: the pending invocation travels across the phase boundary,
+    so the operation still spans from the original invocation.  Treating
+    the switch as a fresh start would manufacture real-time edges against
+    operations that completed mid-flight, wrongly rejecting composed
+    traces (caught by the exhaustive sweep in ``test_enumeration.py``).
+    """
+    from .actions import Switch
+
+    start: Dict[object, int] = {}
+    open_now: Dict[object, bool] = {}
+    pairing: Dict[int, int] = {}
+    for i, action in enumerate(trace.actions):
+        if isinstance(action, Invocation):
+            start[action.client] = i
+            open_now[action.client] = True
+        elif isinstance(action, Switch):
+            if not open_now.get(action.client, False):
+                start[action.client] = i
+                open_now[action.client] = True
+        elif isinstance(action, Response):
+            pairing[i] = start.get(action.client, i)
+            open_now[action.client] = False
+    return pairing
+
+
+def _realtime_pairs_ok(
+    histories: Dict[int, "History"], inv_pos: Dict[int, int]
+) -> Optional[Tuple[int, int]]:
+    """Return a violating (i, j) pair, or None if Real-Time Order holds."""
+    for i in histories:
+        for j in histories:
+            if i == j:
+                continue
+            if i < inv_pos[j]:
+                from .sequences import is_strict_prefix as _strict
+
+                if not _strict(histories[i], histories[j]):
+                    return (i, j)
+    return None
+
+
+def check_linearization_function(
+    trace: Trace,
+    g: Mapping[int, Sequence[Input]],
+    adt: ADT,
+    require_wellformed: bool = True,
+) -> LinearizationResult:
+    """Verify that ``g`` is a linearization function for ``trace`` (Def. 6).
+
+    ``g`` maps 0-based response positions to histories; positions that are
+    not response indices are ignored (the definition only constrains
+    commit indices).
+    """
+    if require_wellformed and not is_wellformed(trace):
+        return LinearizationResult(False, reason="trace is not well-formed")
+
+    histories: Dict[int, History] = {}
+    for i in _response_positions(trace):
+        if i not in g:
+            return LinearizationResult(
+                False, reason=f"g is undefined at commit index {i}"
+            )
+        histories[i] = tuple(g[i])
+
+    # Explains (Definition 7) and Validity (Definitions 10-11).
+    for i, history in histories.items():
+        action = trace[i]
+        if not history:
+            return LinearizationResult(
+                False, reason=f"empty commit history at index {i}"
+            )
+        if adt.output(history) != action.output:
+            return LinearizationResult(
+                False,
+                reason=(
+                    f"g does not explain index {i}: f(g({i})) = "
+                    f"{adt.output(history)!r} but output is {action.output!r}"
+                ),
+            )
+        if history[-1] != action.input:
+            return LinearizationResult(
+                False,
+                reason=(
+                    f"commit history at {i} does not end with the "
+                    f"responding input {action.input!r}"
+                ),
+            )
+        if not elems(history).issubset(elems(inputs(trace, i))):
+            return LinearizationResult(
+                False,
+                reason=(
+                    f"commit history at {i} uses inputs not invoked "
+                    f"before index {i}"
+                ),
+            )
+
+    # Commit Order (Definition 12): strict prefix chain over distinct
+    # commit indices.
+    items = sorted(histories.items(), key=lambda kv: len(kv[1]))
+    for (i, h1), (j, h2) in zip(items, items[1:]):
+        if not is_strict_prefix(h1, h2):
+            return LinearizationResult(
+                False,
+                reason=(
+                    f"commit histories at {i} and {j} violate Commit "
+                    f"Order: {h1!r} vs {h2!r}"
+                ),
+            )
+
+    # Real-Time Order (the repair; see the module docstring).
+    violation = _realtime_pairs_ok(histories, invocation_positions(trace))
+    if violation is not None:
+        i, j = violation
+        return LinearizationResult(
+            False,
+            reason=(
+                f"Real-Time Order violated: response at {i} precedes the "
+                f"invocation answered at {j} but g({i}) is not a strict "
+                f"prefix of g({j})"
+            ),
+        )
+
+    master = items[-1][1] if items else ()
+    return LinearizationResult(True, witness=dict(histories), master=master)
+
+
+@dataclass
+class _SearchContext:
+    """Internal state shared across the DFS."""
+
+    trace: Trace
+    adt: ADT
+    responses: List[int]
+    # Position of the invocation answered by each response position.
+    inv_pos: Dict[int, int]
+    # Multiset of inputs invoked strictly before each response position.
+    before: Dict[int, Multiset]
+    # Multiset of all invocation inputs in the trace.
+    available: Multiset
+    visited: Set[Tuple[History, FrozenSet[int]]] = field(default_factory=set)
+    witness: Dict[int, History] = field(default_factory=dict)
+    nodes: int = 0
+    node_limit: Optional[int] = None
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when the linearization search exceeds its node budget."""
+
+
+def _search(
+    ctx: _SearchContext,
+    master: History,
+    state: Hashable,
+    committed: FrozenSet[int],
+) -> bool:
+    if len(committed) == len(ctx.responses):
+        return True
+    key = (master, committed)
+    if key in ctx.visited:
+        return False
+    ctx.visited.add(key)
+    ctx.nodes += 1
+    if ctx.node_limit is not None and ctx.nodes > ctx.node_limit:
+        raise SearchBudgetExceeded(
+            f"linearization search exceeded {ctx.node_limit} nodes"
+        )
+
+    used = elems(master)
+
+    # Option A: commit an uncommitted response next.
+    for position in ctx.responses:
+        if position in committed:
+            continue
+        # Real-Time Order: a response that occurred before this
+        # operation's invocation must already be committed (it must be a
+        # strict prefix in the chain, and the DFS commits in chain order).
+        threshold = ctx.inv_pos[position]
+        if any(
+            other < threshold and other not in committed
+            for other in ctx.responses
+        ):
+            continue
+        action = ctx.trace[position]
+        extended = master + (action.input,)
+        # Validity: the extended history must be drawn from the inputs
+        # invoked before `position`.
+        if not elems(extended).issubset(ctx.before[position]):
+            continue
+        new_state, output = ctx.adt.transition(state, action.input)
+        if output != action.output:
+            continue
+        ctx.witness[position] = extended
+        if _search(ctx, extended, new_state, committed | {position}):
+            return True
+        del ctx.witness[position]
+
+    # Option B: interleave an invocation input without committing (needed
+    # for pending invocations whose effect is visible to others, and for
+    # commit histories that embed other clients' inputs before their own
+    # commit point).  Only inputs still available in the global multiset
+    # are candidates, and only while responses remain to be committed.
+    for candidate in ctx.available:
+        if used.count(candidate) >= ctx.available.count(candidate):
+            continue
+        extended = master + (candidate,)
+        # Prune: at least one uncommitted response must be able to absorb
+        # this extension (its `before` multiset must cover it).
+        feasible = any(
+            position not in committed
+            and elems(extended).issubset(ctx.before[position])
+            for position in ctx.responses
+        )
+        if not feasible:
+            continue
+        new_state, _ = ctx.adt.transition(state, candidate)
+        if _search(ctx, extended, new_state, committed):
+            return True
+
+    return False
+
+
+def linearize(
+    trace: Trace,
+    adt: ADT,
+    node_limit: Optional[int] = None,
+) -> LinearizationResult:
+    """Search for a linearization function for ``trace`` (Definition 5).
+
+    Returns a :class:`LinearizationResult`; on success the witness can be
+    re-validated with :func:`check_linearization_function`.  ``node_limit``
+    optionally bounds the search (raising :class:`SearchBudgetExceeded`)
+    for use in benchmarks.
+    """
+    if not is_wellformed(trace):
+        return LinearizationResult(False, reason="trace is not well-formed")
+
+    responses = _response_positions(trace)
+    if not responses:
+        return LinearizationResult(True, witness={}, master=())
+
+    for position in responses:
+        action = trace[position]
+        if not adt.is_input(action.input):
+            return LinearizationResult(
+                False, reason=f"invalid ADT input at index {position}"
+            )
+
+    before = {
+        position: elems(inputs(trace, position)) for position in responses
+    }
+    available = elems(
+        [a.input for a in trace if isinstance(a, Invocation)]
+    )
+    ctx = _SearchContext(
+        trace=trace,
+        adt=adt,
+        responses=responses,
+        inv_pos=invocation_positions(trace),
+        before=before,
+        available=available,
+        node_limit=node_limit,
+    )
+    if _search(ctx, (), adt.initial_state, frozenset()):
+        witness = dict(ctx.witness)
+        master = max(witness.values(), key=len) if witness else ()
+        return LinearizationResult(True, witness=witness, master=master)
+    return LinearizationResult(
+        False, reason="no linearization function exists"
+    )
+
+
+def is_linearizable(
+    trace: Trace, adt: ADT, node_limit: Optional[int] = None
+) -> bool:
+    """Boolean convenience wrapper around :func:`linearize`."""
+    return linearize(trace, adt, node_limit=node_limit).ok
+
+
+def lin_trace_property_contains(trace: Trace, adt: ADT) -> bool:
+    """Membership test for the ``Lin_T`` trace property (Section 4.6).
+
+    ``Traces(Lin_T)`` is the set of all traces in ``sigT`` satisfying
+    linearizability; a system ``S`` implements the ADT iff the projection
+    of its traces onto ``sigT`` all pass this test.
+    """
+    for action in trace:
+        if isinstance(action, Invocation):
+            if not adt.is_input(action.input):
+                return False
+        elif isinstance(action, Response):
+            if not adt.is_input(action.input) or not adt.is_output(
+                action.output
+            ):
+                return False
+        else:
+            return False  # switch actions are not in sigT
+    return is_linearizable(trace, adt)

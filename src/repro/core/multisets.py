@@ -1,0 +1,193 @@
+"""Multisets as multiplicity functions (Section 3 of the paper).
+
+The paper represents multisets of elements of a set ``E`` by a multiplicity
+function ``E -> N`` and defines:
+
+* pointwise-max union    ``(m1 u m2)(e)  = max(m1(e), m2(e))``
+* additive union         ``(m1 + m2)(e)  = m1(e) + m2(e)``  (written ⊎)
+* inclusion              ``m1 <= m2  iff  for all e, m1(e) <= m2(e)``
+* ``elems``              the multiset of elements of a sequence
+
+The distinction between the two unions matters: Definition 25 (initially
+valid inputs) uses the pointwise-max union so that the *same* input learned
+through several switch values is not double counted, while Definition 26
+(valid inputs) adds the inputs actually invoked in the current phase with
+the additive union, because those are genuinely distinct invocation events.
+
+The implementation is immutable and hashable so multisets can participate
+in memoization keys inside the linearizability checkers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Generic, Iterable, Iterator, Mapping, Sequence, Tuple, TypeVar
+
+E = TypeVar("E")
+
+
+class Multiset(Generic[E]):
+    """An immutable multiset over hashable elements.
+
+    Zero-multiplicity entries are never stored, so two multisets are equal
+    iff they contain the same elements with the same multiplicities.
+    """
+
+    __slots__ = ("_counts", "_hash")
+
+    def __init__(self, items: Iterable[E] = ()) -> None:
+        counts: Dict[E, int] = {}
+        for item in items:
+            counts[item] = counts.get(item, 0) + 1
+        self._counts: Dict[E, int] = counts
+        self._hash = hash(frozenset(counts.items()))
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[E, int]) -> "Multiset[E]":
+        """Build a multiset directly from a multiplicity mapping.
+
+        Raises ValueError on negative multiplicities; zero entries are
+        dropped.
+        """
+        result = cls()
+        cleaned: Dict[E, int] = {}
+        for element, count in counts.items():
+            if count < 0:
+                raise ValueError(
+                    f"negative multiplicity {count!r} for {element!r}"
+                )
+            if count > 0:
+                cleaned[element] = count
+        result._counts = cleaned
+        result._hash = hash(frozenset(cleaned.items()))
+        return result
+
+    def count(self, element: E) -> int:
+        """Multiplicity of ``element`` (0 if absent)."""
+        return self._counts.get(element, 0)
+
+    def __contains__(self, element: E) -> bool:
+        return element in self._counts
+
+    def __iter__(self) -> Iterator[E]:
+        """Iterate over distinct elements (not repeated per multiplicity)."""
+        return iter(self._counts)
+
+    def items(self) -> Iterator[Tuple[E, int]]:
+        """Iterate over (element, multiplicity) pairs."""
+        return iter(self._counts.items())
+
+    def elements(self) -> Iterator[E]:
+        """Iterate over elements, each repeated by its multiplicity."""
+        for element, count in self._counts.items():
+            for _ in range(count):
+                yield element
+
+    def __len__(self) -> int:
+        """Total number of elements counted with multiplicity."""
+        return sum(self._counts.values())
+
+    def support(self) -> frozenset:
+        """The set of distinct elements."""
+        return frozenset(self._counts)
+
+    def union(self, other: "Multiset[E]") -> "Multiset[E]":
+        """Pointwise-max union, the paper's ``m1 u m2`` (Section 3)."""
+        counts = dict(self._counts)
+        for element, count in other._counts.items():
+            if counts.get(element, 0) < count:
+                counts[element] = count
+        return Multiset.from_counts(counts)
+
+    def sum(self, other: "Multiset[E]") -> "Multiset[E]":
+        """Additive union, the paper's ``m1 ⊎ m2``."""
+        counts = dict(self._counts)
+        for element, count in other._counts.items():
+            counts[element] = counts.get(element, 0) + count
+        return Multiset.from_counts(counts)
+
+    def issubset(self, other: "Multiset[E]") -> bool:
+        """Multiset inclusion: every multiplicity here is <= the other's."""
+        return all(
+            count <= other._counts.get(element, 0)
+            for element, count in self._counts.items()
+        )
+
+    def add(self, element: E, count: int = 1) -> "Multiset[E]":
+        """Return a new multiset with ``count`` more copies of ``element``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        counts = dict(self._counts)
+        counts[element] = counts.get(element, 0) + count
+        return Multiset.from_counts(counts)
+
+    def remove(self, element: E, count: int = 1) -> "Multiset[E]":
+        """Return a new multiset with ``count`` fewer copies of ``element``.
+
+        Raises KeyError if the multiset does not contain that many copies.
+        """
+        have = self._counts.get(element, 0)
+        if have < count:
+            raise KeyError(
+                f"cannot remove {count} x {element!r}: only {have} present"
+            )
+        counts = dict(self._counts)
+        counts[element] = have - count
+        return Multiset.from_counts(counts)
+
+    def __or__(self, other: "Multiset[E]") -> "Multiset[E]":
+        return self.union(other)
+
+    def __add__(self, other: "Multiset[E]") -> "Multiset[E]":
+        return self.sum(other)
+
+    def __le__(self, other: "Multiset[E]") -> bool:
+        return self.issubset(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{element!r}: {count}" for element, count in sorted(
+                self._counts.items(), key=lambda pair: repr(pair[0])
+            )
+        )
+        return f"Multiset({{{inner}}})"
+
+    def to_counter(self) -> Counter:
+        """Export as a collections.Counter (a mutable copy)."""
+        return Counter(self._counts)
+
+
+def elems(sequence: Sequence[E]) -> Multiset[E]:
+    """The paper's ``elems`` function: the multiset of a sequence's elements.
+
+    ``e in s`` in the paper is ``elems(s)(e) > 0``; here use
+    ``element in elems(seq)``.
+    """
+    return Multiset(sequence)
+
+
+def union_all(multisets: Iterable[Multiset[E]]) -> Multiset[E]:
+    """Pointwise-max union of a family of multisets (big-cup of Def. 25).
+
+    The union of an empty family is the empty multiset.
+    """
+    result: Multiset[E] = Multiset()
+    for multiset in multisets:
+        result = result.union(multiset)
+    return result
+
+
+def sum_all(multisets: Iterable[Multiset[E]]) -> Multiset[E]:
+    """Additive union of a family of multisets."""
+    result: Multiset[E] = Multiset()
+    for multiset in multisets:
+        result = result.sum(multiset)
+    return result

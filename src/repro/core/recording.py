@@ -1,0 +1,138 @@
+"""Trace recording at the client/object interface (Section 4.2).
+
+Concurrent-object implementations (the message-passing and shared-memory
+algorithms of this repository) emit their interface events through a
+:class:`TraceRecorder`.  The recorder timestamps nothing — events are
+totally ordered by emission order, which is exactly the paper's trace
+model: "an event occurs at some point in time and has no duration".
+
+The recorder also enforces the well-formedness discipline per client as
+events arrive, so a buggy algorithm that, e.g., responds twice to one
+invocation is caught at the emission site rather than as a mysterious
+checker failure later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from .actions import (
+    Action,
+    Input,
+    Invocation,
+    Output,
+    Response,
+    Switch,
+    SwitchValue,
+)
+from .traces import Trace
+
+
+class WellFormednessError(RuntimeError):
+    """An algorithm emitted an event violating client well-formedness."""
+
+
+class TraceRecorder:
+    """Collects interface actions into a trace.
+
+    ``phase_bounds`` optionally declares the (m, n) phase interval so that
+    recorded switch tags can be validated; pass ``None`` for plain
+    (non-speculative) objects.
+    """
+
+    def __init__(
+        self,
+        phase_bounds: Optional[tuple] = None,
+        enforce: bool = True,
+    ) -> None:
+        self._actions: List[Action] = []
+        self._open_input: Dict[Hashable, Optional[Input]] = {}
+        self._aborted: Dict[Hashable, bool] = {}
+        self.phase_bounds = phase_bounds
+        self.enforce = enforce
+
+    def _check_closed(self, client: Hashable, what: str) -> None:
+        if self.enforce and self._open_input.get(client) is not None:
+            raise WellFormednessError(
+                f"client {client!r} issued {what} with an open invocation"
+            )
+
+    def _check_open(self, client: Hashable, input: Input, what: str) -> None:
+        if not self.enforce:
+            return
+        current = self._open_input.get(client)
+        if current is None:
+            raise WellFormednessError(
+                f"client {client!r} received {what} with no open invocation"
+            )
+        if current != input:
+            raise WellFormednessError(
+                f"client {client!r} received {what} for {input!r} but its "
+                f"open invocation is {current!r}"
+            )
+
+    def invoke(self, client: Hashable, phase: int, input: Input) -> Invocation:
+        """Record ``inv(client, phase, input)``."""
+        self._check_closed(client, "an invocation")
+        if self.enforce and self._aborted.get(client):
+            raise WellFormednessError(
+                f"client {client!r} invoked after aborting this phase"
+            )
+        action = Invocation(client, phase, input)
+        self._actions.append(action)
+        self._open_input[client] = input
+        return action
+
+    def respond(
+        self, client: Hashable, phase: int, input: Input, output: Output
+    ) -> Response:
+        """Record ``res(client, phase, input, output)``."""
+        self._check_open(client, input, "a response")
+        action = Response(client, phase, input, output)
+        self._actions.append(action)
+        self._open_input[client] = None
+        return action
+
+    def switch_in(
+        self, client: Hashable, phase: int, input: Input, value: SwitchValue
+    ) -> Switch:
+        """Record an init switch: the client enters this phase."""
+        self._check_closed(client, "an init switch")
+        action = Switch(client, phase, input, value)
+        self._actions.append(action)
+        self._open_input[client] = input
+        return action
+
+    def switch_out(
+        self, client: Hashable, phase: int, input: Input, value: SwitchValue
+    ) -> Switch:
+        """Record an abort switch: the client leaves this phase."""
+        self._check_open(client, input, "an abort switch")
+        action = Switch(client, phase, input, value)
+        self._actions.append(action)
+        self._open_input[client] = None
+        self._aborted[client] = True
+        return action
+
+    def switch(
+        self, client: Hashable, phase: int, input: Input, value: SwitchValue
+    ) -> Switch:
+        """Record a switch *through* a phase boundary.
+
+        A switch is a single action shared by two phases — the abort of
+        one and the init of the next — so a composed run records it once;
+        projecting onto either phase's signature keeps the same action.
+        The client's pending invocation stays open: the next phase will
+        answer it.
+        """
+        self._check_open(client, input, "a switch")
+        action = Switch(client, phase, input, value)
+        self._actions.append(action)
+        return action
+
+    def trace(self) -> Trace:
+        """The trace recorded so far."""
+        return Trace(self._actions)
+
+    def __len__(self) -> int:
+        return len(self._actions)

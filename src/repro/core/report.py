@@ -1,0 +1,147 @@
+"""One-call verification reports for composed speculative executions.
+
+The individual checkers answer narrow questions; a protocol designer
+running a deployment wants the whole battery at once.  ``verify_phases``
+takes a recorded composed trace and runs, per phase boundary and for the
+composition:
+
+* phase well-formedness;
+* speculative linearizability of every phase projection;
+* the composition-theorem check on every adjacent split;
+* Theorem 2 (the plain projection is linearizable);
+* the consensus invariants I1-I5 where the ADT is consensus-shaped.
+
+The result is a structured :class:`VerificationReport` with a formatted
+text rendering, used by the examples and suitable for CI logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .actions import sig_phase
+from .adt import ADT
+from .composition import check_composition_theorem, check_theorem_2
+from .linearizability import is_linearizable
+from .speculative import RInit, is_speculatively_linearizable
+from .traces import Trace, is_phase_wellformed, strip_phase_tags
+
+
+@dataclass
+class CheckLine:
+    """One named check with its verdict and an optional note."""
+
+    name: str
+    ok: bool
+    note: str = ""
+
+
+@dataclass
+class VerificationReport:
+    """The battery's outcome; truthy iff every check passed."""
+
+    lines: List[CheckLine] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every check passed."""
+        return all(line.ok for line in self.lines)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def add(self, name: str, ok: bool, note: str = "") -> None:
+        """Append one check outcome."""
+        self.lines.append(CheckLine(name, ok, note))
+
+    def failures(self) -> List[CheckLine]:
+        """The failed checks."""
+        return [line for line in self.lines if not line.ok]
+
+    def render(self) -> str:
+        """Human-readable multi-line rendering."""
+        rows = []
+        for line in self.lines:
+            mark = "PASS" if line.ok else "FAIL"
+            note = f"  ({line.note})" if line.note else ""
+            rows.append(f"[{mark}] {line.name}{note}")
+        verdict = "ALL CHECKS PASSED" if self.ok else "CHECKS FAILED"
+        return "\n".join(rows + [verdict])
+
+
+def verify_phases(
+    trace: Trace,
+    boundaries: Sequence[int],
+    adt: ADT,
+    rinit: RInit,
+    check_invariants: bool = False,
+) -> VerificationReport:
+    """Run the full battery on a composed trace.
+
+    ``boundaries`` lists the phase indices, e.g. ``[1, 2, 3]`` for a
+    two-phase object spanning ``(1, 3)`` with the switch boundary at 2,
+    or ``[1, 2, 3, 4]`` for three phases.  The first and last entries
+    delimit the whole object.
+    """
+    if len(boundaries) < 2:
+        raise ValueError("need at least two phase boundaries")
+    m, o = boundaries[0], boundaries[-1]
+    report = VerificationReport()
+
+    report.add(
+        f"trace is ({m},{o})-well-formed",
+        is_phase_wellformed(trace, m, o),
+    )
+
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        projection = trace.project(sig_phase(lo, hi).contains)
+        report.add(
+            f"phase ({lo},{hi}) is SLin",
+            is_speculatively_linearizable(projection, lo, hi, adt, rinit),
+            note=f"{len(projection)} actions",
+        )
+
+    for split in boundaries[1:-1]:
+        ok, why = check_composition_theorem(trace, m, split, o, adt, rinit)
+        report.add(f"Theorem 5 at split {split}", ok, note=why)
+
+    ok, why = check_theorem_2(trace, o, adt, rinit)
+    report.add("Theorem 2 projection", ok, note=why)
+
+    report.add(
+        "plain projection linearizable",
+        is_linearizable(strip_phase_tags(trace), adt),
+    )
+
+    if check_invariants:
+        from .invariants import (
+            check_first_phase_invariants,
+            check_second_phase_invariants,
+        )
+
+        first = trace.project(
+            sig_phase(boundaries[0], boundaries[1]).contains
+        )
+        for outcome in check_first_phase_invariants(first, boundaries[1]):
+            report.add(
+                f"{outcome.name} on phase "
+                f"({boundaries[0]},{boundaries[1]})",
+                outcome.ok,
+                note=outcome.detail,
+            )
+        if len(boundaries) >= 3:
+            second = trace.project(
+                sig_phase(boundaries[1], boundaries[2]).contains
+            )
+            for outcome in check_second_phase_invariants(
+                second, boundaries[1]
+            ):
+                report.add(
+                    f"{outcome.name} on phase "
+                    f"({boundaries[1]},{boundaries[2]})",
+                    outcome.ok,
+                    note=outcome.detail,
+                )
+
+    return report

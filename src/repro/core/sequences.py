@@ -1,0 +1,174 @@
+"""Sequence utilities from Section 3 of the paper.
+
+The paper models histories and traces as finite sequences.  This module
+implements the sequence vocabulary used throughout: prefix tests, strict
+prefixes, longest common prefixes, concatenation helpers and projections.
+
+Sequences are represented as plain Python tuples so that they are hashable
+and can be used as dictionary keys (linearization caches, automaton states).
+All functions accept any sequence type and return tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def as_tuple(seq: Iterable[T]) -> Tuple[T, ...]:
+    """Normalize any iterable to the canonical tuple representation."""
+    if isinstance(seq, tuple):
+        return seq
+    return tuple(seq)
+
+
+def is_prefix(candidate: Sequence[T], sequence: Sequence[T]) -> bool:
+    """Return True iff ``candidate`` is a (non-strict) prefix of ``sequence``.
+
+    This is the paper's "s is a prefix of s' iff there exists s'' such that
+    s' = s:::s''" (Section 3); the empty sequence is a prefix of everything
+    and every sequence is a prefix of itself.
+    """
+    if len(candidate) > len(sequence):
+        return False
+    return all(candidate[i] == sequence[i] for i in range(len(candidate)))
+
+
+def is_strict_prefix(candidate: Sequence[T], sequence: Sequence[T]) -> bool:
+    """Return True iff ``candidate`` is a strict prefix of ``sequence``.
+
+    Strictness requires the suffix ``s''`` to be non-empty, i.e. the
+    candidate must be shorter.
+    """
+    return len(candidate) < len(sequence) and is_prefix(candidate, sequence)
+
+
+def comparable_by_prefix(left: Sequence[T], right: Sequence[T]) -> bool:
+    """Return True iff one sequence is a prefix of the other.
+
+    The Commit Order property (Definition 12 / 30) requires every pair of
+    commit histories to be comparable under the prefix order; this predicate
+    is the pairwise test.
+    """
+    return is_prefix(left, right) or is_prefix(right, left)
+
+
+def longest_common_prefix(
+    sequences: Iterable[Sequence[T]],
+) -> Tuple[T, ...]:
+    """Longest common prefix of a set of sequences (Section 3).
+
+    Following the paper's convention (after Definition 31), the longest
+    common prefix of an *empty* collection is the empty sequence.
+    """
+    iterator = iter(sequences)
+    try:
+        first = as_tuple(next(iterator))
+    except StopIteration:
+        return ()
+    prefix = list(first)
+    for seq in iterator:
+        seq = as_tuple(seq)
+        limit = min(len(prefix), len(seq))
+        i = 0
+        while i < limit and prefix[i] == seq[i]:
+            i += 1
+        del prefix[i:]
+        if not prefix:
+            break
+    return tuple(prefix)
+
+
+def concat(*sequences: Sequence[T]) -> Tuple[T, ...]:
+    """Concatenate sequences (the paper's ``:::`` operator)."""
+    result: Tuple[T, ...] = ()
+    for seq in sequences:
+        result = result + as_tuple(seq)
+    return result
+
+
+def snoc(sequence: Sequence[T], element: T) -> Tuple[T, ...]:
+    """Append a single element (the paper's ``s::e`` operator)."""
+    return as_tuple(sequence) + (element,)
+
+
+def take(sequence: Sequence[T], count: int) -> Tuple[T, ...]:
+    """The paper's ``s|m``: the prefix of length ``count``.
+
+    ``count`` is clamped to ``[0, len(sequence)]`` so callers may pass the
+    trace length itself to mean "the whole trace".
+    """
+    if count < 0:
+        count = 0
+    return as_tuple(sequence)[:count]
+
+
+def project(
+    sequence: Sequence[T], keep: Callable[[T], bool]
+) -> Tuple[T, ...]:
+    """Projection of a sequence onto the elements satisfying ``keep``.
+
+    This implements ``proj(t, A)`` from Section 3 with ``A`` given as a
+    membership predicate, which lets callers project onto infinite action
+    sets (e.g. "all invocation actions") without materializing them.
+    """
+    return tuple(element for element in sequence if keep(element))
+
+
+def project_onto(sequence: Sequence[T], allowed: Iterable[T]) -> Tuple[T, ...]:
+    """``proj(t, A)`` with ``A`` given as a concrete finite set."""
+    allowed_set = set(allowed)
+    return tuple(element for element in sequence if element in allowed_set)
+
+
+def positions(
+    sequence: Sequence[T], keep: Callable[[T], bool]
+) -> Tuple[int, ...]:
+    """Return the 0-based indices of the elements satisfying ``keep``."""
+    return tuple(i for i, element in enumerate(sequence) if keep(element))
+
+
+def subsequence_at(
+    sequence: Sequence[T], indices: Iterable[int]
+) -> Tuple[T, ...]:
+    """Extract the subsequence at the given (increasing) indices."""
+    return tuple(sequence[i] for i in indices)
+
+
+def chain_sorted(
+    histories: Iterable[Sequence[T]],
+) -> Optional[Tuple[Tuple[T, ...], ...]]:
+    """Sort histories into a prefix chain, or return None if they don't chain.
+
+    Commit Order requires all commit histories of a trace to form a chain
+    under the strict prefix order.  Distinct histories in a chain have
+    distinct lengths, so sorting by length and verifying adjacent prefix
+    relations is a complete test.
+    """
+    ordered = sorted((as_tuple(h) for h in histories), key=len)
+    for previous, current in zip(ordered, ordered[1:]):
+        if not is_prefix(previous, current):
+            return None
+    return tuple(ordered)
+
+
+def is_prefix_chain(histories: Iterable[Sequence[T]]) -> bool:
+    """True iff the histories are totally ordered by the prefix relation."""
+    return chain_sorted(histories) is not None
+
+
+def strictly_chained(histories: Iterable[Sequence[T]]) -> bool:
+    """True iff distinct histories are ordered by the *strict* prefix order.
+
+    Unlike :func:`is_prefix_chain`, equal histories are only allowed when
+    they are literally the same history; two distinct commit indices must
+    map to histories of different lengths (Definition 12).
+    """
+    ordered = sorted((as_tuple(h) for h in histories), key=len)
+    for previous, current in zip(ordered, ordered[1:]):
+        if previous == current:
+            return False
+        if not is_strict_prefix(previous, current):
+            return False
+    return True

@@ -1,0 +1,126 @@
+"""Hypothesis strategies for traces — property-based testing as a library
+feature.
+
+Downstream users verifying their own speculation phases need random
+well-formed traces; these strategies generate them directly in shrinkable
+form (hypothesis minimizes failing examples to tiny traces).  Used by the
+repository's own property tests.
+
+Requires ``hypothesis`` (a test-only dependency): importing this module
+without it raises ImportError.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from hypothesis import strategies as st
+
+from .actions import Invocation, Response, Switch
+from .adt import ADT, decide, propose
+from .traces import Trace
+
+
+@st.composite
+def wellformed_traces(
+    draw,
+    adt: ADT,
+    inputs: Sequence,
+    clients: Sequence[Hashable] = ("c1", "c2", "c3"),
+    max_steps: int = 10,
+    honest: bool = False,
+):
+    """Well-formed phase-1 traces over ``adt``.
+
+    ``honest=True`` makes every output the atomic-at-response-time output
+    (the trace is linearizable by construction); otherwise outputs are
+    drawn from plausible ADT outputs and the trace may or may not be
+    linearizable — the right mix for equivalence testing.
+    """
+    n_steps = draw(st.integers(0, max_steps))
+    open_input = {c: None for c in clients}
+    state = adt.initial_state
+    actions = []
+    for _ in range(n_steps):
+        client = draw(st.sampled_from(list(clients)))
+        if open_input[client] is None:
+            payload = draw(st.sampled_from(list(inputs)))
+            actions.append(Invocation(client, 1, payload))
+            open_input[client] = payload
+        else:
+            payload = open_input[client]
+            if honest:
+                state, output = adt.transition(state, payload)
+            else:
+                history_len = draw(st.integers(0, 2))
+                history = [
+                    draw(st.sampled_from(list(inputs)))
+                    for _ in range(history_len)
+                ] + [payload]
+                output = adt.output(tuple(history))
+            actions.append(Response(client, 1, payload, output))
+            open_input[client] = None
+    return Trace(actions)
+
+
+@st.composite
+def linearizable_traces(
+    draw,
+    adt: ADT,
+    inputs: Sequence,
+    clients: Sequence[Hashable] = ("c1", "c2", "c3"),
+    max_steps: int = 10,
+):
+    """Traces linearizable by construction (atomic at response time)."""
+    return draw(
+        wellformed_traces(
+            adt, inputs, clients=clients, max_steps=max_steps, honest=True
+        )
+    )
+
+
+@st.composite
+def consensus_phase_traces(
+    draw,
+    values: Sequence[Hashable] = ("a", "b"),
+    clients: Sequence[Hashable] = ("c1", "c2"),
+    max_steps: int = 8,
+    abort_tag: int = 2,
+):
+    """Well-formed consensus *phase* traces with optional abort switches.
+
+    Outputs and switch values are drawn from proposed-so-far values with
+    a bias toward the first proposal, so a healthy fraction of generated
+    traces satisfies SLin while the rest exercises rejection paths.
+    """
+    n_steps = draw(st.integers(0, max_steps))
+    open_input = {c: None for c in clients}
+    gone = set()
+    proposed = []
+    actions = []
+    for _ in range(n_steps):
+        live = [c for c in clients if c not in gone]
+        if not live:
+            break
+        client = draw(st.sampled_from(live))
+        if open_input[client] is None:
+            value = draw(st.sampled_from(list(values)))
+            actions.append(Invocation(client, 1, propose(value)))
+            open_input[client] = propose(value)
+            proposed.append(value)
+        else:
+            payload = open_input[client]
+            pool = proposed or list(values)
+            biased = [pool[0]] * 2 + pool
+            value = draw(st.sampled_from(biased))
+            if draw(st.booleans()):
+                actions.append(
+                    Response(client, 1, payload, decide(value))
+                )
+                open_input[client] = None
+            else:
+                actions.append(
+                    Switch(client, abort_tag, payload, value)
+                )
+                gone.add(client)
+    return Trace(actions)

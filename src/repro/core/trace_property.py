@@ -1,0 +1,227 @@
+"""Trace properties, composition and projection (Section 3, Defs 1-3).
+
+A trace property is a pair (signature, set of traces).  Trace sets are in
+general infinite (e.g. ``Lin_T`` contains every linearizable trace), so a
+:class:`TraceProperty` carries the trace set *intensionally* as a
+membership predicate.  Systems observed by simulation are finite and use
+:class:`FiniteTraceProperty`, which additionally supports the ``|=``
+satisfaction check of the paper (``Q |= P`` iff same signature and
+``Traces(Q) ⊆ Traces(P)``).
+
+Composition (Definition 2) is implemented directly from its defining
+property: ``t ∈ Traces(P1 ‖ P2)`` iff ``t`` consists of actions of the
+composed signature and its projections onto each component's actions
+belong to that component.  Property 1 (composition preserves satisfaction)
+follows and is exercised in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from .actions import Action, Signature
+from .traces import Trace
+
+
+class IncompatibleSignatures(ValueError):
+    """Raised when composing signatures that share an output action."""
+
+
+class TraceProperty:
+    """Definition 1: a signature plus a (possibly infinite) trace set."""
+
+    def __init__(
+        self,
+        signature: Signature,
+        contains: Callable[[Trace], bool],
+        description: str = "",
+    ) -> None:
+        self.signature = signature
+        self._contains = contains
+        self.description = description
+
+    def contains(self, trace: Trace) -> bool:
+        """Membership in ``Traces(P)``.
+
+        Traces containing actions outside ``acts(sig(P))`` are rejected:
+        Definition 1 requires traces to be traces *in* the signature.
+        """
+        if not all(self.signature.contains(a) for a in trace):
+            return False
+        return self._contains(trace)
+
+    def __contains__(self, trace: Trace) -> bool:
+        return self.contains(trace)
+
+    def project(self, keep: Callable[[Action], bool]) -> "TraceProperty":
+        """Definition 3: projection of the property onto an action set.
+
+        The projected property contains ``t`` iff some member trace
+        projects to ``t``.  For intensional properties this existential is
+        not decidable in general; the returned property uses the sound
+        approximation "t is a member projection of itself", which is exact
+        whenever the property's membership is closed under removing
+        non-``keep`` actions.  ``Lin_T`` and ``SLin_T`` are used with exact
+        projections via their dedicated helpers; simulations use
+        :class:`FiniteTraceProperty`, whose projection is exact.
+        """
+        signature = Signature(
+            lambda a: keep(a) and self.signature.is_input(a),
+            lambda a: keep(a) and self.signature.is_output(a),
+            description=f"proj({self.signature.description})",
+        )
+
+        def contains(trace: Trace) -> bool:
+            return self._contains(trace)
+
+        return TraceProperty(
+            signature, contains, description=f"proj({self.description})"
+        )
+
+    def __repr__(self) -> str:
+        return f"TraceProperty({self.description or 'anonymous'})"
+
+
+class FiniteTraceProperty(TraceProperty):
+    """A trace property given by an explicit finite set of traces.
+
+    This models an observed *system*: the traces collected from simulation
+    runs.  Satisfaction ``Q |= P`` and exact projection are available.
+    """
+
+    def __init__(
+        self,
+        signature: Signature,
+        traces: Iterable[Trace],
+        description: str = "",
+    ) -> None:
+        trace_set = frozenset(
+            t if isinstance(t, Trace) else Trace(t) for t in traces
+        )
+        super().__init__(
+            signature, lambda t: t in trace_set, description=description
+        )
+        self.traces = trace_set
+
+    def satisfies(self, other: TraceProperty) -> bool:
+        """The paper's ``Q |= P``: every trace of Q belongs to P.
+
+        Signature equality is intensional and cannot be decided for
+        predicate signatures; following standard practice we check the
+        trace-set inclusion and require the caller to pair properties over
+        the same interface.
+        """
+        return all(other.contains(t) for t in self.traces)
+
+    def project(self, keep: Callable[[Action], bool]) -> "FiniteTraceProperty":
+        """Exact projection: project every member trace."""
+        signature = Signature(
+            lambda a: keep(a) and self.signature.is_input(a),
+            lambda a: keep(a) and self.signature.is_output(a),
+            description=f"proj({self.signature.description})",
+        )
+        return FiniteTraceProperty(
+            signature,
+            (t.project(keep) for t in self.traces),
+            description=f"proj({self.description})",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FiniteTraceProperty({self.description or 'anonymous'}, "
+            f"{len(self.traces)} traces)"
+        )
+
+
+def compose_signatures(sig1: Signature, sig2: Signature) -> Signature:
+    """Definition 2's composed signature.
+
+    ``in = (in1 u in2) \\ (out1 u out2)``; ``out = out1 u out2``.
+    Compatibility (disjoint outputs) is enforced per action at membership
+    time, since predicate signatures cannot be intersected eagerly.
+    """
+
+    def is_output(action: Action) -> bool:
+        o1, o2 = sig1.is_output(action), sig2.is_output(action)
+        if o1 and o2:
+            raise IncompatibleSignatures(
+                f"action {action!r} is an output of both components"
+            )
+        return o1 or o2
+
+    def is_input(action: Action) -> bool:
+        if is_output(action):
+            return False
+        return sig1.is_input(action) or sig2.is_input(action)
+
+    return Signature(
+        is_input,
+        is_output,
+        description=(
+            f"{sig1.description or '?'} || {sig2.description or '?'}"
+        ),
+    )
+
+
+def compose(p1: TraceProperty, p2: TraceProperty) -> TraceProperty:
+    """Definition 2: the composition ``P1 ‖ P2``.
+
+    Membership: a trace over the composed signature belongs to the
+    composition iff its projection onto each component's actions belongs
+    to that component.
+    """
+    signature = compose_signatures(p1.signature, p2.signature)
+
+    def contains(trace: Trace) -> bool:
+        t1 = trace.project(p1.signature.contains)
+        t2 = trace.project(p2.signature.contains)
+        return p1.contains(t1) and p2.contains(t2)
+
+    return TraceProperty(
+        signature,
+        contains,
+        description=f"({p1.description}) || ({p2.description})",
+    )
+
+
+def compose_finite(
+    q1: FiniteTraceProperty, q2: FiniteTraceProperty, traces: Iterable[Trace]
+) -> FiniteTraceProperty:
+    """Observed composition: the subset of ``traces`` accepted by Q1 ‖ Q2.
+
+    Simulation produces candidate interleavings; this filters them by the
+    defining property of composition, yielding a finite system that can be
+    checked against a specification with ``satisfies``.
+    """
+    spec = compose(q1, q2)
+    signature = compose_signatures(q1.signature, q2.signature)
+    accepted = [t for t in traces if spec.contains(t)]
+    return FiniteTraceProperty(
+        signature,
+        accepted,
+        description=f"({q1.description}) || ({q2.description})",
+    )
+
+
+def lin_property(adt) -> TraceProperty:
+    """The ``Lin_T`` trace property (Section 4.6)."""
+    from .actions import sig_T
+    from .linearizability import lin_trace_property_contains
+
+    return TraceProperty(
+        sig_T(adt.is_input, adt.is_output),
+        lambda t: lin_trace_property_contains(t, adt),
+        description=f"Lin[{adt.name}]",
+    )
+
+
+def slin_property(m: int, n: int, adt, rinit) -> TraceProperty:
+    """The ``SLin_T(m, n)`` trace property (Definition 36)."""
+    from .actions import sig_phase
+    from .speculative import is_speculatively_linearizable
+
+    return TraceProperty(
+        sig_phase(m, n),
+        lambda t: is_speculatively_linearizable(t, m, n, adt, rinit),
+        description=f"SLin[{adt.name}]({m},{n})",
+    )

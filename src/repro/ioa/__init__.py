@@ -1,0 +1,79 @@
+"""I/O-automata formalization of speculative linearizability (Section 6).
+
+Executable counterpart of the paper's Isabelle/HOL development: the
+framework (:mod:`repro.ioa.automaton`), state exploration
+(:mod:`repro.ioa.execution`), invariant checking
+(:mod:`repro.ioa.invariants`), refinement and trace-inclusion checking
+(:mod:`repro.ioa.refinement`), and the specification automaton with its
+client environments (:mod:`repro.ioa.spec_automaton`).
+"""
+
+from .automaton import (
+    ComposedAutomaton,
+    FunctionalAutomaton,
+    HidingAutomaton,
+    IOAutomaton,
+    compose_automata,
+    hide,
+)
+from .execution import (
+    Execution,
+    StateSpaceBound,
+    Step,
+    executions,
+    external_traces,
+    reachable_states,
+    run_schedule,
+)
+from .invariants import (
+    InvariantViolation,
+    check_inductive,
+    check_invariants,
+)
+from .refinement import (
+    InclusionCounterexample,
+    RefinementCounterexample,
+    check_refinement_mapping,
+    check_trace_inclusion,
+)
+from .spec_automaton import (
+    ABORTED,
+    PENDING,
+    READY,
+    SLEEP,
+    ClientEnvironment,
+    InitEnvironment,
+    SpecAutomaton,
+    SpecState,
+)
+
+__all__ = [
+    "ABORTED",
+    "ClientEnvironment",
+    "ComposedAutomaton",
+    "Execution",
+    "FunctionalAutomaton",
+    "HidingAutomaton",
+    "IOAutomaton",
+    "InclusionCounterexample",
+    "InitEnvironment",
+    "InvariantViolation",
+    "PENDING",
+    "READY",
+    "RefinementCounterexample",
+    "SLEEP",
+    "SpecAutomaton",
+    "SpecState",
+    "StateSpaceBound",
+    "Step",
+    "check_inductive",
+    "check_invariants",
+    "check_refinement_mapping",
+    "check_trace_inclusion",
+    "compose_automata",
+    "executions",
+    "external_traces",
+    "hide",
+    "reachable_states",
+    "run_schedule",
+]

@@ -1,0 +1,241 @@
+"""I/O automata (Lynch & Tuttle), the model of Section 6 of the paper.
+
+An I/O automaton has a signature partitioning its actions into inputs,
+outputs and internal actions, a set of start states, and a transition
+relation.  Automata are *input-enabled*: every input action is accepted in
+every state (possibly as a no-op).
+
+This implementation targets explicit-state model checking of small scopes,
+the executable counterpart of the paper's Isabelle/HOL development:
+
+* states are hashable values produced on demand (``initial_states`` /
+  ``transitions`` / ``input_step``), so the state space is generated
+  lazily;
+* composition (:func:`compose_automata`) synchronizes a component's
+  output with the inputs of every component sharing the action;
+* hiding (:func:`hide`) reclassifies output actions as internal, used to
+  hide the intermediate switch actions when comparing a composition of
+  two speculation phases against a single phase (Theorem 3's statement
+  projects them away).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+Action = Hashable
+State = Hashable
+
+
+class IOAutomaton:
+    """Base class for I/O automata.
+
+    Subclasses implement the five hooks below.  ``transitions`` yields the
+    *locally controlled* (output + internal) steps enabled in a state;
+    ``input_step`` gives the (deterministic here, per the paper's
+    specification automaton) effect of receiving an input action.
+    """
+
+    name: str = "ioa"
+
+    def initial_states(self) -> Iterable[State]:
+        """The non-empty set of start states."""
+        raise NotImplementedError
+
+    def is_input(self, action: Action) -> bool:
+        """True iff ``action`` is an input action of this automaton."""
+        raise NotImplementedError
+
+    def is_output(self, action: Action) -> bool:
+        """True iff ``action`` is an output action of this automaton."""
+        raise NotImplementedError
+
+    def is_internal(self, action: Action) -> bool:
+        """True iff ``action`` is an internal action of this automaton."""
+        raise NotImplementedError
+
+    def is_external(self, action: Action) -> bool:
+        """External actions: inputs and outputs (visible in traces)."""
+        return self.is_input(action) or self.is_output(action)
+
+    def in_signature(self, action: Action) -> bool:
+        """Membership in the full action set of the signature."""
+        return (
+            self.is_input(action)
+            or self.is_output(action)
+            or self.is_internal(action)
+        )
+
+    def transitions(self, state: State) -> Iterable[Tuple[Action, State]]:
+        """Enabled locally-controlled steps: (action, successor) pairs."""
+        raise NotImplementedError
+
+    def input_step(self, state: State, action: Action) -> State:
+        """Successor after receiving input ``action`` (input-enabled).
+
+        Automata that ignore an input in some state return the state
+        unchanged — the step still happens, it just has no effect.
+        """
+        raise NotImplementedError
+
+
+class FunctionalAutomaton(IOAutomaton):
+    """An automaton assembled from plain callables (used by tests)."""
+
+    def __init__(
+        self,
+        name: str,
+        initial: Iterable[State],
+        is_input: Callable[[Action], bool],
+        is_output: Callable[[Action], bool],
+        is_internal: Callable[[Action], bool],
+        transitions: Callable[[State], Iterable[Tuple[Action, State]]],
+        input_step: Callable[[State, Action], State],
+    ) -> None:
+        self.name = name
+        self._initial = tuple(initial)
+        self._is_input = is_input
+        self._is_output = is_output
+        self._is_internal = is_internal
+        self._transitions = transitions
+        self._input_step = input_step
+
+    def initial_states(self) -> Iterable[State]:
+        return self._initial
+
+    def is_input(self, action: Action) -> bool:
+        return self._is_input(action)
+
+    def is_output(self, action: Action) -> bool:
+        return self._is_output(action)
+
+    def is_internal(self, action: Action) -> bool:
+        return self._is_internal(action)
+
+    def transitions(self, state: State) -> Iterable[Tuple[Action, State]]:
+        return self._transitions(state)
+
+    def input_step(self, state: State, action: Action) -> State:
+        return self._input_step(state, action)
+
+
+class ComposedAutomaton(IOAutomaton):
+    """Parallel composition of compatible I/O automata.
+
+    Compatibility: no action is an output of two components, and no
+    internal action of one component appears in another's signature.
+    States are tuples of component states.  When a component performs an
+    output or external input, every other component with the action in
+    its input signature moves simultaneously (the IOA synchronization
+    rule).
+    """
+
+    def __init__(self, components: Sequence[IOAutomaton], name: str = "") -> None:
+        self.components = tuple(components)
+        self.name = name or "||".join(c.name for c in components)
+
+    def initial_states(self) -> Iterable[State]:
+        def product(i: int) -> Iterator[Tuple[State, ...]]:
+            if i == len(self.components):
+                yield ()
+                return
+            for s in self.components[i].initial_states():
+                for rest in product(i + 1):
+                    yield (s,) + rest
+
+        return product(0)
+
+    def is_output(self, action: Action) -> bool:
+        return any(c.is_output(action) for c in self.components)
+
+    def is_input(self, action: Action) -> bool:
+        if self.is_output(action):
+            return False
+        return any(c.is_input(action) for c in self.components)
+
+    def is_internal(self, action: Action) -> bool:
+        return any(c.is_internal(action) for c in self.components)
+
+    def _broadcast(
+        self, state: Tuple[State, ...], action: Action, mover: int, moved: State
+    ) -> Tuple[State, ...]:
+        """Apply ``action`` to every component whose input set contains it,
+        with component ``mover`` already moved to ``moved``."""
+        parts: List[State] = []
+        for i, component in enumerate(self.components):
+            if i == mover:
+                parts.append(moved)
+            elif component.is_input(action):
+                parts.append(component.input_step(state[i], action))
+            else:
+                parts.append(state[i])
+        return tuple(parts)
+
+    def transitions(self, state: State) -> Iterable[Tuple[Action, State]]:
+        for i, component in enumerate(self.components):
+            for action, successor in component.transitions(state[i]):
+                yield action, self._broadcast(state, action, i, successor)
+
+    def input_step(self, state: State, action: Action) -> State:
+        parts: List[State] = []
+        for i, component in enumerate(self.components):
+            if component.is_input(action):
+                parts.append(component.input_step(state[i], action))
+            else:
+                parts.append(state[i])
+        return tuple(parts)
+
+
+def compose_automata(*components: IOAutomaton, name: str = "") -> ComposedAutomaton:
+    """Compose automata; see :class:`ComposedAutomaton`."""
+    return ComposedAutomaton(components, name=name)
+
+
+class HidingAutomaton(IOAutomaton):
+    """Reclassify selected output actions of an automaton as internal.
+
+    Standard IOA hiding: used to internalize the tag-``n`` switch actions
+    of a two-phase composition before comparing it to the single-phase
+    specification over phases ``(m, o)``.
+    """
+
+    def __init__(
+        self, inner: IOAutomaton, hidden: Callable[[Action], bool]
+    ) -> None:
+        self.inner = inner
+        self._hidden = hidden
+        self.name = f"hide({inner.name})"
+
+    def initial_states(self) -> Iterable[State]:
+        return self.inner.initial_states()
+
+    def is_input(self, action: Action) -> bool:
+        return self.inner.is_input(action)
+
+    def is_output(self, action: Action) -> bool:
+        return self.inner.is_output(action) and not self._hidden(action)
+
+    def is_internal(self, action: Action) -> bool:
+        return self.inner.is_internal(action) or (
+            self.inner.is_output(action) and self._hidden(action)
+        )
+
+    def transitions(self, state: State) -> Iterable[Tuple[Action, State]]:
+        return self.inner.transitions(state)
+
+    def input_step(self, state: State, action: Action) -> State:
+        return self.inner.input_step(state, action)
+
+
+def hide(inner: IOAutomaton, hidden: Callable[[Action], bool]) -> HidingAutomaton:
+    """Hide the outputs selected by ``hidden``; see :class:`HidingAutomaton`."""
+    return HidingAutomaton(inner, hidden)

@@ -1,0 +1,40 @@
+"""Message-passing substrate and the Section 2.1 algorithms.
+
+A deterministic discrete-event simulator (:mod:`repro.mp.sim`) hosts the
+Quorum phase (:mod:`repro.mp.quorum`), full single-decree Paxos
+(:mod:`repro.mp.paxos`), the Backup wrapper (:mod:`repro.mp.backup`) and
+the composed speculative consensus deployments
+(:mod:`repro.mp.composed`).
+"""
+
+from .backup import BackupClient
+from .composed import (
+    ClientOutcome,
+    ComposedConsensus,
+    PaxosOnly,
+    QuorumOnly,
+)
+from .multiphase import ThreePhaseConsensus, ThreePhaseOutcome
+from .paxos import PaxosAcceptor, PaxosClient, PaxosCoordinator
+from .quorum import QuorumClient, QuorumServer
+from .sim import Network, NetworkStats, Process, Simulator, Timer
+
+__all__ = [
+    "BackupClient",
+    "ClientOutcome",
+    "ComposedConsensus",
+    "Network",
+    "NetworkStats",
+    "PaxosAcceptor",
+    "PaxosClient",
+    "PaxosCoordinator",
+    "PaxosOnly",
+    "Process",
+    "QuorumClient",
+    "QuorumOnly",
+    "QuorumServer",
+    "Simulator",
+    "ThreePhaseConsensus",
+    "ThreePhaseOutcome",
+    "Timer",
+]

@@ -1,0 +1,44 @@
+"""The Backup speculation phase: Paxos behind the switch interface (§2.1).
+
+"The Backup phase is Lamport's Paxos algorithm where clients have the role
+of proposers and learners, while servers have the role of acceptors.
+Backup treats the switch calls from Quorum as regular proposals."
+
+:class:`BackupClient` is the thin wrapper that turns a
+``switch-to-backup(sv)`` call into a Paxos proposal of ``sv`` and reports
+the Paxos decision as the phase's response — the "trivial level of
+indirection" the paper adds to make Paxos a speculation phase.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+from .paxos import PaxosClient
+
+
+class BackupClient(PaxosClient):
+    """Client-side of the Backup phase.
+
+    ``switch_to_backup(switch_value)`` proposes the switch value through
+    Paxos; the inherited learner logic fires ``on_decide`` with the common
+    decision.  The pending invocation travels with the caller (the
+    composed runtime keeps it and emits the response action when the
+    decision arrives).
+    """
+
+    def __init__(
+        self,
+        pid: Hashable,
+        coordinators: Sequence[Hashable],
+        n_acceptors: int,
+        on_decide: Callable[[Hashable], None],
+        retry_delay: float = 10.0,
+    ) -> None:
+        super().__init__(
+            pid, coordinators, n_acceptors, on_decide, retry_delay
+        )
+
+    def switch_to_backup(self, switch_value: Hashable) -> None:
+        """Enter the Backup phase with ``switch_value`` as the proposal."""
+        self.submit(switch_value)

@@ -1,0 +1,360 @@
+"""The composed speculative consensus of Section 2 — Quorum + Backup.
+
+"By combining Quorum and Backup we obtain a system that is optimized for
+contention-free and fault-free loads while still remaining correct in all
+other conditions under which the Backup is correct."
+
+:class:`ComposedConsensus` assembles the full simulated deployment:
+
+* each of ``n_servers`` physical servers hosts three roles — a Quorum
+  server, a Paxos acceptor and a (potential) Paxos coordinator — which
+  crash together;
+* each logical client drives a :class:`~repro.mp.quorum.QuorumClient`
+  first and, if it switches, a :class:`~repro.mp.backup.BackupClient`;
+* every interface event is recorded as a phase-tagged action
+  (invocations and responses tagged by phase, switches tagged 2), so the
+  recorded trace is directly checkable against ``SLin`` / ``Lin`` and the
+  invariants I1-I5;
+* per-client latency (virtual time = message delays under the default
+  unit-delay network) and the taken path (fast/slow) feed the benchmark
+  harness.
+
+Two reference deployments, :class:`QuorumOnly` and :class:`PaxosOnly`,
+expose each phase in isolation for the latency baselines of the paper's
+headline claim (2 vs 3 message delays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.adt import decide, propose
+from ..core.recording import TraceRecorder
+from ..core.traces import Trace
+from .backup import BackupClient
+from .paxos import PaxosAcceptor, PaxosClient, PaxosCoordinator
+from .quorum import QuorumClient, QuorumServer
+from .sim import Network, NetworkStats, Process, Simulator
+
+
+@dataclass
+class ClientOutcome:
+    """Per-proposal record used by tests and benchmarks."""
+
+    client: Hashable
+    value: Hashable
+    start: float
+    decided_value: Optional[Hashable] = None
+    decide_time: Optional[float] = None
+    switched: bool = False
+    switch_value: Optional[Hashable] = None
+    switch_time: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Virtual-time latency (= message delays with a unit network)."""
+        if self.decide_time is None:
+            return None
+        return self.decide_time - self.start
+
+    @property
+    def path(self) -> str:
+        """'fast' (decided in Quorum), 'slow' (via Backup) or 'none'."""
+        if self.decided_value is None:
+            return "none"
+        return "slow" if self.switched else "fast"
+
+
+class _SystemBase:
+    """Shared plumbing: simulator, network, servers and the recorder."""
+
+    def __init__(
+        self,
+        n_servers: int = 3,
+        seed: int = 0,
+        delay: Any = 1.0,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.network = Network(
+            self.sim,
+            delay=delay,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+        )
+        self.n_servers = n_servers
+        self.outcomes: Dict[Hashable, ClientOutcome] = {}
+        self.recorder = TraceRecorder(phase_bounds=(1, 3))
+
+    def run(self, until: Optional[float] = None, max_events: int = 200000) -> None:
+        """Drive the simulation to quiescence (or the given horizon)."""
+        self.sim.run(until=until, max_events=max_events)
+
+    def trace(self) -> Trace:
+        """The recorded interface trace."""
+        return self.recorder.trace()
+
+    @property
+    def stats(self) -> NetworkStats:
+        """Network counters (sent/delivered/lost/...)."""
+        return self.network.stats
+
+
+class ComposedConsensus(_SystemBase):
+    """Quorum composed with Backup: the paper's optimized consensus."""
+
+    def __init__(
+        self,
+        n_servers: int = 3,
+        seed: int = 0,
+        delay: Any = 1.0,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        quorum_timeout: float = 6.0,
+        expected_clients: int = 8,
+    ) -> None:
+        super().__init__(n_servers, seed, delay, loss_rate, duplicate_rate)
+        self.quorum_servers = [
+            self.network.register(QuorumServer(("qs", i)))
+            for i in range(n_servers)
+        ]
+        self.acceptors = [
+            self.network.register(PaxosAcceptor(("acc", i)))
+            for i in range(n_servers)
+        ]
+        self.coordinators = [
+            self.network.register(
+                PaxosCoordinator(
+                    ("coord", i),
+                    rank=i,
+                    n_coordinators=n_servers,
+                    acceptors=[("acc", j) for j in range(n_servers)],
+                    pre_prepare=(i == 0),
+                )
+            )
+            for i in range(n_servers)
+        ]
+        self.quorum_timeout = quorum_timeout
+        self._learners = [
+            ("bcli", c) for c in range(expected_clients)
+        ] + [("coord", i) for i in range(n_servers)]
+        for acceptor in self.acceptors:
+            acceptor.register_learners(self._learners)
+        self._client_count = 0
+        self.expected_clients = expected_clients
+
+    def crash_server(self, index: int, at: float) -> None:
+        """Crash all three roles of physical server ``index`` at ``at``."""
+        for pid in (("qs", index), ("acc", index), ("coord", index)):
+            self.network.crash_at(pid, at)
+
+    def propose(
+        self, client: Hashable, value: Hashable, at: float = 0.0
+    ) -> ClientOutcome:
+        """Schedule ``client`` to propose ``value`` at virtual time ``at``."""
+        index = self._client_count
+        self._client_count += 1
+        if index >= self.expected_clients:
+            raise ValueError(
+                "more proposals than expected_clients; raise the limit"
+            )
+        outcome = ClientOutcome(client=client, value=value, start=at)
+        self.outcomes[client] = outcome
+        input = propose(value)
+
+        def on_quorum_decide(decision: Hashable) -> None:
+            outcome.decided_value = decision
+            outcome.decide_time = self.sim.now
+            self.recorder.respond(client, 1, input, decide(decision))
+
+        def on_quorum_switch(switch_value: Hashable) -> None:
+            outcome.switched = True
+            outcome.switch_value = switch_value
+            outcome.switch_time = self.sim.now
+            self.recorder.switch(client, 2, input, switch_value)
+            backup = BackupClient(
+                ("bcli", index),
+                coordinators=[("coord", i) for i in range(self.n_servers)],
+                n_acceptors=self.n_servers,
+                on_decide=on_backup_decide,
+            )
+            self.network.register(backup)
+            backup.switch_to_backup(switch_value)
+
+        def on_backup_decide(decision: Hashable) -> None:
+            outcome.decided_value = decision
+            outcome.decide_time = self.sim.now
+            self.recorder.respond(client, 2, input, decide(decision))
+
+        def start() -> None:
+            self.recorder.invoke(client, 1, input)
+            quorum = QuorumClient(
+                ("qcli", index),
+                servers=[("qs", i) for i in range(self.n_servers)],
+                on_decide=on_quorum_decide,
+                on_switch=on_quorum_switch,
+                timeout=self.quorum_timeout,
+            )
+            self.network.register(quorum)
+            quorum.propose(value)
+
+        self.sim.schedule(at, start)
+        return outcome
+
+    def first_phase_trace(self) -> Trace:
+        """Projection onto the (1,2) phase: Quorum's own trace."""
+        from ..core.actions import sig_phase
+
+        return self.trace().project(sig_phase(1, 2).contains)
+
+    def second_phase_trace(self) -> Trace:
+        """Projection onto the (2,3) phase: Backup's own trace."""
+        from ..core.actions import sig_phase
+
+        return self.trace().project(sig_phase(2, 3).contains)
+
+
+class QuorumOnly(_SystemBase):
+    """The Quorum phase deployed alone (fast-path baseline).
+
+    Clients that would switch simply report the switch; no Backup runs.
+    """
+
+    def __init__(
+        self,
+        n_servers: int = 3,
+        seed: int = 0,
+        delay: Any = 1.0,
+        loss_rate: float = 0.0,
+        quorum_timeout: float = 6.0,
+    ) -> None:
+        super().__init__(n_servers, seed, delay, loss_rate)
+        self.servers = [
+            self.network.register(QuorumServer(("qs", i)))
+            for i in range(n_servers)
+        ]
+        self._client_count = 0
+        self.quorum_timeout = quorum_timeout
+
+    def crash_server(self, index: int, at: float) -> None:
+        """Crash Quorum server ``index`` at virtual time ``at``."""
+        self.network.crash_at(("qs", index), at)
+
+    def propose(
+        self, client: Hashable, value: Hashable, at: float = 0.0
+    ) -> ClientOutcome:
+        """Schedule a proposal; switches terminate the client's run."""
+        index = self._client_count
+        self._client_count += 1
+        outcome = ClientOutcome(client=client, value=value, start=at)
+        self.outcomes[client] = outcome
+        input = propose(value)
+
+        def on_decide(decision: Hashable) -> None:
+            outcome.decided_value = decision
+            outcome.decide_time = self.sim.now
+            self.recorder.respond(client, 1, input, decide(decision))
+
+        def on_switch(switch_value: Hashable) -> None:
+            outcome.switched = True
+            outcome.switch_value = switch_value
+            outcome.switch_time = self.sim.now
+            self.recorder.switch_out(client, 2, input, switch_value)
+
+        def start() -> None:
+            self.recorder.invoke(client, 1, input)
+            quorum = QuorumClient(
+                ("qcli", index),
+                servers=[("qs", i) for i in range(self.n_servers)],
+                on_decide=on_decide,
+                on_switch=on_switch,
+                timeout=self.quorum_timeout,
+            )
+            self.network.register(quorum)
+            quorum.propose(value)
+
+        self.sim.schedule(at, start)
+        return outcome
+
+
+class PaxosOnly(_SystemBase):
+    """Plain Paxos consensus (the non-speculative baseline).
+
+    Clients submit proposals directly to the coordinated Paxos; with the
+    first coordinator pre-prepared this exhibits the paper's 3-message-
+    delay minimum latency.
+    """
+
+    def __init__(
+        self,
+        n_servers: int = 3,
+        seed: int = 0,
+        delay: Any = 1.0,
+        loss_rate: float = 0.0,
+        pre_prepare: bool = True,
+        expected_clients: int = 8,
+    ) -> None:
+        super().__init__(n_servers, seed, delay, loss_rate)
+        self.acceptors = [
+            self.network.register(PaxosAcceptor(("acc", i)))
+            for i in range(n_servers)
+        ]
+        self.coordinators = [
+            self.network.register(
+                PaxosCoordinator(
+                    ("coord", i),
+                    rank=i,
+                    n_coordinators=n_servers,
+                    acceptors=[("acc", j) for j in range(n_servers)],
+                    pre_prepare=(pre_prepare and i == 0),
+                )
+            )
+            for i in range(n_servers)
+        ]
+        self._learners = [
+            ("pcli", c) for c in range(expected_clients)
+        ] + [("coord", i) for i in range(n_servers)]
+        for acceptor in self.acceptors:
+            acceptor.register_learners(self._learners)
+        self._client_count = 0
+        self.expected_clients = expected_clients
+
+    def crash_server(self, index: int, at: float) -> None:
+        """Crash acceptor+coordinator ``index`` at virtual time ``at``."""
+        for pid in (("acc", index), ("coord", index)):
+            self.network.crash_at(pid, at)
+
+    def propose(
+        self, client: Hashable, value: Hashable, at: float = 0.0
+    ) -> ClientOutcome:
+        """Schedule a direct Paxos proposal at virtual time ``at``."""
+        index = self._client_count
+        self._client_count += 1
+        if index >= self.expected_clients:
+            raise ValueError(
+                "more proposals than expected_clients; raise the limit"
+            )
+        outcome = ClientOutcome(client=client, value=value, start=at)
+        self.outcomes[client] = outcome
+        input = propose(value)
+
+        def on_decide(decision: Hashable) -> None:
+            outcome.decided_value = decision
+            outcome.decide_time = self.sim.now
+            self.recorder.respond(client, 1, input, decide(decision))
+
+        def start() -> None:
+            self.recorder.invoke(client, 1, input)
+            paxos_client = PaxosClient(
+                ("pcli", index),
+                coordinators=[("coord", i) for i in range(self.n_servers)],
+                n_acceptors=self.n_servers,
+                on_decide=on_decide,
+            )
+            self.network.register(paxos_client)
+            paxos_client.submit(value)
+
+        self.sim.schedule(at, start)
+        return outcome

@@ -1,0 +1,210 @@
+"""Three speculation phases composed: SubQuorum → Quorum → Backup.
+
+The paper's framework scales to any number of phases: "a speculative
+system may choose between many different options, or speculation phases,
+in order to closely match a changing common case", and adding a phase
+must not require touching the existing ones.  This module demonstrates
+exactly that: a *third* phase is added in front of Quorum+Backup with
+zero changes to either.
+
+**SubQuorum** is the Quorum algorithm run over a fixed 2-server subset:
+same code (:class:`~repro.mp.quorum.QuorumClient` /
+:class:`~repro.mp.quorum.QuorumServer`), a quarter of the fast-path
+messages of a 4-server Quorum.  Its safety argument is Quorum's own
+(decide on identical accepts from *all* sub-servers; on timeout, switch
+with an accepted value, waiting for at least one accept), so I1-I3 — and
+hence speculative linearizability — hold unchanged.  When the subset
+disagrees, times out, or a sub-server crashes (one may), clients switch
+into the full Quorum phase, whose clients treat the incoming switch value
+as their proposal; Quorum in turn switches into Backup (Paxos) as before.
+
+The composed object therefore spans phases ``(1, 4)``:
+
+* phase 1 — SubQuorum on servers {0, 1}: 2 message delays, 4 messages;
+* phase 2 — Quorum on all servers: 2 message delays, 2n messages;
+* phase 3 — Backup (coordinated Paxos): 3 message delays, crash-majority
+  tolerant.
+
+Each phase boundary records a single switch action (tags 2 and 3), so the
+trace is directly checkable: SLin(1,2), SLin(2,3), SLin(3,4), the
+pairwise composition theorem, and Theorem 2's projection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional
+
+from ..core.adt import decide, propose
+from ..core.recording import TraceRecorder
+from ..core.traces import Trace
+from .backup import BackupClient
+from .paxos import PaxosAcceptor, PaxosCoordinator
+from .quorum import QuorumClient, QuorumServer
+from .sim import Network, Simulator
+
+
+class ThreePhaseOutcome:
+    """Per-proposal record for the three-phase deployment."""
+
+    def __init__(self, client: Hashable, value: Hashable, start: float):
+        self.client = client
+        self.value = value
+        self.start = start
+        self.decided_value: Optional[Hashable] = None
+        self.decide_time: Optional[float] = None
+        self.decided_phase: Optional[int] = None
+        self.switch_values: List[Hashable] = []
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Virtual-time latency (message delays on a unit network)."""
+        if self.decide_time is None:
+            return None
+        return self.decide_time - self.start
+
+    @property
+    def path(self) -> str:
+        """'phase1' | 'phase2' | 'phase3' | 'none'."""
+        if self.decided_phase is None:
+            return "none"
+        return f"phase{self.decided_phase}"
+
+
+class ThreePhaseConsensus:
+    """SubQuorum → Quorum → Backup over one simulated cluster.
+
+    ``sub_servers`` selects how many servers host the SubQuorum phase
+    (default 2); all ``n_servers`` host the full Quorum and the Paxos
+    roles.  Each phase keeps its own sticky server state (separate
+    process ids), exactly as if the phases had been deployed
+    independently — the point of intra-object composition.
+    """
+
+    def __init__(
+        self,
+        n_servers: int = 4,
+        sub_servers: int = 2,
+        seed: int = 0,
+        delay: Any = 1.0,
+        loss_rate: float = 0.0,
+        sub_timeout: float = 5.0,
+        quorum_timeout: float = 12.0,
+        expected_clients: int = 8,
+    ) -> None:
+        if not 1 <= sub_servers <= n_servers:
+            raise ValueError("sub_servers must be within the cluster")
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, delay=delay, loss_rate=loss_rate)
+        self.n_servers = n_servers
+        self.sub_servers = sub_servers
+        self.sub_timeout = sub_timeout
+        self.quorum_timeout = quorum_timeout
+        self.recorder = TraceRecorder(phase_bounds=(1, 4))
+        self.outcomes: Dict[Hashable, ThreePhaseOutcome] = {}
+
+        for i in range(sub_servers):
+            self.network.register(QuorumServer(("sq", i)))
+        for i in range(n_servers):
+            self.network.register(QuorumServer(("qs", i)))
+            self.network.register(PaxosAcceptor(("acc", i)))
+            self.network.register(
+                PaxosCoordinator(
+                    ("coord", i),
+                    rank=i,
+                    n_coordinators=n_servers,
+                    acceptors=[("acc", j) for j in range(n_servers)],
+                    pre_prepare=(i == 0),
+                )
+            )
+        learners = [("bcli", c) for c in range(expected_clients)] + [
+            ("coord", i) for i in range(n_servers)
+        ]
+        for i in range(n_servers):
+            self.network.processes[("acc", i)].register_learners(learners)
+        self._count = 0
+        self.expected_clients = expected_clients
+
+    def crash_server(self, index: int, at: float) -> None:
+        """Crash every role hosted by physical server ``index``."""
+        pids = [("qs", index), ("acc", index), ("coord", index)]
+        if index < self.sub_servers:
+            pids.append(("sq", index))
+        for pid in pids:
+            self.network.crash_at(pid, at)
+
+    def propose(
+        self, client: Hashable, value: Hashable, at: float = 0.0
+    ) -> ThreePhaseOutcome:
+        """Schedule ``client`` to propose ``value`` at virtual time ``at``."""
+        index = self._count
+        self._count += 1
+        if index >= self.expected_clients:
+            raise ValueError("raise expected_clients for more proposals")
+        outcome = ThreePhaseOutcome(client, value, at)
+        self.outcomes[client] = outcome
+        input = propose(value)
+
+        def decided(phase: int):
+            def handler(decision: Hashable) -> None:
+                outcome.decided_value = decision
+                outcome.decide_time = self.sim.now
+                outcome.decided_phase = phase
+                self.recorder.respond(client, phase, input, decide(decision))
+
+            return handler
+
+        def switch_to_quorum(switch_value: Hashable) -> None:
+            outcome.switch_values.append(switch_value)
+            self.recorder.switch(client, 2, input, switch_value)
+            quorum = QuorumClient(
+                ("qcli", index),
+                servers=[("qs", i) for i in range(self.n_servers)],
+                on_decide=decided(2),
+                on_switch=switch_to_backup,
+                timeout=self.quorum_timeout,
+            )
+            self.network.register(quorum)
+            # The second phase treats the incoming switch value as its
+            # proposal (the paper's rule for Backup, applied uniformly).
+            quorum.propose(switch_value)
+
+        def switch_to_backup(switch_value: Hashable) -> None:
+            outcome.switch_values.append(switch_value)
+            self.recorder.switch(client, 3, input, switch_value)
+            backup = BackupClient(
+                ("bcli", index),
+                coordinators=[("coord", i) for i in range(self.n_servers)],
+                n_acceptors=self.n_servers,
+                on_decide=decided(3),
+            )
+            self.network.register(backup)
+            backup.switch_to_backup(switch_value)
+
+        def start() -> None:
+            self.recorder.invoke(client, 1, input)
+            sub = QuorumClient(
+                ("sqcli", index),
+                servers=[("sq", i) for i in range(self.sub_servers)],
+                on_decide=decided(1),
+                on_switch=switch_to_quorum,
+                timeout=self.sub_timeout,
+            )
+            self.network.register(sub)
+            sub.propose(value)
+
+        self.sim.schedule(at, start)
+        return outcome
+
+    def run(self, until: Optional[float] = None, max_events: int = 300000) -> None:
+        """Drive the simulation to quiescence (or the horizon)."""
+        self.sim.run(until=until, max_events=max_events)
+
+    def trace(self) -> Trace:
+        """The recorded (1,4) interface trace."""
+        return self.recorder.trace()
+
+    def phase_trace(self, m: int, n: int) -> Trace:
+        """Projection onto one phase's signature."""
+        from ..core.actions import sig_phase
+
+        return self.trace().project(sig_phase(m, n).contains)

@@ -1,0 +1,284 @@
+"""Discrete-event simulator for asynchronous message-passing systems.
+
+The substrate beneath the Section 2.1 algorithms.  The paper's system
+model is a set of crash-prone processes exchanging messages over an
+asynchronous network; the theory quantifies over all schedules, and the
+paper's quantitative claims are in *message delays*.  This simulator makes
+both measurable:
+
+* virtual time with a deterministic, seeded event queue — identical seeds
+  reproduce identical executions;
+* unit message delay by default, so elapsed virtual time equals the
+  message-delay count the paper reasons with (a random-delay model is
+  available for robustness experiments);
+* fault injection: message loss, message duplication, process crashes at
+  scheduled times.
+
+Nothing here knows about consensus: processes are callback objects wired
+through a :class:`Network`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler with virtual time."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self._queue: List[_Event] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Returns the event, whose ``cancelled`` flag may be set to revoke
+        it (used by timers).
+        """
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        event = _Event(self.now + delay, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Process events in timestamp order.
+
+        Stops when the queue drains, when virtual time would exceed
+        ``until``, or after ``max_events`` callbacks.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                return
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                return
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            processed += 1
+            self.events_processed += 1
+
+    def pending_events(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+class Timer:
+    """A cancellable one-shot timer bound to a simulator."""
+
+    def __init__(self, sim: Simulator, delay: float, callback: Callable[[], None]):
+        self._event = sim.schedule(delay, self._fire)
+        self._callback = callback
+        self.fired = False
+        self.cancelled = False
+
+    def _fire(self) -> None:
+        if not self.cancelled:
+            self.fired = True
+            self._callback()
+
+    def cancel(self) -> None:
+        """Revoke the timer; the callback will not run."""
+        self.cancelled = True
+        self._event.cancelled = True
+
+
+class Process:
+    """Base class for simulated processes.
+
+    Subclasses override :meth:`on_message`.  A crashed process silently
+    drops incoming messages and stops sending; crashes are injected via
+    :meth:`crash` or scheduled through :meth:`Network.crash_at`.
+    """
+
+    def __init__(self, pid: Hashable) -> None:
+        self.pid = pid
+        self.crashed = False
+        self.network: Optional["Network"] = None
+
+    def attach(self, network: "Network") -> None:
+        """Called by the network when the process is registered."""
+        self.network = network
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator driving this process's network."""
+        return self.network.sim
+
+    def send(self, dst: Hashable, message: Any) -> None:
+        """Send a message (dropped if this process has crashed)."""
+        if not self.crashed:
+            self.network.send(self.pid, dst, message)
+
+    def broadcast(self, dsts, message: Any) -> None:
+        """Send the same message to several destinations."""
+        for dst in dsts:
+            self.send(dst, message)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Start a timer that fires unless the process crashes first."""
+
+        def guarded() -> None:
+            if not self.crashed:
+                callback()
+
+        return Timer(self.sim, delay, guarded)
+
+    def crash(self) -> None:
+        """Crash-stop: the process neither sends nor receives afterwards."""
+        self.crashed = True
+
+    def on_message(self, src: Hashable, message: Any) -> None:
+        """Handle a delivered message.  Override in subclasses."""
+        raise NotImplementedError
+
+
+@dataclass
+class NetworkStats:
+    """Counters for benchmark reporting."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    duplicated: int = 0
+    dropped_crashed: int = 0
+    partitioned: int = 0
+
+
+@dataclass
+class _Partition:
+    """A temporary cut between two process groups."""
+
+    group_a: frozenset
+    group_b: frozenset
+    start: float
+    end: float
+
+    def blocks(self, src, dst, now: float) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        return (src in self.group_a and dst in self.group_b) or (
+            src in self.group_b and dst in self.group_a
+        )
+
+
+class Network:
+    """The asynchronous network connecting processes.
+
+    ``delay`` is either a constant (default 1.0 — one message delay) or a
+    callable ``(rng) -> float``.  ``loss_rate`` drops messages i.i.d.;
+    ``duplicate_rate`` re-delivers a message a second time after an
+    independent delay, modelling at-least-once channels (the paper's new
+    linearizability definition explicitly tolerates repeated events).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: Any = 1.0,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.delay = delay
+        self.loss_rate = loss_rate
+        self.duplicate_rate = duplicate_rate
+        self.processes: Dict[Hashable, Process] = {}
+        self.stats = NetworkStats()
+        self._partitions: List[_Partition] = []
+
+    def register(self, process: Process) -> Process:
+        """Add a process to the network."""
+        if process.pid in self.processes:
+            raise ValueError(f"duplicate process id {process.pid!r}")
+        self.processes[process.pid] = process
+        process.attach(self)
+        return process
+
+    def _sample_delay(self) -> float:
+        if callable(self.delay):
+            return self.delay(self.sim.rng)
+        return float(self.delay)
+
+    def partition(
+        self,
+        group_a,
+        group_b,
+        start: float,
+        end: float,
+    ) -> None:
+        """Cut all links between two process groups during [start, end).
+
+        Messages *sent* while the cut is active are dropped in both
+        directions (messages already in flight when the cut begins still
+        arrive — a partition severs links, it does not destroy packets).
+        The network heals automatically at ``end``.
+        """
+        if end <= start:
+            raise ValueError("partition must end after it starts")
+        self._partitions.append(
+            _Partition(frozenset(group_a), frozenset(group_b), start, end)
+        )
+
+    def _partitioned(self, src: Hashable, dst: Hashable) -> bool:
+        now = self.sim.now
+        return any(p.blocks(src, dst, now) for p in self._partitions)
+
+    def send(self, src: Hashable, dst: Hashable, message: Any) -> None:
+        """Queue a message for asynchronous delivery."""
+        self.stats.sent += 1
+        if self._partitioned(src, dst):
+            self.stats.partitioned += 1
+            return
+        if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+            self.stats.lost += 1
+            return
+        self._deliver_later(src, dst, message)
+        if (
+            self.duplicate_rate
+            and self.sim.rng.random() < self.duplicate_rate
+        ):
+            self.stats.duplicated += 1
+            self._deliver_later(src, dst, message)
+
+    def _deliver_later(self, src: Hashable, dst: Hashable, message: Any) -> None:
+        delay = self._sample_delay()
+
+        def deliver() -> None:
+            process = self.processes.get(dst)
+            if process is None or process.crashed:
+                self.stats.dropped_crashed += 1
+                return
+            self.stats.delivered += 1
+            process.on_message(src, message)
+
+        self.sim.schedule(delay, deliver)
+
+    def crash_at(self, pid: Hashable, time: float) -> None:
+        """Schedule a crash of process ``pid`` at absolute virtual time."""
+        delay = max(0.0, time - self.sim.now)
+        self.sim.schedule(delay, lambda: self.processes[pid].crash())

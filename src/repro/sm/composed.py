@@ -1,0 +1,175 @@
+"""RCons composed with CASCons: shared-memory speculative consensus (§2.5).
+
+"We obtain such an object by composing a register-based speculation phase
+called RCons and a CAS-based speculation phase called CASCons" — an
+object that uses only registers in contention-free executions but always
+executes correctly.
+
+:func:`build_clients` produces the generator programs for a set of
+proposing clients; each program runs RCons and, on a switch, immediately
+continues into CASCons, emitting phase-tagged actions into a shared
+:class:`~repro.core.recording.TraceRecorder`.  :func:`run_composed`
+executes them under a chosen scheduling regime and reports the trace,
+per-client outcomes and the primitive-operation census (registers vs CAS)
+used by experiment E7.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.adt import decide, propose
+from ..core.recording import TraceRecorder
+from ..core.traces import Trace
+from .cascons import cascons_switch_program
+from .memory import OpCounts, SharedMemory
+from .rcons import rcons_program
+from .scheduler import InterleavingScheduler, Program, explore_schedules
+
+
+@dataclass
+class SMOutcome:
+    """Per-client result of a shared-memory consensus run."""
+
+    client: Hashable
+    value: Hashable
+    decided_value: Optional[Hashable] = None
+    switched: bool = False
+    switch_value: Optional[Hashable] = None
+
+    @property
+    def path(self) -> str:
+        """'fast' (decided in RCons) or 'slow' (via CASCons)."""
+        if self.decided_value is None:
+            return "none"
+        return "slow" if self.switched else "fast"
+
+
+def composed_client_program(
+    client: Hashable,
+    value: Hashable,
+    recorder: TraceRecorder,
+    outcome: SMOutcome,
+) -> Program:
+    """One client's full run: invoke, RCons, optional switch + CASCons."""
+    recorder.invoke(client, 1, propose(value))
+    kind, result = yield from rcons_program(client, value)
+    if kind == "decide":
+        outcome.decided_value = result
+        recorder.respond(client, 1, propose(value), decide(result))
+        return
+    outcome.switched = True
+    outcome.switch_value = result
+    recorder.switch(client, 2, propose(value), result)
+    kind2, winner = yield from cascons_switch_program(result)
+    outcome.decided_value = winner
+    recorder.respond(client, 2, propose(value), decide(winner))
+
+
+def build_clients(
+    proposals: Sequence[Tuple[Hashable, Hashable]],
+) -> Tuple[SharedMemory, Dict[Hashable, Program], TraceRecorder, Dict[Hashable, SMOutcome]]:
+    """Construct memory, programs, recorder and outcome slots.
+
+    ``proposals`` is a list of ``(client, value)`` pairs; the returned
+    pieces plug directly into the scheduler (or into
+    :func:`repro.sm.scheduler.explore_schedules` via a setup closure).
+    """
+    memory = SharedMemory()
+    recorder = TraceRecorder(phase_bounds=(1, 3))
+    outcomes = {
+        client: SMOutcome(client=client, value=value)
+        for client, value in proposals
+    }
+    programs = {
+        client: composed_client_program(
+            client, value, recorder, outcomes[client]
+        )
+        for client, value in proposals
+    }
+    return memory, programs, recorder, outcomes
+
+
+@dataclass
+class SMRun:
+    """The full result of one shared-memory execution."""
+
+    trace: Trace
+    outcomes: Dict[Hashable, SMOutcome]
+    counts: OpCounts
+    schedule: List[Hashable]
+
+    @property
+    def decisions(self) -> set:
+        """The set of decided values (a singleton iff agreement held)."""
+        return {
+            o.decided_value
+            for o in self.outcomes.values()
+            if o.decided_value is not None
+        }
+
+
+def run_composed(
+    proposals: Sequence[Tuple[Hashable, Hashable]],
+    mode: str = "random",
+    seed: int = 0,
+    schedule: Optional[Sequence[Hashable]] = None,
+) -> SMRun:
+    """Run RCons+CASCons under a scheduling regime.
+
+    ``mode``: ``"random"`` (seeded adversary), ``"sequential"``
+    (contention-free, the fast-path regime), ``"round_robin"``, or
+    ``"schedule"`` with an explicit thread schedule.
+    """
+    memory, programs, recorder, outcomes = build_clients(proposals)
+    scheduler = InterleavingScheduler(memory, programs)
+    if mode == "random":
+        steps = scheduler.run_random(random.Random(seed))
+    elif mode == "sequential":
+        steps = scheduler.run_sequential()
+    elif mode == "round_robin":
+        steps = scheduler.run_round_robin()
+    elif mode == "schedule":
+        if schedule is None:
+            raise ValueError("mode='schedule' requires a schedule")
+        finished = scheduler.run_schedule(schedule)
+        if not finished:
+            raise ValueError("schedule did not run all clients to completion")
+        steps = scheduler.steps_taken
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return SMRun(
+        trace=recorder.trace(),
+        outcomes=outcomes,
+        counts=memory.counts,
+        schedule=list(steps),
+    )
+
+
+def explore_composed(
+    proposals: Sequence[Tuple[Hashable, Hashable]],
+    max_schedules: Optional[int] = None,
+):
+    """Exhaustively enumerate every interleaving of the composed object.
+
+    Yields an :class:`SMRun` per complete schedule.  Each run rebuilds
+    the object from scratch, so recorded traces are per-schedule.
+    """
+    collected: Dict[int, Tuple[TraceRecorder, Dict[Hashable, SMOutcome]]] = {}
+
+    def setup():
+        memory, programs, recorder, outcomes = build_clients(proposals)
+        collected[id(memory)] = (recorder, outcomes)
+        return memory, programs
+
+    for schedule, memory in explore_schedules(setup, max_schedules):
+        recorder, outcomes = collected.pop(id(memory))
+        yield SMRun(
+            trace=recorder.trace(),
+            outcomes=outcomes,
+            counts=memory.counts,
+            schedule=schedule,
+        )
+        collected.clear()

@@ -1,0 +1,94 @@
+"""Simulated shared memory: atomic registers and compare-and-swap.
+
+The substrate beneath the Section 2.5 algorithms (RCons / CASCons).  The
+paper's model is an asynchronous shared-memory multiprocessor whose
+registers and CAS are linearizable primitives; here each primitive is an
+*atomic step* of an interleaving machine (:mod:`repro.sm.scheduler`), so
+exploring interleavings covers exactly the executions the model permits.
+
+Operation counters distinguish register reads/writes from CAS operations:
+the motivation for RCons is that "CAS may be slower than an atomic
+register access", so experiment E7 censuses which primitive each
+execution actually used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+
+@dataclass
+class OpCounts:
+    """Primitive-operation counters for one execution."""
+
+    reads: int = 0
+    writes: int = 0
+    cas: int = 0
+
+    @property
+    def register_ops(self) -> int:
+        """Total plain register operations."""
+        return self.reads + self.writes
+
+    @property
+    def total(self) -> int:
+        """All primitive operations."""
+        return self.reads + self.writes + self.cas
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        """(reads, writes, cas) as an immutable tuple."""
+        return (self.reads, self.writes, self.cas)
+
+
+class SharedMemory:
+    """A map of named atomic cells supporting read, write and CAS.
+
+    All cells initially hold ``None`` (the paper's ⊥).  Each operation is
+    one atomic step; the scheduler serializes steps, which is what makes
+    the cells linearizable by construction.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[Hashable, Any] = {}
+        self.counts = OpCounts()
+
+    def read(self, name: Hashable) -> Any:
+        """Atomically read cell ``name``."""
+        self.counts.reads += 1
+        return self._cells.get(name)
+
+    def write(self, name: Hashable, value: Any) -> None:
+        """Atomically write ``value`` to cell ``name``."""
+        self.counts.writes += 1
+        self._cells[name] = value
+
+    def cas(self, name: Hashable, expected: Any, new: Any) -> Any:
+        """Atomic compare-and-swap; returns the cell's value *after* the
+        operation (the winning value, as used by CASCons in Figure 3)."""
+        self.counts.cas += 1
+        current = self._cells.get(name)
+        if current == expected:
+            self._cells[name] = new
+            return new
+        return current
+
+    def peek(self, name: Hashable) -> Any:
+        """Inspect a cell without counting an operation (test helper)."""
+        return self._cells.get(name)
+
+    def execute(self, op: Tuple) -> Any:
+        """Dispatch one operation tuple — the scheduler's step function.
+
+        Operation forms: ``("read", name)``, ``("write", name, value)``,
+        ``("cas", name, expected, new)``.
+        """
+        kind = op[0]
+        if kind == "read":
+            return self.read(op[1])
+        if kind == "write":
+            self.write(op[1], op[2])
+            return None
+        if kind == "cas":
+            return self.cas(op[1], op[2], op[3])
+        raise ValueError(f"unknown memory operation {op!r}")

@@ -1,0 +1,71 @@
+"""RCons — register-based speculative consensus (Figure 2).
+
+RCons solves consensus **using only registers** when the execution is
+contention-free, circumventing the wait-free impossibility (Herlihy) by
+*switching* to the CAS-based phase whenever contention is detected:
+
+.. code-block:: text
+
+    Function propose(val):
+        v <- val
+        if D != ⊥:               return D          # someone decided
+        if splitter() = true:
+            V <- v
+            if ¬Contention:
+                D <- v;          return v           # uncontended win
+            else:
+                return switch-to-CASCons(v)
+        else:
+            Contention <- true
+            if V != ⊥: v <- V
+            return switch-to-CASCons(v)
+
+Registers: ``V`` (winner's value), ``D`` (decision), ``Contention``
+(losers raise it), plus the splitter's ``X``/``Y``.  The generator
+returns an *outcome*: ``("decide", v)`` or ``("switch", v)``; the
+composed runtime (:mod:`repro.sm.composed`) interprets switches by
+running CASCons.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable, Tuple
+
+from .splitter import splitter
+
+Outcome = Tuple[str, Hashable]
+
+
+def rcons_program(
+    client: Hashable,
+    value: Hashable,
+    prefix: str = "rcons",
+) -> Generator[Tuple, Any, Outcome]:
+    """The RCons ``propose(value)`` of Figure 2 as a schedulable program.
+
+    ``prefix`` namespaces the shared registers (``<prefix>.V`` etc.) so
+    multiple objects can share one memory.
+    """
+    v = value
+    reg_v = (prefix, "V")
+    reg_d = (prefix, "D")
+    reg_contention = (prefix, "Contention")
+
+    decision = yield ("read", reg_d)
+    if decision is not None:
+        return ("decide", decision)
+
+    won = yield from splitter(client, (prefix, "X"), (prefix, "Y"))
+    if won:
+        yield ("write", reg_v, v)
+        contention = yield ("read", reg_contention)
+        if not contention:
+            yield ("write", reg_d, v)
+            return ("decide", v)
+        return ("switch", v)
+
+    yield ("write", reg_contention, True)
+    current = yield ("read", reg_v)
+    if current is not None:
+        v = current
+    return ("switch", v)

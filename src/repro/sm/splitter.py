@@ -1,0 +1,41 @@
+"""Lamport's wait-free splitter (Figure 2, lines 26-36).
+
+The splitter guarantees that at most one process returns ``True``, and
+that in a contention-free execution exactly one process returns ``True``.
+It is implemented with two plain registers ``X`` (last entrant) and ``Y``
+(door closed), as in the paper's listing:
+
+.. code-block:: text
+
+    Function splitter():
+        X <- c
+        if Y = true:  return false
+        Y <- true
+        if X = c:     return true
+        else:         return false
+
+The function below is a generator *subroutine*: algorithms embed it with
+``result = yield from splitter(...)`` so that each register access remains
+an individually scheduled atomic step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable, Tuple
+
+
+def splitter(
+    client: Hashable,
+    x_name: Hashable = "X",
+    y_name: Hashable = "Y",
+) -> Generator[Tuple, Any, bool]:
+    """Run the splitter for ``client``; returns True for the (unique)
+    winner.  ``x_name``/``y_name`` select the backing registers so that
+    several splitter instances can coexist in one memory."""
+    yield ("write", x_name, client)
+    door_closed = yield ("read", y_name)
+    if door_closed:
+        return False
+    yield ("write", y_name, True)
+    last_entrant = yield ("read", x_name)
+    return last_entrant == client

@@ -1,0 +1,33 @@
+"""Speculative State Machine Replication (the Section 6 application).
+
+The universal ADT and ADT-derivation glue (:mod:`repro.smr.universal`),
+the multi-slot replicated log where every slot is a composed Quorum+Backup
+consensus instance (:mod:`repro.smr.replica`), and a replicated key-value
+store built on top (:mod:`repro.smr.kvstore`).
+"""
+
+from .kvstore import KVResult, ReplicatedKVStore
+from .lockservice import LockResult, LockService, lock_table_adt
+from .replica import CommandOutcome, SpeculativeSMR
+from .universal import (
+    UniversalFrontend,
+    kv_delete,
+    kv_get,
+    kv_put,
+    kv_store_adt,
+)
+
+__all__ = [
+    "CommandOutcome",
+    "KVResult",
+    "LockResult",
+    "LockService",
+    "ReplicatedKVStore",
+    "SpeculativeSMR",
+    "UniversalFrontend",
+    "kv_delete",
+    "kv_get",
+    "kv_put",
+    "kv_store_adt",
+    "lock_table_adt",
+]

@@ -1,0 +1,228 @@
+"""A Chubby-style distributed lock service on speculative SMR.
+
+The paper motivates message-passing consensus with exactly this
+application: "Notable use cases of consensus in message-passing systems
+include Google's Chubby distributed lock service".  This module derives a
+lock service from the replicated log the same way the KV store is derived
+— define the lock-table ADT, replicate the commands, apply the output
+function to the linearized prefix (Section 6's universal-ADT recipe).
+
+Lock semantics (test-and-set style, no leases — the simulator has no
+client failures to expire):
+
+* ``acquire(lock, owner)``  → ``("granted", True)`` iff the lock was free
+  (the owner then holds it), else ``("granted", False)``;
+* ``release(lock, owner)``  → ``("released", True)`` iff the caller held
+  the lock, else ``("released", False)``;
+* ``holder(lock)``          → ``("holder", owner_or_None)``.
+
+Because the commands are linearized by the replicated log, mutual
+exclusion is global: at most one owner per lock at every log prefix —
+checked as an invariant over the applied log in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..core.adt import ADT
+from ..core.traces import Trace
+from ..core.actions import Invocation, Response
+from .replica import CommandOutcome, SpeculativeSMR
+from .universal import UniversalFrontend
+
+
+def acquire(lock: Hashable, owner: Hashable) -> Tuple:
+    """Lock command: try to take ``lock`` for ``owner``."""
+    return ("acquire", lock, owner)
+
+
+def release(lock: Hashable, owner: Hashable) -> Tuple:
+    """Lock command: give ``lock`` back (only the holder may)."""
+    return ("release", lock, owner)
+
+
+def holder(lock: Hashable) -> Tuple:
+    """Lock command: query the current holder."""
+    return ("holder", lock)
+
+
+def lock_table_adt() -> ADT:
+    """The lock-table ADT: a map lock -> holder, test-and-set semantics."""
+
+    def is_input(payload) -> bool:
+        if not isinstance(payload, tuple) or not payload:
+            return False
+        if payload[0] in ("acquire", "release"):
+            return len(payload) == 3
+        if payload[0] == "holder":
+            return len(payload) == 2
+        return False
+
+    def is_output(payload) -> bool:
+        return (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] in ("granted", "released", "holder")
+        )
+
+    def transition(state, input):
+        table = dict(state)
+        op = input[0]
+        if op == "acquire":
+            _, lock, owner = input
+            if table.get(lock) is None:
+                table[lock] = owner
+                return _freeze(table), ("granted", True)
+            return state, ("granted", False)
+        if op == "release":
+            _, lock, owner = input
+            if table.get(lock) == owner:
+                del table[lock]
+                return _freeze(table), ("released", True)
+            return state, ("released", False)
+        _, lock = input
+        return state, ("holder", table.get(lock))
+
+    return ADT("lock_table", (), transition, is_input, is_output)
+
+
+def _freeze(table: Dict) -> Tuple:
+    return tuple(sorted(table.items(), key=repr))
+
+
+@dataclass
+class LockResult:
+    """A completed lock operation with its derived response."""
+
+    client: Hashable
+    command: Tuple
+    response: Tuple
+    outcome: CommandOutcome
+
+
+class LockService:
+    """Client-facing lock API over :class:`SpeculativeSMR`.
+
+    Operations of one client are serialized (the paper's sequential-client
+    model); concurrent clients race through the replicated log, and the
+    log order decides who gets the lock.
+    """
+
+    def __init__(
+        self,
+        n_servers: int = 3,
+        seed: int = 0,
+        delay: Any = 1.0,
+        loss_rate: float = 0.0,
+    ) -> None:
+        self.smr = SpeculativeSMR(
+            n_servers=n_servers, seed=seed, delay=delay, loss_rate=loss_rate
+        )
+        self.frontend = UniversalFrontend(lock_table_adt())
+        self.results: List[LockResult] = []
+        self.smr.on_commit = self._on_commit
+        self._seq = 0
+        self._pending: Dict[Tuple, Tuple[Hashable, Tuple]] = {}
+        self._busy: Dict[Hashable, bool] = {}
+        self._queues: Dict[Hashable, List[Tuple]] = {}
+        self._events: List[Tuple] = []
+
+    # -- client API ---------------------------------------------------------
+
+    def acquire(self, client: Hashable, lock: Hashable, at: float = 0.0) -> None:
+        """Schedule an acquire attempt (owner = the calling client)."""
+        self._submit(client, acquire(lock, client), at)
+
+    def release(self, client: Hashable, lock: Hashable, at: float = 0.0) -> None:
+        """Schedule a release (only succeeds for the holder)."""
+        self._submit(client, release(lock, client), at)
+
+    def holder_of(self, client: Hashable, lock: Hashable, at: float = 0.0) -> None:
+        """Schedule a holder query."""
+        self._submit(client, holder(lock), at)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _submit(self, client: Hashable, command: Tuple, at: float) -> None:
+        def arrive() -> None:
+            if self._busy.get(client):
+                self._queues.setdefault(client, []).append(command)
+            else:
+                self._start(client, command)
+
+        self.smr.sim.schedule(at, arrive)
+
+    def _start(self, client: Hashable, command: Tuple) -> None:
+        self._busy[client] = True
+        self._seq += 1
+        tagged = command + (("seq", self._seq),)
+        self._pending[tagged] = (client, command)
+        self._events.append(("inv", client, command, None))
+        self.smr.submit(client, tagged, at=0.0)
+
+    def _on_commit(self, outcome: CommandOutcome) -> None:
+        client, command = self._pending[outcome.command]
+        history = tuple(
+            c[:-1]
+            for slot, c in sorted(self.smr.log.items())
+            if slot <= outcome.slot
+        )
+        response = self.frontend.respond(history)
+        self.results.append(
+            LockResult(
+                client=client,
+                command=command,
+                response=response,
+                outcome=outcome,
+            )
+        )
+        self._events.append(("res", client, command, response))
+        self._busy[client] = False
+        queued = self._queues.get(client)
+        if queued:
+            self._start(client, queued.pop(0))
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drive the underlying simulation."""
+        self.smr.run(until=until)
+
+    def interface_trace(self) -> Trace:
+        """The client-level trace, checkable against Lin[lock_table]."""
+        actions = []
+        for kind, client, command, response in self._events:
+            if kind == "inv":
+                actions.append(Invocation(client, 1, command))
+            else:
+                actions.append(Response(client, 1, command, response))
+        return Trace(actions)
+
+    def table(self) -> Dict[Hashable, Hashable]:
+        """The lock table after the committed log prefix."""
+        adt = lock_table_adt()
+        history = tuple(c[:-1] for c in self.smr.committed_log())
+        state, _ = adt.run(history)
+        return dict(state)
+
+    def mutual_exclusion_holds(self) -> bool:
+        """At every log prefix, each lock has at most one holder.
+
+        The ADT state is a map, so this is structural; what the check
+        adds is that *grants* are exclusive: replaying the log, no
+        successful acquire happens while the lock is held.
+        """
+        adt = lock_table_adt()
+        state = adt.initial_state
+        for command in self.smr.committed_log():
+            untagged = command[:-1]
+            if untagged[0] == "acquire":
+                table = dict(state)
+                _, lock, owner = untagged
+                held = table.get(lock) is not None
+                state, output = adt.transition(state, untagged)
+                if output == ("granted", True) and held:
+                    return False
+            else:
+                state, _ = adt.transition(state, untagged)
+        return True

@@ -1,0 +1,246 @@
+"""Speculative State Machine Replication over the composed consensus.
+
+Section 6 motivates the framework with SMR: "The speculative approach to
+SMR protocols has been shown to yield some of the most efficient SMR
+protocols in practice."  This module builds a multi-slot replicated log
+where **each slot is an independent instance of the Section 2 composed
+consensus** (Quorum fast path + Paxos backup):
+
+* a client submits a command, proposing it for the first log slot it does
+  not know to be decided;
+* the slot's consensus instance decides one command (two message delays
+  via Quorum when the slot is uncontended and fault-free, via Backup
+  otherwise);
+* a client whose command lost the slot applies the winner and retries on
+  the next slot — so the log has no gaps among slots any client has
+  committed past;
+* the growing log *is* a universal object (Section 6): responses for an
+  arbitrary ADT are derived by applying its output function to the log
+  prefix ending at the committed command
+  (:class:`repro.smr.universal.UniversalFrontend`).
+
+Per-command metrics (slots attempted, fast/slow path of the deciding
+slot, virtual-time latency) feed experiment E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..mp.backup import BackupClient
+from ..mp.paxos import PaxosAcceptor, PaxosCoordinator
+from ..mp.quorum import QuorumClient, QuorumServer
+from ..mp.sim import Network, Simulator
+
+
+@dataclass
+class CommandOutcome:
+    """Metrics and result for one submitted command."""
+
+    client: Hashable
+    command: Hashable
+    start: float
+    slot: Optional[int] = None
+    commit_time: Optional[float] = None
+    attempts: int = 0
+    switched_slots: int = 0
+    response: Optional[Hashable] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Virtual-time latency from submission to commit."""
+        if self.commit_time is None:
+            return None
+        return self.commit_time - self.start
+
+    @property
+    def path(self) -> str:
+        """Fast iff no slot along the way needed the Backup phase."""
+        if self.commit_time is None:
+            return "none"
+        return "slow" if self.switched_slots else "fast"
+
+
+class _SlotInstance:
+    """Server-side processes of one consensus slot."""
+
+    def __init__(self, smr: "SpeculativeSMR", slot: int) -> None:
+        self.slot = slot
+        self.quorum_pids = []
+        self.coordinator_pids = []
+        self.acceptor_pids = []
+        for i in range(smr.n_servers):
+            if smr.server_crashed[i]:
+                # A crashed physical server contributes no live roles to
+                # new slots either.
+                qs = QuorumServer(("qs", slot, i))
+                qs.crashed = True
+                acc = PaxosAcceptor(("acc", slot, i))
+                acc.crashed = True
+                coord = PaxosCoordinator(
+                    ("coord", slot, i),
+                    rank=i,
+                    n_coordinators=smr.n_servers,
+                    acceptors=[("acc", slot, j) for j in range(smr.n_servers)],
+                )
+                coord.crashed = True
+            else:
+                qs = QuorumServer(("qs", slot, i))
+                acc = PaxosAcceptor(("acc", slot, i))
+                coord = PaxosCoordinator(
+                    ("coord", slot, i),
+                    rank=i,
+                    n_coordinators=smr.n_servers,
+                    acceptors=[("acc", slot, j) for j in range(smr.n_servers)],
+                    pre_prepare=(i == smr.first_live_server()),
+                )
+            smr.network.register(qs)
+            smr.network.register(acc)
+            smr.network.register(coord)
+            self.quorum_pids.append(qs.pid)
+            self.acceptor_pids.append(acc.pid)
+            self.coordinator_pids.append(coord.pid)
+        self.learners: List[Hashable] = list(self.coordinator_pids)
+        self.decided: Optional[Hashable] = None
+
+    def register_learner(self, smr: "SpeculativeSMR", pid: Hashable) -> None:
+        self.learners.append(pid)
+        for acc_pid in self.acceptor_pids:
+            smr.network.processes[acc_pid].register_learners(self.learners)
+
+
+class SpeculativeSMR:
+    """A replicated log: one composed-consensus instance per slot."""
+
+    def __init__(
+        self,
+        n_servers: int = 3,
+        seed: int = 0,
+        delay: Any = 1.0,
+        loss_rate: float = 0.0,
+        quorum_timeout: float = 6.0,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, delay=delay, loss_rate=loss_rate)
+        self.n_servers = n_servers
+        self.quorum_timeout = quorum_timeout
+        self.server_crashed = [False] * n_servers
+        self.slots: Dict[int, _SlotInstance] = {}
+        self.log: Dict[int, Hashable] = {}
+        self.outcomes: List[CommandOutcome] = []
+        self._uid = 0
+        self.on_commit: Optional[Callable[[CommandOutcome], None]] = None
+
+    def first_live_server(self) -> int:
+        """Index of the lowest-ranked non-crashed server."""
+        for i, crashed in enumerate(self.server_crashed):
+            if not crashed:
+                return i
+        return 0
+
+    def crash_server(self, index: int, at: float = 0.0) -> None:
+        """Crash a physical server: all its roles in all current and
+        future slots."""
+
+        def do_crash() -> None:
+            self.server_crashed[index] = True
+            for slot in self.slots.values():
+                for pid in (
+                    ("qs", slot.slot, index),
+                    ("acc", slot.slot, index),
+                    ("coord", slot.slot, index),
+                ):
+                    if pid in self.network.processes:
+                        self.network.processes[pid].crash()
+
+        self.sim.schedule(max(0.0, at - self.sim.now), do_crash)
+
+    def _ensure_slot(self, slot: int) -> _SlotInstance:
+        if slot not in self.slots:
+            self.slots[slot] = _SlotInstance(self, slot)
+        return self.slots[slot]
+
+    def submit(
+        self, client: Hashable, command: Hashable, at: float = 0.0
+    ) -> CommandOutcome:
+        """Schedule ``client`` to replicate ``command`` at time ``at``."""
+        outcome = CommandOutcome(client=client, command=command, start=at)
+        self.outcomes.append(outcome)
+
+        def try_slot(slot: int) -> None:
+            instance = self._ensure_slot(slot)
+            if instance.decided is not None:
+                # Known decided: skip forward without a consensus round.
+                advance(slot, instance.decided)
+                return
+            outcome.attempts += 1
+            self._uid += 1
+            uid = self._uid
+
+            def on_decide(winner: Hashable) -> None:
+                settle(slot, winner, switched=False)
+
+            def on_switch(switch_value: Hashable) -> None:
+                outcome.switched_slots += 1
+                backup = BackupClient(
+                    ("bcli", uid),
+                    coordinators=instance.coordinator_pids,
+                    n_acceptors=self.n_servers,
+                    on_decide=lambda winner: settle(slot, winner, switched=True),
+                )
+                self.network.register(backup)
+                instance.register_learner(self, backup.pid)
+                backup.switch_to_backup(switch_value)
+
+            def settle(slot: int, winner: Hashable, switched: bool) -> None:
+                instance = self.slots[slot]
+                if instance.decided is None:
+                    instance.decided = winner
+                    self.log[slot] = winner
+                advance(slot, instance.decided)
+
+            quorum = QuorumClient(
+                ("qcli", uid),
+                servers=instance.quorum_pids,
+                on_decide=on_decide,
+                on_switch=on_switch,
+                timeout=self.quorum_timeout,
+            )
+            self.network.register(quorum)
+            quorum.propose(command)
+
+        def advance(slot: int, winner: Hashable) -> None:
+            if winner == command and outcome.commit_time is None:
+                outcome.slot = slot
+                outcome.commit_time = self.sim.now
+                if self.on_commit is not None:
+                    self.on_commit(outcome)
+            elif outcome.commit_time is None:
+                try_slot(slot + 1)
+
+        def start() -> None:
+            # Stamp the true start instant: `at` is relative to the call
+            # time when submissions happen mid-simulation (e.g. queued
+            # client operations of the KV store).
+            outcome.start = self.sim.now
+            next_slot = 0
+            while next_slot in self.log:
+                next_slot += 1
+            try_slot(next_slot)
+
+        self.sim.schedule(at, start)
+        return outcome
+
+    def run(self, until: Optional[float] = None, max_events: int = 500000) -> None:
+        """Drive the simulation to quiescence (or the given horizon)."""
+        self.sim.run(until=until, max_events=max_events)
+
+    def committed_log(self) -> List[Hashable]:
+        """The decided commands of the contiguous log prefix, in order."""
+        result = []
+        slot = 0
+        while slot in self.log:
+            result.append(self.log[slot])
+            slot += 1
+        return result

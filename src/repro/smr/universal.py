@@ -1,0 +1,98 @@
+"""The universal ADT and generic SMR glue (Section 6).
+
+"The output function of the universal ADT is the identity function ...
+The universal ADT can be used as an abstraction for generic SMR protocols
+because, given a linearizable implementation, it suffices to apply the
+output function of another ADT A to the responses in order to obtain an
+implementation of A."
+
+This module provides that application step: a :class:`UniversalFrontend`
+wraps any linearizable *universal* object (something producing growing
+command histories — here, the replicated log of
+:mod:`repro.smr.replica`) and exposes an arbitrary ADT by applying its
+output function to the history responses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Sequence, Tuple
+
+from ..core.adt import ADT, History, universal_adt
+
+
+class UniversalFrontend:
+    """Derive an arbitrary ADT from universal-object responses.
+
+    ``respond(history)`` applies the target ADT's output function to a
+    history returned by the universal object — the last input of the
+    history is the invocation being answered.
+    """
+
+    def __init__(self, adt: ADT) -> None:
+        self.adt = adt
+        self.universal = universal_adt(valid_input=adt.is_input)
+
+    def respond(self, history: Sequence) -> Hashable:
+        """The target-ADT output for a universal response ``history``."""
+        return self.adt.output(tuple(history))
+
+    def respond_prefix(self, history: Sequence, upto: int) -> Hashable:
+        """Output after only the first ``upto`` inputs of the history."""
+        return self.adt.output(tuple(history[:upto]))
+
+
+def kv_put(key: Hashable, value: Hashable) -> Tuple:
+    """KV command: bind ``key`` to ``value``; returns the previous value."""
+    return ("put", key, value)
+
+
+def kv_get(key: Hashable) -> Tuple:
+    """KV command: read the value bound to ``key`` (None if absent)."""
+    return ("get", key)
+
+
+def kv_delete(key: Hashable) -> Tuple:
+    """KV command: unbind ``key``; returns the previous value."""
+    return ("delete", key)
+
+
+def kv_store_adt() -> ADT:
+    """A replicated key-value store as an ADT (the Gaios/Chubby shape the
+    paper cites as consensus use cases).
+
+    State is a tuple of (key, value) pairs; all commands answer
+    ``("value", previous_or_current)``.
+    """
+
+    def is_input(payload) -> bool:
+        if not isinstance(payload, tuple) or not payload:
+            return False
+        if payload[0] == "put":
+            return len(payload) == 3
+        if payload[0] in ("get", "delete"):
+            return len(payload) == 2
+        return False
+
+    def is_output(payload) -> bool:
+        return (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] == "value"
+        )
+
+    def transition(state, input):
+        mapping = dict(state)
+        op = input[0]
+        if op == "put":
+            _, key, value = input
+            previous = mapping.get(key)
+            mapping[key] = value
+            return tuple(sorted(mapping.items(), key=repr)), ("value", previous)
+        if op == "get":
+            _, key = input
+            return state, ("value", mapping.get(key))
+        _, key = input
+        previous = mapping.pop(key, None)
+        return tuple(sorted(mapping.items(), key=repr)), ("value", previous)
+
+    return ADT("kv_store", (), transition, is_input, is_output)

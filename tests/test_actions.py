@@ -1,0 +1,170 @@
+"""Tests for actions and signatures (paper Sections 3, 4.2, 5.1)."""
+
+import pytest
+
+from repro.core.actions import (
+    Invocation,
+    Response,
+    Switch,
+    client_action_set,
+    inv,
+    is_invocation,
+    is_response,
+    is_switch,
+    rename_phase,
+    res,
+    sig_T,
+    sig_phase,
+    swi,
+)
+
+
+class TestConstructors:
+    def test_inv(self):
+        a = inv("c", 1, "x")
+        assert a == Invocation("c", 1, "x")
+        assert is_invocation(a) and not is_response(a) and not is_switch(a)
+
+    def test_res(self):
+        a = res("c", 1, "x", "out")
+        assert a == Response("c", 1, "x", "out")
+        assert is_response(a)
+
+    def test_swi(self):
+        a = swi("c", 2, "x", "v")
+        assert a == Switch("c", 2, "x", "v")
+        assert is_switch(a)
+
+    def test_actions_are_hashable_and_frozen(self):
+        a = inv("c", 1, "x")
+        assert hash(a) == hash(inv("c", 1, "x"))
+        with pytest.raises(Exception):
+            a.client = "d"
+
+    def test_reprs_follow_paper_notation(self):
+        assert repr(inv("c", 1, "x")) == "inv('c', 1, 'x')"
+        assert repr(res("c", 1, "x", "o")) == "res('c', 1, 'x', 'o')"
+        assert repr(swi("c", 2, "x", "v")) == "swi('c', 2, 'x', 'v')"
+
+
+class TestSigT:
+    def test_invocations_are_inputs(self):
+        sig = sig_T()
+        assert sig.is_input(inv("c", 1, "x"))
+        assert not sig.is_output(inv("c", 1, "x"))
+
+    def test_responses_are_outputs(self):
+        sig = sig_T()
+        assert sig.is_output(res("c", 1, "x", "o"))
+        assert not sig.is_input(res("c", 1, "x", "o"))
+
+    def test_switches_excluded(self):
+        sig = sig_T()
+        assert not sig.contains(swi("c", 2, "x", "v"))
+
+    def test_payload_validation(self):
+        sig = sig_T(valid_input=lambda i: i == "ok")
+        assert sig.is_input(inv("c", 1, "ok"))
+        assert not sig.is_input(inv("c", 1, "bad"))
+
+    def test_contains_and_in(self):
+        sig = sig_T()
+        assert inv("c", 1, "x") in sig
+
+
+class TestSigPhase:
+    def test_requires_m_lt_n(self):
+        with pytest.raises(ValueError):
+            sig_phase(2, 2)
+        with pytest.raises(ValueError):
+            sig_phase(3, 1)
+
+    def test_owned_invocations(self):
+        sig = sig_phase(1, 3)
+        assert sig.is_input(inv("c", 1, "x"))
+        assert sig.is_input(inv("c", 2, "x"))
+        assert not sig.is_input(inv("c", 3, "x"))  # next phase's business
+
+    def test_owned_responses(self):
+        sig = sig_phase(1, 3)
+        assert sig.is_output(res("c", 1, "x", "o"))
+        assert sig.is_output(res("c", 2, "x", "o"))
+        assert not sig.is_output(res("c", 3, "x", "o"))
+
+    def test_init_switch_is_input(self):
+        sig = sig_phase(2, 3)
+        assert sig.is_input(swi("c", 2, "x", "v"))
+        assert not sig.is_output(swi("c", 2, "x", "v"))
+
+    def test_abort_switch_is_output(self):
+        sig = sig_phase(1, 2)
+        assert sig.is_output(swi("c", 2, "x", "v"))
+        assert not sig.is_input(swi("c", 2, "x", "v"))
+
+    def test_intermediate_switch_is_output_of_composed_phase(self):
+        sig = sig_phase(1, 3)
+        assert sig.is_output(swi("c", 2, "x", "v"))
+
+    def test_adjacent_signatures_have_disjoint_outputs(self):
+        first = sig_phase(1, 2)
+        second = sig_phase(2, 3)
+        probes = [
+            inv("c", 1, "x"),
+            inv("c", 2, "x"),
+            res("c", 1, "x", "o"),
+            res("c", 2, "x", "o"),
+            swi("c", 2, "x", "v"),
+            swi("c", 3, "x", "v"),
+        ]
+        for action in probes:
+            assert not (first.is_output(action) and second.is_output(action))
+
+    def test_shared_switch_connects_phases(self):
+        # The abort of (1,2) is the init of (2,3).
+        action = swi("c", 2, "x", "v")
+        assert sig_phase(1, 2).is_output(action)
+        assert sig_phase(2, 3).is_input(action)
+
+
+class TestClientActionSet:
+    def test_keeps_own_actions(self):
+        member = client_action_set("c", 1, 3)
+        assert member(inv("c", 1, "x"))
+        assert member(res("c", 2, "x", "o"))
+        assert member(swi("c", 1, "x", "v"))
+        assert member(swi("c", 3, "x", "v"))
+
+    def test_drops_other_clients(self):
+        member = client_action_set("c", 1, 3)
+        assert not member(inv("d", 1, "x"))
+
+    def test_drops_intermediate_switches(self):
+        member = client_action_set("c", 1, 3)
+        assert not member(swi("c", 2, "x", "v"))
+
+    def test_drops_out_of_range_tags(self):
+        member = client_action_set("c", 2, 4)
+        assert not member(inv("c", 1, "x"))
+        assert not member(inv("c", 4, "x"))  # tag n belongs to the next phase
+        assert member(inv("c", 3, "x"))
+
+
+class TestRenamePhase:
+    def test_rename_invocation(self):
+        assert rename_phase(inv("c", 1, "x"), lambda k: k + 2) == inv(
+            "c", 3, "x"
+        )
+
+    def test_rename_response(self):
+        assert rename_phase(res("c", 1, "x", "o"), lambda k: k + 1) == res(
+            "c", 2, "x", "o"
+        )
+
+    def test_rename_switch(self):
+        assert rename_phase(swi("c", 2, "x", "v"), lambda k: k * 2) == swi(
+            "c", 4, "x", "v"
+        )
+
+    def test_rejects_non_action(self):
+        with pytest.raises(TypeError):
+            rename_phase("nope", lambda k: k)

@@ -1,0 +1,252 @@
+"""Tests for the ADT library (paper Section 4.1, Figure 1, Section 6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.adt import (
+    EMPTY,
+    apply_adt_to_universal_output,
+    cas,
+    cas_read,
+    cas_register_adt,
+    consensus_adt,
+    counter_adt,
+    counter_read,
+    decide,
+    decided_value,
+    deq,
+    enq,
+    inc,
+    pop,
+    propose,
+    proposed_value,
+    push,
+    queue_adt,
+    reg_read,
+    reg_write,
+    register_adt,
+    set_add,
+    set_adt,
+    set_contains,
+    set_remove,
+    stack_adt,
+    universal_adt,
+)
+
+
+class TestConsensus:
+    def test_figure_1_semantics(self):
+        # f([p(v1), p(v2), ..., p(vn)]) = d(v1): first proposal wins.
+        adt = consensus_adt()
+        history = (propose("v1"), propose("v2"), propose("v3"))
+        assert adt.output(history) == decide("v1")
+        assert adt.output(history[:1]) == decide("v1")
+
+    def test_every_position_gets_first_value(self):
+        adt = consensus_adt()
+        history = (propose("a"), propose("b"))
+        for i in range(1, len(history) + 1):
+            assert adt.output(history[:i]) == decide("a")
+
+    def test_payload_helpers(self):
+        assert proposed_value(propose("x")) == "x"
+        assert decided_value(decide("y")) == "y"
+        with pytest.raises(ValueError):
+            proposed_value(decide("x"))
+        with pytest.raises(ValueError):
+            decided_value(propose("x"))
+
+    def test_input_output_validation(self):
+        adt = consensus_adt(values=["a", "b"])
+        assert adt.is_input(propose("a"))
+        assert not adt.is_input(propose("z"))
+        assert adt.is_output(decide("b"))
+        assert not adt.is_output(decide("z"))
+        assert not adt.is_input(("bogus",))
+
+    def test_unrestricted_values(self):
+        adt = consensus_adt()
+        assert adt.is_input(propose(42))
+
+    def test_transition_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            consensus_adt().transition(None, ("bogus", 1))
+
+    def test_empty_history_has_no_output(self):
+        with pytest.raises(ValueError):
+            consensus_adt().output(())
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=6))
+    def test_first_proposal_always_decides(self, values):
+        adt = consensus_adt()
+        history = tuple(propose(v) for v in values)
+        assert adt.output(history) == decide(values[0])
+
+
+class TestUniversal:
+    def test_identity_output(self):
+        adt = universal_adt()
+        history = ("x", "y")
+        assert adt.output(history) == history
+
+    def test_growing_state(self):
+        adt = universal_adt()
+        state, out = adt.run(("a", "b", "c"))
+        assert state == ("a", "b", "c")
+        assert out == ("a", "b", "c")
+
+    def test_derivation_of_other_adts(self):
+        # Section 6: apply another ADT's output function to the response.
+        cons = consensus_adt()
+        universal = universal_adt()
+        history = (propose("v1"), propose("v2"))
+        response = universal.output(history)
+        assert apply_adt_to_universal_output(cons, response) == decide("v1")
+
+    def test_input_restriction(self):
+        adt = universal_adt(valid_input=lambda i: i == "ok")
+        assert adt.is_input("ok")
+        assert not adt.is_input("nope")
+
+
+class TestRegister:
+    def test_read_initial(self):
+        adt = register_adt()
+        assert adt.output((reg_read(),)) == ("value", None)
+
+    def test_write_then_read(self):
+        adt = register_adt()
+        assert adt.output((reg_write(5), reg_read())) == ("value", 5)
+
+    def test_write_returns_ok(self):
+        adt = register_adt()
+        assert adt.output((reg_write(5),)) == ("ok",)
+
+    def test_last_write_wins(self):
+        adt = register_adt()
+        history = (reg_write(1), reg_write(2), reg_read())
+        assert adt.output(history) == ("value", 2)
+
+    def test_initial_value(self):
+        adt = register_adt(initial=7)
+        assert adt.output((reg_read(),)) == ("value", 7)
+
+    def test_validation(self):
+        adt = register_adt()
+        assert adt.is_input(reg_read())
+        assert adt.is_input(reg_write(1))
+        assert not adt.is_input(("write",))
+        assert adt.is_output(("ok",))
+        assert not adt.is_output(("nope", 3))
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        adt = queue_adt()
+        history = (enq(1), enq(2), deq())
+        assert adt.output(history) == ("value", 1)
+
+    def test_empty_dequeue(self):
+        adt = queue_adt()
+        assert adt.output((deq(),)) == EMPTY
+
+    def test_enq_returns_ok(self):
+        assert queue_adt().output((enq(1),)) == ("ok",)
+
+    def test_interleaved(self):
+        adt = queue_adt()
+        history = (enq(1), deq(), deq())
+        assert adt.output(history) == EMPTY
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=6))
+    def test_drain_order(self, values):
+        adt = queue_adt()
+        history = tuple(enq(v) for v in values)
+        for i, expected in enumerate(values):
+            history = history + (deq(),)
+            # Output of the last deq follows FIFO order.
+            assert adt.output(history) == ("value", expected)
+
+
+class TestStack:
+    def test_lifo_order(self):
+        adt = stack_adt()
+        assert adt.output((push(1), push(2), pop())) == ("value", 2)
+
+    def test_empty_pop(self):
+        assert stack_adt().output((pop(),)) == EMPTY
+
+    def test_push_pop_push(self):
+        adt = stack_adt()
+        assert adt.output((push(1), pop(), push(2), pop())) == ("value", 2)
+
+
+class TestCounter:
+    def test_fetch_and_add(self):
+        adt = counter_adt()
+        assert adt.output((inc(),)) == ("count", 0)
+        assert adt.output((inc(), inc())) == ("count", 1)
+
+    def test_custom_amount(self):
+        adt = counter_adt()
+        assert adt.output((inc(5), counter_read())) == ("count", 5)
+
+    def test_read_does_not_modify(self):
+        adt = counter_adt()
+        assert adt.output((counter_read(), counter_read())) == ("count", 0)
+
+    def test_validation(self):
+        adt = counter_adt()
+        assert not adt.is_input(("inc", "nope"))
+
+
+class TestSet:
+    def test_add_reports_prior_absence(self):
+        adt = set_adt()
+        assert adt.output((set_add(1),)) == ("bool", False)
+        assert adt.output((set_add(1), set_add(1))) == ("bool", True)
+
+    def test_contains(self):
+        adt = set_adt()
+        assert adt.output((set_add(1), set_contains(1))) == ("bool", True)
+        assert adt.output((set_contains(9),)) == ("bool", False)
+
+    def test_remove(self):
+        adt = set_adt()
+        history = (set_add(1), set_remove(1), set_contains(1))
+        assert adt.output(history) == ("bool", False)
+
+
+class TestCASRegister:
+    def test_successful_cas(self):
+        adt = cas_register_adt()
+        assert adt.output((cas(None, "w"),)) == ("value", "w")
+
+    def test_failed_cas_returns_current(self):
+        adt = cas_register_adt()
+        history = (cas(None, "a"), cas(None, "b"))
+        assert adt.output(history) == ("value", "a")
+
+    def test_figure_3_race(self):
+        # Two CAS(D, bottom, v) race: both see the first winner.
+        adt = cas_register_adt()
+        assert adt.output((cas(None, "x"), cas(None, "y"))) == ("value", "x")
+        assert adt.output((cas(None, "x"), cas(None, "y"), cas_read())) == (
+            "value",
+            "x",
+        )
+
+    def test_read(self):
+        adt = cas_register_adt(initial=3)
+        assert adt.output((cas_read(),)) == ("value", 3)
+
+
+class TestRunHelper:
+    def test_run_empty(self):
+        state, out = consensus_adt().run(())
+        assert state is None and out is None
+
+    def test_run_returns_final_state(self):
+        state, out = register_adt().run((reg_write(9),))
+        assert state == 9

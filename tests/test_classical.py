@@ -1,0 +1,265 @@
+"""Tests for classical linearizability* (paper Appendix A)."""
+
+import pytest
+
+from repro.core.actions import inv, res
+from repro.core.adt import (
+    consensus_adt,
+    decide,
+    propose,
+    reg_read,
+    reg_write,
+    register_adt,
+)
+from repro.core.classical import (
+    Operation,
+    agrees_with_adt,
+    check_classical_witness,
+    extract_operations,
+    find_permutation,
+    is_linearizable_classical,
+    is_reordering,
+    is_sequential,
+    linearize_classical,
+)
+from repro.core.traces import Trace
+
+P, D = propose, decide
+CONS = consensus_adt()
+
+
+class TestOperationExtraction:
+    def test_basic_pairing(self):
+        t = Trace(
+            [
+                inv("a", 1, P("x")),
+                inv("b", 1, P("y")),
+                res("a", 1, P("x"), D("x")),
+            ]
+        )
+        ops = extract_operations(t)
+        by_client = {op.client: op for op in ops}
+        assert by_client["a"].res_index == 2
+        assert not by_client["a"].pending
+        assert by_client["b"].pending
+        assert by_client["b"].output is None
+
+    def test_multiple_ops_per_client(self):
+        t = Trace(
+            [
+                inv("a", 1, P("x")),
+                res("a", 1, P("x"), D("x")),
+                inv("a", 1, P("y")),
+                res("a", 1, P("y"), D("x")),
+            ]
+        )
+        ops = extract_operations(t)
+        assert len(ops) == 2
+        assert {op.inv_index for op in ops} == {0, 2}
+
+
+class TestSequentialTraces:
+    def test_sequential_accepts(self):
+        t = Trace(
+            [
+                inv("a", 1, P("x")),
+                res("a", 1, P("x"), D("x")),
+                inv("b", 1, P("y")),
+                res("b", 1, P("y"), D("x")),
+            ]
+        )
+        assert is_sequential(t)
+
+    def test_sequential_rejects_overlap(self):
+        t = Trace(
+            [
+                inv("a", 1, P("x")),
+                inv("b", 1, P("y")),
+                res("a", 1, P("x"), D("x")),
+                res("b", 1, P("y"), D("x")),
+            ]
+        )
+        assert not is_sequential(t)
+
+    def test_sequential_rejects_cross_client_response(self):
+        t = Trace([inv("a", 1, P("x")), res("b", 1, P("x"), D("x"))])
+        assert not is_sequential(t)
+
+    def test_agrees_with_adt(self):
+        good = Trace(
+            [
+                inv("a", 1, P("x")),
+                res("a", 1, P("x"), D("x")),
+                inv("b", 1, P("y")),
+                res("b", 1, P("y"), D("x")),
+            ]
+        )
+        bad = Trace(
+            [
+                inv("a", 1, P("x")),
+                res("a", 1, P("x"), D("x")),
+                inv("b", 1, P("y")),
+                res("b", 1, P("y"), D("y")),
+            ]
+        )
+        assert agrees_with_adt(good, CONS)
+        assert not agrees_with_adt(bad, CONS)
+
+
+class TestReordering:
+    def test_is_reordering(self):
+        t = Trace([inv("a", 1, P("x")), inv("b", 1, P("y"))])
+        r = Trace([inv("b", 1, P("y")), inv("a", 1, P("x"))])
+        assert is_reordering(r, t)
+
+    def test_rejects_different_multiset(self):
+        t = Trace([inv("a", 1, P("x"))])
+        r = Trace([inv("a", 1, P("y"))])
+        assert not is_reordering(r, t)
+
+    def test_find_permutation_roundtrip(self):
+        t = Trace(
+            [
+                inv("a", 1, P("x")),
+                inv("b", 1, P("y")),
+                res("b", 1, P("y"), D("y")),
+                res("a", 1, P("x"), D("y")),
+            ]
+        )
+        candidate = Trace(
+            [
+                inv("b", 1, P("y")),
+                res("b", 1, P("y"), D("y")),
+                inv("a", 1, P("x")),
+                res("a", 1, P("x"), D("y")),
+            ]
+        )
+        sigma = find_permutation(candidate, t)
+        assert sigma is not None
+        for i, action in enumerate(t):
+            assert candidate[sigma[i]] == action
+
+
+class TestWitnessCheck:
+    def test_full_witness(self):
+        t = Trace(
+            [
+                inv("a", 1, P("x")),
+                inv("b", 1, P("y")),
+                res("b", 1, P("y"), D("y")),
+                res("a", 1, P("x"), D("y")),
+            ]
+        )
+        witness = Trace(
+            [
+                inv("b", 1, P("y")),
+                res("b", 1, P("y"), D("y")),
+                inv("a", 1, P("x")),
+                res("a", 1, P("x"), D("y")),
+            ]
+        )
+        assert check_classical_witness(t, witness, CONS)
+
+    def test_witness_must_preserve_realtime_order(self):
+        t = Trace(
+            [
+                inv("a", 1, P("x")),
+                res("a", 1, P("x"), D("x")),
+                inv("b", 1, P("y")),
+                res("b", 1, P("y"), D("x")),
+            ]
+        )
+        # Reordering b before a contradicts their real-time order (and the
+        # ADT outputs).
+        witness = Trace(
+            [
+                inv("b", 1, P("y")),
+                res("b", 1, P("y"), D("x")),
+                inv("a", 1, P("x")),
+                res("a", 1, P("x"), D("x")),
+            ]
+        )
+        assert not check_classical_witness(t, witness, CONS)
+
+
+class TestChecker:
+    def test_paper_positive_example(self):
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                res("c2", 1, P("v2"), D("v2")),
+                res("c1", 1, P("v1"), D("v2")),
+            ]
+        )
+        result = linearize_classical(t, CONS)
+        assert result.ok
+        assert is_sequential(result.linearization)
+        assert agrees_with_adt(result.linearization, CONS)
+
+    def test_paper_negative_examples(self):
+        t1 = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                res("c1", 1, P("v1"), D("v1")),
+                res("c2", 1, P("v2"), D("v2")),
+            ]
+        )
+        t2 = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                res("c1", 1, P("v1"), D("v2")),
+                inv("c2", 1, P("v2")),
+                res("c2", 1, P("v2"), D("v2")),
+            ]
+        )
+        assert not is_linearizable_classical(t1, CONS)
+        assert not is_linearizable_classical(t2, CONS)
+
+    def test_pending_invocations_completed(self):
+        # Definition 46: a completion answers pending invocations.
+        t = Trace(
+            [
+                inv("c1", 1, P("a")),
+                inv("c2", 1, P("b")),
+                res("c2", 1, P("b"), D("a")),
+            ]
+        )
+        result = linearize_classical(t, CONS)
+        assert result.ok
+        # The completion includes c1's operation with some response.
+        assert len(result.linearization) == 4
+
+    def test_register_cases(self):
+        adt = register_adt()
+        ok = Trace(
+            [
+                inv("w", 1, reg_write(1)),
+                inv("r", 1, reg_read()),
+                res("r", 1, reg_read(), ("value", 1)),
+                res("w", 1, reg_write(1), ("ok",)),
+            ]
+        )
+        stale = Trace(
+            [
+                inv("w", 1, reg_write(1)),
+                res("w", 1, reg_write(1), ("ok",)),
+                inv("r", 1, reg_read()),
+                res("r", 1, reg_read(), ("value", None)),
+            ]
+        )
+        assert is_linearizable_classical(ok, adt)
+        assert not is_linearizable_classical(stale, adt)
+
+    def test_malformed_rejected(self):
+        t = Trace([res("c", 1, P("a"), D("a"))])
+        result = linearize_classical(t, CONS)
+        assert not result.ok and "well-formed" in result.reason
+
+    def test_invalid_payload_rejected(self):
+        t = Trace([inv("c", 1, ("junk",))])
+        assert not linearize_classical(t, CONS).ok
+
+    def test_empty_trace(self):
+        assert is_linearizable_classical(Trace(), CONS)

@@ -1,0 +1,44 @@
+"""Tests for the `python -m repro` experiment runner."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+def run_cli(*args, timeout=600):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=ROOT,
+    )
+
+
+def test_no_args_lists_experiments():
+    result = run_cli()
+    assert result.returncode == 0
+    for key in ("e1", "e6", "e9", "examples"):
+        assert key in result.stdout
+
+
+def test_unknown_experiment_rejected():
+    result = run_cli("zz")
+    assert result.returncode == 1
+    assert "unknown experiment" in result.stdout
+
+
+def test_runs_a_selected_experiment():
+    result = run_cli("f1")
+    assert result.returncode == 0
+    assert "Figure 1 semantics verified" in result.stdout
+
+
+def test_runs_multiple_experiments():
+    result = run_cli("f1", "e1")
+    assert result.returncode == 0
+    assert "E1: decision latency" in result.stdout

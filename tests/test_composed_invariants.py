@@ -1,0 +1,242 @@
+"""Fifteen state invariants of the composed specification automaton.
+
+The paper's Isabelle proof of the composition theorem rests on "15 state
+invariants about the composed automaton".  This file is the executable
+counterpart: fifteen invariants of ``Spec(1,2) ‖ Spec(2,3) ‖ clients``
+relating the two phases' states across the switch boundary, checked
+exhaustively over the reachable state space.  Together they are the
+glue of the refinement argument (hist monotonicity across the boundary,
+Sleep/Aborted bookkeeping, pending-input transfer, ...).
+"""
+
+import pytest
+
+from repro.core.actions import Switch
+from repro.core.sequences import is_prefix
+from repro.ioa import (
+    ABORTED,
+    PENDING,
+    READY,
+    SLEEP,
+    ClientEnvironment,
+    SpecAutomaton,
+    check_invariants,
+    compose_automata,
+)
+
+CLIENTS = ("c1", "c2")
+INPUTS = ("a", "b")
+
+
+@pytest.fixture(scope="module")
+def system():
+    spec12 = SpecAutomaton(1, 2, CLIENTS)
+    spec23 = SpecAutomaton(2, 3, CLIENTS)
+    env = ClientEnvironment(CLIENTS, INPUTS, m=1, budget=1)
+    return compose_automata(spec12, spec23, env)
+
+
+def s1(state):
+    return state[0]
+
+
+def s2(state):
+    return state[1]
+
+
+def env_state(state):
+    return state[2]
+
+
+# --- the fifteen invariants -------------------------------------------------
+
+
+def inv01_first_phase_always_initialized(state):
+    """I-1: a first phase (m=1) is initialized from the start."""
+    return s1(state).initialized
+
+
+def inv02_second_phase_inits_require_first_abort(state):
+    """I-2: the second phase only receives inits after the first aborted."""
+    return not s2(state).init_hists or s1(state).aborted
+
+
+def inv03_init_histories_extend_first_hist(state):
+    """I-3: every init history the second phase received extends the
+    first phase's (frozen) hist."""
+    return all(
+        is_prefix(s1(state).hist, h) for h in s2(state).init_hists
+    )
+
+
+def inv04_second_hist_extends_first_hist(state):
+    """I-4: once initialized, the second phase's hist extends the first's."""
+    if not s2(state).initialized:
+        return True
+    return is_prefix(s1(state).hist, s2(state).hist)
+
+
+def inv05_awake_in_2_means_aborted_in_1(state):
+    """I-5: a client active in phase 2 has aborted phase 1."""
+    for i, status in enumerate(s2(state).status):
+        if status != SLEEP and s1(state).status[i] != ABORTED:
+            return False
+    return True
+
+
+def inv06_aborted_in_1_means_awake_in_2(state):
+    """I-6: a client that aborted phase 1 has been handed to phase 2."""
+    for i, status in enumerate(s1(state).status):
+        if status == ABORTED and s2(state).status[i] == SLEEP:
+            return False
+    return True
+
+
+def inv07_pending_transfer(state):
+    """I-7: the pending input travels unchanged across the boundary.
+
+    Checked during the handoff window — while phase 2's hist still equals
+    the lcp of its init histories, i.e. before any A2 step.  After phase
+    2 serves the client, it may legitimately submit fresh inputs there.
+    """
+    from repro.core.sequences import longest_common_prefix
+
+    if not s2(state).initialized:
+        window = True
+    else:
+        window = s2(state).hist == longest_common_prefix(
+            s2(state).init_hists
+        )
+    if not window:
+        return True
+    for i, status in enumerate(s2(state).status):
+        if status == PENDING and s1(state).status[i] == ABORTED:
+            if s2(state).pending[i] != s1(state).pending[i]:
+                return False
+    return True
+
+
+def inv08_aborted_clients_imply_aborted_flag_1(state):
+    """I-8: per-client Aborted status implies the phase-1 aborted flag."""
+    if any(st == ABORTED for st in s1(state).status):
+        return s1(state).aborted
+    return True
+
+
+def inv09_aborted_clients_imply_aborted_flag_2(state):
+    """I-9: same for phase 2."""
+    if any(st == ABORTED for st in s2(state).status):
+        return s2(state).aborted
+    return True
+
+
+def inv10_second_initialized_implies_some_init(state):
+    """I-10: phase 2 initializes only from received init histories."""
+    if s2(state).initialized:
+        return len(s2(state).init_hists) >= 1
+    return True
+
+
+def inv11_ready_in_1_has_input_in_hist(state):
+    """I-11: a client served by phase 1 has its input inside hist1."""
+    for i, status in enumerate(s1(state).status):
+        if status == READY and s1(state).pending[i] is not None:
+            if s1(state).pending[i] not in s1(state).hist:
+                return False
+    return True
+
+
+def inv12_ready_in_2_has_input_in_hist(state):
+    """I-12: a client served by phase 2 has its input inside hist2."""
+    for i, status in enumerate(s2(state).status):
+        if status == READY and s2(state).pending[i] is not None:
+            if s2(state).pending[i] not in s2(state).hist:
+                return False
+    return True
+
+
+def inv13_hist2_initial_segment_is_lcp_extension(state):
+    """I-13: phase 2's hist extends the lcp of its received inits."""
+    if not s2(state).initialized or not s2(state).init_hists:
+        return True
+    from repro.core.sequences import longest_common_prefix
+
+    lcp = longest_common_prefix(s2(state).init_hists)
+    return is_prefix(lcp, s2(state).hist)
+
+
+def inv14_busy_env_matches_pending(state):
+    """I-14: a client the environment believes busy is pending in the
+    phase its tag points at (or mid-handoff)."""
+    for i, (busy, tag, used) in enumerate(env_state(state)):
+        if not busy:
+            continue
+        if tag == 1 and s1(state).status[i] in (PENDING, ABORTED):
+            continue
+        if tag == 2 and s2(state).status[i] in (SLEEP, PENDING):
+            continue
+        if tag == 3 and s2(state).status[i] == ABORTED:
+            # The client aborted out of the whole object; no later phase
+            # exists to serve it, so it stays busy forever.
+            continue
+        return False
+    return True
+
+
+def inv15_idle_env_matches_ready(state):
+    """I-15: a client the environment believes idle is Ready (or has
+    never acted) in the phase of its tag."""
+    for i, (busy, tag, used) in enumerate(env_state(state)):
+        if busy:
+            continue
+        if tag == 1 and s1(state).status[i] == READY:
+            continue
+        if tag == 2 and s2(state).status[i] == READY:
+            continue
+        return False
+    return True
+
+
+ALL_INVARIANTS = [
+    ("I-1 first initialized", inv01_first_phase_always_initialized),
+    ("I-2 inits after abort", inv02_second_phase_inits_require_first_abort),
+    ("I-3 inits extend hist1", inv03_init_histories_extend_first_hist),
+    ("I-4 hist2 extends hist1", inv04_second_hist_extends_first_hist),
+    ("I-5 awake2 => aborted1", inv05_awake_in_2_means_aborted_in_1),
+    ("I-6 aborted1 => awake2", inv06_aborted_in_1_means_awake_in_2),
+    ("I-7 pending transfer", inv07_pending_transfer),
+    ("I-8 aborted flag 1", inv08_aborted_clients_imply_aborted_flag_1),
+    ("I-9 aborted flag 2", inv09_aborted_clients_imply_aborted_flag_2),
+    ("I-10 init before hist2", inv10_second_initialized_implies_some_init),
+    ("I-11 served1 in hist1", inv11_ready_in_1_has_input_in_hist),
+    ("I-12 served2 in hist2", inv12_ready_in_2_has_input_in_hist),
+    ("I-13 hist2 extends lcp", inv13_hist2_initial_segment_is_lcp_extension),
+    ("I-14 busy env", inv14_busy_env_matches_pending),
+    ("I-15 idle env", inv15_idle_env_matches_ready),
+]
+
+
+def test_all_fifteen_invariants_hold(system):
+    explored, violations = check_invariants(system, ALL_INVARIANTS)
+    assert explored > 500
+    assert violations == [], [str(v) for v in violations]
+
+
+def test_invariant_checker_catches_a_false_invariant(system):
+    # Sanity: a deliberately wrong invariant is reported with a path.
+    explored, violations = check_invariants(
+        system,
+        [("bogus: phase 2 never initializes", lambda s: not s2(s).initialized)],
+    )
+    assert len(violations) == 1
+    assert violations[0].path  # a witness schedule was produced
+
+
+def test_invariants_on_larger_scope():
+    spec12 = SpecAutomaton(1, 2, ("c1",))
+    spec23 = SpecAutomaton(2, 3, ("c1",))
+    env = ClientEnvironment(("c1",), ("a", "b"), m=1, budget=2)
+    system = compose_automata(spec12, spec23, env)
+    explored, violations = check_invariants(system, ALL_INVARIANTS)
+    assert violations == [], [str(v) for v in violations]
+    assert explored > 100

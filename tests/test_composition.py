@@ -1,0 +1,199 @@
+"""Tests for the intra-object composition theorem (paper §5.6, App. C).
+
+The theorem is checked three ways:
+
+* on handcrafted composed traces covering fast-path, slow-path and mixed
+  executions;
+* on systematically enumerated interleavings of compatible phase traces;
+* on traces produced by the simulated Quorum+Backup and RCons+CASCons
+  deployments (in the substrate test files).
+"""
+
+import random
+
+import pytest
+
+from repro.core.actions import inv, res, swi
+from repro.core.adt import consensus_adt, decide, propose
+from repro.core.composition import (
+    check_composition_theorem,
+    check_theorem_2,
+    components_compatible,
+    decompose,
+    interleavings,
+    random_interleaving,
+    shared_actions,
+)
+from repro.core.speculative import consensus_rinit
+from repro.core.traces import Trace
+
+P, D = propose, decide
+CONS = consensus_adt()
+RIN = consensus_rinit(["v1", "v2"], max_extra=1)
+
+
+def fast_slow_trace():
+    """c1 decides in phase 1; c2 switches and decides in phase 2."""
+    return Trace(
+        [
+            inv("c1", 1, P("v1")),
+            inv("c2", 1, P("v2")),
+            res("c1", 1, P("v1"), D("v1")),
+            swi("c2", 2, P("v2"), "v1"),
+            res("c2", 2, P("v2"), D("v1")),
+        ]
+    )
+
+
+class TestDecomposition:
+    def test_shared_actions(self):
+        t = fast_slow_trace()
+        assert shared_actions(t, 2) == (swi("c2", 2, P("v2"), "v1"),)
+
+    def test_decompose_projections(self):
+        t = fast_slow_trace()
+        t12, t23 = decompose(t, 1, 2, 3)
+        assert swi("c2", 2, P("v2"), "v1") in t12.actions
+        assert swi("c2", 2, P("v2"), "v1") in t23.actions
+        assert res("c2", 2, P("v2"), D("v1")) in t23.actions
+        assert res("c2", 2, P("v2"), D("v1")) not in t12.actions
+
+    def test_components_compatible(self):
+        t = fast_slow_trace()
+        t12, t23 = decompose(t, 1, 2, 3)
+        assert components_compatible(t12, t23, 2)
+
+    def test_components_incompatible_on_disagreement(self):
+        t12 = Trace([inv("c", 1, P("v1")), swi("c", 2, P("v1"), "v1")])
+        t23 = Trace([swi("c", 2, P("v1"), "v2")])
+        assert not components_compatible(t12, t23, 2)
+
+
+class TestInterleavings:
+    def test_roundtrip_projections(self):
+        t = fast_slow_trace()
+        t12, t23 = decompose(t, 1, 2, 3)
+        merged = list(interleavings(t12, t23, 2))
+        assert merged, "at least one interleaving exists"
+        for candidate in merged:
+            a, b = decompose(candidate, 1, 2, 3)
+            assert a == t12
+            assert b == t23
+
+    def test_original_among_interleavings(self):
+        t = fast_slow_trace()
+        t12, t23 = decompose(t, 1, 2, 3)
+        assert t in set(interleavings(t12, t23, 2))
+
+    def test_limit(self):
+        t = fast_slow_trace()
+        t12, t23 = decompose(t, 1, 2, 3)
+        assert len(list(interleavings(t12, t23, 2, limit=1))) == 1
+
+    def test_incompatible_yields_nothing(self):
+        t12 = Trace([inv("c", 1, P("v1")), swi("c", 2, P("v1"), "v1")])
+        t23 = Trace([swi("c", 2, P("v1"), "v2")])
+        assert list(interleavings(t12, t23, 2)) == []
+
+    def test_random_interleaving_valid(self):
+        t = fast_slow_trace()
+        t12, t23 = decompose(t, 1, 2, 3)
+        rng = random.Random(0)
+        for _ in range(10):
+            candidate = random_interleaving(t12, t23, 2, rng)
+            assert candidate is not None
+            a, b = decompose(candidate, 1, 2, 3)
+            assert a == t12 and b == t23
+
+
+class TestCompositionTheorem:
+    def test_fast_slow_composition(self):
+        ok, why = check_composition_theorem(fast_slow_trace(), 1, 2, 3, CONS, RIN)
+        assert ok, why
+        assert "composition is SLin" in why
+
+    def test_pure_fast_path(self):
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                res("c1", 1, P("v1"), D("v1")),
+                inv("c2", 1, P("v2")),
+                res("c2", 1, P("v2"), D("v1")),
+            ]
+        )
+        ok, why = check_composition_theorem(t, 1, 2, 3, CONS, RIN)
+        assert ok and "composition is SLin" in why
+
+    def test_pure_slow_path(self):
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                swi("c1", 2, P("v1"), "v1"),
+                swi("c2", 2, P("v2"), "v2"),
+                res("c1", 2, P("v1"), D("v1")),
+                res("c2", 2, P("v2"), D("v1")),
+            ]
+        )
+        ok, why = check_composition_theorem(t, 1, 2, 3, CONS, RIN)
+        assert ok and "composition is SLin" in why
+
+    def test_premise_failure_reported(self):
+        # Phase 1 decides two different values: its projection is not
+        # SLin(1,2), so the implication is vacuous.
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                res("c1", 1, P("v1"), D("v1")),
+                res("c2", 1, P("v2"), D("v2")),
+            ]
+        )
+        ok, why = check_composition_theorem(t, 1, 2, 3, CONS, RIN)
+        assert ok and "premise fails" in why
+
+    def test_theorem_over_all_interleavings(self):
+        t = fast_slow_trace()
+        t12, t23 = decompose(t, 1, 2, 3)
+        for candidate in interleavings(t12, t23, 2):
+            ok, why = check_composition_theorem(candidate, 1, 2, 3, CONS, RIN)
+            assert ok, (why, candidate.actions)
+
+    def test_theorem_on_double_switch(self):
+        # Both clients switch, second phase serves both.
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                swi("c1", 2, P("v1"), "v1"),
+                inv("c2", 1, P("v2")),
+                swi("c2", 2, P("v2"), "v1"),
+                res("c2", 2, P("v2"), D("v1")),
+                res("c1", 2, P("v1"), D("v1")),
+            ]
+        )
+        ok, why = check_composition_theorem(t, 1, 2, 3, CONS, RIN)
+        assert ok, why
+
+
+class TestTheorem2:
+    def test_fast_slow(self):
+        ok, why = check_theorem_2(fast_slow_trace(), 3, CONS, RIN)
+        assert ok and "linearizable" in why
+
+    def test_vacuous_when_not_slin(self):
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                res("c1", 1, P("v1"), D("v2")),
+            ]
+        )
+        ok, why = check_theorem_2(t, 2, CONS, RIN)
+        assert ok and "premise fails" in why
+
+    def test_projection_drops_switches(self):
+        from repro.core.traces import strip_phase_tags
+
+        t = fast_slow_trace()
+        projected = strip_phase_tags(t)
+        assert all(a.phase == 1 for a in projected)
+        assert len(projected) == 4

@@ -1,0 +1,153 @@
+"""Exhaustive small-scope validation of the theorems at trace level.
+
+The most adversarial inputs the theorems can face: *every* well-formed
+trace over a tiny universe, not just algorithm-generated ones.  A single
+composed trace whose phase projections satisfy SLin while the whole does
+not would falsify Theorem 5.
+"""
+
+import pytest
+
+from repro.core.adt import consensus_adt
+from repro.core.composition import check_composition_theorem, check_theorem_2
+from repro.core.enumeration import (
+    count_traces,
+    enumerate_composed_consensus_traces,
+    enumerate_consensus_phase_traces,
+    enumerate_phase_traces,
+)
+from repro.core.speculative import consensus_rinit, is_speculatively_linearizable
+from repro.core.traces import is_phase_wellformed
+
+CONS = consensus_adt()
+
+
+class TestEnumerationMechanics:
+    def test_all_enumerated_traces_are_wellformed(self):
+        for trace in enumerate_consensus_phase_traces(
+            1, 2, ["c1", "c2"], ["a"], max_len=4
+        ):
+            assert is_phase_wellformed(trace, 1, 2), trace.actions
+
+    def test_later_phase_traces_start_with_init(self):
+        for trace in enumerate_consensus_phase_traces(
+            2, 3, ["c1"], ["a"], max_len=3
+        ):
+            assert is_phase_wellformed(trace, 2, 3), trace.actions
+            if len(trace):
+                first = trace[0]
+                assert first.phase == 2
+
+    def test_prefix_closed(self):
+        traces = set(
+            t.actions
+            for t in enumerate_consensus_phase_traces(
+                1, 2, ["c1"], ["a"], max_len=3
+            )
+        )
+        for actions in traces:
+            for k in range(len(actions)):
+                assert actions[:k] in traces
+
+    def test_counts_grow_with_scope(self):
+        small = count_traces(
+            enumerate_consensus_phase_traces(1, 2, ["c1"], ["a"], max_len=3)
+        )
+        large = count_traces(
+            enumerate_consensus_phase_traces(
+                1, 2, ["c1", "c2"], ["a", "b"], max_len=3
+            )
+        )
+        assert 0 < small < large
+
+    def test_ops_per_client_bound(self):
+        for trace in enumerate_consensus_phase_traces(
+            1, 2, ["c1"], ["a"], max_len=6, max_ops_per_client=1
+        ):
+            invocations = [a for a in trace if a.phase == 1 and
+                           type(a).__name__ == "Invocation"]
+            assert len(invocations) <= 1
+
+
+class TestExhaustiveTheorem5:
+    """Theorem 5 over every composed trace of a 2-client/1-value scope
+    (length <= 5) and a 1-client/2-value scope (length <= 4)."""
+
+    def _sweep(self, clients, values, max_len):
+        rinit = consensus_rinit(values, max_extra=1)
+        checked = held = vacuous = 0
+        falsified = []
+        for trace in enumerate_composed_consensus_traces(
+            clients, values, max_len
+        ):
+            checked += 1
+            ok, why = check_composition_theorem(trace, 1, 2, 3, CONS, rinit)
+            if not ok:
+                falsified.append(trace.actions)
+            elif "premise fails" in why:
+                vacuous += 1
+            else:
+                held += 1
+        return checked, held, vacuous, falsified
+
+    def test_two_clients_two_values(self):
+        # 3357 traces; before the operation-spanning fix to the
+        # Real-Time Order pairing this sweep found 8 counterexamples.
+        checked, held, vacuous, falsified = self._sweep(
+            ["c1", "c2"], ["a", "b"], max_len=5
+        )
+        assert falsified == [], falsified[:3]
+        assert checked > 3000
+        assert held > 500
+        assert vacuous > 500  # the sweep includes broken traces
+
+    def test_two_clients_one_value(self):
+        checked, held, vacuous, falsified = self._sweep(
+            ["c1", "c2"], ["a"], max_len=5
+        )
+        assert falsified == [], falsified[:3]
+        assert checked > 100
+        assert held > 100
+
+    def test_one_client_two_values(self):
+        checked, held, vacuous, falsified = self._sweep(
+            ["c1"], ["a", "b"], max_len=4
+        )
+        assert falsified == [], falsified[:3]
+        assert checked >= 27
+        assert held > 10
+
+
+class TestExhaustiveTheorem2:
+    def test_projection_linearizable_on_scope(self):
+        values = ["a"]
+        rinit = consensus_rinit(values, max_extra=1)
+        falsified = []
+        held = 0
+        for trace in enumerate_composed_consensus_traces(
+            ["c1", "c2"], values, max_len=4
+        ):
+            ok, why = check_theorem_2(trace, 3, CONS, rinit)
+            if not ok:
+                falsified.append(trace.actions)
+            elif "linearizable" in why:
+                held += 1
+        assert falsified == [], falsified[:3]
+        assert held > 50
+
+
+class TestExhaustiveSLinSanity:
+    def test_slin_accepts_and_rejects_on_scope(self):
+        # The checker must be non-trivial on the enumerated space.
+        values = ["a", "b"]
+        rinit = consensus_rinit(values, max_extra=1)
+        accepted = rejected = 0
+        for trace in enumerate_consensus_phase_traces(
+            1, 2, ["c1", "c2"], values, max_len=4
+        ):
+            if is_speculatively_linearizable(trace, 1, 2, CONS, rinit):
+                accepted += 1
+            else:
+                rejected += 1
+        assert accepted > 50
+        assert rejected > 50

@@ -1,0 +1,212 @@
+"""Theorem 1: the new definition of linearizability vs the classical one.
+
+The paper proves the definitions equivalent, while also noting that other
+definitions "assume more or less explicitly that all inputs submitted are
+unique" and that the new one "coincides with the other definitions on
+traces satisfying the assumption".  The tests below map the boundary
+precisely:
+
+* classical  =>  new holds unconditionally (a classical witness induces a
+  linearization function);
+* the converse holds on traces with unique inputs — and empirically on
+  ADTs whose outputs are insensitive to which duplicate fills a history
+  slot (consensus, registers, queues over our input pools);
+* with repeated inputs on an *order-sensitive* ADT (the fetch-and-add
+  counter) the new definition is strictly coarser: multiset validity
+  cannot attribute which of two identical invocations occupies a slot,
+  so a real-time edge can be laundered through a duplicate.  The exact
+  counterexample is pinned below.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adt import (
+    consensus_adt,
+    counter_adt,
+    inc,
+    propose,
+    queue_adt,
+    enq,
+    deq,
+    reg_read,
+    reg_write,
+    register_adt,
+)
+from repro.core.classical import is_linearizable_classical
+from repro.core.linearizability import is_linearizable
+
+from helpers import random_wellformed_trace
+
+# Families on which the two checkers agree (outputs insensitive to which
+# duplicate input occupies a slot, or inputs effectively unique).  Seeds
+# are fixed integers: the sweeps are fully deterministic.
+ADT_CASES = [
+    ("consensus", consensus_adt(), [propose("a"), propose("b")], 1001),
+    (
+        "register",
+        register_adt(),
+        [reg_read(), reg_write(1), reg_write(2)],
+        1002,
+    ),
+    ("queue", queue_adt(), [enq(1), enq(2), deq()], 1003),
+    ("counter-unique", counter_adt(), [inc(1), inc(2), inc(4)], 1004),
+]
+
+ALL_CASES = ADT_CASES + [
+    ("counter-dup", counter_adt(), [inc(), inc(2)], 1005),
+]
+
+
+@pytest.mark.parametrize("name,adt,inputs,seed", ADT_CASES)
+def test_equivalence_on_random_traces(name, adt, inputs, seed):
+    """Both checkers agree on 150 random traces per family (Theorem 1)."""
+    rng = random.Random(seed)
+    disagreements = []
+    for i in range(150):
+        t = random_wellformed_trace(
+            rng, adt, inputs, n_clients=3, n_steps=rng.randrange(2, 9)
+        )
+        new = is_linearizable(t, adt)
+        classical = is_linearizable_classical(t, adt)
+        if new != classical:
+            disagreements.append((i, t.actions, new, classical))
+    assert not disagreements, disagreements[:2]
+
+
+@pytest.mark.parametrize("name,adt,inputs,seed", ADT_CASES)
+def test_equivalence_with_pending_invocations(name, adt, inputs, seed):
+    """Agreement also on traces with pending invocations."""
+    rng = random.Random(seed + 7)
+    for i in range(80):
+        t = random_wellformed_trace(
+            rng, adt, inputs, n_clients=4, n_steps=7
+        )
+        assert is_linearizable(t, adt) == is_linearizable_classical(t, adt)
+
+
+@pytest.mark.parametrize("name,adt,inputs,seed", ALL_CASES)
+def test_classical_implies_new_unconditionally(name, adt, inputs, seed):
+    """One direction of Theorem 1 holds on *every* family, duplicates
+    included: a classical witness always yields a linearization
+    function."""
+    rng = random.Random(seed + 13)
+    for i in range(120):
+        t = random_wellformed_trace(
+            rng, adt, inputs, n_clients=3, n_steps=rng.randrange(2, 9)
+        )
+        if is_linearizable_classical(t, adt):
+            assert is_linearizable(t, adt), t.actions
+
+
+def test_duplicate_inputs_on_order_sensitive_adt_diverge():
+    """The boundary of Theorem 1 (anticipated by §4.3's uniqueness
+    remark): with two identical fetch-and-add invocations, the new
+    definition accepts a trace the classical one rejects — c0's
+    increment is invoked *after* c2's response, yet the multiset
+    accounting lets an identical earlier increment stand in for it."""
+    from repro.core.actions import inv, res
+    from repro.core.traces import Trace
+
+    adt = counter_adt()
+    t = Trace(
+        [
+            inv("c2", 1, inc()),
+            inv("c1", 1, inc()),
+            res("c2", 1, inc(), ("count", 1)),
+            inv("c0", 1, inc()),
+            res("c1", 1, inc(), ("count", 2)),
+        ]
+    )
+    assert not is_linearizable_classical(t, adt)
+    assert is_linearizable(t, adt)  # the documented divergence
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(0, 2**30),
+    st.integers(2, 4),
+    st.integers(2, 8),
+)
+def test_equivalence_hypothesis_consensus(seed, n_clients, n_steps):
+    """Hypothesis-driven Theorem 1 check on the consensus ADT."""
+    adt = consensus_adt()
+    rng = random.Random(seed)
+    t = random_wellformed_trace(
+        rng,
+        adt,
+        [propose("a"), propose("b"), propose("c")],
+        n_clients=n_clients,
+        n_steps=n_steps,
+    )
+    assert is_linearizable(t, adt) == is_linearizable_classical(t, adt)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**30), st.integers(2, 8))
+def test_equivalence_hypothesis_register(seed, n_steps):
+    """Hypothesis-driven Theorem 1 check on the register ADT."""
+    adt = register_adt()
+    rng = random.Random(seed)
+    t = random_wellformed_trace(
+        rng,
+        adt,
+        [reg_read(), reg_write(1), reg_write(2)],
+        n_clients=3,
+        n_steps=n_steps,
+    )
+    assert is_linearizable(t, adt) == is_linearizable_classical(t, adt)
+
+
+def test_equivalence_on_repeated_inputs():
+    """The new definition handles repeated events; both checkers must
+    still coincide when every client proposes the same value."""
+    adt = consensus_adt()
+    rng = random.Random(99)
+    for _ in range(60):
+        t = random_wellformed_trace(
+            rng, adt, [propose("same")], n_clients=3, n_steps=6
+        )
+        assert is_linearizable(t, adt) == is_linearizable_classical(t, adt)
+
+
+def test_realtime_counterexample_to_unrepaired_definition():
+    """The trace that separates the paper's literal Definition 6 from the
+    classical definition: a read invoked after a completed write cannot
+    return the pre-write value.  Both checkers must reject it (the new
+    checker only does so thanks to the Real-Time Order repair)."""
+    from repro.core.actions import inv, res
+    from repro.core.traces import Trace
+
+    adt = register_adt()
+    t = Trace(
+        [
+            inv("w", 1, reg_write(2)),
+            res("w", 1, reg_write(2), ("ok",)),
+            inv("r", 1, reg_read()),
+            res("r", 1, reg_read(), ("value", None)),
+        ]
+    )
+    assert not is_linearizable_classical(t, adt)
+    assert not is_linearizable(t, adt)
+
+
+def test_realtime_repair_does_not_reject_overlapping_ops():
+    """Out-of-order commits of *overlapping* operations stay legal."""
+    from repro.core.actions import inv, res
+    from repro.core.traces import Trace
+
+    adt = register_adt()
+    t = Trace(
+        [
+            inv("w", 1, reg_write(1)),
+            inv("r", 1, reg_read()),
+            res("w", 1, reg_write(1), ("ok",)),
+            res("r", 1, reg_read(), ("value", None)),
+        ]
+    )
+    assert is_linearizable(t, adt)
+    assert is_linearizable_classical(t, adt)

@@ -1,0 +1,49 @@
+"""Every example script must run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "mp_consensus.py",
+    "sm_consensus.py",
+    "smr_kv_store.py",
+    "lock_service.py",
+    "custom_phase.py",
+]
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "examples", script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=ROOT,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should narrate their checks"
+
+
+def test_unsafe_phase_is_caught():
+    """The custom-phase example's point: the framework rejects the
+    unsafe timeout rule on the adversarial schedule."""
+    result = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "examples", "custom_phase.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=ROOT,
+    )
+    out = result.stdout
+    unsafe_section = out.split("UNSAFE rule")[1].split("--- fixed rule")[0]
+    assert "SLin(1,2): False" in unsafe_section
+    assert "invariants I1-I3: False" in unsafe_section
+    fixed_section = out.split("--- fixed rule")[1]
+    assert "SLin(1,2): True" in fixed_section

@@ -1,0 +1,303 @@
+"""Tests for the invariants I1-I5 and the constructive proofs (§2.4/2.5)."""
+
+import pytest
+
+from repro.core.actions import inv, res, swi
+from repro.core.adt import consensus_adt, decide, propose
+from repro.core.invariants import (
+    check_first_phase_invariants,
+    check_i1,
+    check_i2,
+    check_i3,
+    check_i4,
+    check_i5,
+    check_second_phase_invariants,
+    first_phase_commit_histories,
+    first_phase_witness_history,
+    second_phase_decision_consistent,
+)
+from repro.core.linearizability import check_linearization_function
+from repro.core.speculative import consensus_rinit, is_speculatively_linearizable
+from repro.core.traces import Trace
+
+P, D = propose, decide
+CONS = consensus_adt()
+RIN = consensus_rinit(["v1", "v2", "v3"], max_extra=1)
+
+
+class TestI1:
+    def test_holds_without_decisions(self):
+        t = Trace([inv("c", 1, P("v1")), swi("c", 2, P("v1"), "v1")])
+        assert check_i1(t, 2).ok
+
+    def test_holds_when_switches_match(self):
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                res("c1", 1, P("v1"), D("v1")),
+                swi("c2", 2, P("v2"), "v1"),
+            ]
+        )
+        assert check_i1(t, 2).ok
+
+    def test_detects_conflicting_switch(self):
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                res("c1", 1, P("v1"), D("v1")),
+                swi("c2", 2, P("v2"), "v2"),
+            ]
+        )
+        report = check_i1(t, 2)
+        assert not report.ok and "switched" in report.detail
+
+    def test_switch_before_decision_also_constrained(self):
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                swi("c2", 2, P("v2"), "v2"),
+                res("c1", 1, P("v1"), D("v1")),
+            ]
+        )
+        assert not check_i1(t, 2).ok
+
+
+class TestI2:
+    def test_uniform_decisions(self):
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                res("c1", 1, P("v1"), D("v1")),
+                res("c2", 1, P("v2"), D("v1")),
+            ]
+        )
+        assert check_i2(t).ok
+
+    def test_split_decisions(self):
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                res("c1", 1, P("v1"), D("v1")),
+                res("c2", 1, P("v2"), D("v2")),
+            ]
+        )
+        assert not check_i2(t).ok
+
+
+class TestI3:
+    def test_decided_value_proposed_before(self):
+        t = Trace([inv("c", 1, P("v1")), res("c", 1, P("v1"), D("v1"))])
+        assert check_i3(t, 2).ok
+
+    def test_unproposed_decision(self):
+        t = Trace([inv("c", 1, P("v1")), res("c", 1, P("v1"), D("v9"))])
+        assert not check_i3(t, 2).ok
+
+    def test_unproposed_switch_value(self):
+        t = Trace([inv("c", 1, P("v1")), swi("c", 2, P("v1"), "v9")])
+        assert not check_i3(t, 2).ok
+
+    def test_proposal_must_precede_event(self):
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                res("c1", 1, P("v1"), D("v2")),
+                inv("c2", 1, P("v2")),
+            ]
+        )
+        assert not check_i3(t, 2).ok
+
+
+class TestI4I5:
+    def test_i4_uniform(self):
+        t = Trace(
+            [
+                swi("c1", 2, P("v1"), "v1"),
+                res("c1", 2, P("v1"), D("v1")),
+            ]
+        )
+        assert check_i4(t).ok
+
+    def test_i5_requires_submitted_switch_value(self):
+        good = Trace(
+            [
+                swi("c1", 2, P("v2"), "v1"),
+                res("c1", 2, P("v2"), D("v1")),
+            ]
+        )
+        bad = Trace(
+            [
+                swi("c1", 2, P("v2"), "v1"),
+                res("c1", 2, P("v2"), D("v2")),
+            ]
+        )
+        assert check_i5(good, 2).ok
+        assert not check_i5(bad, 2).ok
+
+    def test_i5_ordering_matters(self):
+        # The decision must match a switch value submitted *before* it.
+        t = Trace(
+            [
+                swi("c1", 2, P("v1"), "v1"),
+                res("c1", 2, P("v1"), D("v2")),
+                swi("c2", 2, P("v2"), "v2"),
+            ]
+        )
+        assert not check_i5(t, 2).ok
+
+    def test_bundles(self):
+        t = Trace(
+            [
+                swi("c1", 2, P("v2"), "v1"),
+                res("c1", 2, P("v2"), D("v1")),
+            ]
+        )
+        assert all(r.ok for r in check_second_phase_invariants(t, 2))
+
+    def test_decision_consistency_helper(self):
+        t = Trace(
+            [
+                swi("c1", 2, P("v2"), "v1"),
+                res("c1", 2, P("v2"), D("v1")),
+            ]
+        )
+        assert second_phase_decision_consistent(t, 2)
+
+
+class TestInvariantsImplySLin:
+    """The paper's §2.4 argument: I1-I3 imply first-phase speculative
+    linearizability and I4-I5 imply second-phase speculative
+    linearizability — checked on families of traces that satisfy the
+    invariants."""
+
+    FIRST_PHASE_TRACES = [
+        # all decide
+        Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                res("c1", 1, P("v1"), D("v1")),
+                res("c2", 1, P("v2"), D("v1")),
+            ]
+        ),
+        # decide then switch with the decided value
+        Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                res("c1", 1, P("v1"), D("v1")),
+                swi("c2", 2, P("v2"), "v1"),
+            ]
+        ),
+        # switch before the decision
+        Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                swi("c2", 2, P("v2"), "v1"),
+                res("c1", 1, P("v1"), D("v1")),
+            ]
+        ),
+        # nobody decides
+        Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                swi("c1", 2, P("v1"), "v1"),
+                swi("c2", 2, P("v2"), "v2"),
+            ]
+        ),
+        # three clients, two switch
+        Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                inv("c3", 1, P("v3")),
+                res("c1", 1, P("v1"), D("v1")),
+                swi("c2", 2, P("v2"), "v1"),
+                swi("c3", 2, P("v3"), "v1"),
+            ]
+        ),
+    ]
+
+    @pytest.mark.parametrize("t", FIRST_PHASE_TRACES)
+    def test_first_phase(self, t):
+        reports = check_first_phase_invariants(t, 2)
+        assert all(r.ok for r in reports)
+        assert is_speculatively_linearizable(t, 1, 2, CONS, RIN)
+
+    SECOND_PHASE_TRACES = [
+        Trace(
+            [
+                swi("c1", 2, P("v2"), "v1"),
+                res("c1", 2, P("v2"), D("v1")),
+            ]
+        ),
+        Trace(
+            [
+                swi("c1", 2, P("v1"), "v1"),
+                swi("c2", 2, P("v2"), "v2"),
+                res("c1", 2, P("v1"), D("v2")),
+                res("c2", 2, P("v2"), D("v2")),
+            ]
+        ),
+    ]
+
+    @pytest.mark.parametrize("t", SECOND_PHASE_TRACES)
+    def test_second_phase(self, t):
+        reports = check_second_phase_invariants(t, 2)
+        assert all(r.ok for r in reports)
+        assert is_speculatively_linearizable(t, 2, 3, CONS, RIN)
+
+
+class TestConstructiveWitness:
+    def test_witness_history_shape(self):
+        # "h starts with winner's proposal and the rest are the proposals
+        # of the deciding clients other than the winner."
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                res("c1", 1, P("v1"), D("v1")),
+                res("c2", 1, P("v2"), D("v1")),
+            ]
+        )
+        h = first_phase_witness_history(t)
+        assert h == (P("v1"), P("v2"))
+
+    def test_witness_history_empty_without_decisions(self):
+        t = Trace([inv("c1", 1, P("v1"))])
+        assert first_phase_witness_history(t) == ()
+
+    def test_commit_histories_validate(self):
+        # The constructed commit histories are a genuine linearization
+        # function (the executable form of the paper's proof).
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                res("c1", 1, P("v1"), D("v1")),
+                res("c2", 1, P("v2"), D("v1")),
+            ]
+        )
+        g = first_phase_commit_histories(t)
+        assert check_linearization_function(t, g, CONS).ok
+
+    def test_commit_histories_with_nonwinner_first_decider(self):
+        # c2 decides first but the winner is c1 (proposed the decided
+        # value).
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                inv("c2", 1, P("v2")),
+                res("c2", 1, P("v2"), D("v1")),
+                res("c1", 1, P("v1"), D("v1")),
+            ]
+        )
+        g = first_phase_commit_histories(t)
+        assert check_linearization_function(t, g, CONS).ok

@@ -1,0 +1,201 @@
+"""Locality: a system of linearizable objects is linearizable (§4.3).
+
+"Property 2 makes linearizability a local property. In other words, a
+system composed of linearizable objects is itself linearizable."  This is
+the *inter-object* composition that the paper's *intra-object* theorem
+complements — checked here with product ADTs over random per-object
+linearizable traces, and end-to-end with two independent shared-memory
+consensus objects living in one memory.
+"""
+
+import random
+
+import pytest
+
+from repro.core.actions import Invocation, Response, inv, res
+from repro.core.adt import (
+    consensus_adt,
+    decide,
+    product_adt,
+    propose,
+    queue_adt,
+    enq,
+    deq,
+    register_adt,
+    reg_read,
+    reg_write,
+    tag_object,
+)
+from repro.core.linearizability import is_linearizable
+from repro.core.traces import Trace
+
+import sys, os
+sys.path.insert(0, os.path.dirname(__file__))
+from helpers import random_linearizable_trace, random_wellformed_trace
+
+
+def tag_trace(name, trace):
+    """Lift a single-object trace into the product alphabet."""
+    actions = []
+    for action in trace:
+        if isinstance(action, Invocation):
+            actions.append(
+                Invocation(action.client, 1, tag_object(name, action.input))
+            )
+        else:
+            actions.append(
+                Response(
+                    action.client,
+                    1,
+                    tag_object(name, action.input),
+                    tag_object(name, action.output),
+                )
+            )
+    return list(actions)
+
+
+def interleave(rng, *sequences):
+    """Random order-preserving merge of several action lists."""
+    pools = [list(s) for s in sequences]
+    merged = []
+    while any(pools):
+        candidates = [i for i, pool in enumerate(pools) if pool]
+        pick = rng.choice(candidates)
+        merged.append(pools[pick].pop(0))
+    return Trace(merged)
+
+
+class TestProductADT:
+    def test_components_independent(self):
+        adt = product_adt({"A": consensus_adt(), "B": register_adt()})
+        history = (
+            tag_object("A", propose("x")),
+            tag_object("B", reg_write(5)),
+            tag_object("B", reg_read()),
+        )
+        assert adt.output(history) == ("B", ("value", 5))
+        assert adt.output(history[:1]) == ("A", decide("x"))
+
+    def test_validation(self):
+        adt = product_adt({"A": consensus_adt()})
+        assert adt.is_input(tag_object("A", propose("x")))
+        assert not adt.is_input(tag_object("Z", propose("x")))
+        assert not adt.is_input(propose("x"))
+        assert adt.is_output(("A", decide("x")))
+
+
+class TestLocalityTheorem:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_interleaving_of_linearizable_objects_is_linearizable(self, seed):
+        # Distinct client namespaces per object: each client is
+        # sequential, so the merged trace stays well-formed.
+        rng = random.Random(seed)
+        t_a = random_linearizable_trace(
+            rng,
+            consensus_adt(),
+            [propose("x"), propose("y")],
+            n_clients=2,
+            n_steps=4,
+        )
+        t_b = random_linearizable_trace(
+            rng,
+            queue_adt(),
+            [enq(1), deq()],
+            n_clients=2,
+            n_steps=4,
+        )
+        t_b = Trace(
+            [
+                type(a)(*(("q-" + a.client,) + tuple(
+                    getattr(a, f) for f in ("phase", "input", "output")
+                    if hasattr(a, f)
+                )))
+                for a in t_b
+            ]
+        )
+        combined = interleave(
+            rng, tag_trace("A", t_a), tag_trace("B", t_b)
+        )
+        product = product_adt({"A": consensus_adt(), "B": queue_adt()})
+        assert is_linearizable(combined, product), combined.actions
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_one_bad_object_breaks_the_system(self, seed):
+        # If a component's projection is non-linearizable, so is the
+        # whole (the contrapositive of locality).
+        rng = random.Random(seed + 100)
+        bad = Trace(
+            [
+                inv("c1", 1, propose("x")),
+                res("c1", 1, propose("x"), decide("y")),  # invalid decide
+                inv("c2", 1, propose("y")),
+                res("c2", 1, propose("y"), decide("y")),
+            ]
+        )
+        good = random_linearizable_trace(
+            rng,
+            register_adt(),
+            [reg_read(), reg_write(1)],
+            n_clients=2,
+            n_steps=4,
+        )
+        good = Trace(
+            [
+                type(a)(*(("r-" + a.client,) + tuple(
+                    getattr(a, f) for f in ("phase", "input", "output")
+                    if hasattr(a, f)
+                )))
+                for a in good
+            ]
+        )
+        combined = interleave(
+            rng, tag_trace("A", bad), tag_trace("B", good)
+        )
+        product = product_adt({"A": consensus_adt(), "B": register_adt()})
+        assert not is_linearizable(combined, product)
+
+
+class TestTwoObjectsOneMemory:
+    def test_two_shared_memory_consensus_objects(self):
+        """Two namespaced RCons+CASCons objects in one shared memory:
+        each object agrees independently; the combined client-level trace
+        is linearizable against the product ADT."""
+        from repro.core.recording import TraceRecorder
+        from repro.sm.cascons import cascons_switch_program
+        from repro.sm.memory import SharedMemory
+        from repro.sm.rcons import rcons_program
+        from repro.sm.scheduler import InterleavingScheduler
+
+        for seed in range(8):
+            memory = SharedMemory()
+            recorder = TraceRecorder(enforce=False)
+            results = {}
+
+            def client(obj, c, v):
+                recorder.invoke(c, 1, tag_object(obj, propose(v)))
+                kind, out = yield from rcons_program(c, v, prefix=obj)
+                if kind == "switch":
+                    kind, out = yield from cascons_switch_program(
+                        out, prefix=obj + "-cas"
+                    )
+                results[(obj, c)] = out
+                recorder.respond(
+                    c, 1, tag_object(obj, propose(v)),
+                    tag_object(obj, decide(out)),
+                )
+
+            programs = {
+                "a1": client("A", "a1", "v1"),
+                "a2": client("A", "a2", "v2"),
+                "b1": client("B", "b1", "w1"),
+                "b2": client("B", "b2", "w2"),
+            }
+            scheduler = InterleavingScheduler(memory, programs)
+            scheduler.run_random(random.Random(seed))
+
+            assert results[("A", "a1")] == results[("A", "a2")]
+            assert results[("B", "b1")] == results[("B", "b2")]
+            product = product_adt(
+                {"A": consensus_adt(), "B": consensus_adt()}
+            )
+            assert is_linearizable(recorder.trace(), product), seed

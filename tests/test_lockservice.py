@@ -1,0 +1,127 @@
+"""Tests for the Chubby-style lock service (the paper's motivating app)."""
+
+import pytest
+
+from repro.core.linearizability import is_linearizable
+from repro.smr.lockservice import (
+    LockService,
+    acquire,
+    holder,
+    lock_table_adt,
+    release,
+)
+
+
+def jitter(rng):
+    return rng.uniform(0.5, 1.5)
+
+
+class TestLockTableADT:
+    def test_acquire_free_lock(self):
+        adt = lock_table_adt()
+        assert adt.output((acquire("L", "alice"),)) == ("granted", True)
+
+    def test_acquire_held_lock_denied(self):
+        adt = lock_table_adt()
+        history = (acquire("L", "alice"), acquire("L", "bob"))
+        assert adt.output(history) == ("granted", False)
+
+    def test_release_by_holder(self):
+        adt = lock_table_adt()
+        history = (acquire("L", "alice"), release("L", "alice"))
+        assert adt.output(history) == ("released", True)
+
+    def test_release_by_stranger_denied(self):
+        adt = lock_table_adt()
+        history = (acquire("L", "alice"), release("L", "bob"))
+        assert adt.output(history) == ("released", False)
+
+    def test_reacquire_after_release(self):
+        adt = lock_table_adt()
+        history = (
+            acquire("L", "alice"),
+            release("L", "alice"),
+            acquire("L", "bob"),
+        )
+        assert adt.output(history) == ("granted", True)
+
+    def test_holder_query(self):
+        adt = lock_table_adt()
+        assert adt.output((acquire("L", "a"), holder("L"))) == ("holder", "a")
+        assert adt.output((holder("M"),)) == ("holder", None)
+
+    def test_independent_locks(self):
+        adt = lock_table_adt()
+        history = (acquire("L1", "a"), acquire("L2", "b"))
+        assert adt.output(history) == ("granted", True)
+
+    def test_validation(self):
+        adt = lock_table_adt()
+        assert adt.is_input(acquire("L", "a"))
+        assert not adt.is_input(("acquire", "L"))
+        assert adt.is_output(("granted", True))
+
+
+class TestLockService:
+    def test_sequential_handoff(self):
+        svc = LockService(n_servers=3, seed=0)
+        svc.acquire("alice", "L", at=0.0)
+        svc.acquire("bob", "L", at=10.0)      # denied: alice holds it
+        svc.release("alice", "L", at=20.0)
+        svc.acquire("bob", "L", at=30.0)      # now granted
+        svc.run()
+        responses = [r.response for r in svc.results]
+        assert responses == [
+            ("granted", True),
+            ("granted", False),
+            ("released", True),
+            ("granted", True),
+        ]
+        assert svc.table() == {"L": "bob"}
+
+    def test_concurrent_race_exactly_one_winner(self):
+        for seed in range(6):
+            svc = LockService(n_servers=3, seed=seed, delay=jitter)
+            for name in ("alice", "bob", "carol"):
+                svc.acquire(name, "L", at=0.0)
+            svc.run(until=2000.0)
+            grants = [
+                r for r in svc.results if r.response == ("granted", True)
+            ]
+            assert len(grants) == 1, seed
+            assert svc.mutual_exclusion_holds()
+
+    def test_interface_trace_linearizable(self):
+        svc = LockService(n_servers=3, seed=2, delay=jitter)
+        svc.acquire("alice", "L", at=0.0)
+        svc.acquire("bob", "L", at=0.0)
+        svc.holder_of("carol", "L", at=0.5)
+        svc.run(until=2000.0)
+        assert is_linearizable(svc.interface_trace(), lock_table_adt())
+
+    def test_per_client_operations_serialized(self):
+        svc = LockService(n_servers=3, seed=0)
+        svc.acquire("alice", "L", at=0.0)
+        svc.release("alice", "L", at=0.0)  # queued behind the acquire
+        svc.run()
+        assert [r.response for r in svc.results] == [
+            ("granted", True),
+            ("released", True),
+        ]
+        assert svc.table() == {}
+
+    def test_crash_tolerance(self):
+        svc = LockService(n_servers=3, seed=1)
+        svc.smr.crash_server(0, at=0.0)
+        svc.acquire("alice", "L", at=1.0)
+        svc.run()
+        assert svc.results[0].response == ("granted", True)
+        assert svc.results[0].outcome.path == "slow"
+
+    def test_mutual_exclusion_under_load(self):
+        svc = LockService(n_servers=3, seed=4, delay=jitter)
+        for i, name in enumerate(("a", "b", "c", "d")):
+            svc.acquire(name, "L", at=0.2 * i)
+        svc.release("a", "L", at=30.0)  # only matters if a won
+        svc.run(until=3000.0)
+        assert svc.mutual_exclusion_holds()

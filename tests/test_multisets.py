@@ -1,0 +1,140 @@
+"""Unit and property tests for multisets (paper Section 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.multisets import Multiset, elems, sum_all, union_all
+
+bags = st.lists(st.integers(0, 3), max_size=8).map(Multiset)
+
+
+class TestBasics:
+    def test_empty(self):
+        m = Multiset()
+        assert len(m) == 0
+        assert m.count("x") == 0
+        assert "x" not in m
+
+    def test_counting(self):
+        m = Multiset("aabc")
+        assert m.count("a") == 2
+        assert m.count("b") == 1
+        assert m.count("z") == 0
+        assert len(m) == 4
+
+    def test_support(self):
+        assert Multiset("aab").support() == frozenset({"a", "b"})
+
+    def test_elements_respects_multiplicity(self):
+        assert sorted(Multiset("aab").elements()) == ["a", "a", "b"]
+
+    def test_equality_ignores_order(self):
+        assert Multiset("ab") == Multiset("ba")
+        assert Multiset("aab") != Multiset("ab")
+
+    def test_hashable(self):
+        assert hash(Multiset("ab")) == hash(Multiset("ba"))
+        assert len({Multiset("ab"), Multiset("ba")}) == 1
+
+    def test_from_counts(self):
+        m = Multiset.from_counts({"a": 2, "b": 0})
+        assert m == Multiset("aa")
+
+    def test_from_counts_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Multiset.from_counts({"a": -1})
+
+    def test_add_remove(self):
+        m = Multiset("a").add("a").add("b", 2)
+        assert m == Multiset("aabb")
+        assert m.remove("b") == Multiset("aab")
+
+    def test_remove_too_many(self):
+        with pytest.raises(KeyError):
+            Multiset("a").remove("a", 2)
+
+    def test_to_counter(self):
+        assert Multiset("aab").to_counter() == {"a": 2, "b": 1}
+
+    def test_repr_is_stable(self):
+        assert repr(Multiset("ba")) == repr(Multiset("ab"))
+
+
+class TestUnionAndSum:
+    def test_union_is_pointwise_max(self):
+        m = Multiset("aab") | Multiset("abb")
+        assert m == Multiset("aabb")
+
+    def test_sum_is_additive(self):
+        m = Multiset("aab") + Multiset("abb")
+        assert m == Multiset("aaabbb")
+
+    def test_union_all_empty(self):
+        assert union_all([]) == Multiset()
+
+    def test_sum_all(self):
+        assert sum_all([Multiset("a"), Multiset("ab")]) == Multiset("aab")
+
+    @given(bags, bags)
+    def test_union_commutative(self, m1, m2):
+        assert m1 | m2 == m2 | m1
+
+    @given(bags, bags)
+    def test_sum_commutative(self, m1, m2):
+        assert m1 + m2 == m2 + m1
+
+    @given(bags, bags, bags)
+    def test_union_associative(self, m1, m2, m3):
+        assert (m1 | m2) | m3 == m1 | (m2 | m3)
+
+    @given(bags)
+    def test_union_idempotent(self, m):
+        assert m | m == m
+
+    @given(bags, bags)
+    def test_union_below_sum(self, m1, m2):
+        assert (m1 | m2) <= (m1 + m2)
+
+    @given(bags, bags)
+    def test_components_below_union(self, m1, m2):
+        assert m1 <= (m1 | m2)
+        assert m2 <= (m1 | m2)
+
+
+class TestInclusion:
+    def test_subset_basics(self):
+        assert Multiset("ab") <= Multiset("aab")
+        assert not Multiset("aab") <= Multiset("ab")
+
+    def test_empty_subset_of_all(self):
+        assert Multiset() <= Multiset("abc")
+
+    @given(bags)
+    def test_reflexive(self, m):
+        assert m <= m
+
+    @given(bags, bags, bags)
+    def test_transitive(self, m1, m2, m3):
+        if m1 <= m2 and m2 <= m3:
+            assert m1 <= m3
+
+    @given(bags, bags)
+    def test_antisymmetric(self, m1, m2):
+        if m1 <= m2 and m2 <= m1:
+            assert m1 == m2
+
+
+class TestElems:
+    def test_elems_of_sequence(self):
+        assert elems(("x", "y", "x")) == Multiset(["x", "x", "y"])
+
+    def test_membership_definition(self):
+        # "e in s iff elems(s)(e) > 0"
+        s = ("a", "b")
+        assert "a" in elems(s)
+        assert "c" not in elems(s)
+
+    @given(st.lists(st.integers(0, 3), max_size=8))
+    def test_elems_length(self, items):
+        assert len(elems(tuple(items))) == len(items)

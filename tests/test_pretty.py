@@ -1,0 +1,125 @@
+"""Tests for the trace/witness pretty-printer."""
+
+from repro.core.actions import inv, res, swi
+from repro.core.adt import consensus_adt, decide, propose
+from repro.core.linearizability import linearize
+from repro.core.pretty import (
+    describe_action,
+    format_history,
+    format_linearization,
+    format_speculative,
+    format_trace,
+    side_by_side,
+)
+from repro.core.speculative import consensus_rinit, speculatively_linearize
+from repro.core.traces import Trace
+
+CONS = consensus_adt()
+
+
+def sample_trace():
+    return Trace(
+        [
+            inv("c1", 1, propose("v1")),
+            inv("c2", 1, propose("v2")),
+            res("c2", 1, propose("v2"), decide("v2")),
+            res("c1", 1, propose("v1"), decide("v2")),
+        ]
+    )
+
+
+class TestDescribeAction:
+    def test_invocation(self):
+        assert describe_action(inv("c", 1, propose("x"))) == (
+            "inv[1] propose(x)"
+        )
+
+    def test_response(self):
+        text = describe_action(res("c", 2, propose("x"), decide("y")))
+        assert "res[2]" in text and "-> decide(y)" in text
+
+    def test_switch(self):
+        text = describe_action(swi("c", 2, propose("x"), "sv"))
+        assert "swi[2]" in text and "sv" in text
+
+
+class TestFormatTrace:
+    def test_one_column_per_client(self):
+        output = format_trace(sample_trace())
+        header = output.splitlines()[0]
+        assert "c1" in header and "c2" in header
+
+    def test_one_row_per_action(self):
+        output = format_trace(sample_trace())
+        assert len(output.splitlines()) == 1 + len(sample_trace())
+
+    def test_alignment_uses_dots(self):
+        output = format_trace(sample_trace())
+        assert "." in output
+
+    def test_title_and_empty(self):
+        assert "empty" in format_trace(Trace())
+        assert format_trace(sample_trace(), title="T").startswith("T")
+
+
+class TestFormatResults:
+    def test_linearization_witness_rendered(self):
+        trace = sample_trace()
+        result = linearize(trace, CONS)
+        output = format_linearization(trace, result)
+        assert "linearizable: True" in output
+        assert "propose(v2)" in output
+        assert "commit @2" in output
+
+    def test_linearization_failure_rendered(self):
+        trace = Trace(
+            [
+                inv("c1", 1, propose("v1")),
+                res("c1", 1, propose("v1"), decide("zz")),
+            ]
+        )
+        result = linearize(trace, CONS)
+        output = format_linearization(trace, result)
+        assert "linearizable: False" in output
+        assert "reason:" in output
+
+    def test_speculative_witness_rendered(self):
+        rin = consensus_rinit(["v1", "v2"], max_extra=1)
+        trace = Trace(
+            [
+                inv("c1", 1, propose("v1")),
+                res("c1", 1, propose("v1"), decide("v1")),
+                inv("c2", 1, propose("v2")),
+                swi("c2", 2, propose("v2"), "v1"),
+            ]
+        )
+        result = speculatively_linearize(trace, 1, 2, CONS, rin)
+        output = format_speculative(result)
+        assert "speculatively linearizable: True" in output
+        assert "abort" in output
+
+    def test_speculative_failure_includes_interpretation(self):
+        rin = consensus_rinit(["v1", "v2"], max_extra=1)
+        trace = Trace(
+            [
+                swi("c1", 2, propose("v2"), "v1"),
+                res("c1", 2, propose("v2"), decide("v2")),
+            ]
+        )
+        result = speculatively_linearize(trace, 2, 3, CONS, rin)
+        output = format_speculative(result)
+        assert "speculatively linearizable: False" in output
+        assert "failing init interpretation" in output
+
+
+class TestHelpers:
+    def test_format_history(self):
+        assert format_history((propose("a"), propose("b"))) == (
+            "[propose(a), propose(b)]"
+        )
+
+    def test_side_by_side(self):
+        block = side_by_side("a\nbb", "X")
+        lines = block.splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("X")

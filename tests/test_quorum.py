@@ -1,0 +1,148 @@
+"""Tests for the Quorum speculation phase (paper §2.1)."""
+
+import pytest
+
+from repro.core.adt import consensus_adt
+from repro.core.invariants import check_first_phase_invariants
+from repro.core.speculative import consensus_rinit, is_speculatively_linearizable
+from repro.mp.composed import QuorumOnly
+from repro.mp.quorum import QuorumClient, QuorumServer
+from repro.mp.sim import Network, Simulator
+
+CONS = consensus_adt()
+
+
+def jitter(rng):
+    return rng.uniform(0.5, 1.5)
+
+
+class TestServer:
+    def test_first_proposal_sticks(self):
+        sim = Simulator()
+        net = Network(sim)
+        server = net.register(QuorumServer("s"))
+        replies = []
+
+        class Probe(QuorumClient):
+            def on_message(self, src, message):
+                replies.append(message)
+
+        probe = net.register(
+            Probe("c", ["s"], lambda v: None, lambda v: None)
+        )
+        probe.send("s", ("q-propose", "v1"))
+        sim.run()
+        probe.send("s", ("q-propose", "v2"))
+        sim.run()
+        assert replies == [("q-accept", "v1"), ("q-accept", "v1")]
+        assert server.accepted == "v1"
+
+
+class TestFastPath:
+    def test_two_message_delays(self):
+        system = QuorumOnly(n_servers=3, seed=0)
+        outcome = system.propose("c1", "v1", at=0.0)
+        system.run()
+        assert outcome.path == "fast"
+        assert outcome.latency == 2.0
+        assert outcome.decided_value == "v1"
+
+    def test_sequential_proposals_all_decide_first_value(self):
+        system = QuorumOnly(n_servers=3, seed=0)
+        o1 = system.propose("c1", "v1", at=0.0)
+        o2 = system.propose("c2", "v2", at=10.0)
+        system.run()
+        assert o1.decided_value == "v1"
+        assert o2.decided_value == "v1"
+        assert o2.path == "fast"  # identical accepts: decide, not switch
+
+    def test_fast_path_scales_with_servers(self):
+        for n in (3, 5, 7):
+            system = QuorumOnly(n_servers=n, seed=0)
+            outcome = system.propose("c1", "v1", at=0.0)
+            system.run()
+            assert outcome.latency == 2.0, n
+
+
+class TestSwitching:
+    def test_contention_forces_switch(self):
+        # Random delays let servers receive proposals in different orders.
+        switched_somewhere = False
+        for seed in range(12):
+            system = QuorumOnly(n_servers=3, seed=seed, delay=jitter)
+            for i in range(3):
+                system.propose(f"c{i}", f"v{i}", at=0.0)
+            system.run()
+            if any(o.switched for o in system.outcomes.values()):
+                switched_somewhere = True
+                for o in system.outcomes.values():
+                    if o.switched:
+                        # I3: the switch value was proposed.
+                        assert o.switch_value in {"v0", "v1", "v2"}
+        assert switched_somewhere
+
+    def test_server_crash_forces_timeout_switch(self):
+        system = QuorumOnly(n_servers=3, seed=0)
+        system.crash_server(2, at=0.0)
+        outcome = system.propose("c1", "v1", at=1.0)
+        system.run()
+        assert outcome.switched
+        assert outcome.switch_value == "v1"
+        # The switch happens when the timer expires.
+        assert outcome.switch_time == pytest.approx(1.0 + system.quorum_timeout)
+
+    def test_total_loss_switch_waits_for_one_accept(self):
+        # All messages from server 2 lost: client times out and switches
+        # with an accepted value it has seen.
+        system = QuorumOnly(n_servers=2, seed=3)
+        system.crash_server(1, at=0.0)
+        outcome = system.propose("c1", "v1", at=0.0)
+        system.run()
+        assert outcome.switched
+        assert outcome.switch_value == "v1"
+
+    def test_wait_freedom_bound(self):
+        # Every client decides or switches by timeout + one delay.
+        for seed in range(8):
+            system = QuorumOnly(n_servers=3, seed=seed, delay=jitter)
+            outcomes = [
+                system.propose(f"c{i}", f"v{i}", at=0.0) for i in range(3)
+            ]
+            system.run()
+            for o in outcomes:
+                end = o.decide_time if not o.switched else o.switch_time
+                assert end is not None
+                assert end <= system.quorum_timeout + 1.5
+
+
+class TestInvariantsAndSLin:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_invariants_hold_under_contention(self, seed):
+        system = QuorumOnly(n_servers=3, seed=seed, delay=jitter)
+        for i in range(3):
+            system.propose(f"c{i}", f"v{i}", at=0.0)
+        system.run()
+        trace = system.trace()
+        for report in check_first_phase_invariants(trace, 2):
+            assert report.ok, report
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_quorum_traces_are_speculatively_linearizable(self, seed):
+        system = QuorumOnly(n_servers=3, seed=seed, delay=jitter)
+        for i in range(2):
+            system.propose(f"c{i}", f"v{i}", at=0.0)
+        system.run()
+        rin = consensus_rinit(["v0", "v1"], max_extra=1)
+        assert is_speculatively_linearizable(
+            system.trace(), 1, 2, CONS, rin
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_invariants_with_crash_and_loss(self, seed):
+        system = QuorumOnly(n_servers=3, seed=seed, loss_rate=0.2)
+        system.crash_server(0, at=2.0)
+        for i in range(3):
+            system.propose(f"c{i}", f"v{i}", at=float(i))
+        system.run()
+        for report in check_first_phase_invariants(system.trace(), 2):
+            assert report.ok, report

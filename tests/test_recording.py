@@ -1,0 +1,93 @@
+"""Tests for the interface trace recorder."""
+
+import pytest
+
+from repro.core.actions import Invocation, Response, Switch
+from repro.core.recording import TraceRecorder, WellFormednessError
+from repro.core.traces import is_phase_wellformed, is_wellformed
+
+
+class TestHappyPath:
+    def test_invoke_respond(self):
+        rec = TraceRecorder()
+        rec.invoke("c", 1, "x")
+        rec.respond("c", 1, "x", "out")
+        t = rec.trace()
+        assert len(t) == 2
+        assert is_wellformed(t)
+
+    def test_switch_through(self):
+        rec = TraceRecorder()
+        rec.invoke("c", 1, "x")
+        rec.switch("c", 2, "x", "sv")
+        rec.respond("c", 2, "x", "out")
+        t = rec.trace()
+        assert [type(a) for a in t] == [Invocation, Switch, Response]
+        assert is_phase_wellformed(t, 1, 3)
+
+    def test_switch_out_then_in(self):
+        # A standalone phase records only its side of the switch.
+        out_rec = TraceRecorder()
+        out_rec.invoke("c", 1, "x")
+        out_rec.switch_out("c", 2, "x", "sv")
+        assert is_phase_wellformed(out_rec.trace(), 1, 2)
+
+        in_rec = TraceRecorder()
+        in_rec.switch_in("c", 2, "x", "sv")
+        in_rec.respond("c", 2, "x", "out")
+        assert is_phase_wellformed(in_rec.trace(), 2, 3)
+
+    def test_interleaved_clients(self):
+        rec = TraceRecorder()
+        rec.invoke("a", 1, "x")
+        rec.invoke("b", 1, "y")
+        rec.respond("b", 1, "y", "o1")
+        rec.respond("a", 1, "x", "o2")
+        assert is_wellformed(rec.trace())
+
+    def test_len(self):
+        rec = TraceRecorder()
+        rec.invoke("a", 1, "x")
+        assert len(rec) == 1
+
+
+class TestEnforcement:
+    def test_double_invoke_rejected(self):
+        rec = TraceRecorder()
+        rec.invoke("c", 1, "x")
+        with pytest.raises(WellFormednessError):
+            rec.invoke("c", 1, "y")
+
+    def test_response_without_invocation(self):
+        rec = TraceRecorder()
+        with pytest.raises(WellFormednessError):
+            rec.respond("c", 1, "x", "out")
+
+    def test_response_for_wrong_input(self):
+        rec = TraceRecorder()
+        rec.invoke("c", 1, "x")
+        with pytest.raises(WellFormednessError):
+            rec.respond("c", 1, "y", "out")
+
+    def test_invoke_after_abort_rejected(self):
+        rec = TraceRecorder()
+        rec.invoke("c", 1, "x")
+        rec.switch_out("c", 2, "x", "sv")
+        with pytest.raises(WellFormednessError):
+            rec.invoke("c", 1, "z")
+
+    def test_switch_requires_open_invocation(self):
+        rec = TraceRecorder()
+        with pytest.raises(WellFormednessError):
+            rec.switch("c", 2, "x", "sv")
+
+    def test_switch_in_requires_closed_state(self):
+        rec = TraceRecorder()
+        rec.invoke("c", 1, "x")
+        with pytest.raises(WellFormednessError):
+            rec.switch_in("c", 2, "x", "sv")
+
+    def test_unenforced_mode(self):
+        rec = TraceRecorder(enforce=False)
+        rec.respond("c", 1, "x", "out")  # no error
+        assert len(rec) == 1

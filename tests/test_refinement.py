@@ -1,0 +1,198 @@
+"""Refinement and trace inclusion — the model-checked Theorem 3 (§6).
+
+The centrepiece reproduces the paper's Isabelle result on small scopes:
+the composition of two specification automata (with the connecting switch
+actions hidden) is trace-included in a single specification automaton
+spanning both phases.  Mutation tests confirm the checker would catch a
+broken specification, so a green inclusion is meaningful.
+"""
+
+import pytest
+
+from repro.core.actions import Invocation, Response, Switch
+from repro.ioa import (
+    ClientEnvironment,
+    FunctionalAutomaton,
+    SpecAutomaton,
+    check_refinement_mapping,
+    check_trace_inclusion,
+    compose_automata,
+    hide,
+)
+from repro.ioa.refinement import phase_tag_blind
+
+
+def two_phase_impl(clients=("c1", "c2"), inputs=("a", "b"), budget=1):
+    spec12 = SpecAutomaton(1, 2, clients)
+    spec23 = SpecAutomaton(2, 3, clients)
+    env = ClientEnvironment(clients, inputs, m=1, budget=budget)
+    composed = compose_automata(spec12, spec23, env, name="impl")
+    return hide(
+        composed, lambda a: isinstance(a, Switch) and a.phase == 2
+    )
+
+
+class TestCompositionTheoremModelChecked:
+    def test_two_clients_two_inputs(self):
+        impl = two_phase_impl()
+        spec = SpecAutomaton(1, 3, ("c1", "c2"))
+        ok, cex, explored = check_trace_inclusion(
+            impl, spec, normalize=phase_tag_blind
+        )
+        assert ok, str(cex)
+        assert explored > 500
+
+    def test_single_client_exhaustive(self):
+        impl = two_phase_impl(clients=("c1",), inputs=("a", "b"), budget=2)
+        spec = SpecAutomaton(1, 3, ("c1",))
+        ok, cex, _ = check_trace_inclusion(
+            impl, spec, normalize=phase_tag_blind
+        )
+        assert ok, str(cex)
+
+    def test_three_phases_pairwise(self):
+        # SLin(2,3) || SLin(3,4) refines SLin(2,4): the theorem at a
+        # later phase index, where init actions are live.
+        clients = ("c1",)
+        spec23 = SpecAutomaton(2, 3, clients)
+        spec34 = SpecAutomaton(3, 4, clients)
+        from repro.ioa import InitEnvironment
+
+        env = InitEnvironment(
+            clients, m=2, init_histories=[("x",)], input_pool=("a",)
+        )
+        impl = hide(
+            compose_automata(spec23, spec34, env),
+            lambda a: isinstance(a, Switch) and a.phase == 3,
+        )
+        spec24 = SpecAutomaton(2, 4, clients)
+        ok, cex, _ = check_trace_inclusion(
+            impl, spec24, normalize=phase_tag_blind
+        )
+        assert ok, str(cex)
+
+
+class TestMutationSensitivity:
+    """A deliberately broken specification must be caught — otherwise a
+    green inclusion check proves nothing."""
+
+    def test_spec_without_a2_rejected(self):
+        impl = two_phase_impl(clients=("c1",), inputs=("a",))
+
+        class NoResponseSpec(SpecAutomaton):
+            def transitions(self, state):
+                for action, successor in super().transitions(state):
+                    if not isinstance(action, Response):
+                        yield action, successor
+
+        spec = NoResponseSpec(1, 3, ("c1",))
+        ok, cex, _ = check_trace_inclusion(
+            impl, spec, normalize=phase_tag_blind
+        )
+        assert not ok
+        assert isinstance(cex.action, Response)
+
+    def test_spec_without_aborts_rejected(self):
+        impl = two_phase_impl(clients=("c1",), inputs=("a",))
+
+        class NoAbortSpec(SpecAutomaton):
+            def transitions(self, state):
+                for action, successor in super().transitions(state):
+                    if not isinstance(action, Switch):
+                        yield action, successor
+
+        spec = NoAbortSpec(1, 3, ("c1",))
+        ok, cex, _ = check_trace_inclusion(
+            impl, spec, normalize=phase_tag_blind
+        )
+        assert not ok
+        assert isinstance(cex.action, Switch)
+
+    def test_impl_mutation_caught(self):
+        # An implementation that invents outputs (responds with a history
+        # not extending its own hist) escapes the spec.
+        clients = ("c1",)
+
+        class LyingSpec(SpecAutomaton):
+            def transitions(self, state):
+                for action, successor in super().transitions(state):
+                    if isinstance(action, Response):
+                        action = Response(
+                            action.client,
+                            action.phase,
+                            action.input,
+                            ("bogus",) + tuple(action.output),
+                        )
+                    yield action, successor
+
+        env = ClientEnvironment(clients, ("a",), m=1, budget=1)
+        impl = compose_automata(LyingSpec(1, 2, clients), env)
+        spec = SpecAutomaton(1, 2, clients)
+        ok, cex, _ = check_trace_inclusion(
+            impl, spec, normalize=phase_tag_blind
+        )
+        assert not ok
+
+
+class TestRefinementMapping:
+    def test_identity_mapping_on_same_automaton(self):
+        clients = ("c1",)
+        auto = SpecAutomaton(1, 2, clients)
+        env = ClientEnvironment(clients, ("a",), m=1, budget=1)
+        impl = compose_automata(auto, env)
+        ok, cex, explored = check_refinement_mapping(
+            impl,
+            auto,
+            mapping=lambda state: state[0],
+        )
+        assert ok, str(cex)
+        assert explored > 0
+
+    def test_wrong_mapping_rejected(self):
+        clients = ("c1",)
+        auto = SpecAutomaton(1, 2, clients)
+        env = ClientEnvironment(clients, ("a",), m=1, budget=1)
+        impl = compose_automata(auto, env)
+        frozen = next(iter(auto.initial_states()))
+        ok, cex, _ = check_refinement_mapping(
+            impl, auto, mapping=lambda state: frozen
+        )
+        assert not ok
+
+    def test_toy_counter_refinement(self):
+        # A mod-2 abstraction of a counter that only reports parity.
+        def ticker(limit):
+            def transitions(state):
+                if state < limit:
+                    yield ("parity", (state + 1) % 2), state + 1
+
+            return FunctionalAutomaton(
+                name="ticker",
+                initial=[0],
+                is_input=lambda a: False,
+                is_output=lambda a: isinstance(a, tuple)
+                and a[0] == "parity",
+                is_internal=lambda a: False,
+                transitions=transitions,
+                input_step=lambda s, a: s,
+            )
+
+        def parity_machine():
+            def transitions(state):
+                yield ("parity", 1 - state), 1 - state
+
+            return FunctionalAutomaton(
+                name="parity",
+                initial=[0],
+                is_input=lambda a: False,
+                is_output=lambda a: isinstance(a, tuple)
+                and a[0] == "parity",
+                is_internal=lambda a: False,
+                transitions=transitions,
+                input_step=lambda s, a: s,
+            )
+
+        ok, cex, _ = check_refinement_mapping(
+            ticker(4), parity_machine(), mapping=lambda s: s % 2
+        )
+        assert ok, str(cex)

@@ -1,0 +1,134 @@
+"""Tests for the one-call verification report."""
+
+import pytest
+
+from repro.core.actions import inv, res, swi
+from repro.core.adt import consensus_adt, decide, propose
+from repro.core.report import VerificationReport, verify_phases
+from repro.core.speculative import consensus_rinit
+from repro.core.traces import Trace
+
+P, D = propose, decide
+CONS = consensus_adt()
+RIN = consensus_rinit(["v1", "v2"], max_extra=1)
+
+
+def good_trace():
+    return Trace(
+        [
+            inv("c1", 1, P("v1")),
+            inv("c2", 1, P("v2")),
+            res("c1", 1, P("v1"), D("v1")),
+            swi("c2", 2, P("v2"), "v1"),
+            res("c2", 2, P("v2"), D("v1")),
+        ]
+    )
+
+
+def bad_trace():
+    return Trace(
+        [
+            inv("c1", 1, P("v1")),
+            inv("c2", 1, P("v2")),
+            res("c1", 1, P("v1"), D("v1")),
+            res("c2", 1, P("v2"), D("v2")),  # disagreement
+        ]
+    )
+
+
+class TestVerifyPhases:
+    def test_good_trace_all_pass(self):
+        report = verify_phases(good_trace(), [1, 2, 3], CONS, RIN)
+        assert report.ok
+        assert bool(report)
+        assert report.failures() == []
+
+    def test_bad_trace_flagged(self):
+        report = verify_phases(bad_trace(), [1, 2, 3], CONS, RIN)
+        assert not report.ok
+        failed = {line.name for line in report.failures()}
+        assert any("SLin" in name for name in failed)
+
+    def test_invariant_lines_included_on_request(self):
+        report = verify_phases(
+            good_trace(), [1, 2, 3], CONS, RIN, check_invariants=True
+        )
+        names = {line.name for line in report.lines}
+        assert any(name.startswith("I1") for name in names)
+        assert any(name.startswith("I5") for name in names)
+        assert report.ok
+
+    def test_render_mentions_verdict(self):
+        report = verify_phases(good_trace(), [1, 2, 3], CONS, RIN)
+        text = report.render()
+        assert "ALL CHECKS PASSED" in text
+        assert "[PASS]" in text
+
+    def test_render_marks_failures(self):
+        report = verify_phases(bad_trace(), [1, 2, 3], CONS, RIN)
+        assert "[FAIL]" in report.render()
+        assert "CHECKS FAILED" in report.render()
+
+    def test_requires_two_boundaries(self):
+        with pytest.raises(ValueError):
+            verify_phases(good_trace(), [1], CONS, RIN)
+
+    def test_three_phase_boundaries(self):
+        from repro.mp import ThreePhaseConsensus
+
+        system = ThreePhaseConsensus(seed=0)
+        system.network.crash_at(("sq", 1), 0.0)
+        system.propose("c1", "v1", at=1.0)
+        system.run()
+        rinit = consensus_rinit(["v1"], max_extra=1)
+        report = verify_phases(
+            system.trace(), [1, 2, 3, 4], CONS, rinit
+        )
+        assert report.ok, report.render()
+        names = [line.name for line in report.lines]
+        assert "phase (3,4) is SLin" in names
+        assert "Theorem 5 at split 2" in names
+        assert "Theorem 5 at split 3" in names
+
+
+class TestReportMechanics:
+    def test_empty_report_is_ok(self):
+        assert VerificationReport().ok
+
+    def test_add_and_failures(self):
+        report = VerificationReport()
+        report.add("x", True)
+        report.add("y", False, note="boom")
+        assert not report.ok
+        assert [line.name for line in report.failures()] == ["y"]
+
+
+class TestReportOnSubstrates:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_shared_memory_runs(self, seed):
+        from repro.sm import run_composed
+
+        run = run_composed(
+            [("c1", "v1"), ("c2", "v2")], mode="random", seed=seed
+        )
+        rinit = consensus_rinit(["v1", "v2"], max_extra=1)
+        report = verify_phases(
+            run.trace, [1, 2, 3], CONS, rinit, check_invariants=True
+        )
+        assert report.ok, report.render()
+
+    def test_message_passing_run(self):
+        from repro.mp import ComposedConsensus
+
+        def jitter(rng):
+            return rng.uniform(0.5, 1.5)
+
+        system = ComposedConsensus(n_servers=3, seed=5, delay=jitter)
+        for i in range(2):
+            system.propose(f"c{i}", f"v{i}", at=0.0)
+        system.run()
+        rinit = consensus_rinit(["v0", "v1"], max_extra=1)
+        report = verify_phases(
+            system.trace(), [1, 2, 3], CONS, rinit, check_invariants=True
+        )
+        assert report.ok, report.render()

@@ -1,0 +1,179 @@
+"""Unit and property tests for the sequence vocabulary (paper Section 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sequences import (
+    as_tuple,
+    chain_sorted,
+    comparable_by_prefix,
+    concat,
+    is_prefix,
+    is_prefix_chain,
+    is_strict_prefix,
+    longest_common_prefix,
+    positions,
+    project,
+    project_onto,
+    snoc,
+    strictly_chained,
+    subsequence_at,
+    take,
+)
+
+short_lists = st.lists(st.integers(0, 3), max_size=6)
+
+
+class TestPrefix:
+    def test_empty_is_prefix_of_everything(self):
+        assert is_prefix((), (1, 2, 3))
+        assert is_prefix((), ())
+
+    def test_reflexive(self):
+        assert is_prefix((1, 2), (1, 2))
+
+    def test_proper_prefix(self):
+        assert is_prefix((1,), (1, 2))
+        assert not is_prefix((2,), (1, 2))
+
+    def test_longer_is_not_prefix(self):
+        assert not is_prefix((1, 2, 3), (1, 2))
+
+    def test_strict_excludes_equality(self):
+        assert not is_strict_prefix((1, 2), (1, 2))
+        assert is_strict_prefix((1,), (1, 2))
+
+    def test_strict_on_empty(self):
+        assert is_strict_prefix((), (1,))
+        assert not is_strict_prefix((), ())
+
+    def test_comparable_by_prefix(self):
+        assert comparable_by_prefix((1,), (1, 2))
+        assert comparable_by_prefix((1, 2), (1,))
+        assert not comparable_by_prefix((1,), (2,))
+
+    @given(short_lists, short_lists)
+    def test_prefix_iff_concat(self, a, b):
+        assert is_prefix(tuple(a), tuple(a) + tuple(b))
+
+    @given(short_lists, short_lists)
+    def test_strict_prefix_implies_prefix(self, a, b):
+        if is_strict_prefix(tuple(a), tuple(b)):
+            assert is_prefix(tuple(a), tuple(b))
+            assert len(a) < len(b)
+
+
+class TestLongestCommonPrefix:
+    def test_empty_family(self):
+        assert longest_common_prefix([]) == ()
+
+    def test_singleton(self):
+        assert longest_common_prefix([(1, 2)]) == (1, 2)
+
+    def test_two(self):
+        assert longest_common_prefix([(1, 2, 3), (1, 2, 4)]) == (1, 2)
+
+    def test_disjoint(self):
+        assert longest_common_prefix([(1,), (2,)]) == ()
+
+    def test_one_empty_member(self):
+        assert longest_common_prefix([(), (1, 2)]) == ()
+
+    def test_chain(self):
+        assert longest_common_prefix([(1,), (1, 2), (1, 2, 3)]) == (1,)
+
+    @given(st.lists(short_lists, min_size=1, max_size=5))
+    def test_lcp_is_common_prefix(self, seqs):
+        lcp = longest_common_prefix([tuple(s) for s in seqs])
+        for s in seqs:
+            assert is_prefix(lcp, tuple(s))
+
+    @given(st.lists(short_lists, min_size=1, max_size=5))
+    def test_lcp_is_longest(self, seqs):
+        tuples = [tuple(s) for s in seqs]
+        lcp = longest_common_prefix(tuples)
+        extended_candidates = {t[: len(lcp) + 1] for t in tuples}
+        # No strictly longer common prefix exists.
+        for candidate in extended_candidates:
+            if len(candidate) > len(lcp):
+                assert not all(is_prefix(candidate, t) for t in tuples)
+
+
+class TestConcatAndSlicing:
+    def test_concat(self):
+        assert concat((1,), (2, 3), ()) == (1, 2, 3)
+
+    def test_snoc(self):
+        assert snoc((1, 2), 3) == (1, 2, 3)
+
+    def test_take(self):
+        assert take((1, 2, 3), 2) == (1, 2)
+        assert take((1, 2, 3), 0) == ()
+        assert take((1, 2, 3), 99) == (1, 2, 3)
+        assert take((1, 2, 3), -1) == ()
+
+    def test_as_tuple_identity_on_tuples(self):
+        t = (1, 2)
+        assert as_tuple(t) is t
+
+    def test_as_tuple_converts(self):
+        assert as_tuple([1, 2]) == (1, 2)
+
+
+class TestProjection:
+    def test_project_by_predicate(self):
+        assert project((1, 2, 3, 4), lambda x: x % 2 == 0) == (2, 4)
+
+    def test_project_onto_set(self):
+        assert project_onto(("x", "y", "x", "z"), {"x", "z"}) == ("x", "x", "z")
+
+    def test_paper_example(self):
+        # proj([x, y, x', z, y', z, y, z, y], {x', y'}) = [x', y']
+        trace = ("x", "y", "x'", "z", "y'", "z", "y", "z", "y")
+        assert project_onto(trace, {"x'", "y'"}) == ("x'", "y'")
+
+    def test_positions(self):
+        assert positions((5, 6, 5), lambda x: x == 5) == (0, 2)
+
+    def test_subsequence_at(self):
+        assert subsequence_at(("a", "b", "c"), (0, 2)) == ("a", "c")
+
+    @given(short_lists)
+    def test_projection_is_subsequence(self, items):
+        kept = project(tuple(items), lambda x: x > 1)
+        it = iter(items)
+        assert all(any(x == k for x in it) for k in kept)
+
+
+class TestChains:
+    def test_chain_sorted_orders(self):
+        assert chain_sorted([(1, 2), (1,), (1, 2, 3)]) == (
+            (1,),
+            (1, 2),
+            (1, 2, 3),
+        )
+
+    def test_chain_sorted_rejects(self):
+        assert chain_sorted([(1,), (2,)]) is None
+
+    def test_is_prefix_chain_empty(self):
+        assert is_prefix_chain([])
+
+    def test_is_prefix_chain_allows_duplicates(self):
+        assert is_prefix_chain([(1,), (1,)])
+
+    def test_strictly_chained_rejects_duplicates(self):
+        assert not strictly_chained([(1,), (1,)])
+
+    def test_strictly_chained_accepts_chain(self):
+        assert strictly_chained([(1,), (1, 2)])
+
+    @given(st.lists(short_lists, max_size=5))
+    def test_chain_sorted_consistency(self, seqs):
+        tuples = [tuple(s) for s in seqs]
+        ordered = chain_sorted(tuples)
+        if ordered is not None:
+            for a, b in zip(ordered, ordered[1:]):
+                assert is_prefix(a, b)
+        assert (ordered is not None) == is_prefix_chain(tuples)

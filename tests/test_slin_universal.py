@@ -1,0 +1,207 @@
+"""Speculative linearizability over the universal ADT (Section 6 traces).
+
+The paper's claim of generality — "our work concerns arbitrary abstract
+data types, including one-shot ones" — exercised at the trace level with
+the *multi-shot* universal ADT and the singleton rinit: switch values are
+concrete histories, responses are full histories, and clients keep
+invoking after being served.
+"""
+
+import pytest
+
+from repro.core.actions import inv, res, swi
+from repro.core.adt import universal_adt
+from repro.core.speculative import (
+    is_speculatively_linearizable,
+    singleton_rinit,
+    speculatively_linearize,
+)
+from repro.core.traces import Trace
+
+UNI = universal_adt()
+SINGLETON = singleton_rinit()
+
+
+class TestFirstPhase:
+    def test_multi_shot_client(self):
+        t = Trace(
+            [
+                inv("c1", 1, "a"),
+                res("c1", 1, "a", ("a",)),
+                inv("c1", 1, "b"),
+                res("c1", 1, "b", ("a", "b")),
+            ]
+        )
+        assert is_speculatively_linearizable(t, 1, 2, UNI, SINGLETON)
+
+    def test_interleaved_clients_grow_one_history(self):
+        t = Trace(
+            [
+                inv("c1", 1, "a"),
+                inv("c2", 1, "b"),
+                res("c2", 1, "b", ("b",)),
+                res("c1", 1, "a", ("b", "a")),
+            ]
+        )
+        assert is_speculatively_linearizable(t, 1, 2, UNI, SINGLETON)
+
+    def test_forked_histories_rejected(self):
+        t = Trace(
+            [
+                inv("c1", 1, "a"),
+                inv("c2", 1, "b"),
+                res("c2", 1, "b", ("b",)),
+                res("c1", 1, "a", ("a",)),  # not an extension of ("b",)
+            ]
+        )
+        assert not is_speculatively_linearizable(t, 1, 2, UNI, SINGLETON)
+
+    def test_abort_value_extends_every_commit(self):
+        t = Trace(
+            [
+                inv("c1", 1, "a"),
+                res("c1", 1, "a", ("a",)),
+                inv("c2", 1, "b"),
+                swi("c2", 2, "b", ("a", "b")),
+            ]
+        )
+        assert is_speculatively_linearizable(t, 1, 2, UNI, SINGLETON)
+
+    def test_abort_value_forgetting_a_commit_rejected(self):
+        t = Trace(
+            [
+                inv("c1", 1, "a"),
+                res("c1", 1, "a", ("a",)),
+                inv("c2", 1, "b"),
+                swi("c2", 2, "b", ("b",)),  # drops the committed "a"
+            ]
+        )
+        assert not is_speculatively_linearizable(t, 1, 2, UNI, SINGLETON)
+
+    def test_abort_may_embed_pending_sibling(self):
+        t = Trace(
+            [
+                inv("c1", 1, "a"),  # pending forever
+                inv("c2", 1, "b"),
+                swi("c2", 2, "b", ("a", "b")),
+            ]
+        )
+        assert is_speculatively_linearizable(t, 1, 2, UNI, SINGLETON)
+
+    def test_abort_value_inventing_inputs_rejected(self):
+        t = Trace(
+            [
+                inv("c2", 1, "b"),
+                swi("c2", 2, "b", ("z", "b")),  # "z" was never invoked
+            ]
+        )
+        assert not is_speculatively_linearizable(t, 1, 2, UNI, SINGLETON)
+
+
+class TestSecondPhase:
+    def test_resumes_from_init_history(self):
+        t = Trace(
+            [
+                swi("c1", 2, "x", ("a",)),
+                res("c1", 2, "x", ("a", "x")),
+            ]
+        )
+        assert is_speculatively_linearizable(t, 2, 3, UNI, SINGLETON)
+
+    def test_response_ignoring_init_rejected(self):
+        t = Trace(
+            [
+                swi("c1", 2, "x", ("a",)),
+                res("c1", 2, "x", ("x",)),  # forgets the inherited "a"
+            ]
+        )
+        assert not is_speculatively_linearizable(t, 2, 3, UNI, SINGLETON)
+
+    def test_two_inits_resume_from_lcp(self):
+        # Different init histories: the adopted prefix is their lcp.
+        t = Trace(
+            [
+                swi("c1", 2, "x", ("a", "b")),
+                swi("c2", 2, "y", ("a", "c")),
+                res("c1", 2, "x", ("a", "x")),
+                res("c2", 2, "y", ("a", "x", "y")),
+            ]
+        )
+        assert is_speculatively_linearizable(t, 2, 3, UNI, SINGLETON)
+
+    def test_response_below_lcp_rejected(self):
+        t = Trace(
+            [
+                swi("c1", 2, "x", ("a", "b")),
+                swi("c2", 2, "y", ("a", "b")),
+                res("c1", 2, "x", ("a", "x")),  # lcp is (a, b)
+            ]
+        )
+        assert not is_speculatively_linearizable(t, 2, 3, UNI, SINGLETON)
+
+    def test_multi_shot_after_switch(self):
+        t = Trace(
+            [
+                swi("c1", 2, "x", ("a",)),
+                res("c1", 2, "x", ("a", "x")),
+                inv("c1", 2, "y"),
+                res("c1", 2, "y", ("a", "x", "y")),
+            ]
+        )
+        assert is_speculatively_linearizable(t, 2, 3, UNI, SINGLETON)
+
+    def test_second_phase_abort_chains(self):
+        t = Trace(
+            [
+                swi("c1", 2, "x", ("a",)),
+                swi("c2", 2, "y", ("a",)),
+                res("c1", 2, "x", ("a", "x")),
+                swi("c2", 3, "y", ("a", "x", "y")),
+            ]
+        )
+        assert is_speculatively_linearizable(t, 2, 3, UNI, SINGLETON)
+
+    def test_second_phase_abort_below_commit_rejected(self):
+        t = Trace(
+            [
+                swi("c1", 2, "x", ("a",)),
+                swi("c2", 2, "y", ("a",)),
+                res("c1", 2, "x", ("a", "x")),
+                swi("c2", 3, "y", ("a", "y")),  # not extending the commit
+            ]
+        )
+        assert not is_speculatively_linearizable(t, 2, 3, UNI, SINGLETON)
+
+
+class TestKnownModellingBoundary:
+    """The singleton-rinit budget corner, pinned as expected behaviour.
+
+    When a client's sole invocation is absorbed into the init history it
+    itself carried across the boundary, the phase-local budget counts it
+    once; an abort value that *repeats* the input (claiming both the
+    inherited copy and a fresh one) is accepted phase-locally under the
+    additive Definition-25 reading but over-counts globally.  The
+    specification automaton never emits such values (A4 extends by
+    distinct not-in-hist inputs only), and the algorithms never produce
+    them; the checker-level acceptance is recorded here as the boundary
+    of the trace-level formalization — see DESIGN.md.
+    """
+
+    def test_phase_local_acceptance_of_duplicating_abort(self):
+        t = Trace(
+            [
+                swi("c1", 2, "a", ("a",)),
+                swi("c1", 3, "a", ("a", "a")),
+            ]
+        )
+        assert is_speculatively_linearizable(t, 2, 3, UNI, SINGLETON)
+
+    def test_composed_level_rejects_the_same_pattern(self):
+        t = Trace(
+            [
+                inv("c1", 1, "a"),
+                swi("c1", 2, "a", ("a",)),
+                swi("c1", 3, "a", ("a", "a")),
+            ]
+        )
+        assert not is_speculatively_linearizable(t, 1, 3, UNI, SINGLETON)

@@ -1,0 +1,137 @@
+"""Tests for the shared-memory substrate (memory + scheduler)."""
+
+import random
+
+import pytest
+
+from repro.sm.memory import OpCounts, SharedMemory
+from repro.sm.scheduler import (
+    InterleavingScheduler,
+    count_schedules,
+    explore_schedules,
+)
+
+
+class TestSharedMemory:
+    def test_initially_bottom(self):
+        mem = SharedMemory()
+        assert mem.read("V") is None
+
+    def test_write_read(self):
+        mem = SharedMemory()
+        mem.write("V", 7)
+        assert mem.read("V") == 7
+
+    def test_cas_success_returns_new(self):
+        mem = SharedMemory()
+        assert mem.cas("D", None, "x") == "x"
+        assert mem.peek("D") == "x"
+
+    def test_cas_failure_returns_current(self):
+        mem = SharedMemory()
+        mem.write("D", "x")
+        assert mem.cas("D", None, "y") == "x"
+        assert mem.peek("D") == "x"
+
+    def test_counters(self):
+        mem = SharedMemory()
+        mem.read("a")
+        mem.write("a", 1)
+        mem.cas("a", 1, 2)
+        assert mem.counts.snapshot() == (1, 1, 1)
+        assert mem.counts.register_ops == 2
+        assert mem.counts.total == 3
+
+    def test_peek_does_not_count(self):
+        mem = SharedMemory()
+        mem.peek("a")
+        assert mem.counts.total == 0
+
+    def test_execute_dispatch(self):
+        mem = SharedMemory()
+        assert mem.execute(("write", "r", 5)) is None
+        assert mem.execute(("read", "r")) == 5
+        assert mem.execute(("cas", "r", 5, 6)) == 6
+        with pytest.raises(ValueError):
+            mem.execute(("bogus",))
+
+
+def writer(name, value):
+    yield ("write", "R", value)
+    result = yield ("read", "R")
+    writer.results[name] = result
+
+
+def make_two_writers():
+    memory = SharedMemory()
+    writer.results = {}
+    programs = {
+        "t1": writer("t1", 1),
+        "t2": writer("t2", 2),
+    }
+    return memory, programs
+
+
+class TestScheduler:
+    def test_sequential_mode(self):
+        memory, programs = make_two_writers()
+        scheduler = InterleavingScheduler(memory, programs)
+        steps = scheduler.run_sequential()
+        # Thread t1 fully precedes t2.
+        assert steps == ["t1", "t1", "t2", "t2"]
+        assert writer.results == {"t1": 1, "t2": 2}
+
+    def test_random_mode_deterministic_per_seed(self):
+        def run(seed):
+            memory, programs = make_two_writers()
+            scheduler = InterleavingScheduler(memory, programs)
+            return scheduler.run_random(random.Random(seed))
+
+        assert run(5) == run(5)
+
+    def test_explicit_schedule(self):
+        memory, programs = make_two_writers()
+        scheduler = InterleavingScheduler(memory, programs)
+        done = scheduler.run_schedule(["t1", "t2", "t1", "t2"])
+        assert done
+        # t2's write lands after t1's, both reads see 2.
+        assert writer.results == {"t1": 2, "t2": 2}
+
+    def test_incomplete_schedule(self):
+        memory, programs = make_two_writers()
+        scheduler = InterleavingScheduler(memory, programs)
+        assert not scheduler.run_schedule(["t1"])
+        assert scheduler.runnable == ("t1", "t2")
+
+    def test_step_on_finished_thread_rejected(self):
+        memory, programs = make_two_writers()
+        scheduler = InterleavingScheduler(memory, programs)
+        scheduler.run_schedule(["t1", "t1"])
+        with pytest.raises(ValueError):
+            scheduler.step("t1")
+
+    def test_round_robin(self):
+        memory, programs = make_two_writers()
+        scheduler = InterleavingScheduler(memory, programs)
+        steps = scheduler.run_round_robin()
+        assert steps == ["t1", "t2", "t1", "t2"]
+
+
+class TestExploration:
+    def test_interleaving_count_matches_binomial(self):
+        # Two threads of 2 steps each: C(4,2) = 6 interleavings.
+        assert count_schedules(make_two_writers) == 6
+
+    def test_all_schedules_complete(self):
+        for schedule, memory in explore_schedules(make_two_writers):
+            assert len(schedule) == 4
+            assert memory.counts.total == 4
+
+    def test_max_schedules_cap(self):
+        assert count_schedules(make_two_writers, max_schedules=3) == 3
+
+    def test_exploration_covers_distinct_outcomes(self):
+        finals = set()
+        for schedule, memory in explore_schedules(make_two_writers):
+            finals.add(memory.peek("R"))
+        assert finals == {1, 2}

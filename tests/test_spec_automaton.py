@@ -1,0 +1,226 @@
+"""Tests for the Section 6 specification automaton.
+
+Beyond unit-level mechanics (A1-A4), the key cross-validation: every
+trace the specification automaton can produce is speculatively
+linearizable per the *trace-level* checker over the universal ADT with the
+singleton rinit — the two formalizations of the paper agree.
+"""
+
+import pytest
+
+from repro.core.actions import Invocation, Response, Switch
+from repro.core.adt import universal_adt
+from repro.core.speculative import is_speculatively_linearizable, singleton_rinit
+from repro.core.traces import Trace
+from repro.ioa import (
+    ABORTED,
+    PENDING,
+    READY,
+    SLEEP,
+    ClientEnvironment,
+    InitEnvironment,
+    SpecAutomaton,
+    compose_automata,
+    executions,
+    reachable_states,
+)
+
+UNIVERSAL = universal_adt()
+SINGLETON = singleton_rinit()
+
+
+def first_phase():
+    return SpecAutomaton(1, 2, ("c1", "c2"))
+
+
+def later_phase():
+    return SpecAutomaton(2, 3, ("c1", "c2"))
+
+
+class TestInitialStates:
+    def test_first_phase_starts_ready(self):
+        state = next(iter(first_phase().initial_states()))
+        assert state.initialized
+        assert set(state.status) == {READY}
+        assert state.hist == ()
+
+    def test_later_phase_starts_asleep(self):
+        state = next(iter(later_phase().initial_states()))
+        assert not state.initialized
+        assert set(state.status) == {SLEEP}
+
+
+class TestInputs:
+    def test_invocation_makes_pending(self):
+        auto = first_phase()
+        state = next(iter(auto.initial_states()))
+        state = auto.input_step(state, Invocation("c1", 1, "a"))
+        assert state.status[0] == PENDING
+        assert state.pending[0] == "a"
+        assert state.pending_tag[0] == 1
+
+    def test_invocation_ignored_when_busy(self):
+        auto = first_phase()
+        state = next(iter(auto.initial_states()))
+        state = auto.input_step(state, Invocation("c1", 1, "a"))
+        again = auto.input_step(state, Invocation("c1", 1, "b"))
+        assert again == state  # input-enabled no-op
+
+    def test_switch_in_records_init_history(self):
+        auto = later_phase()
+        state = next(iter(auto.initial_states()))
+        state = auto.input_step(state, Switch("c1", 2, "a", ("x", "a")))
+        assert state.status[0] == PENDING
+        assert ("x", "a") in state.init_hists
+
+    def test_first_phase_has_no_init_inputs(self):
+        auto = first_phase()
+        assert not auto.is_input(Switch("c1", 1, "a", ()))
+
+
+class TestLocallyControlled:
+    def test_a1_initializes_with_lcp(self):
+        auto = later_phase()
+        state = next(iter(auto.initial_states()))
+        state = auto.input_step(state, Switch("c1", 2, "a", ("x", "y")))
+        state = auto.input_step(state, Switch("c2", 2, "b", ("x", "z")))
+        inits = [
+            s
+            for action, s in auto.transitions(state)
+            if action == ("A1", 2, 3)
+        ]
+        assert len(inits) == 1
+        assert inits[0].hist == ("x",)
+        assert inits[0].initialized
+
+    def test_a2_appends_and_responds(self):
+        auto = first_phase()
+        state = next(iter(auto.initial_states()))
+        state = auto.input_step(state, Invocation("c1", 1, "a"))
+        responses = [
+            (action, s)
+            for action, s in auto.transitions(state)
+            if isinstance(action, Response)
+        ]
+        assert len(responses) == 1
+        action, successor = responses[0]
+        assert action.output == ("a",)
+        assert successor.hist == ("a",)
+        assert successor.status[0] == READY
+
+    def test_a2_general_form_linearizes_other_pending(self):
+        # With two pending clients, A2 may embed the other's input first.
+        auto = first_phase()
+        state = next(iter(auto.initial_states()))
+        state = auto.input_step(state, Invocation("c1", 1, "a"))
+        state = auto.input_step(state, Invocation("c2", 1, "b"))
+        outputs = {
+            action.output
+            for action, _ in auto.transitions(state)
+            if isinstance(action, Response) and action.client == "c1"
+        }
+        assert ("a",) in outputs
+        assert ("b", "a") in outputs
+
+    def test_a2_blocked_after_abort(self):
+        auto = first_phase()
+        state = next(iter(auto.initial_states()))
+        state = auto.input_step(state, Invocation("c1", 1, "a"))
+        aborted = [
+            s for a, s in auto.transitions(state) if a == ("A3", 1, 2)
+        ][0]
+        assert not any(
+            isinstance(a, Response) for a, _ in auto.transitions(aborted)
+        )
+
+    def test_a3_sets_aborted_once(self):
+        auto = first_phase()
+        state = next(iter(auto.initial_states()))
+        aborted = [
+            s for a, s in auto.transitions(state) if a == ("A3", 1, 2)
+        ][0]
+        assert aborted.aborted
+        assert not any(
+            a == ("A3", 1, 2) for a, _ in auto.transitions(aborted)
+        )
+
+    def test_a4_emits_switch_with_hist_prefix(self):
+        auto = first_phase()
+        state = next(iter(auto.initial_states()))
+        state = auto.input_step(state, Invocation("c1", 1, "a"))
+        state = [s for a, s in auto.transitions(state) if a == ("A3", 1, 2)][0]
+        switches = [
+            (a, s)
+            for a, s in auto.transitions(state)
+            if isinstance(a, Switch)
+        ]
+        values = {a.value for a, _ in switches}
+        assert () in values  # hist itself
+        assert ("a",) in values  # hist + the pending input
+        for action, successor in switches:
+            assert action.phase == 2
+            assert successor.status[0] == ABORTED
+
+    def test_a4_can_carry_aborted_clients_input(self):
+        auto = first_phase()
+        state = next(iter(auto.initial_states()))
+        state = auto.input_step(state, Invocation("c1", 1, "a"))
+        state = auto.input_step(state, Invocation("c2", 1, "b"))
+        state = [s for a, s in auto.transitions(state) if a == ("A3", 1, 2)][0]
+        # Abort c1 first with value ("a",).
+        step = [
+            (a, s)
+            for a, s in auto.transitions(state)
+            if isinstance(a, Switch) and a.client == "c1" and a.value == ("a",)
+        ]
+        _, state = step[0]
+        # c2's abort may still mention c1's never-served input.
+        values = {
+            a.value
+            for a, _ in auto.transitions(state)
+            if isinstance(a, Switch) and a.client == "c2"
+        }
+        assert ("a",) in values
+
+
+class TestTraceCrossValidation:
+    """Traces of the automaton satisfy the trace-level definition."""
+
+    def _check_all(self, automaton, env, m, n, depth):
+        system = compose_automata(automaton, env)
+        checked = 0
+        for execution in executions(system, max_depth=depth):
+            actions = [
+                step.action
+                for step in execution.steps
+                if isinstance(step.action, (Invocation, Response, Switch))
+            ]
+            t = Trace(actions)
+            assert is_speculatively_linearizable(
+                t, m, n, UNIVERSAL, SINGLETON
+            ), actions
+            checked += 1
+        return checked
+
+    def test_first_phase_traces_are_slin(self):
+        auto = SpecAutomaton(1, 2, ("c1", "c2"))
+        env = ClientEnvironment(("c1", "c2"), ("a", "b"), m=1, budget=1)
+        checked = self._check_all(auto, env, 1, 2, depth=5)
+        assert checked > 100
+
+    def test_later_phase_traces_are_slin(self):
+        auto = SpecAutomaton(2, 3, ("c1", "c2"))
+        env = InitEnvironment(
+            ("c1", "c2"), m=2, init_histories=[(), ("x",)], input_pool=("a",)
+        )
+        checked = self._check_all(auto, env, 2, 3, depth=5)
+        assert checked > 100
+
+
+class TestReachability:
+    def test_state_space_is_finite_and_modest(self):
+        auto = SpecAutomaton(1, 2, ("c1", "c2"))
+        env = ClientEnvironment(("c1", "c2"), ("a", "b"), m=1, budget=1)
+        system = compose_automata(auto, env)
+        states = reachable_states(system)
+        assert 10 < len(states) < 5000

@@ -1,0 +1,90 @@
+"""Tests for Lamport's splitter (Figure 2, lines 26-36).
+
+Properties, checked over *every* interleaving of small scopes:
+
+* at most one process returns True;
+* in a contention-free (sequential) execution exactly one process — the
+  first — returns True.
+"""
+
+import pytest
+
+from repro.sm.memory import SharedMemory
+from repro.sm.scheduler import InterleavingScheduler, explore_schedules
+from repro.sm.splitter import splitter
+
+
+def splitter_program(client, results):
+    outcome = yield from splitter(client)
+    results[client] = outcome
+
+
+def make_setup(clients):
+    def setup():
+        memory = SharedMemory()
+        results = {}
+        programs = {
+            c: splitter_program(c, results) for c in clients
+        }
+        setup.results = results
+        return memory, programs
+
+    return setup
+
+
+class TestSolo:
+    def test_single_client_wins(self):
+        setup = make_setup(["c1"])
+        memory, programs = setup()
+        InterleavingScheduler(memory, programs).run_sequential()
+        assert setup.results == {"c1": True}
+
+
+class TestSequential:
+    def test_first_wins_rest_lose(self):
+        setup = make_setup(["c1", "c2", "c3"])
+        memory, programs = setup()
+        InterleavingScheduler(memory, programs).run_sequential()
+        results = setup.results
+        assert results["c1"] is True
+        assert results["c2"] is False
+        assert results["c3"] is False
+
+
+class TestExhaustiveTwoClients:
+    def test_at_most_one_winner_all_interleavings(self):
+        setup = make_setup(["c1", "c2"])
+        explored = 0
+        winners_seen = set()
+        for schedule, memory in explore_schedules(setup):
+            results = setup.results
+            winners = [c for c, won in results.items() if won]
+            assert len(winners) <= 1, schedule
+            winners_seen.add(tuple(winners))
+            explored += 1
+        assert explored > 10
+        # Some interleavings elect a winner; contention may elect none.
+        assert () in winners_seen
+        assert any(w for w in winners_seen if w)
+
+
+class TestExhaustiveThreeClients:
+    def test_at_most_one_winner(self):
+        setup = make_setup(["c1", "c2", "c3"])
+        for schedule, memory in explore_schedules(setup, max_schedules=3000):
+            winners = [c for c, won in setup.results.items() if won]
+            assert len(winners) <= 1, schedule
+
+
+class TestNamespacing:
+    def test_two_splitters_in_one_memory(self):
+        def program(client, results):
+            first = yield from splitter(client, ("s1", "X"), ("s1", "Y"))
+            second = yield from splitter(client, ("s2", "X"), ("s2", "Y"))
+            results[client] = (first, second)
+
+        memory = SharedMemory()
+        results = {}
+        programs = {"c1": program("c1", results)}
+        InterleavingScheduler(memory, programs).run_sequential()
+        assert results["c1"] == (True, True)

@@ -1,0 +1,92 @@
+"""Tests for the shipped hypothesis strategies (and through them, more
+property coverage of the checkers)."""
+
+from hypothesis import given, settings
+
+from repro.core.adt import (
+    consensus_adt,
+    propose,
+    queue_adt,
+    enq,
+    deq,
+)
+from repro.core.classical import is_linearizable_classical
+from repro.core.linearizability import is_linearizable
+from repro.core.speculative import consensus_rinit, is_speculatively_linearizable
+from repro.core.strategies import (
+    consensus_phase_traces,
+    linearizable_traces,
+    wellformed_traces,
+)
+from repro.core.traces import is_phase_wellformed, is_wellformed
+
+CONS = consensus_adt()
+QUEUE = queue_adt()
+RIN = consensus_rinit(["a", "b"], max_extra=1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(wellformed_traces(CONS, [propose("a"), propose("b")]))
+def test_generated_traces_are_wellformed(trace):
+    assert is_wellformed(trace)
+
+
+@settings(max_examples=60, deadline=None)
+@given(linearizable_traces(CONS, [propose("a"), propose("b")]))
+def test_honest_traces_are_linearizable(trace):
+    assert is_linearizable(trace, CONS)
+    assert is_linearizable_classical(trace, CONS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(linearizable_traces(QUEUE, [enq(1), enq(2), deq()]))
+def test_honest_queue_traces_are_linearizable(trace):
+    assert is_linearizable(trace, QUEUE)
+
+
+@settings(max_examples=60, deadline=None)
+@given(wellformed_traces(CONS, [propose("a"), propose("b")]))
+def test_checkers_agree_on_generated_traces(trace):
+    # Theorem 1 again, through the shipped strategies.
+    assert is_linearizable(trace, CONS) == is_linearizable_classical(
+        trace, CONS
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(consensus_phase_traces())
+def test_phase_traces_are_phase_wellformed(trace):
+    assert is_phase_wellformed(trace, 1, 2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(consensus_phase_traces(max_steps=6))
+def test_slin_is_decided_on_phase_traces(trace):
+    # The checker terminates with a boolean on every generated trace
+    # (no exceptions) — and SLin implies plain linearizability of the
+    # response-only projection (Theorem 2 direction).
+    verdict = is_speculatively_linearizable(trace, 1, 2, CONS, RIN)
+    if verdict:
+        from repro.core.traces import strip_phase_tags
+
+        assert is_linearizable(strip_phase_tags(trace), CONS)
+
+
+def test_strategy_mix_is_informative():
+    # Sample the phase-trace strategy: it must produce both accepted and
+    # rejected instances to be a useful test distribution.
+    from hypothesis import find
+    import hypothesis.errors
+
+    def accepted(t):
+        return len(t) > 2 and is_speculatively_linearizable(
+            t, 1, 2, CONS, RIN
+        )
+
+    def rejected(t):
+        return len(t) > 2 and not is_speculatively_linearizable(
+            t, 1, 2, CONS, RIN
+        )
+
+    assert find(consensus_phase_traces(), accepted) is not None
+    assert find(consensus_phase_traces(), rejected) is not None

@@ -1,0 +1,173 @@
+"""Tests for trace properties, composition and projection (paper §3)."""
+
+import pytest
+
+from repro.core.actions import Signature, inv, res, sig_T, sig_phase, swi
+from repro.core.adt import consensus_adt, decide, propose
+from repro.core.speculative import consensus_rinit
+from repro.core.trace_property import (
+    FiniteTraceProperty,
+    IncompatibleSignatures,
+    TraceProperty,
+    compose,
+    compose_finite,
+    compose_signatures,
+    lin_property,
+    slin_property,
+)
+from repro.core.traces import Trace
+
+P, D = propose, decide
+CONS = consensus_adt()
+
+
+def even_sig():
+    return Signature(
+        lambda a: isinstance(a, int) and a % 2 == 0,
+        lambda a: isinstance(a, str),
+        description="even-in str-out",
+    )
+
+
+class TestTraceProperty:
+    def test_membership_requires_signature_actions(self):
+        prop = TraceProperty(even_sig(), lambda t: True)
+        assert prop.contains(Trace([2, "x"]))
+        assert not prop.contains(Trace([3]))
+
+    def test_membership_predicate(self):
+        prop = TraceProperty(even_sig(), lambda t: len(t) <= 1)
+        assert prop.contains(Trace([2]))
+        assert not prop.contains(Trace([2, 4]))
+
+    def test_in_operator(self):
+        prop = TraceProperty(even_sig(), lambda t: True)
+        assert Trace([2]) in prop
+
+
+class TestFiniteTraceProperty:
+    def test_explicit_traces(self):
+        q = FiniteTraceProperty(even_sig(), [Trace([2]), Trace([4])])
+        assert q.contains(Trace([2]))
+        assert not q.contains(Trace([6]))
+
+    def test_satisfies(self):
+        # Q |= P iff Traces(Q) included in Traces(P).
+        q = FiniteTraceProperty(even_sig(), [Trace([2])])
+        p = TraceProperty(even_sig(), lambda t: all(x == 2 for x in t))
+        p_narrow = TraceProperty(even_sig(), lambda t: len(t) == 0)
+        assert q.satisfies(p)
+        assert not q.satisfies(p_narrow)
+
+    def test_projection_exact(self):
+        q = FiniteTraceProperty(even_sig(), [Trace([2, "a", 4])])
+        projected = q.project(lambda a: isinstance(a, str))
+        assert Trace(["a"]) in projected.traces
+
+
+class TestComposition:
+    def test_composed_signature_classification(self):
+        sig1 = sig_phase(1, 2)
+        sig2 = sig_phase(2, 3)
+        composed = compose_signatures(sig1, sig2)
+        # The shared switch is an output of the composition (it is an
+        # output of phase 1).
+        assert composed.is_output(swi("c", 2, P("v"), "sv"))
+        assert not composed.is_input(swi("c", 2, P("v"), "sv"))
+        # Plain invocations stay inputs.
+        assert composed.is_input(inv("c", 1, P("v")))
+        assert composed.is_input(inv("c", 2, P("v")))
+
+    def test_incompatible_outputs_detected(self):
+        sig = sig_phase(1, 2)
+        composed = compose_signatures(sig, sig)
+        with pytest.raises(IncompatibleSignatures):
+            composed.is_output(res("c", 1, P("v"), D("v")))
+
+    def test_defining_property_of_composition(self):
+        # t in P1 || P2 iff projections are in each component.
+        rin = consensus_rinit(["v1", "v2"], max_extra=1)
+        p1 = slin_property(1, 2, CONS, rin)
+        p2 = slin_property(2, 3, CONS, rin)
+        both = compose(p1, p2)
+        good = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                res("c1", 1, P("v1"), D("v1")),
+                inv("c2", 1, P("v2")),
+                swi("c2", 2, P("v2"), "v1"),
+                res("c2", 2, P("v2"), D("v1")),
+            ]
+        )
+        bad = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                res("c1", 1, P("v1"), D("v2")),  # undecidable output
+            ]
+        )
+        assert both.contains(good)
+        assert not both.contains(bad)
+
+    def test_property_1_composition_preserves_satisfaction(self):
+        # Q1 |= P1 and Q2 |= P2 implies Q1 || Q2 |= P1 || P2, checked on
+        # concrete finite systems.
+        rin = consensus_rinit(["v1", "v2"], max_extra=1)
+        p1 = slin_property(1, 2, CONS, rin)
+        p2 = slin_property(2, 3, CONS, rin)
+
+        t = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                res("c1", 1, P("v1"), D("v1")),
+                inv("c2", 1, P("v2")),
+                swi("c2", 2, P("v2"), "v1"),
+                res("c2", 2, P("v2"), D("v1")),
+            ]
+        )
+        t12 = t.project(p1.signature.contains)
+        t23 = t.project(p2.signature.contains)
+        q1 = FiniteTraceProperty(p1.signature, [t12])
+        q2 = FiniteTraceProperty(p2.signature, [t23])
+        assert q1.satisfies(p1)
+        assert q2.satisfies(p2)
+        composed_system = compose_finite(q1, q2, [t])
+        assert composed_system.satisfies(compose(p1, p2))
+        assert t in composed_system.traces
+
+
+class TestLinAndSLinProperties:
+    def test_lin_property_membership(self):
+        prop = lin_property(CONS)
+        good = Trace([inv("c", 1, P("a")), res("c", 1, P("a"), D("a"))])
+        bad = Trace([inv("c", 1, P("a")), res("c", 1, P("a"), D("b"))])
+        assert prop.contains(good)
+        assert not prop.contains(bad)
+
+    def test_slin_property_membership(self):
+        rin = consensus_rinit(["v1", "v2"], max_extra=1)
+        prop = slin_property(1, 2, CONS, rin)
+        good = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                res("c1", 1, P("v1"), D("v1")),
+                inv("c2", 1, P("v2")),
+                swi("c2", 2, P("v2"), "v1"),
+            ]
+        )
+        bad = Trace(
+            [
+                inv("c1", 1, P("v1")),
+                res("c1", 1, P("v1"), D("v1")),
+                inv("c2", 1, P("v2")),
+                swi("c2", 2, P("v2"), "v2"),
+            ]
+        )
+        assert prop.contains(good)
+        assert not prop.contains(bad)
+
+    def test_slin_signature_scopes_membership(self):
+        rin = consensus_rinit(["v1"], max_extra=1)
+        prop = slin_property(2, 3, CONS, rin)
+        # An action tagged outside [2..3) is not in the signature.
+        stray = Trace([inv("c", 1, P("v1"))])
+        assert not prop.contains(stray)

@@ -1,0 +1,255 @@
+"""Tests for traces and well-formedness (paper Sections 3, 4.5, 5.4)."""
+
+import pytest
+
+from repro.core.actions import inv, res, swi
+from repro.core.adt import decide, propose
+from repro.core.traces import (
+    Trace,
+    abort_indices,
+    all_inputs,
+    commit_indices,
+    init_indices,
+    inputs,
+    is_complete,
+    is_phase_wellformed,
+    is_wellformed,
+    is_wellformed_client_subtrace,
+    pending_invocations,
+    phase_client_subtrace,
+    replace_switches_with_invocations,
+    strip_phase_tags,
+)
+
+P, D = propose, decide
+
+
+class TestTraceBasics:
+    def test_len_and_iter(self):
+        t = Trace([inv("c", 1, "x")])
+        assert len(t) == 1
+        assert list(t) == [inv("c", 1, "x")]
+
+    def test_indexing_and_slicing(self):
+        t = Trace([inv("c", 1, "x"), res("c", 1, "x", "o")])
+        assert t[0] == inv("c", 1, "x")
+        assert isinstance(t[:1], Trace)
+        assert len(t[:1]) == 1
+
+    def test_equality_and_hash(self):
+        t1 = Trace([inv("c", 1, "x")])
+        t2 = Trace([inv("c", 1, "x")])
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_append_is_persistent(self):
+        t = Trace()
+        t2 = t.append(inv("c", 1, "x"))
+        assert len(t) == 0 and len(t2) == 1
+
+    def test_concatenation(self):
+        t = Trace([inv("c", 1, "x")]) + Trace([res("c", 1, "x", "o")])
+        assert len(t) == 2
+
+    def test_clients(self):
+        t = Trace([inv("a", 1, "x"), inv("b", 1, "y")])
+        assert t.clients() == {"a", "b"}
+
+    def test_projections_by_kind(self):
+        t = Trace(
+            [inv("c", 1, "x"), res("c", 1, "x", "o"), swi("d", 2, "y", "v")]
+        )
+        assert len(t.invocations()) == 1
+        assert len(t.responses()) == 1
+        assert len(t.switches()) == 1
+
+    def test_client_subtrace(self):
+        t = Trace([inv("a", 1, "x"), inv("b", 1, "y"), res("a", 1, "x", "o")])
+        sub = t.client_subtrace("a")
+        assert list(sub) == [inv("a", 1, "x"), res("a", 1, "x", "o")]
+
+
+class TestInputs:
+    def test_inputs_counts_only_invocations(self):
+        t = Trace(
+            [
+                inv("a", 1, "x"),
+                swi("b", 2, "y", "v"),
+                res("a", 1, "x", "o"),
+                inv("b", 2, "z"),
+            ]
+        )
+        assert inputs(t, 3) == ("x",)
+        assert all_inputs(t) == ("x", "z")
+
+    def test_inputs_exclusive_bound(self):
+        t = Trace([inv("a", 1, "x"), inv("b", 1, "y")])
+        assert inputs(t, 0) == ()
+        assert inputs(t, 1) == ("x",)
+        assert inputs(t, 2) == ("x", "y")
+
+
+class TestPending:
+    def test_no_pending_when_all_answered(self):
+        t = Trace([inv("a", 1, "x"), res("a", 1, "x", "o")])
+        assert pending_invocations(t) == []
+
+    def test_pending_detected(self):
+        t = Trace([inv("a", 1, "x")])
+        assert [p.input for p in pending_invocations(t)] == ["x"]
+
+    def test_switch_clears_pending(self):
+        t = Trace([inv("a", 1, "x"), swi("a", 2, "x", "v")])
+        assert pending_invocations(t) == []
+
+
+class TestPlainWellFormedness:
+    def test_empty_trace(self):
+        assert is_wellformed(Trace())
+
+    def test_alternation(self):
+        assert is_wellformed(
+            Trace(
+                [
+                    inv("a", 1, "x"),
+                    inv("b", 1, "y"),
+                    res("b", 1, "y", "o"),
+                    res("a", 1, "x", "o"),
+                ]
+            )
+        )
+
+    def test_response_without_invocation(self):
+        assert not is_wellformed(Trace([res("a", 1, "x", "o")]))
+
+    def test_double_invocation(self):
+        assert not is_wellformed(Trace([inv("a", 1, "x"), inv("a", 1, "y")]))
+
+    def test_mismatched_response_input(self):
+        assert not is_wellformed(
+            Trace([inv("a", 1, "x"), res("a", 1, "y", "o")])
+        )
+
+    def test_pending_is_wellformed(self):
+        assert is_wellformed(Trace([inv("a", 1, "x")]))
+
+    def test_subtrace_checker_directly(self):
+        assert is_wellformed_client_subtrace(
+            Trace([inv("a", 1, "x"), res("a", 1, "x", "o"), inv("a", 1, "y")])
+        )
+
+    def test_completeness(self):
+        complete = Trace([inv("a", 1, "x"), res("a", 1, "x", "o")])
+        incomplete = Trace([inv("a", 1, "x")])
+        assert is_complete(complete)
+        assert not is_complete(incomplete)
+
+
+class TestPhaseWellFormedness:
+    def test_first_phase_starts_with_invocation(self):
+        t = Trace([inv("a", 1, P("v"))])
+        assert is_phase_wellformed(t, 1, 2)
+
+    def test_first_phase_rejects_init(self):
+        t = Trace([swi("a", 1, P("v"), "sv")])
+        assert not is_phase_wellformed(t, 1, 2)
+
+    def test_later_phase_requires_init_first(self):
+        good = Trace(
+            [swi("a", 2, P("v"), "sv"), res("a", 2, P("v"), D("v"))]
+        )
+        bad = Trace([inv("a", 2, P("v"))])
+        assert is_phase_wellformed(good, 2, 3)
+        assert not is_phase_wellformed(bad, 2, 3)
+
+    def test_single_init_per_client(self):
+        t = Trace(
+            [
+                swi("a", 2, P("v"), "sv"),
+                res("a", 2, P("v"), D("v")),
+                swi("a", 2, P("w"), "sv"),
+            ]
+        )
+        assert not is_phase_wellformed(t, 2, 3)
+
+    def test_abort_must_be_last(self):
+        t = Trace(
+            [
+                inv("a", 1, P("v")),
+                swi("a", 2, P("v"), "sv"),
+                inv("a", 1, P("w")),
+            ]
+        )
+        assert not is_phase_wellformed(t, 1, 2)
+
+    def test_abort_carries_open_input(self):
+        t = Trace([inv("a", 1, P("v")), swi("a", 2, P("w"), "sv")])
+        assert not is_phase_wellformed(t, 1, 2)
+
+    def test_composed_phase_wellformed(self):
+        # A client crossing from phase 1 to phase 2 in a (1,3) trace.
+        t = Trace(
+            [
+                inv("a", 1, P("v")),
+                swi("a", 2, P("v"), "sv"),
+                res("a", 2, P("v"), D("v")),
+            ]
+        )
+        assert is_phase_wellformed(t, 1, 3)
+
+    def test_intermediate_switch_projected_away(self):
+        t = Trace([inv("a", 1, P("v")), swi("a", 2, P("v"), "sv")])
+        sub = phase_client_subtrace(t, 1, 3, "a")
+        assert list(sub) == [inv("a", 1, P("v"))]
+
+    def test_response_after_invocation_required(self):
+        t = Trace(
+            [
+                inv("a", 1, P("v")),
+                res("a", 1, P("v"), D("v")),
+                inv("a", 1, P("w")),
+                res("a", 1, P("w"), D("v")),
+            ]
+        )
+        assert is_phase_wellformed(t, 1, 2)
+
+
+class TestIndexClassification:
+    def test_commit_indices(self):
+        t = Trace([inv("a", 1, "x"), res("a", 1, "x", "o")])
+        assert commit_indices(t) == (1,)
+
+    def test_init_and_abort_indices(self):
+        t = Trace(
+            [
+                swi("a", 2, "x", "v"),
+                res("a", 2, "x", "o"),
+                inv("b", 2, "y"),
+                swi("b", 3, "y", "w"),
+            ]
+        )
+        assert init_indices(t, 2) == (0,)
+        assert abort_indices(t, 3) == (3,)
+
+
+class TestTransformations:
+    def test_strip_phase_tags(self):
+        t = Trace(
+            [
+                inv("a", 1, "x"),
+                swi("a", 2, "x", "v"),
+                res("a", 2, "x", "o"),
+            ]
+        )
+        stripped = strip_phase_tags(t)
+        assert list(stripped) == [inv("a", 1, "x"), res("a", 1, "x", "o")]
+
+    def test_replace_switches(self):
+        t = Trace([swi("a", 2, "x", "v"), res("a", 2, "x", "o")])
+        replaced = replace_switches_with_invocations(t, 2)
+        assert list(replaced) == [inv("a", 2, "x"), res("a", 2, "x", "o")]
+
+    def test_replace_keeps_abort_switches(self):
+        t = Trace([inv("a", 1, "x"), swi("a", 2, "x", "v")])
+        replaced = replace_switches_with_invocations(t, 1)
+        assert list(replaced) == list(t)
