@@ -6,8 +6,12 @@ Usage::
     python -m repro all          # run every harness
     python -m repro e1 e6        # run selected experiments
     python -m repro examples     # run the example scripts
+    python -m repro nemesis [N] [BASE_SEED]   # fault campaign (default 20 0)
 
 Each experiment prints the table/series described in EXPERIMENTS.md.
+``nemesis`` prints one line per run — verdict, degradation metrics,
+network counters and the full fault schedule with its seed — so any run
+can be reproduced from its printed line alone.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ EXPERIMENTS = {
     "e6": ("bench_ioa", "model-checked composition theorem"),
     "e7": ("bench_shared_memory", "registers-vs-CAS census (RCons/CASCons)"),
     "e9": ("bench_smr", "speculative SMR / replicated KV store"),
+    "e10": ("bench_faults", "nemesis campaigns / resilience under faults"),
     "sweep": (
         "bench_enumeration",
         "exhaustive trace-level Theorem-5 sweeps",
@@ -54,6 +59,24 @@ def run_bench(module_name: str) -> None:
     module.main()
 
 
+def run_nemesis(argv) -> int:
+    """Run a fault-injection campaign, one replayable line per run."""
+    from repro.faults import run_campaign
+
+    try:
+        n_schedules = int(argv[0]) if argv else 20
+        base_seed = int(argv[1]) if len(argv) > 1 else 0
+    except ValueError:
+        print("usage: python -m repro nemesis [N] [BASE_SEED]")
+        return 1
+    report = run_campaign(
+        n_schedules=n_schedules, base_seed=base_seed, verbose=True
+    )
+    print()
+    print(report.summary())
+    return 0 if report.all_linearizable else 1
+
+
 def run_examples() -> None:
     for script in EXAMPLES:
         print(f"\n{'#' * 70}\n# examples/{script}\n{'#' * 70}")
@@ -72,6 +95,8 @@ def main(argv) -> int:
             print(f"  {key:<4} {title}  ({module}.py)")
         print("  examples   run the example scripts")
         return 0
+    if args[0] == "nemesis":
+        return run_nemesis(args[1:])
     if args == ["all"]:
         args = list(EXPERIMENTS)
     for arg in args:

@@ -1,0 +1,63 @@
+"""Fault injection: nemesis schedules, campaigns, shrinking, mutants.
+
+The resilience layer of the reproduction.  :mod:`repro.faults.nemesis`
+defines declarative, seeded fault schedules; :mod:`repro.faults.campaign`
+runs them against the real deployments and checks every trace for
+linearizability; :mod:`repro.faults.shrink` reduces violating schedules
+to minimal reproducers; :mod:`repro.faults.mutants` supplies
+intentionally broken processes that prove the harness catches real bugs.
+"""
+
+from .campaign import (
+    CAMPAIGN_BACKOFF,
+    CampaignReport,
+    CampaignTarget,
+    ComposedTarget,
+    MultiphaseTarget,
+    RunResult,
+    SMRTarget,
+    TARGETS,
+    Violation,
+    run_campaign,
+)
+from .mutants import AmnesiacAcceptor
+from .nemesis import (
+    ACTION_CLASSES,
+    BurstLoss,
+    CrashServer,
+    DelaySpike,
+    DuplicationStorm,
+    FaultAction,
+    FaultSchedule,
+    NemesisTarget,
+    PartitionServers,
+    RecoverServer,
+    random_schedule,
+)
+from .shrink import shrink_schedule
+
+__all__ = [
+    "ACTION_CLASSES",
+    "AmnesiacAcceptor",
+    "BurstLoss",
+    "CAMPAIGN_BACKOFF",
+    "CampaignReport",
+    "CampaignTarget",
+    "ComposedTarget",
+    "CrashServer",
+    "DelaySpike",
+    "DuplicationStorm",
+    "FaultAction",
+    "FaultSchedule",
+    "MultiphaseTarget",
+    "NemesisTarget",
+    "PartitionServers",
+    "RecoverServer",
+    "RunResult",
+    "SMRTarget",
+    "TARGETS",
+    "Violation",
+    "random_schedule",
+    "run_campaign",
+    "shrink_schedule",
+]

@@ -1,0 +1,542 @@
+"""Nemesis campaigns: randomized fault schedules, every trace checked.
+
+A *campaign* runs N seeded :class:`~repro.faults.nemesis.FaultSchedule`
+instances against real deployments — Quorum+Backup
+(:class:`~repro.mp.composed.ComposedConsensus`), the three-phase stack
+(:class:`~repro.mp.multiphase.ThreePhaseConsensus`), and the replicated
+KV store over speculative SMR
+(:class:`~repro.smr.kvstore.ReplicatedKVStore`) — and validates **every
+observed trace** with the repository's own linearizability checker, in
+the reduction-to-checking spirit of Bouajjani et al.  Alongside the
+safety verdicts it aggregates graceful-degradation metrics (commit rate,
+switch rate, give-up rate, latency percentiles) per fault class, and on
+any violation shrinks the schedule with delta-debugging to a minimal
+reproducer printed with its seed.
+
+Everything is deterministic: a run is a pure function of
+``(target, schedule)``, and the schedule prints as a single replayable
+line.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.adt import consensus_adt
+from ..core.linearizability import SearchBudgetExceeded, linearize
+from ..core.traces import strip_phase_tags
+from ..mp.backoff import BackoffPolicy
+from ..mp.composed import ComposedConsensus
+from ..mp.multiphase import ThreePhaseConsensus
+from ..mp.paxos import PaxosAcceptor
+from ..mp.sim import NetworkStats
+from ..smr.kvstore import ReplicatedKVStore
+from ..smr.universal import kv_store_adt
+from .mutants import AmnesiacAcceptor
+from .nemesis import (
+    ACTION_CLASSES,
+    BurstLoss,
+    CrashServer,
+    FaultSchedule,
+    NemesisTarget,
+    PartitionServers,
+    RecoverServer,
+    random_schedule,
+)
+from .shrink import shrink_schedule
+
+CONSENSUS = consensus_adt()
+KV = kv_store_adt()
+
+#: the campaign's adaptive-timeout policy: exponential backoff with
+#: deterministic jitter and a finite retry budget, so a dead majority
+#: surfaces as ``gave_up`` well before the schedule horizon.
+CAMPAIGN_BACKOFF = BackoffPolicy(
+    base=6.0, factor=2.0, cap=80.0, jitter=0.25, max_retries=5
+)
+
+
+def _workload_rng(schedule: FaultSchedule) -> random.Random:
+    """A workload stream independent of the simulator's own rng."""
+    return random.Random(f"workload-{schedule.seed}")
+
+
+@dataclass
+class RunResult:
+    """Verdict and degradation metrics of one (target, schedule) run."""
+
+    target: str
+    schedule: FaultSchedule
+    ok: bool
+    inconclusive: bool = False
+    reason: str = ""
+    total: int = 0
+    committed: int = 0
+    switched: int = 0
+    gave_up: int = 0
+    latencies: List[float] = field(default_factory=list)
+    stats: Optional[NetworkStats] = None
+
+    @property
+    def commit_rate(self) -> float:
+        """Fraction of issued operations that committed by the horizon."""
+        return self.committed / self.total if self.total else 1.0
+
+    @property
+    def switch_rate(self) -> float:
+        """Fraction of issued operations that left their first phase."""
+        return self.switched / self.total if self.total else 0.0
+
+    def stats_line(self) -> str:
+        """Network counters as one compact token sequence."""
+        s = self.stats or NetworkStats()
+        return (
+            f"sent={s.sent} delivered={s.delivered} lost={s.lost} "
+            f"dup={s.duplicated} dropped={s.dropped_crashed} "
+            f"cut={s.partitioned}"
+        )
+
+    def line(self) -> str:
+        """One replayable report line: verdict, metrics, NetworkStats,
+        and the full schedule (seed included)."""
+        verdict = (
+            "INCONCLUSIVE"
+            if self.inconclusive
+            else ("ok" if self.ok else "VIOLATION")
+        )
+        return (
+            f"[{self.target}] {verdict} "
+            f"commit={self.committed}/{self.total} "
+            f"switch={self.switched} gave_up={self.gave_up} | "
+            f"{self.stats_line()} | {self.schedule.describe()}"
+        )
+
+
+def _percentile(values: Sequence[float], q: float) -> Optional[float]:
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+# ---------------------------------------------------------------------------
+# Targets: deployments the nemesis knows how to attack
+# ---------------------------------------------------------------------------
+
+
+class CampaignTarget:
+    """One deployment kind: build it, load it, perturb it, check it."""
+
+    name: str = "?"
+
+    def run(
+        self,
+        schedule: FaultSchedule,
+        mutant: bool = False,
+        node_limit: Optional[int] = 200_000,
+    ) -> RunResult:
+        """Execute one deterministic run and check the observed trace."""
+        raise NotImplementedError
+
+
+class _ConsensusAdapter(NemesisTarget):
+    """Nemesis view of the consensus deployments (explicit server pids)."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.n_servers = system.n_servers
+
+    @property
+    def sim(self):
+        return self.system.sim
+
+    @property
+    def network(self):
+        return self.system.network
+
+    def crash_server(self, index: int, at: float) -> None:
+        self.system.crash_server(index, at)
+
+    def recover_server(self, index: int, at: float) -> None:
+        self.system.recover_server(index, at)
+
+    def server_membership(self, indices: Iterable[int]):
+        pids = frozenset(
+            pid for i in indices for pid in self.system.server_pids(i)
+        )
+        return pids.__contains__
+
+
+class ComposedTarget(CampaignTarget):
+    """Quorum+Backup under nemesis: the Section 2 composed consensus."""
+
+    name = "composed"
+
+    def __init__(self, n_servers: int = 3, n_clients: int = 4) -> None:
+        self.n_servers = n_servers
+        self.n_clients = n_clients
+
+    def run(self, schedule, mutant=False, node_limit=200_000) -> RunResult:
+        system = ComposedConsensus(
+            n_servers=self.n_servers,
+            seed=schedule.seed,
+            expected_clients=self.n_clients,
+            backoff=CAMPAIGN_BACKOFF,
+            acceptor_cls=AmnesiacAcceptor if mutant else PaxosAcceptor,
+        )
+        schedule.inject(_ConsensusAdapter(system))
+        rng = _workload_rng(schedule)
+        # Spread proposals across the fault span so the chaos actually
+        # overlaps protocol activity (backoff stretches it further).
+        outcomes = [
+            system.propose(
+                f"c{i}",
+                f"v{i}",
+                at=round(rng.uniform(0.0, schedule.horizon * 0.4), 1),
+            )
+            for i in range(self.n_clients)
+        ]
+        system.run(until=schedule.horizon)
+        result = RunResult(
+            target=self.name,
+            schedule=schedule,
+            ok=True,
+            total=len(outcomes),
+            committed=sum(1 for o in outcomes if o.decided_value is not None),
+            switched=sum(1 for o in outcomes if o.switched),
+            gave_up=sum(1 for o in outcomes if o.gave_up),
+            latencies=[o.latency for o in outcomes if o.latency is not None],
+            stats=system.stats,
+        )
+        _check(result, strip_phase_tags(system.trace()), CONSENSUS, node_limit)
+        return result
+
+
+class MultiphaseTarget(CampaignTarget):
+    """SubQuorum → Quorum → Backup under nemesis."""
+
+    name = "multiphase"
+
+    def __init__(
+        self,
+        n_servers: int = 4,
+        sub_servers: int = 2,
+        n_clients: int = 4,
+    ) -> None:
+        self.n_servers = n_servers
+        self.sub_servers = sub_servers
+        self.n_clients = n_clients
+
+    def run(self, schedule, mutant=False, node_limit=200_000) -> RunResult:
+        system = ThreePhaseConsensus(
+            n_servers=self.n_servers,
+            sub_servers=self.sub_servers,
+            seed=schedule.seed,
+            expected_clients=self.n_clients,
+            backoff=CAMPAIGN_BACKOFF,
+        )
+        schedule.inject(_ConsensusAdapter(system))
+        rng = _workload_rng(schedule)
+        outcomes = [
+            system.propose(
+                f"c{i}",
+                f"v{i}",
+                at=round(rng.uniform(0.0, schedule.horizon * 0.4), 1),
+            )
+            for i in range(self.n_clients)
+        ]
+        system.run(until=schedule.horizon)
+        result = RunResult(
+            target=self.name,
+            schedule=schedule,
+            ok=True,
+            total=len(outcomes),
+            committed=sum(1 for o in outcomes if o.decided_value is not None),
+            switched=sum(1 for o in outcomes if o.switch_values),
+            gave_up=sum(1 for o in outcomes if o.gave_up),
+            latencies=[o.latency for o in outcomes if o.latency is not None],
+            stats=system.network.stats,
+        )
+        _check(result, strip_phase_tags(system.trace()), CONSENSUS, node_limit)
+        return result
+
+
+class _SMRAdapter(NemesisTarget):
+    """Nemesis view of the SMR stack (per-slot roles appear lazily)."""
+
+    _SERVER_ROLES = frozenset({"qs", "acc", "coord"})
+
+    def __init__(self, kv: ReplicatedKVStore) -> None:
+        self.kv = kv
+        self.n_servers = kv.smr.n_servers
+
+    @property
+    def sim(self):
+        return self.kv.smr.sim
+
+    @property
+    def network(self):
+        return self.kv.smr.network
+
+    def crash_server(self, index: int, at: float) -> None:
+        self.kv.smr.crash_server(index, at)
+
+    def recover_server(self, index: int, at: float) -> None:
+        self.kv.smr.recover_server(index, at)
+
+    def server_membership(self, indices: Iterable[int]):
+        wanted = frozenset(indices)
+        roles = self._SERVER_ROLES
+
+        def member(pid: Hashable) -> bool:
+            # Slot roles are ("qs"|"acc"|"coord", slot, server); clients
+            # are 2-tuples, so the arity check keeps them out.
+            return (
+                isinstance(pid, tuple)
+                and len(pid) == 3
+                and pid[0] in roles
+                and pid[2] in wanted
+            )
+
+        return member
+
+
+class SMRTarget(CampaignTarget):
+    """The replicated KV store over speculative SMR under nemesis."""
+
+    name = "smr"
+
+    def __init__(self, n_servers: int = 3, n_clients: int = 4) -> None:
+        self.n_servers = n_servers
+        self.n_clients = n_clients
+
+    def run(self, schedule, mutant=False, node_limit=200_000) -> RunResult:
+        kv = ReplicatedKVStore(
+            n_servers=self.n_servers,
+            seed=schedule.seed,
+            backoff=CAMPAIGN_BACKOFF,
+        )
+        schedule.inject(_SMRAdapter(kv))
+        rng = _workload_rng(schedule)
+        keys = ["x", "y"]
+        for i in range(self.n_clients):
+            at = round(rng.uniform(0.0, schedule.horizon * 0.4), 1)
+            key = rng.choice(keys)
+            op = rng.randrange(3)
+            if op == 0:
+                kv.put(f"c{i}", key, i, at=at)
+            elif op == 1:
+                kv.get(f"c{i}", key, at=at)
+            else:
+                kv.delete(f"c{i}", key, at=at)
+        kv.run(until=schedule.horizon)
+        outcomes = kv.smr.outcomes
+        result = RunResult(
+            target=self.name,
+            schedule=schedule,
+            ok=True,
+            total=len(outcomes),
+            committed=sum(1 for o in outcomes if o.commit_time is not None),
+            switched=sum(1 for o in outcomes if o.switched_slots),
+            gave_up=sum(1 for o in outcomes if o.gave_up),
+            latencies=[o.latency for o in outcomes if o.latency is not None],
+            stats=kv.smr.network.stats,
+        )
+        log = kv.smr.committed_log()
+        if len(set(log)) != len(log):
+            result.ok = False
+            result.reason = f"duplicate command in committed log: {log!r}"
+            return result
+        _check(result, kv.interface_trace(), KV, node_limit)
+        return result
+
+
+def _check(result: RunResult, trace, adt, node_limit) -> None:
+    """Run the linearizability checker and fold its verdict in."""
+    try:
+        verdict = linearize(trace, adt, node_limit=node_limit)
+    except SearchBudgetExceeded as exceeded:
+        result.inconclusive = True
+        result.reason = str(exceeded)
+        return
+    if not verdict.ok:
+        result.ok = False
+        result.reason = verdict.reason
+
+
+TARGETS: Dict[str, Callable[[], CampaignTarget]] = {
+    "composed": ComposedTarget,
+    "multiphase": MultiphaseTarget,
+    "smr": SMRTarget,
+}
+
+#: action mix for mutant hunts: recovery churn and connectivity faults,
+#: which is the weather the amnesiac-acceptor bug needs to surface
+MUTANT_ACTIONS = (
+    CrashServer,
+    RecoverServer,
+    PartitionServers,
+    BurstLoss,
+)
+
+
+@dataclass
+class Violation:
+    """A failing run together with its shrunk minimal reproducer."""
+
+    result: RunResult
+    shrunk: FaultSchedule
+    shrunk_reason: str
+
+    def report(self) -> str:
+        lines = [
+            f"VIOLATION on [{self.result.target}]: {self.result.reason}",
+            f"  full schedule: {self.result.schedule.describe()}",
+            f"  minimal reproducer ({len(self.shrunk.actions)} of "
+            f"{len(self.result.schedule.actions)} actions): "
+            f"{self.shrunk.describe()}",
+            f"  minimal-run checker verdict: {self.shrunk_reason}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of a whole campaign."""
+
+    results: List[RunResult] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return len(self.results)
+
+    @property
+    def inconclusive(self) -> int:
+        return sum(1 for r in self.results if r.inconclusive)
+
+    @property
+    def all_linearizable(self) -> bool:
+        return not self.violations
+
+    def by_fault_class(self) -> Dict[Tuple[str, ...], List[RunResult]]:
+        grouped: Dict[Tuple[str, ...], List[RunResult]] = {}
+        for result in self.results:
+            grouped.setdefault(
+                result.schedule.fault_classes(), []
+            ).append(result)
+        return grouped
+
+    def summary(self) -> str:
+        """Per-fault-class graceful-degradation table plus the verdict."""
+        lines = [
+            f"{'fault classes':<48} {'runs':>4} {'commit':>7} "
+            f"{'switch':>7} {'gave_up':>7} {'lat_p50':>8} {'lat_p95':>8} "
+            f"{'lat_max':>8}"
+        ]
+        for classes, results in sorted(self.by_fault_class().items()):
+            label = "+".join(classes)
+            total = sum(r.total for r in results)
+            committed = sum(r.committed for r in results)
+            switched = sum(r.switched for r in results)
+            gave_up = sum(r.gave_up for r in results)
+            latencies = [l for r in results for l in r.latencies]
+            p50 = _percentile(latencies, 0.50)
+            p95 = _percentile(latencies, 0.95)
+            top = max(latencies) if latencies else None
+
+            def cell(value) -> str:
+                return "-" if value is None else f"{value:.1f}"
+
+            lines.append(
+                f"{label:<48} {len(results):>4} "
+                f"{committed / total if total else 1.0:>7.2f} "
+                f"{switched / total if total else 0.0:>7.2f} "
+                f"{gave_up / total if total else 0.0:>7.2f} "
+                f"{cell(p50):>8} {cell(p95):>8} {cell(top):>8}"
+            )
+        lines.append(
+            f"runs={self.runs} violations={len(self.violations)} "
+            f"inconclusive={self.inconclusive}"
+        )
+        for violation in self.violations:
+            lines.append(violation.report())
+        return "\n".join(lines)
+
+
+def run_campaign(
+    n_schedules: int = 50,
+    base_seed: int = 0,
+    targets: Sequence[str] = ("composed", "multiphase", "smr"),
+    n_servers: int = 3,
+    horizon: float = 400.0,
+    max_actions: int = 5,
+    mutant: bool = False,
+    shrink: bool = True,
+    node_limit: Optional[int] = 200_000,
+    verbose: bool = False,
+    emit: Callable[[str], None] = print,
+) -> CampaignReport:
+    """Run ``n_schedules`` random nemesis schedules against each target.
+
+    Every observed trace is checked for linearizability.  Violations are
+    shrunk (unless ``shrink=False``) to minimal fault schedules via
+    delta-debugging and included in the report with their seeds.  With
+    ``mutant=True`` the composed target swaps in the amnesiac acceptor
+    (the injected safety bug) and the action mix favours recovery churn.
+    """
+    report = CampaignReport()
+    allow = MUTANT_ACTIONS if mutant else ACTION_CLASSES
+    for name in targets:
+        target = TARGETS[name]()
+        if name != "multiphase":
+            target.n_servers = n_servers
+        for k in range(n_schedules):
+            schedule = random_schedule(
+                seed=base_seed + k,
+                n_servers=target.n_servers,
+                horizon=horizon,
+                max_actions=max_actions,
+                allow=allow,
+            )
+            result = target.run(
+                schedule, mutant=mutant, node_limit=node_limit
+            )
+            report.results.append(result)
+            if verbose:
+                emit(result.line())
+            if not result.ok and not result.inconclusive:
+                shrunk = schedule
+                if shrink:
+
+                    def still_fails(candidate: FaultSchedule) -> bool:
+                        probe = target.run(
+                            candidate, mutant=mutant, node_limit=node_limit
+                        )
+                        return not probe.ok and not probe.inconclusive
+
+                    shrunk = shrink_schedule(schedule, still_fails)
+                final = target.run(
+                    shrunk, mutant=mutant, node_limit=node_limit
+                )
+                report.violations.append(
+                    Violation(
+                        result=result,
+                        shrunk=shrunk,
+                        shrunk_reason=final.reason,
+                    )
+                )
+                emit(report.violations[-1].report())
+    return report

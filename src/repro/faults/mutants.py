@@ -1,0 +1,36 @@
+"""Intentionally broken processes: the campaign's canaries.
+
+A resilience harness that never catches anything proves nothing.  These
+mutants re-introduce classic distributed-systems bugs so that the
+campaign (and CI) can demonstrate end-to-end that randomized nemesis
+schedules + the linearizability checker actually detect safety
+violations — and that the shrinker reduces the offending schedule to a
+minimal reproducer.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from ..mp.paxos import PaxosAcceptor
+
+
+class AmnesiacAcceptor(PaxosAcceptor):
+    """A Paxos acceptor that forgets its state on recovery.
+
+    Classical Paxos requires the acceptor triple ``(promised,
+    accepted_ballot, accepted_value)`` to live on stable storage.  This
+    mutant recovers blank, so after a crash-recover cycle it may promise
+    a stale ballot or report "nothing accepted" to a new coordinator —
+    letting a second value be chosen after a first one was already
+    decided.  Under a schedule that decides, then crash-recovers the
+    acceptor and removes the rest of the original accept quorum, two
+    clients decide different values: a linearizability violation the
+    campaign must catch.
+    """
+
+    def durable_state(self) -> Tuple[int, int, Optional[Hashable]]:
+        return (-1, -1, None)  # "stable storage" that was never written
+
+    def on_recover(self, durable) -> None:
+        self.promised, self.accepted_ballot, self.accepted_value = durable

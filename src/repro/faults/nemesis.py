@@ -1,0 +1,334 @@
+"""The nemesis: declarative, seeded fault schedules for the simulator.
+
+The paper's guarantees are quantified over *all* schedules — crashes,
+message loss, duplication, asynchrony.  The seed code exercised
+hand-picked fault points (a fixed ``crash_at``, a constant
+``loss_rate``); this module turns fault injection into data.  A
+:class:`FaultSchedule` is an immutable value: a seed plus a tuple of
+:class:`FaultAction` objects, each of which knows how to arm itself
+against a deployment through the small :class:`NemesisTarget` interface.
+Because schedules are plain data,
+
+* identical seeds reproduce identical chaos (the campaign's contract);
+* a schedule can be *shrunk* — delta-debugging over the action tuple
+  finds a minimal reproducer when a run violates linearizability
+  (:mod:`repro.faults.shrink`);
+* a schedule prints as one line, so a violation report is replayable
+  from the printed line alone.
+
+Action vocabulary (all times are virtual, i.e. message-delay units):
+
+========================  =================================================
+:class:`CrashServer`       crash-stop every role of one physical server
+:class:`RecoverServer`     restart it with durable state (crash-recovery)
+:class:`PartitionServers`  cut a server group off (symmetric or one-way),
+                           healing automatically — rolling partitions are
+                           just several of these with shifted groups
+:class:`DelaySpike`        multiply message delays during a window
+:class:`BurstLoss`         add i.i.d. loss during a window
+:class:`DuplicationStorm`  add i.i.d. duplication during a window
+========================  =================================================
+
+Windows compose: overlapping bursts add their rates, overlapping spikes
+multiply their factors, and the network restores exactly the baseline
+when each window closes (counters, not save/restore of a global).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+from typing import Callable, Hashable, Iterable, List, Optional, Tuple
+
+
+class NemesisTarget:
+    """What a deployment must expose for the nemesis to attack it.
+
+    Concrete adapters (see :mod:`repro.faults.campaign`) wrap
+    :class:`~repro.mp.composed.ComposedConsensus`,
+    :class:`~repro.mp.multiphase.ThreePhaseConsensus` and the SMR stack.
+    """
+
+    #: number of physical servers (fault actions address servers by index)
+    n_servers: int
+
+    @property
+    def sim(self):
+        raise NotImplementedError
+
+    @property
+    def network(self):
+        raise NotImplementedError
+
+    def crash_server(self, index: int, at: float) -> None:
+        raise NotImplementedError
+
+    def recover_server(self, index: int, at: float) -> None:
+        raise NotImplementedError
+
+    def server_membership(
+        self, indices: Iterable[int]
+    ) -> Callable[[Hashable], bool]:
+        """A pid predicate for "any role of any server in ``indices``".
+
+        Must also cover roles registered *after* the partition is armed
+        (the SMR layer creates per-slot processes lazily).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """Base class: one declarative perturbation with an absolute time."""
+
+    at: float
+
+    def apply(self, target: NemesisTarget) -> None:
+        """Arm this action against ``target`` (called before the run)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One compact token for schedule lines and shrink reports."""
+        name = type(self).__name__
+        args = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+        )
+        return f"{name}({args})"
+
+
+@dataclass(frozen=True)
+class CrashServer(FaultAction):
+    """Crash-stop every role of physical server ``server`` at ``at``."""
+
+    server: int = 0
+
+    def apply(self, target: NemesisTarget) -> None:
+        target.crash_server(self.server, self.at)
+
+
+@dataclass(frozen=True)
+class RecoverServer(FaultAction):
+    """Restart server ``server`` at ``at`` with its durable state."""
+
+    server: int = 0
+
+    def apply(self, target: NemesisTarget) -> None:
+        target.recover_server(self.server, self.at)
+
+
+@dataclass(frozen=True)
+class PartitionServers(FaultAction):
+    """Cut ``servers`` off from the rest of the world for ``duration``.
+
+    ``one_way=True`` blocks only messages *from* the group (an
+    asymmetric link failure: the group still hears the world but cannot
+    answer).  The cut heals automatically.
+    """
+
+    servers: Tuple[int, ...] = ()
+    duration: float = 10.0
+    one_way: bool = False
+
+    def apply(self, target: NemesisTarget) -> None:
+        target.network.partition(
+            target.server_membership(self.servers),
+            None,
+            start=self.at,
+            end=self.at + self.duration,
+            symmetric=not self.one_way,
+        )
+
+
+@dataclass(frozen=True)
+class _Window(FaultAction):
+    """Shared plumbing for time-bounded network perturbations."""
+
+    duration: float = 10.0
+
+    def _open(self, network) -> None:
+        raise NotImplementedError
+
+    def _close(self, network) -> None:
+        raise NotImplementedError
+
+    def apply(self, target: NemesisTarget) -> None:
+        network = target.network
+        sim = target.sim
+        sim.schedule(max(0.0, self.at - sim.now), lambda: self._open(network))
+        sim.schedule(
+            max(0.0, self.at + self.duration - sim.now),
+            lambda: self._close(network),
+        )
+
+
+@dataclass(frozen=True)
+class DelaySpike(_Window):
+    """Multiply message delays by ``factor`` during the window."""
+
+    factor: float = 4.0
+
+    def _open(self, network) -> None:
+        network.delay_scale *= self.factor
+
+    def _close(self, network) -> None:
+        network.delay_scale /= self.factor
+
+
+@dataclass(frozen=True)
+class BurstLoss(_Window):
+    """Add i.i.d. message loss at ``rate`` during the window."""
+
+    rate: float = 0.3
+
+    def _open(self, network) -> None:
+        network.extra_loss += self.rate
+
+    def _close(self, network) -> None:
+        network.extra_loss -= self.rate
+
+
+@dataclass(frozen=True)
+class DuplicationStorm(_Window):
+    """Add i.i.d. message duplication at ``rate`` during the window."""
+
+    rate: float = 0.5
+
+    def _open(self, network) -> None:
+        network.extra_duplicate += self.rate
+
+    def _close(self, network) -> None:
+        network.extra_duplicate -= self.rate
+
+
+#: every concrete action class, for generation and (de)serialization
+ACTION_CLASSES = (
+    CrashServer,
+    RecoverServer,
+    PartitionServers,
+    DelaySpike,
+    BurstLoss,
+    DuplicationStorm,
+)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seed plus an ordered tuple of fault actions.
+
+    The seed drives *everything* about a campaign run — the simulator,
+    the workload and the chaos — so the schedule line printed by the
+    campaign is a complete reproducer.
+    """
+
+    seed: int
+    actions: Tuple[FaultAction, ...] = ()
+    horizon: float = 400.0
+
+    def inject(self, target: NemesisTarget) -> None:
+        """Arm every action against ``target``."""
+        for action in self.actions:
+            action.apply(target)
+
+    def subset(self, keep: Iterable[int]) -> "FaultSchedule":
+        """The schedule restricted to the action positions in ``keep``
+        (used by the delta-debugging shrinker)."""
+        kept = frozenset(keep)
+        return FaultSchedule(
+            seed=self.seed,
+            actions=tuple(
+                a for i, a in enumerate(self.actions) if i in kept
+            ),
+            horizon=self.horizon,
+        )
+
+    def fault_classes(self) -> Tuple[str, ...]:
+        """The sorted, deduplicated action kinds (metric aggregation)."""
+        kinds = {type(a).__name__ for a in self.actions}
+        return tuple(sorted(kinds)) or ("None",)
+
+    def describe(self) -> str:
+        """One replayable line: seed, horizon and every action."""
+        inner = "; ".join(a.describe() for a in self.actions) or "no faults"
+        return f"seed={self.seed} horizon={self.horizon} [{inner}]"
+
+
+def random_schedule(
+    seed: int,
+    n_servers: int,
+    horizon: float = 400.0,
+    max_actions: int = 5,
+    allow: Tuple[type, ...] = ACTION_CLASSES,
+) -> FaultSchedule:
+    """Draw a random fault schedule, deterministically from ``seed``.
+
+    Constraints keep the chaos interesting rather than degenerate:
+
+    * at most a minority of servers is ever crash-*stopped* for good —
+      every crash beyond that budget is paired with a later recovery
+      (so safety is always exercised through churn, and liveness
+      metrics remain meaningful);
+    * partitions isolate at most ``n_servers - 1`` servers;
+    * window durations and rates are drawn from ranges matched to the
+      default timeouts so faults actually overlap protocol activity.
+    """
+    rng = random.Random(seed)
+    actions: List[FaultAction] = []
+    n_actions = rng.randint(1, max_actions)
+    minority = (n_servers - 1) // 2
+    stopped_for_good = 0
+    fault_span = horizon * 0.5  # leave the tail for recovery/quiescence
+
+    for _ in range(n_actions):
+        cls = rng.choice(allow)
+        at = round(rng.uniform(0.0, fault_span), 1)
+        if cls is CrashServer or cls is RecoverServer:
+            server = rng.randrange(n_servers)
+            recovers = rng.random() < 0.7
+            if not recovers and stopped_for_good < minority:
+                stopped_for_good += 1
+                actions.append(CrashServer(at=at, server=server))
+            else:
+                # Crash-recover churn: down for a protocol-scale window.
+                down = round(rng.uniform(5.0, fault_span / 2), 1)
+                actions.append(CrashServer(at=at, server=server))
+                actions.append(
+                    RecoverServer(at=round(at + down, 1), server=server)
+                )
+        elif cls is PartitionServers:
+            k = rng.randint(1, max(1, n_servers - 1))
+            servers = tuple(sorted(rng.sample(range(n_servers), k)))
+            actions.append(
+                PartitionServers(
+                    at=at,
+                    servers=servers,
+                    duration=round(rng.uniform(5.0, fault_span / 2), 1),
+                    one_way=rng.random() < 0.25,
+                )
+            )
+        elif cls is DelaySpike:
+            actions.append(
+                DelaySpike(
+                    at=at,
+                    duration=round(rng.uniform(5.0, fault_span / 3), 1),
+                    factor=round(rng.uniform(2.0, 6.0), 1),
+                )
+            )
+        elif cls is BurstLoss:
+            actions.append(
+                BurstLoss(
+                    at=at,
+                    duration=round(rng.uniform(5.0, fault_span / 3), 1),
+                    rate=round(rng.uniform(0.1, 0.6), 2),
+                )
+            )
+        elif cls is DuplicationStorm:
+            actions.append(
+                DuplicationStorm(
+                    at=at,
+                    duration=round(rng.uniform(5.0, fault_span / 3), 1),
+                    rate=round(rng.uniform(0.2, 0.8), 2),
+                )
+            )
+
+    actions.sort(key=lambda a: a.at)
+    return FaultSchedule(seed=seed, actions=tuple(actions), horizon=horizon)

@@ -1,0 +1,76 @@
+"""Delta-debugging a failing fault schedule to a minimal reproducer.
+
+When a campaign run violates linearizability, the raw schedule usually
+contains several actions that are irrelevant to the bug.  Zeller's ddmin
+algorithm over the action tuple finds a *1-minimal* subset: removing any
+single remaining action makes the failure disappear.  The schedule's
+seed is held fixed throughout, so every probe run is deterministic and
+the shrunk schedule — printed as one line — replays the violation
+exactly.
+
+The predicate is "does this schedule still fail?", re-running the whole
+deployment per probe; with campaign-sized systems a probe is a few
+milliseconds, so the classic O(n^2) worst case is immaterial.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .nemesis import FaultSchedule
+
+
+def shrink_schedule(
+    schedule: FaultSchedule,
+    still_fails: Callable[[FaultSchedule], bool],
+    max_probes: int = 1000,
+) -> FaultSchedule:
+    """Shrink ``schedule`` to a 1-minimal failing sub-schedule.
+
+    ``still_fails(candidate)`` must return True iff the candidate
+    schedule reproduces the original failure.  The input schedule is
+    assumed failing; if it is not, it is returned unchanged.
+    """
+    if not still_fails(schedule):
+        return schedule
+
+    indices: List[int] = list(range(len(schedule.actions)))
+    probes = 0
+
+    def fails(keep: List[int]) -> bool:
+        nonlocal probes
+        probes += 1
+        if probes > max_probes:
+            raise RuntimeError(
+                f"shrinking exceeded {max_probes} probe runs"
+            )
+        return still_fails(schedule.subset(keep))
+
+    granularity = 2
+    while len(indices) >= 2:
+        chunk = max(1, len(indices) // granularity)
+        chunks = [
+            indices[i : i + chunk] for i in range(0, len(indices), chunk)
+        ]
+        reduced = False
+        # Try each chunk alone, then each complement.
+        for candidate in chunks:
+            if len(candidate) < len(indices) and fails(candidate):
+                indices = candidate
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            for candidate in chunks:
+                complement = [i for i in indices if i not in candidate]
+                if complement and fails(complement):
+                    indices = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(indices):
+                break
+            granularity = min(len(indices), granularity * 2)
+
+    return schedule.subset(indices)

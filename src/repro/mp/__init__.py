@@ -7,6 +7,7 @@ the composed speculative consensus deployments
 (:mod:`repro.mp.composed`).
 """
 
+from .backoff import BackoffPolicy
 from .backup import BackupClient
 from .composed import (
     ClientOutcome,
@@ -20,6 +21,7 @@ from .quorum import QuorumClient, QuorumServer
 from .sim import Network, NetworkStats, Process, Simulator, Timer
 
 __all__ = [
+    "BackoffPolicy",
     "BackupClient",
     "ClientOutcome",
     "ComposedConsensus",

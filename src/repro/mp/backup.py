@@ -12,8 +12,9 @@ indirection" the paper adds to make Paxos a speculation phase.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Sequence
+from typing import Callable, Hashable, Optional, Sequence
 
+from .backoff import BackoffPolicy
 from .paxos import PaxosClient
 
 
@@ -25,6 +26,12 @@ class BackupClient(PaxosClient):
     decision.  The pending invocation travels with the caller (the
     composed runtime keeps it and emits the response action when the
     decision arrives).
+
+    Retry pacing and the give-up budget come from the inherited
+    :class:`~repro.mp.backoff.BackoffPolicy` machinery; when the budget
+    runs out ``on_give_up`` lets the composed runtime surface a
+    ``gave_up`` outcome instead of leaving the invocation silently
+    pending forever.
     """
 
     def __init__(
@@ -34,9 +41,17 @@ class BackupClient(PaxosClient):
         n_acceptors: int,
         on_decide: Callable[[Hashable], None],
         retry_delay: float = 10.0,
+        backoff: Optional[BackoffPolicy] = None,
+        on_give_up: Optional[Callable[[], None]] = None,
     ) -> None:
         super().__init__(
-            pid, coordinators, n_acceptors, on_decide, retry_delay
+            pid,
+            coordinators,
+            n_acceptors,
+            on_decide,
+            retry_delay,
+            backoff=backoff,
+            on_give_up=on_give_up,
         )
 
     def switch_to_backup(self, switch_value: Hashable) -> None:

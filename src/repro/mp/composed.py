@@ -32,6 +32,7 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 from ..core.adt import decide, propose
 from ..core.recording import TraceRecorder
 from ..core.traces import Trace
+from .backoff import BackoffPolicy
 from .backup import BackupClient
 from .paxos import PaxosAcceptor, PaxosClient, PaxosCoordinator
 from .quorum import QuorumClient, QuorumServer
@@ -50,6 +51,8 @@ class ClientOutcome:
     switched: bool = False
     switch_value: Optional[Hashable] = None
     switch_time: Optional[float] = None
+    gave_up: bool = False
+    give_up_time: Optional[float] = None
 
     @property
     def latency(self) -> Optional[float]:
@@ -60,9 +63,10 @@ class ClientOutcome:
 
     @property
     def path(self) -> str:
-        """'fast' (decided in Quorum), 'slow' (via Backup) or 'none'."""
+        """'fast' (decided in Quorum), 'slow' (via Backup), 'gave_up'
+        (retry budget exhausted) or 'none' (still pending)."""
         if self.decided_value is None:
-            return "none"
+            return "gave_up" if self.gave_up else "none"
         return "slow" if self.switched else "fast"
 
 
@@ -114,14 +118,17 @@ class ComposedConsensus(_SystemBase):
         duplicate_rate: float = 0.0,
         quorum_timeout: float = 6.0,
         expected_clients: int = 8,
+        backoff: Optional[BackoffPolicy] = None,
+        acceptor_cls: type = PaxosAcceptor,
     ) -> None:
         super().__init__(n_servers, seed, delay, loss_rate, duplicate_rate)
+        self.backoff = backoff
         self.quorum_servers = [
             self.network.register(QuorumServer(("qs", i)))
             for i in range(n_servers)
         ]
         self.acceptors = [
-            self.network.register(PaxosAcceptor(("acc", i)))
+            self.network.register(acceptor_cls(("acc", i)))
             for i in range(n_servers)
         ]
         self.coordinators = [
@@ -145,10 +152,23 @@ class ComposedConsensus(_SystemBase):
         self._client_count = 0
         self.expected_clients = expected_clients
 
+    def server_pids(self, index: int) -> Tuple[Hashable, ...]:
+        """The pids of every role hosted by physical server ``index``."""
+        return (("qs", index), ("acc", index), ("coord", index))
+
     def crash_server(self, index: int, at: float) -> None:
         """Crash all three roles of physical server ``index`` at ``at``."""
-        for pid in (("qs", index), ("acc", index), ("coord", index)):
+        for pid in self.server_pids(index):
             self.network.crash_at(pid, at)
+
+    def recover_server(self, index: int, at: float) -> None:
+        """Restart all three roles of server ``index`` at ``at``.
+
+        The acceptor and quorum server come back with their durable
+        state; the coordinator restarts blank (diskless).
+        """
+        for pid in self.server_pids(index):
+            self.network.recover_at(pid, at)
 
     def propose(
         self, client: Hashable, value: Hashable, at: float = 0.0
@@ -179,6 +199,8 @@ class ComposedConsensus(_SystemBase):
                 coordinators=[("coord", i) for i in range(self.n_servers)],
                 n_acceptors=self.n_servers,
                 on_decide=on_backup_decide,
+                backoff=self.backoff,
+                on_give_up=on_backup_give_up,
             )
             self.network.register(backup)
             backup.switch_to_backup(switch_value)
@@ -188,14 +210,26 @@ class ComposedConsensus(_SystemBase):
             outcome.decide_time = self.sim.now
             self.recorder.respond(client, 2, input, decide(decision))
 
+        def on_backup_give_up() -> None:
+            # Retry budget exhausted: the invocation stays pending in the
+            # trace (which linearizability permits) but the outcome says
+            # so explicitly instead of hanging silently.
+            outcome.gave_up = True
+            outcome.give_up_time = self.sim.now
+
         def start() -> None:
             self.recorder.invoke(client, 1, input)
+            timeout = self.quorum_timeout
+            if self.backoff is not None:
+                # Jittered initial timeout: concurrent clients stop
+                # switching (and then retrying Backup) in lock-step.
+                timeout = self.backoff.delay(0, key=("qcli", index))
             quorum = QuorumClient(
                 ("qcli", index),
                 servers=[("qs", i) for i in range(self.n_servers)],
                 on_decide=on_quorum_decide,
                 on_switch=on_quorum_switch,
-                timeout=self.quorum_timeout,
+                timeout=timeout,
             )
             self.network.register(quorum)
             quorum.propose(value)

@@ -37,6 +37,7 @@ from typing import Any, Dict, Hashable, List, Optional
 from ..core.adt import decide, propose
 from ..core.recording import TraceRecorder
 from ..core.traces import Trace
+from .backoff import BackoffPolicy
 from .backup import BackupClient
 from .paxos import PaxosAcceptor, PaxosCoordinator
 from .quorum import QuorumClient, QuorumServer
@@ -54,6 +55,8 @@ class ThreePhaseOutcome:
         self.decide_time: Optional[float] = None
         self.decided_phase: Optional[int] = None
         self.switch_values: List[Hashable] = []
+        self.gave_up = False
+        self.give_up_time: Optional[float] = None
 
     @property
     def latency(self) -> Optional[float]:
@@ -64,9 +67,9 @@ class ThreePhaseOutcome:
 
     @property
     def path(self) -> str:
-        """'phase1' | 'phase2' | 'phase3' | 'none'."""
+        """'phase1' | 'phase2' | 'phase3' | 'gave_up' | 'none'."""
         if self.decided_phase is None:
-            return "none"
+            return "gave_up" if self.gave_up else "none"
         return f"phase{self.decided_phase}"
 
 
@@ -90,15 +93,23 @@ class ThreePhaseConsensus:
         sub_timeout: float = 5.0,
         quorum_timeout: float = 12.0,
         expected_clients: int = 8,
+        duplicate_rate: float = 0.0,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         if not 1 <= sub_servers <= n_servers:
             raise ValueError("sub_servers must be within the cluster")
         self.sim = Simulator(seed=seed)
-        self.network = Network(self.sim, delay=delay, loss_rate=loss_rate)
+        self.network = Network(
+            self.sim,
+            delay=delay,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+        )
         self.n_servers = n_servers
         self.sub_servers = sub_servers
         self.sub_timeout = sub_timeout
         self.quorum_timeout = quorum_timeout
+        self.backoff = backoff
         self.recorder = TraceRecorder(phase_bounds=(1, 4))
         self.outcomes: Dict[Hashable, ThreePhaseOutcome] = {}
 
@@ -124,13 +135,22 @@ class ThreePhaseConsensus:
         self._count = 0
         self.expected_clients = expected_clients
 
-    def crash_server(self, index: int, at: float) -> None:
-        """Crash every role hosted by physical server ``index``."""
+    def server_pids(self, index: int) -> List[Hashable]:
+        """The pids of every role hosted by physical server ``index``."""
         pids = [("qs", index), ("acc", index), ("coord", index)]
         if index < self.sub_servers:
             pids.append(("sq", index))
-        for pid in pids:
+        return pids
+
+    def crash_server(self, index: int, at: float) -> None:
+        """Crash every role hosted by physical server ``index``."""
+        for pid in self.server_pids(index):
             self.network.crash_at(pid, at)
+
+    def recover_server(self, index: int, at: float) -> None:
+        """Restart every role of server ``index`` with durable state."""
+        for pid in self.server_pids(index):
+            self.network.recover_at(pid, at)
 
     def propose(
         self, client: Hashable, value: Hashable, at: float = 0.0
@@ -153,6 +173,11 @@ class ThreePhaseConsensus:
 
             return handler
 
+        def phase_timeout(default: float, key: Hashable, attempt: int) -> float:
+            if self.backoff is None:
+                return default
+            return self.backoff.delay(attempt, key=key)
+
         def switch_to_quorum(switch_value: Hashable) -> None:
             outcome.switch_values.append(switch_value)
             self.recorder.switch(client, 2, input, switch_value)
@@ -161,7 +186,9 @@ class ThreePhaseConsensus:
                 servers=[("qs", i) for i in range(self.n_servers)],
                 on_decide=decided(2),
                 on_switch=switch_to_backup,
-                timeout=self.quorum_timeout,
+                timeout=phase_timeout(
+                    self.quorum_timeout, ("qcli", index), 1
+                ),
             )
             self.network.register(quorum)
             # The second phase treats the incoming switch value as its
@@ -176,9 +203,15 @@ class ThreePhaseConsensus:
                 coordinators=[("coord", i) for i in range(self.n_servers)],
                 n_acceptors=self.n_servers,
                 on_decide=decided(3),
+                backoff=self.backoff,
+                on_give_up=give_up,
             )
             self.network.register(backup)
             backup.switch_to_backup(switch_value)
+
+        def give_up() -> None:
+            outcome.gave_up = True
+            outcome.give_up_time = self.sim.now
 
         def start() -> None:
             self.recorder.invoke(client, 1, input)
@@ -187,7 +220,7 @@ class ThreePhaseConsensus:
                 servers=[("sq", i) for i in range(self.sub_servers)],
                 on_decide=decided(1),
                 on_switch=switch_to_quorum,
-                timeout=self.sub_timeout,
+                timeout=phase_timeout(self.sub_timeout, ("sqcli", index), 0),
             )
             self.network.register(sub)
             sub.propose(value)

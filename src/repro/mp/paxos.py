@@ -43,11 +43,21 @@ from typing import (
     Tuple,
 )
 
+from .backoff import BackoffPolicy, _unit_interval
 from .sim import Process, Timer
 
 
 class PaxosAcceptor(Process):
-    """Acceptor role: the only durable memory of the protocol."""
+    """Acceptor role: the only durable memory of the protocol.
+
+    "Durable" is literal: ``(promised, accepted_ballot, accepted_value)``
+    survives a crash-recover cycle through the :class:`Process` durable
+    hooks, which is exactly the stable-storage write classical Paxos
+    requires before an acceptor answers.  An acceptor that *forgets* this
+    state on recovery breaks agreement — see
+    :class:`repro.faults.mutants.AmnesiacAcceptor`, the intentional bug
+    the nemesis campaign exists to catch.
+    """
 
     def __init__(self, pid: Hashable) -> None:
         super().__init__(pid)
@@ -55,6 +65,15 @@ class PaxosAcceptor(Process):
         self.accepted_ballot: int = -1
         self.accepted_value: Optional[Hashable] = None
         self.learners: Tuple[Hashable, ...] = ()
+
+    def durable_state(self) -> Tuple[int, int, Optional[Hashable]]:
+        """The classical acceptor triple, as written to stable storage."""
+        return (self.promised, self.accepted_ballot, self.accepted_value)
+
+    def on_recover(self, durable) -> None:
+        """Restore the stable-storage triple (learner wiring is config,
+        not state, and stays)."""
+        self.promised, self.accepted_ballot, self.accepted_value = durable
 
     def register_learners(self, learners: Sequence[Hashable]) -> None:
         """Set the processes notified on acceptance (clients + servers)."""
@@ -119,11 +138,27 @@ class PaxosCoordinator(Process):
         self.accepted_votes: Dict[Tuple[int, Hashable], Set[Hashable]] = {}
         self.decision: Optional[Hashable] = None
         self._pre_prepare = pre_prepare
+        self._retry_timer: Optional[Timer] = None
 
     def attach(self, network) -> None:  # noqa: D102 - inherited behaviour
         super().attach(network)
         if self._pre_prepare:
             self.sim.schedule(0.0, self.start_prepare)
+
+    def on_recover(self, durable) -> None:
+        """A coordinator is diskless: a restart clears every in-flight
+        proposal attempt.  Queued requests and learned decisions were in
+        volatile memory, so they are gone; clients re-drive the protocol
+        through their own retries."""
+        self.ballot = None
+        self.promises = {}
+        self.has_quorum = False
+        self.phase2_sent = False
+        self.pending_requests = []
+        self.accepted_votes = {}
+        self.decision = None
+        self.round += 1
+        self._retry_timer = None
 
     @property
     def majority(self) -> int:
@@ -132,6 +167,18 @@ class PaxosCoordinator(Process):
 
     def _own_ballot(self) -> int:
         return self.round * self.n_coordinators + self.rank
+
+    def _arm_retry(self, delay: float, callback: Callable[[], None]) -> None:
+        """Keep exactly one outstanding retry timer.
+
+        Stacked timers are a livelock machine: every extra timer fires a
+        fresh prepare that invalidates the in-flight promises of the
+        previous one, so under a loss burst the retry frequency ratchets
+        up until no ballot ever survives a round-trip.
+        """
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+        self._retry_timer = self.set_timer(delay, callback)
 
     def start_prepare(self) -> None:
         """Begin phase 1 with a fresh ballot this coordinator owns."""
@@ -142,7 +189,7 @@ class PaxosCoordinator(Process):
         self.has_quorum = False
         self.phase2_sent = False
         self.broadcast(self.acceptors, ("prepare", self.ballot))
-        self.set_timer(self.retry_delay, self._maybe_retry)
+        self._arm_retry(self.retry_delay, self._maybe_retry)
 
     def _maybe_retry(self) -> None:
         if (
@@ -174,7 +221,7 @@ class PaxosCoordinator(Process):
             return  # nothing to propose yet; wait for a request
         self.phase2_sent = True
         self.broadcast(self.acceptors, ("accept", self.ballot, value))
-        self.set_timer(self.retry_delay, self._phase2_retry)
+        self._arm_retry(self.retry_delay, self._phase2_retry)
 
     def _phase2_retry(self) -> None:
         if self.decision is None and self.pending_requests:
@@ -203,10 +250,22 @@ class PaxosCoordinator(Process):
                 self._maybe_phase2()
         elif kind == "nack":
             _, ballot, promised = message
-            if ballot == self.ballot and self.pending_requests:
-                # A higher ballot is active; adopt a round beyond it.
-                self.round = promised // self.n_coordinators + 1
-                self.start_prepare()
+            if (
+                ballot == self.ballot
+                and self.pending_requests
+                and self.decision is None
+            ):
+                # A higher ballot is active; adopt a round beyond it, but
+                # re-prepare after a per-coordinator deterministic stagger
+                # rather than immediately — two coordinators nacking each
+                # other in lock-step otherwise duel forever.
+                self.round = max(
+                    self.round, promised // self.n_coordinators + 1
+                )
+                stagger = self.retry_delay * (
+                    0.5 + _unit_interval(self.pid, promised)
+                )
+                self._arm_retry(stagger, self.start_prepare)
         elif kind == "accepted":
             _, ballot, value = message
             votes = self.accepted_votes.setdefault((ballot, value), set())
@@ -222,6 +281,14 @@ class PaxosClient(Process):
     coordinator and retries round-robin on timeout; ``on_decide`` fires
     exactly once, when a majority of acceptors report the same acceptance
     or a coordinator relays an existing decision.
+
+    Retries are paced by a :class:`~repro.mp.backoff.BackoffPolicy`
+    (attempt ``k`` waits ``backoff.delay(k, key=pid)``).  Passing only
+    ``retry_delay`` yields the degenerate fixed-delay policy of the seed
+    code.  A policy with a finite ``max_retries`` turns an unreachable
+    system into an explicit outcome: ``gave_up`` is set and
+    ``on_give_up`` (if any) fires exactly once instead of the client
+    hanging silently.
     """
 
     def __init__(
@@ -231,15 +298,21 @@ class PaxosClient(Process):
         n_acceptors: int,
         on_decide: Callable[[Hashable], None],
         retry_delay: float = 10.0,
+        backoff: Optional[BackoffPolicy] = None,
+        on_give_up: Optional[Callable[[], None]] = None,
     ) -> None:
         super().__init__(pid)
         self.coordinators = tuple(coordinators)
         self.n_acceptors = n_acceptors
         self.on_decide = on_decide
         self.retry_delay = retry_delay
+        self.backoff = backoff or BackoffPolicy.fixed(retry_delay)
+        self.on_give_up = on_give_up
         self.value: Optional[Hashable] = None
         self.target = 0
+        self.attempt = 0
         self.decided = False
+        self.gave_up = False
         self.accepted_votes: Dict[Tuple[int, Hashable], Set[Hashable]] = {}
         self.timer: Optional[Timer] = None
 
@@ -254,21 +327,30 @@ class PaxosClient(Process):
         self._send_request()
 
     def _send_request(self) -> None:
-        if self.decided or self.crashed:
+        if self.decided or self.gave_up or self.crashed:
             return
         self.send(
             self.coordinators[self.target % len(self.coordinators)],
             ("request", self.value),
         )
-        self.timer = self.set_timer(self.retry_delay, self._on_timeout)
+        self.timer = self.set_timer(
+            self.backoff.delay(self.attempt, key=self.pid), self._on_timeout
+        )
 
     def _on_timeout(self) -> None:
-        if not self.decided:
-            self.target += 1
-            self._send_request()
+        if self.decided or self.gave_up:
+            return
+        if self.backoff.exhausted(self.attempt):
+            self.gave_up = True
+            if self.on_give_up is not None:
+                self.on_give_up()
+            return
+        self.attempt += 1
+        self.target += 1
+        self._send_request()
 
     def _decide(self, value: Hashable) -> None:
-        if self.decided:
+        if self.decided or self.gave_up:
             return
         self.decided = True
         if self.timer is not None:
@@ -276,7 +358,7 @@ class PaxosClient(Process):
         self.on_decide(value)
 
     def on_message(self, src: Hashable, message: Any) -> None:
-        if self.decided:
+        if self.decided or self.gave_up:
             return
         kind = message[0]
         if kind == "accepted":

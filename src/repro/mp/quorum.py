@@ -28,11 +28,27 @@ from .sim import Process, Timer
 
 
 class QuorumServer(Process):
-    """Server role: accept the first proposal seen, answer consistently."""
+    """Server role: accept the first proposal seen, answer consistently.
+
+    The sticky acceptance is durable: a server that crashes and recovers
+    still answers with the first proposal it ever accepted.  Quorum's
+    safety argument (a decision needs identical accepts from *all*
+    servers) assumes exactly this — a server that forgot its acceptance
+    could re-accept a different value and let two clients decide
+    differently.
+    """
 
     def __init__(self, pid: Hashable) -> None:
         super().__init__(pid)
         self.accepted: Optional[Hashable] = None
+
+    def durable_state(self) -> Optional[Hashable]:
+        """The sticky acceptance, as written to stable storage."""
+        return self.accepted
+
+    def on_recover(self, durable) -> None:
+        """Restore the sticky acceptance after a restart."""
+        self.accepted = durable
 
     def on_message(self, src: Hashable, message: Any) -> None:
         kind = message[0]

@@ -12,7 +12,11 @@ both measurable:
   message-delay count the paper reasons with (a random-delay model is
   available for robustness experiments);
 * fault injection: message loss, message duplication, process crashes at
-  scheduled times.
+  scheduled times, crash-*recovery* with a durable-state hook, partitions
+  (symmetric or one-way, against explicit groups or membership
+  predicates), and time-varying fault windows (loss bursts, duplication
+  storms, delay spikes) driven by the nemesis layer in
+  :mod:`repro.faults`.
 
 Nothing here knows about consensus: processes are callback objects wired
 through a :class:`Network`.
@@ -113,12 +117,24 @@ class Process:
     Subclasses override :meth:`on_message`.  A crashed process silently
     drops incoming messages and stops sending; crashes are injected via
     :meth:`crash` or scheduled through :meth:`Network.crash_at`.
+
+    Crash-*recovery* is also modelled: :meth:`recover` restarts a crashed
+    process.  A restart loses all volatile state — timers armed before
+    the crash never fire after it (each crash bumps an epoch that stale
+    timers check) — except what the process explicitly declares durable.
+    Subclasses persist state by overriding :meth:`durable_state`
+    (snapshotted at crash time, as if written to stable storage on every
+    update) and :meth:`on_recover` (reinitialize volatile state, then
+    restore the snapshot).  The default process is diskless: it recovers
+    with no memory of its past.
     """
 
     def __init__(self, pid: Hashable) -> None:
         self.pid = pid
         self.crashed = False
         self.network: Optional["Network"] = None
+        self._epoch = 0
+        self._durable: Any = None
 
     def attach(self, network: "Network") -> None:
         """Called by the network when the process is registered."""
@@ -140,17 +156,50 @@ class Process:
             self.send(dst, message)
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> Timer:
-        """Start a timer that fires unless the process crashes first."""
+        """Start a timer that fires unless the process crashes first.
+
+        A timer armed before a crash stays dead even if the process later
+        recovers: it belonged to the lost volatile state.
+        """
+        epoch = self._epoch
 
         def guarded() -> None:
-            if not self.crashed:
+            if not self.crashed and self._epoch == epoch:
                 callback()
 
         return Timer(self.sim, delay, guarded)
 
     def crash(self) -> None:
-        """Crash-stop: the process neither sends nor receives afterwards."""
+        """Crash: the process neither sends nor receives until recovered.
+
+        The durable snapshot is taken here — equivalently, the process
+        wrote it to stable storage on every update and this is what
+        survives on disk.
+        """
+        if self.crashed:
+            return
         self.crashed = True
+        self._epoch += 1
+        self._durable = self.durable_state()
+
+    def recover(self) -> None:
+        """Restart a crashed process with only its durable state."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.on_recover(self._durable)
+        self._durable = None
+
+    def durable_state(self) -> Any:
+        """Snapshot persisted across a crash-recover cycle.
+
+        Default: ``None`` — the process is diskless and recovers blank.
+        """
+        return None
+
+    def on_recover(self, durable: Any) -> None:
+        """Reinitialize after a restart; ``durable`` is the snapshot
+        taken at crash time (``None`` for diskless processes)."""
 
     def on_message(self, src: Hashable, message: Any) -> None:
         """Handle a delivered message.  Override in subclasses."""
@@ -171,19 +220,36 @@ class NetworkStats:
 
 @dataclass
 class _Partition:
-    """A temporary cut between two process groups."""
+    """A temporary cut between two process groups.
 
-    group_a: frozenset
-    group_b: frozenset
+    Sides are membership predicates so a cut can be defined by process
+    *identity* (e.g. "every role of physical server 2, in any SMR slot,
+    including ones registered after the cut begins") rather than by a set
+    frozen at schedule time.  ``side_b = None`` means "everyone not in
+    side a".  ``symmetric = False`` models a one-way link failure: only
+    a→b messages are blocked.
+    """
+
+    side_a: Callable[[Hashable], bool]
+    side_b: Optional[Callable[[Hashable], bool]]
     start: float
     end: float
+    symmetric: bool = True
+
+    def _in_a(self, pid: Hashable) -> bool:
+        return self.side_a(pid)
+
+    def _in_b(self, pid: Hashable) -> bool:
+        if self.side_b is None:
+            return not self.side_a(pid)
+        return self.side_b(pid)
 
     def blocks(self, src, dst, now: float) -> bool:
         if not (self.start <= now < self.end):
             return False
-        return (src in self.group_a and dst in self.group_b) or (
-            src in self.group_b and dst in self.group_a
-        )
+        if self._in_a(src) and self._in_b(dst):
+            return True
+        return self.symmetric and self._in_b(src) and self._in_a(dst)
 
 
 class Network:
@@ -207,6 +273,12 @@ class Network:
         self.delay = delay
         self.loss_rate = loss_rate
         self.duplicate_rate = duplicate_rate
+        # Time-varying fault windows (nemesis layer): bursts *add* to the
+        # baseline rates so overlapping windows compose; delay spikes
+        # *multiply* the sampled delay.
+        self.extra_loss = 0.0
+        self.extra_duplicate = 0.0
+        self.delay_scale = 1.0
         self.processes: Dict[Hashable, Process] = {}
         self.stats = NetworkStats()
         self._partitions: List[_Partition] = []
@@ -221,8 +293,15 @@ class Network:
 
     def _sample_delay(self) -> float:
         if callable(self.delay):
-            return self.delay(self.sim.rng)
-        return float(self.delay)
+            return self.delay(self.sim.rng) * self.delay_scale
+        return float(self.delay) * self.delay_scale
+
+    @staticmethod
+    def _membership(group) -> Callable[[Hashable], bool]:
+        if group is None or callable(group):
+            return group
+        members = frozenset(group)
+        return members.__contains__
 
     def partition(
         self,
@@ -230,38 +309,67 @@ class Network:
         group_b,
         start: float,
         end: float,
+        symmetric: bool = True,
     ) -> None:
         """Cut all links between two process groups during [start, end).
 
-        Messages *sent* while the cut is active are dropped in both
-        directions (messages already in flight when the cut begins still
-        arrive — a partition severs links, it does not destroy packets).
-        The network heals automatically at ``end``.
+        Messages *sent* while the cut is active are dropped (messages
+        already in flight when the cut begins still arrive — a partition
+        severs links, it does not destroy packets).  The network heals
+        automatically at ``end``.
+
+        Each group is a collection of pids or a membership predicate
+        ``pid -> bool``; ``group_b = None`` cuts ``group_a`` off from
+        everyone else, including processes registered after the cut is
+        scheduled.  With ``symmetric=False`` only group-a→group-b
+        messages are blocked (a one-way link failure); group-b can still
+        reach group-a.
         """
         if end <= start:
             raise ValueError("partition must end after it starts")
+        if group_a is None:
+            raise ValueError("group_a must name at least one side of the cut")
         self._partitions.append(
-            _Partition(frozenset(group_a), frozenset(group_b), start, end)
+            _Partition(
+                self._membership(group_a),
+                self._membership(group_b),
+                start,
+                end,
+                symmetric,
+            )
         )
 
     def _partitioned(self, src: Hashable, dst: Hashable) -> bool:
         now = self.sim.now
         return any(p.blocks(src, dst, now) for p in self._partitions)
 
+    @property
+    def effective_loss_rate(self) -> float:
+        """Baseline loss plus any active burst windows, clamped to 1."""
+        return min(1.0, self.loss_rate + self.extra_loss)
+
+    @property
+    def effective_duplicate_rate(self) -> float:
+        """Baseline duplication plus any active storm windows."""
+        return min(1.0, self.duplicate_rate + self.extra_duplicate)
+
     def send(self, src: Hashable, dst: Hashable, message: Any) -> None:
-        """Queue a message for asynchronous delivery."""
+        """Queue a message for asynchronous delivery.
+
+        A send blocked by a cut counts once in ``stats.partitioned`` no
+        matter how many scheduled partitions overlap on the same link.
+        """
         self.stats.sent += 1
         if self._partitioned(src, dst):
             self.stats.partitioned += 1
             return
-        if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+        loss = self.effective_loss_rate
+        if loss and self.sim.rng.random() < loss:
             self.stats.lost += 1
             return
         self._deliver_later(src, dst, message)
-        if (
-            self.duplicate_rate
-            and self.sim.rng.random() < self.duplicate_rate
-        ):
+        duplicate = self.effective_duplicate_rate
+        if duplicate and self.sim.rng.random() < duplicate:
             self.stats.duplicated += 1
             self._deliver_later(src, dst, message)
 
@@ -278,7 +386,25 @@ class Network:
 
         self.sim.schedule(delay, deliver)
 
+    def _registered(self, pid: Hashable, what: str) -> None:
+        if pid not in self.processes:
+            raise ValueError(
+                f"cannot schedule {what} of unregistered process {pid!r}"
+            )
+
     def crash_at(self, pid: Hashable, time: float) -> None:
-        """Schedule a crash of process ``pid`` at absolute virtual time."""
+        """Schedule a crash of process ``pid`` at absolute virtual time.
+
+        ``pid`` must already be registered — a typo fails here, at the
+        call site, not later inside an anonymous event callback.
+        """
+        self._registered(pid, "a crash")
         delay = max(0.0, time - self.sim.now)
         self.sim.schedule(delay, lambda: self.processes[pid].crash())
+
+    def recover_at(self, pid: Hashable, time: float) -> None:
+        """Schedule a recovery of process ``pid`` at absolute virtual
+        time (a no-op if the process is not crashed when it fires)."""
+        self._registered(pid, "a recovery")
+        delay = max(0.0, time - self.sim.now)
+        self.sim.schedule(delay, lambda: self.processes[pid].recover())

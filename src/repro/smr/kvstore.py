@@ -44,9 +44,16 @@ class ReplicatedKVStore:
         seed: int = 0,
         delay: Any = 1.0,
         loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        backoff: Any = None,
     ) -> None:
         self.smr = SpeculativeSMR(
-            n_servers=n_servers, seed=seed, delay=delay, loss_rate=loss_rate
+            n_servers=n_servers,
+            seed=seed,
+            delay=delay,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            backoff=backoff,
         )
         self.frontend = UniversalFrontend(kv_store_adt())
         self.results: List[KVResult] = []

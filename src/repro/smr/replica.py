@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
+from ..mp.backoff import BackoffPolicy
 from ..mp.backup import BackupClient
 from ..mp.paxos import PaxosAcceptor, PaxosCoordinator
 from ..mp.quorum import QuorumClient, QuorumServer
@@ -46,6 +47,8 @@ class CommandOutcome:
     attempts: int = 0
     switched_slots: int = 0
     response: Optional[Hashable] = None
+    gave_up: bool = False
+    give_up_time: Optional[float] = None
 
     @property
     def latency(self) -> Optional[float]:
@@ -58,7 +61,7 @@ class CommandOutcome:
     def path(self) -> str:
         """Fast iff no slot along the way needed the Backup phase."""
         if self.commit_time is None:
-            return "none"
+            return "gave_up" if self.gave_up else "none"
         return "slow" if self.switched_slots else "fast"
 
 
@@ -73,18 +76,19 @@ class _SlotInstance:
         for i in range(smr.n_servers):
             if smr.server_crashed[i]:
                 # A crashed physical server contributes no live roles to
-                # new slots either.
+                # new slots either; crash() (not a bare flag) so a later
+                # recover_server restarts these roles uniformly.
                 qs = QuorumServer(("qs", slot, i))
-                qs.crashed = True
+                qs.crash()
                 acc = PaxosAcceptor(("acc", slot, i))
-                acc.crashed = True
+                acc.crash()
                 coord = PaxosCoordinator(
                     ("coord", slot, i),
                     rank=i,
                     n_coordinators=smr.n_servers,
                     acceptors=[("acc", slot, j) for j in range(smr.n_servers)],
                 )
-                coord.crashed = True
+                coord.crash()
             else:
                 qs = QuorumServer(("qs", slot, i))
                 acc = PaxosAcceptor(("acc", slot, i))
@@ -120,11 +124,19 @@ class SpeculativeSMR:
         delay: Any = 1.0,
         loss_rate: float = 0.0,
         quorum_timeout: float = 6.0,
+        duplicate_rate: float = 0.0,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         self.sim = Simulator(seed=seed)
-        self.network = Network(self.sim, delay=delay, loss_rate=loss_rate)
+        self.network = Network(
+            self.sim,
+            delay=delay,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+        )
         self.n_servers = n_servers
         self.quorum_timeout = quorum_timeout
+        self.backoff = backoff
         self.server_crashed = [False] * n_servers
         self.slots: Dict[int, _SlotInstance] = {}
         self.log: Dict[int, Hashable] = {}
@@ -155,6 +167,25 @@ class SpeculativeSMR:
                         self.network.processes[pid].crash()
 
         self.sim.schedule(max(0.0, at - self.sim.now), do_crash)
+
+    def recover_server(self, index: int, at: float = 0.0) -> None:
+        """Restart a physical server: its roles in every current slot
+        recover with their durable state (the acceptors' Paxos triples,
+        the quorum servers' sticky acceptances), and slots created from
+        now on host live roles again."""
+
+        def do_recover() -> None:
+            self.server_crashed[index] = False
+            for slot in self.slots.values():
+                for pid in (
+                    ("qs", slot.slot, index),
+                    ("acc", slot.slot, index),
+                    ("coord", slot.slot, index),
+                ):
+                    if pid in self.network.processes:
+                        self.network.processes[pid].recover()
+
+        self.sim.schedule(max(0.0, at - self.sim.now), do_recover)
 
     def _ensure_slot(self, slot: int) -> _SlotInstance:
         if slot not in self.slots:
@@ -188,10 +219,19 @@ class SpeculativeSMR:
                     coordinators=instance.coordinator_pids,
                     n_acceptors=self.n_servers,
                     on_decide=lambda winner: settle(slot, winner, switched=True),
+                    backoff=self.backoff,
+                    on_give_up=on_give_up,
                 )
                 self.network.register(backup)
                 instance.register_learner(self, backup.pid)
                 backup.switch_to_backup(switch_value)
+
+            def on_give_up() -> None:
+                # The slot is unreachable within the retry budget; the
+                # command reports failure rather than probing further
+                # slots against the same dead cluster.
+                outcome.gave_up = True
+                outcome.give_up_time = self.sim.now
 
             def settle(slot: int, winner: Hashable, switched: bool) -> None:
                 instance = self.slots[slot]
@@ -200,12 +240,15 @@ class SpeculativeSMR:
                     self.log[slot] = winner
                 advance(slot, instance.decided)
 
+            timeout = self.quorum_timeout
+            if self.backoff is not None:
+                timeout = self.backoff.delay(0, key=("qcli", uid))
             quorum = QuorumClient(
                 ("qcli", uid),
                 servers=instance.quorum_pids,
                 on_decide=on_decide,
                 on_switch=on_switch,
-                timeout=self.quorum_timeout,
+                timeout=timeout,
             )
             self.network.register(quorum)
             quorum.propose(command)

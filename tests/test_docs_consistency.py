@@ -41,7 +41,7 @@ def resolve(dotted):
 
 @pytest.mark.parametrize(
     "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/THEORY.md",
-            "docs/ALGORITHMS.md"]
+            "docs/ALGORITHMS.md", "docs/RESILIENCE.md"]
 )
 def test_dotted_references_resolve(doc):
     text = doc_text(doc)
@@ -54,7 +54,8 @@ def test_dotted_references_resolve(doc):
 
 
 @pytest.mark.parametrize(
-    "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/THEORY.md"]
+    "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/THEORY.md",
+            "docs/RESILIENCE.md"]
 )
 def test_referenced_files_exist(doc):
     text = doc_text(doc)
