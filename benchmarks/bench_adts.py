@@ -86,12 +86,68 @@ def test_bench_queue_fold(benchmark):
     benchmark(adt.output, history)
 
 
+def _drive(step, adt, inputs, iterations=5_000):
+    """The checker's hot-loop shape: repeated (state, input) steps."""
+    state = adt.initial_state
+    for i in range(iterations):
+        state, _ = step(state, inputs[i % len(inputs)])
+    return state
+
+
+def hot_path_inputs():
+    return consensus_adt(), [propose("a"), propose("b"), propose("c")]
+
+
+class TestCachedStep:
+    def test_step_agrees_with_transition(self):
+        adt, inputs = hot_path_inputs()
+        state = adt.initial_state
+        for payload in inputs * 3:
+            expected = adt.transition(state, payload)
+            assert adt.step(state, payload) == expected
+            state = expected[0]
+
+    def test_step_actually_caches(self):
+        adt, inputs = hot_path_inputs()
+        adt.step.cache_clear()
+        _drive(adt.step, adt, inputs, iterations=1_000)
+        info = adt.step.cache_info()
+        assert info.hits > info.misses
+
+
+@pytest.mark.benchmark(group="adts-hot-path")
+def test_bench_transition_uncached(benchmark):
+    adt, inputs = hot_path_inputs()
+    benchmark(lambda: _drive(adt.transition, adt, inputs))
+
+
+@pytest.mark.benchmark(group="adts-hot-path")
+def test_bench_step_cached(benchmark):
+    adt, inputs = hot_path_inputs()
+    adt.step.cache_clear()
+    benchmark(lambda: _drive(adt.step, adt, inputs))
+
+
 def main():
+    import time
+
     n = figure1_census()
     print(f"F1: Figure 1 semantics verified on {n} (history, index) pairs")
     m = universal_derivation_census()
     print(
         f"    universal-ADT derivation (Section 6) verified on {m} histories"
+    )
+    adt, inputs = hot_path_inputs()
+    adt.step.cache_clear()
+    t0 = time.time()
+    _drive(adt.transition, adt, inputs, iterations=50_000)
+    uncached = time.time() - t0
+    t0 = time.time()
+    _drive(adt.step, adt, inputs, iterations=50_000)
+    cached = time.time() - t0
+    print(
+        f"    hot-path step: transition {uncached:.3f}s vs lru_cache'd "
+        f"step {cached:.3f}s ({uncached / cached:.1f}x)"
     )
 
 

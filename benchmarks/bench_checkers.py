@@ -10,6 +10,11 @@ Two artifacts:
   DFS vs Wing-Gong reordering search) as trace length grows — the design
   choice called out in DESIGN.md.
 
+The census also runs the P-compositional fast path
+(:mod:`repro.core.fastcheck`); its column must match the complete
+checkers on every family — including the multi-object product family,
+where it actually decomposes.
+
 Run standalone:  python benchmarks/bench_checkers.py
 """
 
@@ -25,21 +30,35 @@ from helpers import random_wellformed_trace  # noqa: E402
 
 from repro.core.adt import (  # noqa: E402
     consensus_adt,
+    counter_adt,
     deq,
     enq,
+    product_adt,
     propose,
     queue_adt,
     reg_read,
     reg_write,
     register_adt,
+    tag_object,
 )
 from repro.core.classical import is_linearizable_classical  # noqa: E402
+from repro.core.fastcheck import is_linearizable_fast  # noqa: E402
 from repro.core.linearizability import is_linearizable  # noqa: E402
 
 FAMILIES = [
     ("consensus", consensus_adt(), [propose("a"), propose("b")]),
     ("register", register_adt(), [reg_read(), reg_write(1), reg_write(2)]),
     ("queue", queue_adt(), [enq(1), enq(2), deq()]),
+    (
+        "product",
+        product_adt({"reg": register_adt(), "cnt": counter_adt()}),
+        [
+            tag_object("reg", reg_read()),
+            tag_object("reg", reg_write(1)),
+            tag_object("cnt", ("inc", 1)),
+            tag_object("cnt", ("cread",)),
+        ],
+    ),
 ]
 
 
@@ -53,11 +72,13 @@ def census_row(name, adt, inputs, n_traces=120, n_steps=8, seed=0):
     classical_accepts = sum(
         1 for t in traces if is_linearizable_classical(t, adt)
     )
+    fast_accepts = sum(1 for t in traces if is_linearizable_fast(t, adt))
     return {
         "family": name,
         "traces": n_traces,
         "new": new_accepts,
         "classical": classical_accepts,
+        "fast": fast_accepts,
     }
 
 
@@ -84,6 +105,10 @@ class TestTheorem1Census:
         for row in rows:
             assert row["new"] == row["classical"], row
 
+    def test_fast_path_agrees(self, rows):
+        for row in rows:
+            assert row["fast"] == row["new"], row
+
     def test_families_are_nontrivial(self, rows):
         # Each family contains both accepted and rejected traces, so the
         # agreement is not vacuous.
@@ -107,11 +132,14 @@ def test_bench_classical_checker(benchmark, n_steps):
 
 def main():
     print("E3: Theorem 1 agreement census (accepted / total)")
-    print(f"{'family':<12} {'new def':>10} {'classical':>10} {'total':>7}")
+    print(
+        f"{'family':<12} {'new def':>10} {'classical':>10} {'fast':>8} "
+        f"{'total':>7}"
+    )
     for row in census():
         print(
             f"{row['family']:<12} {row['new']:>10} {row['classical']:>10} "
-            f"{row['traces']:>7}"
+            f"{row['fast']:>8} {row['traces']:>7}"
         )
     print("\npaper: the two definitions are equivalent (Theorem 1)")
 

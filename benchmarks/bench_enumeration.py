@@ -20,12 +20,10 @@ import time
 
 import pytest
 
-from repro.core.adt import consensus_adt
-from repro.core.composition import check_composition_theorem
-from repro.core.enumeration import enumerate_composed_consensus_traces
-from repro.core.speculative import consensus_rinit
-
-ADT = consensus_adt()
+from repro.core.enumeration import (
+    parallel_composition_sweep,
+    sweep_composition_scope,
+)
 
 SCOPES = [
     {"clients": ["c1"], "values": ["a"], "max_len": 5},
@@ -35,35 +33,27 @@ SCOPES = [
 ]
 
 
-def sweep(scope):
-    rinit = consensus_rinit(scope["values"], max_extra=1)
-    checked = held = vacuous = falsified = 0
+def sweep(scope, jobs=1):
     t0 = time.time()
-    for trace in enumerate_composed_consensus_traces(
-        scope["clients"], scope["values"], scope["max_len"]
-    ):
-        checked += 1
-        ok, why = check_composition_theorem(trace, 1, 2, 3, ADT, rinit)
-        if not ok:
-            falsified += 1
-        elif "premise fails" in why:
-            vacuous += 1
-        else:
-            held += 1
+    if jobs > 1:
+        counts = parallel_composition_sweep(
+            scope["clients"], scope["values"], scope["max_len"], jobs=jobs
+        )
+    else:
+        counts = sweep_composition_scope(
+            scope["clients"], scope["values"], scope["max_len"]
+        )
     return {
         "clients": len(scope["clients"]),
         "values": len(scope["values"]),
         "max_len": scope["max_len"],
-        "checked": checked,
-        "held": held,
-        "vacuous": vacuous,
-        "falsified": falsified,
+        **counts,
         "seconds": time.time() - t0,
     }
 
 
-def table():
-    return [sweep(scope) for scope in SCOPES]
+def table(jobs=1):
+    return [sweep(scope, jobs=jobs) for scope in SCOPES]
 
 
 class TestSweeps:
@@ -90,13 +80,13 @@ def test_bench_exhaustive_small_scope(benchmark):
     benchmark(sweep, SCOPES[0])
 
 
-def main():
+def main(jobs=1):
     print("Exhaustive Theorem-5 sweeps (trace level)")
     print(
         f"{'clients':>8} {'values':>7} {'len':>4} {'checked':>8} "
         f"{'held':>6} {'vacuous':>8} {'falsified':>10} {'seconds':>8}"
     )
-    for row in table():
+    for row in table(jobs=jobs):
         print(
             f"{row['clients']:>8} {row['values']:>7} {row['max_len']:>4} "
             f"{row['checked']:>8} {row['held']:>6} {row['vacuous']:>8} "
@@ -106,4 +96,8 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=1)
+    main(jobs=parser.parse_args().jobs)

@@ -15,18 +15,19 @@ values flowing across the phase boundary.
 Run standalone:  python benchmarks/bench_ioa.py
 """
 
-import time
-
 import pytest
 
 from repro.core.actions import Switch
 from repro.ioa import (
-    ClientEnvironment,
     SpecAutomaton,
     check_trace_inclusion,
     compose_automata,
-    hide,
     reachable_states,
+)
+from repro.ioa.modelcheck import (
+    build_composition_scope as build,
+    composition_scope_row as scope_row,
+    parallel_scope_table,
 )
 from repro.ioa.refinement import phase_tag_blind
 
@@ -38,43 +39,8 @@ SCOPES = [
 ]
 
 
-def build(scope):
-    clients = scope["clients"]
-    spec12 = SpecAutomaton(1, 2, clients)
-    spec23 = SpecAutomaton(2, 3, clients)
-    env = ClientEnvironment(
-        clients, scope["inputs"], m=1, budget=scope["budget"]
-    )
-    impl = hide(
-        compose_automata(spec12, spec23, env),
-        lambda a: isinstance(a, Switch) and a.phase == 2,
-    )
-    spec = SpecAutomaton(1, 3, clients)
-    return impl, spec
-
-
-def scope_row(scope):
-    impl, spec = build(scope)
-    t0 = time.time()
-    states = len(reachable_states(impl))
-    ok, cex, pairs = check_trace_inclusion(
-        impl, spec, normalize=phase_tag_blind
-    )
-    elapsed = time.time() - t0
-    return {
-        "clients": len(scope["clients"]),
-        "inputs": len(scope["inputs"]),
-        "budget": scope["budget"],
-        "impl_states": states,
-        "pairs": pairs,
-        "included": ok,
-        "seconds": elapsed,
-        "counterexample": str(cex) if cex else "",
-    }
-
-
-def table():
-    return [scope_row(scope) for scope in SCOPES]
+def table(jobs=1):
+    return parallel_scope_table(SCOPES, jobs=jobs)
 
 
 def abort_value_census(scope):
@@ -182,13 +148,13 @@ def test_bench_reachability(benchmark):
     benchmark(lambda: len(reachable_states(impl)))
 
 
-def main():
+def main(jobs=1):
     print("E6: model-checked composition theorem (trace inclusion)")
     print(
         f"{'clients':>8} {'inputs':>7} {'budget':>7} {'impl states':>12} "
         f"{'pairs':>8} {'included':>9} {'seconds':>8}"
     )
-    for row in table():
+    for row in table(jobs=jobs):
         print(
             f"{row['clients']:>8} {row['inputs']:>7} {row['budget']:>7} "
             f"{row['impl_states']:>12} {row['pairs']:>8} "
@@ -200,4 +166,8 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=1)
+    main(jobs=parser.parse_args().jobs)

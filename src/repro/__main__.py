@@ -6,12 +6,16 @@ Usage::
     python -m repro all          # run every harness
     python -m repro e1 e6        # run selected experiments
     python -m repro examples     # run the example scripts
-    python -m repro nemesis [N] [BASE_SEED]   # fault campaign (default 20 0)
+    python -m repro nemesis [N] [BASE_SEED] [--jobs N]  # fault campaign
+    python -m repro harness [--quick|--full] [...]      # benchmark harness
 
 Each experiment prints the table/series described in EXPERIMENTS.md.
 ``nemesis`` prints one line per run — verdict, degradation metrics,
 network counters and the full fault schedule with its seed — so any run
-can be reproduced from its printed line alone.
+can be reproduced from its printed line alone; ``--jobs N`` fans the
+runs across N processes without changing a single output line.
+``harness`` runs the benchmark regression harness
+(``benchmarks/harness.py``), writing machine-readable ``BENCH_*.json``.
 """
 
 from __future__ import annotations
@@ -63,18 +67,44 @@ def run_nemesis(argv) -> int:
     """Run a fault-injection campaign, one replayable line per run."""
     from repro.faults import run_campaign
 
+    usage = "usage: python -m repro nemesis [N] [BASE_SEED] [--jobs N]"
+    jobs = 1
+    positional = []
+    it = iter(argv)
     try:
-        n_schedules = int(argv[0]) if argv else 20
-        base_seed = int(argv[1]) if len(argv) > 1 else 0
-    except ValueError:
-        print("usage: python -m repro nemesis [N] [BASE_SEED]")
+        for arg in it:
+            if arg == "--jobs":
+                jobs = int(next(it))
+            elif arg.startswith("--jobs="):
+                jobs = int(arg.split("=", 1)[1])
+            else:
+                positional.append(int(arg))
+    except (ValueError, StopIteration):
+        print(usage)
         return 1
+    if len(positional) > 2:
+        print(usage)
+        return 1
+    n_schedules = positional[0] if positional else 20
+    base_seed = positional[1] if len(positional) > 1 else 0
     report = run_campaign(
-        n_schedules=n_schedules, base_seed=base_seed, verbose=True
+        n_schedules=n_schedules,
+        base_seed=base_seed,
+        verbose=True,
+        jobs=jobs,
     )
     print()
     print(report.summary())
     return 0 if report.all_linearizable else 1
+
+
+def run_harness(argv) -> int:
+    """Run the benchmark regression harness (benchmarks/harness.py)."""
+    path = os.path.join(ROOT, "benchmarks", "harness.py")
+    spec = importlib.util.spec_from_file_location("harness", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.main(argv)
 
 
 def run_examples() -> None:
@@ -97,6 +127,8 @@ def main(argv) -> int:
         return 0
     if args[0] == "nemesis":
         return run_nemesis(args[1:])
+    if args[0] == "harness":
+        return run_harness(argv[1:])
     if args == ["all"]:
         args = list(EXPERIMENTS)
     for arg in args:

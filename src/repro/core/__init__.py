@@ -20,6 +20,7 @@ from .actions import (
 )
 from .adt import (
     ADT,
+    PartitionSpec,
     cas_register_adt,
     consensus_adt,
     counter_adt,
@@ -48,6 +49,14 @@ from .enumeration import (
     enumerate_composed_consensus_traces,
     enumerate_consensus_phase_traces,
     enumerate_phase_traces,
+    parallel_composition_sweep,
+    sweep_composition_scope,
+)
+from .fastcheck import (
+    CheckReport,
+    check_linearizable,
+    is_linearizable_fast,
+    partition_trace,
 )
 from .invariants import (
     check_first_phase_invariants,
@@ -98,11 +107,13 @@ from .traces import (
 
 __all__ = [
     "ADT",
+    "CheckReport",
     "ClassicalResult",
     "FiniteTraceProperty",
     "Invocation",
     "LinearizationResult",
     "Multiset",
+    "PartitionSpec",
     "Response",
     "RInit",
     "Signature",
@@ -115,6 +126,7 @@ __all__ = [
     "cas_register_adt",
     "check_composition_theorem",
     "check_first_phase_invariants",
+    "check_linearizable",
     "check_linearization_function",
     "check_second_phase_invariants",
     "check_theorem_2",
@@ -135,6 +147,7 @@ __all__ = [
     "inv",
     "is_linearizable",
     "is_linearizable_classical",
+    "is_linearizable_fast",
     "is_phase_wellformed",
     "is_prefix",
     "is_speculatively_linearizable",
@@ -144,6 +157,8 @@ __all__ = [
     "linearize",
     "linearize_classical",
     "longest_common_prefix",
+    "parallel_composition_sweep",
+    "partition_trace",
     "pending_invocations",
     "product_adt",
     "propose",
@@ -159,6 +174,7 @@ __all__ = [
     "speculatively_linearize",
     "stack_adt",
     "strip_phase_tags",
+    "sweep_composition_scope",
     "swi",
     "tag_object",
     "universal_adt",

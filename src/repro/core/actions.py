@@ -31,7 +31,7 @@ Output = Hashable
 SwitchValue = Hashable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Invocation:
     """The paper's ``inv(c, n, in)`` action."""
 
@@ -43,7 +43,7 @@ class Invocation:
         return f"inv({self.client!r}, {self.phase}, {self.input!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Response:
     """The paper's ``res(c, n, in, out)`` action."""
 
@@ -59,7 +59,7 @@ class Response:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Switch:
     """The paper's ``swi(c, n, in, v)`` action.
 

@@ -20,12 +20,49 @@ hashable and printable.
 
 from __future__ import annotations
 
+import functools
+from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable, Optional, Sequence, Tuple
 
 Input = Hashable
 Output = Hashable
 State = Hashable
 History = Tuple[Input, ...]
+
+#: bound on the per-ADT memoized transition table (:meth:`ADT.step`).
+STEP_CACHE_SIZE = 1 << 16
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A P-compositional decomposition certificate for an ADT.
+
+    Declares that the ADT is (isomorphic to) a product of independent
+    per-key components: the output of every operation depends only on the
+    sub-history of operations sharing its partition key.  By the locality
+    theorem (Herlihy–Wing, §4.3 — reproduced in ``test_locality.py``) a
+    trace of such an ADT is linearizable iff each per-key projection is
+    linearizable against its component ADT, which is what the fast-path
+    engine in :mod:`repro.core.fastcheck` exploits.
+
+    ``key_of(input)`` maps an input payload to its partition key;
+    ``component(key)`` builds the per-key ADT; ``project_input`` /
+    ``project_output`` rewrite payloads for the component's alphabet (for
+    a tagged product they strip the object tag).  Any of the callables
+    may raise on payloads outside the declared shape — the engine then
+    falls back to the monolithic checker, so an over-narrow spec costs
+    speed, never soundness.  Attaching a spec is a *semantic claim*:
+    only attach it when the per-key independence genuinely holds.
+    """
+
+    key_of: Callable[[Input], Hashable]
+    component: Callable[[Hashable], "ADT"]
+    project_input: Callable[[Hashable, Input], Input] = (
+        lambda key, payload: payload
+    )
+    project_output: Callable[[Hashable, Output], Output] = (
+        lambda key, payload: payload
+    )
 
 
 class ADT:
@@ -38,7 +75,25 @@ class ADT:
     * ``is_input`` / ``is_output`` — payload validity predicates.
 
     The paper's output function ``f(history)`` is :meth:`output`.
+
+    ``partition`` optionally carries a :class:`PartitionSpec` declaring a
+    per-key product decomposition for the fast-path checker.  :meth:`step`
+    is the memoized hot-path transition used by the search engines; it
+    skips input validation (callers validate payloads up front) and
+    caches ``(state, input) -> (state', output)`` with an LRU bound,
+    which is sound because transitions are deterministic pure functions
+    over hashable payloads.
     """
+
+    __slots__ = (
+        "name",
+        "initial_state",
+        "_transition",
+        "_is_input",
+        "_is_output",
+        "partition",
+        "step",
+    )
 
     def __init__(
         self,
@@ -47,12 +102,15 @@ class ADT:
         transition: Callable[[State, Input], Tuple[State, Output]],
         is_input: Callable[[Input], bool],
         is_output: Callable[[Output], bool],
+        partition: Optional[PartitionSpec] = None,
     ) -> None:
         self.name = name
         self.initial_state = initial_state
         self._transition = transition
         self._is_input = is_input
         self._is_output = is_output
+        self.partition = partition
+        self.step = functools.lru_cache(maxsize=STEP_CACHE_SIZE)(transition)
 
     def transition(self, state: State, input: Input) -> Tuple[State, Output]:
         """One step of the state machine: ``(state', f-output)``."""
@@ -499,7 +557,9 @@ def product_adt(components: "dict") -> ADT:
     composition, the classical counterpart of the paper's intra-object
     composition.
     """
+    components = dict(components)
     names = tuple(sorted(components, key=repr))
+    index_of = {name: index for index, name in enumerate(names)}
 
     def is_input(payload: Input) -> bool:
         if not (isinstance(payload, tuple) and len(payload) == 2):
@@ -515,16 +575,49 @@ def product_adt(components: "dict") -> ADT:
 
     def transition(state: State, input: Input) -> Tuple[State, Output]:
         name, inner = input
-        index = names.index(name)
+        index = index_of[name]
         inner_state, inner_out = components[name].transition(
             state[index], inner
         )
         new_state = state[:index] + (inner_state,) + state[index + 1 :]
         return new_state, (name, inner_out)
 
+    def key_of(payload: Input) -> Hashable:
+        name, _inner = payload
+        if name not in components:
+            raise KeyError(name)
+        return name
+
+    def project_in(key: Hashable, payload: Input) -> Input:
+        name, inner = payload
+        if name != key:
+            raise ValueError(f"payload {payload!r} is not tagged {key!r}")
+        return inner
+
+    def project_out(key: Hashable, payload: Output) -> Output:
+        name, inner = payload
+        if name != key:
+            raise ValueError(f"output {payload!r} is not tagged {key!r}")
+        return inner
+
     initial = tuple(components[name].initial_state for name in names)
     label = "x".join(str(components[name].name) for name in names)
-    return ADT(f"product({label})", initial, transition, is_input, is_output)
+    # Components evolve independently by construction, so the product
+    # carries its own P-compositional certificate: key = the object tag.
+    spec = PartitionSpec(
+        key_of=key_of,
+        component=components.__getitem__,
+        project_input=project_in,
+        project_output=project_out,
+    )
+    return ADT(
+        f"product({label})",
+        initial,
+        transition,
+        is_input,
+        is_output,
+        partition=spec,
+    )
 
 
 def tag_object(name: Hashable, payload: Input) -> Input:

@@ -140,6 +140,89 @@ def count_traces(iterator: Iterator[Trace]) -> int:
     return sum(1 for _ in iterator)
 
 
+def sweep_composition_scope(
+    clients: Sequence[Hashable],
+    values: Sequence[Hashable],
+    max_len: int,
+    shard: Optional[Tuple[int, int]] = None,
+) -> dict:
+    """Check Theorem 5 on every composed consensus trace of one scope.
+
+    Returns counters: ``checked`` (traces examined), ``held`` (premises
+    and conclusion hold), ``vacuous`` (some premise fails), ``falsified``
+    (premises hold, conclusion fails — must be zero).
+
+    ``shard=(index, total)`` checks only the traces whose enumeration
+    position is ``index`` modulo ``total``.  Enumeration order is
+    deterministic, so the shards partition the scope exactly and their
+    counters sum to the unsharded run — this is the unit of work
+    :func:`parallel_composition_sweep` fans out.
+    """
+    from .adt import consensus_adt
+    from .composition import check_composition_theorem
+    from .speculative import consensus_rinit
+
+    adt = consensus_adt()
+    rinit = consensus_rinit(list(values), max_extra=1)
+    index, total = shard if shard is not None else (0, 1)
+    checked = held = vacuous = falsified = 0
+    for position, trace in enumerate(
+        enumerate_composed_consensus_traces(clients, values, max_len)
+    ):
+        if position % total != index:
+            continue
+        checked += 1
+        ok, why = check_composition_theorem(trace, 1, 2, 3, adt, rinit)
+        if not ok:
+            falsified += 1
+        elif "premise fails" in why:
+            vacuous += 1
+        else:
+            held += 1
+    return {
+        "checked": checked,
+        "held": held,
+        "vacuous": vacuous,
+        "falsified": falsified,
+    }
+
+
+def _sweep_shard(job: Tuple) -> dict:
+    """Spawn-safe worker: one shard of :func:`sweep_composition_scope`."""
+    clients, values, max_len, index, total = job
+    return sweep_composition_scope(
+        clients, values, max_len, shard=(index, total)
+    )
+
+
+def parallel_composition_sweep(
+    clients: Sequence[Hashable],
+    values: Sequence[Hashable],
+    max_len: int,
+    jobs: int = 1,
+) -> dict:
+    """The Theorem-5 sweep of one scope, sharded across processes.
+
+    Splits the enumeration into ``jobs`` interleaved shards (see
+    :func:`sweep_composition_scope`), runs them via
+    :func:`repro.engine.parallel_map`, and sums the counters — the merged
+    result equals the serial sweep for any ``jobs``.
+    """
+    from .. import engine
+
+    total = max(1, jobs)
+    shards = [
+        (tuple(clients), tuple(values), max_len, index, total)
+        for index in range(total)
+    ]
+    partials = engine.parallel_map(_sweep_shard, shards, jobs=total)
+    merged = {"checked": 0, "held": 0, "vacuous": 0, "falsified": 0}
+    for partial in partials:
+        for key in merged:
+            merged[key] += partial[key]
+    return merged
+
+
 def enumerate_composed_consensus_traces(
     clients: Sequence[Hashable],
     values: Sequence[Hashable],

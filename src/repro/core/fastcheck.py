@@ -1,0 +1,222 @@
+"""Fast-path linearizability checking via P-compositionality.
+
+The monolithic search in :mod:`repro.core.linearizability` is NP-hard in
+the trace length.  But linearizability is *local* (Herlihy–Wing, §4.3 of
+the paper; ``test_locality.py``): a trace over a system of independent
+objects is linearizable iff each per-object projection is linearizable.
+Horn & Kroening's *P-compositionality* generalizes the observation to
+any partition of the operations such that outputs depend only on the
+sub-history sharing the partition key — e.g. the keys of a map.  The
+pay-off is drastic: one search over ``n`` interleaved operations becomes
+``k`` independent searches over ``n/k`` operations each, turning an
+exponential into a sum of much smaller exponentials.
+
+An ADT opts in by carrying a :class:`~repro.core.adt.PartitionSpec`
+(products built by :func:`~repro.core.adt.product_adt` and the replicated
+KV-store ADT do).  The engine:
+
+1. verifies the **whole** trace is well-formed (projections of a
+   well-formed trace are well-formed, but not conversely — a client with
+   two pending invocations on different keys is ill-formed globally while
+   every projection looks fine, so this check cannot be delegated);
+2. partitions the trace by the spec's key function, rewriting payloads
+   into each component's alphabet;
+3. checks every projection independently with the monolithic search;
+4. **falls back to the monolithic checker** whenever the trace does not
+   fit the declared partition shape (unexpected payloads, switch
+   actions, cross-tagged outputs) — the fallback is always sound, a
+   missed partition only costs speed.
+
+Soundness of step 3 is exactly the locality theorem: real-time order
+between same-key operations is preserved by projection (projection keeps
+relative order), and per-key witnesses merge into a global witness
+because distinct keys never constrain each other — the trace is a trace
+of the product of the components, and the product of linearizable parts
+is linearizable.  The equivalence with the monolithic verdict is tested
+over random multi-object trace families in ``tests/test_fastcheck.py``,
+including a non-local mutant ADT that must force the fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from .actions import Invocation, Response
+from .adt import ADT, PartitionSpec
+from .linearizability import LinearizationResult, linearize
+from .traces import Trace, is_wellformed
+
+MONOLITHIC = "monolithic"
+COMPOSITIONAL = "compositional"
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """Verdict plus how it was obtained.
+
+    ``strategy`` is :data:`COMPOSITIONAL` when the P-compositional
+    decomposition applied, :data:`MONOLITHIC` otherwise.  ``parts`` lists
+    ``(key, action_count)`` per partition (empty for monolithic runs).
+    On a compositional success the result carries no merged witness
+    (``witness is None``) — per-part witnesses exist but renumbering them
+    into global trace positions is not needed by any caller; the verdict
+    and ``unknown`` flag are authoritative.
+    """
+
+    result: LinearizationResult
+    strategy: str
+    parts: Tuple[Tuple[Hashable, int], ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    @property
+    def unknown(self) -> bool:
+        return self.result.unknown
+
+    def __bool__(self) -> bool:
+        return self.result.ok
+
+
+class _Unpartitionable(Exception):
+    """Internal: the trace does not fit the declared partition shape."""
+
+
+def partition_trace(
+    trace: Trace, spec: PartitionSpec
+) -> Optional[Dict[Hashable, Trace]]:
+    """Split ``trace`` into per-key projections, or None when it doesn't fit.
+
+    Every action must be an invocation or a response whose payloads the
+    spec can key and project; anything else (switch actions, unexpected
+    payload shapes, a response whose output is tagged with a different
+    key than its input) makes the whole trace unpartitionable and the
+    caller falls back to the monolithic checker.
+    """
+    parts: Dict[Hashable, List] = {}
+    try:
+        for action in trace:
+            if isinstance(action, Invocation):
+                key = spec.key_of(action.input)
+                parts.setdefault(key, []).append(
+                    Invocation(
+                        action.client,
+                        action.phase,
+                        spec.project_input(key, action.input),
+                    )
+                )
+            elif isinstance(action, Response):
+                key = spec.key_of(action.input)
+                parts.setdefault(key, []).append(
+                    Response(
+                        action.client,
+                        action.phase,
+                        spec.project_input(key, action.input),
+                        spec.project_output(key, action.output),
+                    )
+                )
+            else:
+                raise _Unpartitionable(action)
+    except _Unpartitionable:
+        return None
+    except Exception:
+        # The spec's callables reject the payload shape: not partitionable.
+        return None
+    return {key: Trace(actions) for key, actions in parts.items()}
+
+
+def check_linearizable(
+    trace: Trace,
+    adt: ADT,
+    node_limit: Optional[int] = None,
+    state_limit: Optional[int] = None,
+) -> CheckReport:
+    """Linearizability with the P-compositional fast path.
+
+    Equivalent to ``linearize(trace, adt, ...)`` in verdict, but when the
+    ADT carries a partition spec and the trace fits it, each per-key
+    projection is checked independently — the budgets then apply *per
+    projection*.  Verdict semantics on decomposed runs: any failing part
+    fails the trace (with the offending key in the reason); if no part
+    fails but some part blew its ``state_limit``, the whole verdict is
+    ``unknown``.
+    """
+    spec = adt.partition
+    if spec is None:
+        return CheckReport(
+            result=linearize(
+                trace, adt, node_limit=node_limit, state_limit=state_limit
+            ),
+            strategy=MONOLITHIC,
+        )
+
+    # Global well-formedness cannot be delegated to the projections (see
+    # the module docstring); it is also what the monolithic path checks
+    # first, so verdicts stay aligned.
+    if not is_wellformed(trace):
+        return CheckReport(
+            result=LinearizationResult(
+                False, reason="trace is not well-formed"
+            ),
+            strategy=COMPOSITIONAL,
+        )
+
+    parts = partition_trace(trace, spec)
+    if parts is None:
+        return CheckReport(
+            result=linearize(
+                trace, adt, node_limit=node_limit, state_limit=state_limit
+            ),
+            strategy=MONOLITHIC,
+        )
+
+    shape = tuple(
+        (key, len(parts[key])) for key in sorted(parts, key=repr)
+    )
+    unknown_reason = ""
+    for key, _count in shape:
+        component = spec.component(key)
+        verdict = linearize(
+            parts[key],
+            component,
+            node_limit=node_limit,
+            state_limit=state_limit,
+        )
+        if verdict.unknown:
+            unknown_reason = f"partition {key!r}: {verdict.reason}"
+            continue
+        if not verdict.ok:
+            return CheckReport(
+                result=LinearizationResult(
+                    False, reason=f"partition {key!r}: {verdict.reason}"
+                ),
+                strategy=COMPOSITIONAL,
+                parts=shape,
+            )
+    if unknown_reason:
+        return CheckReport(
+            result=LinearizationResult(
+                False, unknown=True, reason=unknown_reason
+            ),
+            strategy=COMPOSITIONAL,
+            parts=shape,
+        )
+    return CheckReport(
+        result=LinearizationResult(True),
+        strategy=COMPOSITIONAL,
+        parts=shape,
+    )
+
+
+def is_linearizable_fast(
+    trace: Trace,
+    adt: ADT,
+    node_limit: Optional[int] = None,
+    state_limit: Optional[int] = None,
+) -> bool:
+    """Boolean convenience wrapper around :func:`check_linearizable`."""
+    return check_linearizable(
+        trace, adt, node_limit=node_limit, state_limit=state_limit
+    ).result.ok

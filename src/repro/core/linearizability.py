@@ -39,14 +39,35 @@ Two artifacts live here:
    (appending its input and checking Explains + Validity) or *interleaves*
    the input of another invocation (e.g. one that remains pending).  The
    search is exponential in the worst case — linearizability checking is
-   NP-hard — but memoization on (master, committed) states keeps it fast at
-   the trace sizes used by tests and benchmarks.
+   NP-hard — but three engine-level optimizations keep it fast far beyond
+   the trace sizes the tests use:
+
+   * **incremental counters** — Validity is decided in O(1) per candidate
+     by tracking, per input, how many copies the master history has
+     consumed and the trace position at which the next copy becomes
+     available, instead of rebuilding an ``elems`` multiset at every step;
+   * **state caching** (Lowe-style) — the memo key is
+     ``(ADT state, committed set, consumed-input counts)`` rather than the
+     full master history: two masters that are permutations of each other
+     reaching the same ADT state are explored once;
+   * **a cheap pre-pass** (:func:`prepass_reject`) rejects traces that
+     fail locally-checkable necessary conditions — Explains on forced
+     singleton commit histories, and consistency of the must-commit-before
+     order — without entering the exponential search at all.
+
+   Search effort is bounded two ways: ``node_limit`` raises
+   :class:`SearchBudgetExceeded` (the legacy contract used by the fault
+   campaigns), while ``state_limit`` bounds the memo table and makes the
+   checker report ``unknown`` (see :class:`LinearizationResult`) instead
+   of thrashing — the caller can then retry with a bigger budget or treat
+   the run as inconclusive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import (
+    Callable,
     Dict,
     FrozenSet,
     Hashable,
@@ -60,25 +81,29 @@ from typing import (
 
 from .actions import Input, Invocation, Response
 from .adt import ADT, History
-from .multisets import Multiset, elems
+from .multisets import elems
 from .sequences import is_strict_prefix
 from .traces import Trace, inputs, is_wellformed
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinearizationResult:
     """Outcome of a linearizability check.
 
     ``ok`` is the verdict; on success ``witness`` maps each response index
     (0-based position in the trace) to its commit history, and ``master``
     is the longest commit history (the full linearization).  On failure
-    ``reason`` holds a human-readable explanation.
+    ``reason`` holds a human-readable explanation.  ``unknown`` is set
+    when the search gave up against an explicit ``state_limit`` budget
+    rather than proving non-linearizability: ``ok`` is False but the
+    verdict is *inconclusive*, not a violation.
     """
 
     ok: bool
     witness: Optional[Mapping[int, History]] = None
     master: Optional[History] = None
     reason: str = ""
+    unknown: bool = False
 
     def __bool__(self) -> bool:
         return self.ok
@@ -233,18 +258,98 @@ class _SearchContext:
     responses: List[int]
     # Position of the invocation answered by each response position.
     inv_pos: Dict[int, int]
-    # Multiset of inputs invoked strictly before each response position.
-    before: Dict[int, Multiset]
-    # Multiset of all invocation inputs in the trace.
-    available: Multiset
-    visited: Set[Tuple[History, FrozenSet[int]]] = field(default_factory=set)
+    # Trace positions of the invocations of each input, in trace order:
+    # the c-th copy of input e becomes available to a commit history at
+    # any response position strictly after ``inv_positions[e][c-1]``.
+    inv_positions: Dict[Input, Tuple[int, ...]]
+    # One cached ADT step function (unvalidated; inputs are pre-checked).
+    step: "Callable"
+    visited: Set[Tuple[Hashable, FrozenSet[int], FrozenSet]] = field(
+        default_factory=set
+    )
     witness: Dict[int, History] = field(default_factory=dict)
+    # Number of copies of each input consumed by the current master
+    # history, maintained incrementally (no per-step multiset rebuilds).
+    used: Dict[Input, int] = field(default_factory=dict)
     nodes: int = 0
     node_limit: Optional[int] = None
+    state_limit: Optional[int] = None
 
 
 class SearchBudgetExceeded(RuntimeError):
     """Raised when the linearization search exceeds its node budget."""
+
+
+class _StateBudgetExceeded(Exception):
+    """Internal: the memo table outgrew ``state_limit`` (-> unknown)."""
+
+
+def _must_precede_cycle(
+    responses: Sequence[int], inv_pos: Mapping[int, int]
+) -> Optional[Tuple[int, int]]:
+    """A cycle in the must-commit-before order, or None.
+
+    ``i`` must commit strictly before ``j`` whenever the response at ``i``
+    precedes the invocation answered at ``j`` (the Real-Time Order
+    repair).  For positions extracted from an actual trace this order is
+    acyclic by construction (``inv_pos[i] <= i`` always), so this check
+    is a defensive guard for callers that supply their own pairing — a
+    cycle makes the strict-prefix chain impossible, so the search would
+    otherwise burn its whole budget proving the obvious.
+    """
+    for i in responses:
+        for j in responses:
+            if i != j and i < inv_pos[j] and j < inv_pos[i]:
+                return (i, j)
+    return None
+
+
+def prepass_reject(
+    trace: Trace,
+    adt: ADT,
+    responses: Sequence[int],
+    inv_pos: Mapping[int, int],
+) -> Optional[str]:
+    """Locally-checkable necessary conditions, tried before the search.
+
+    Returns a rejection reason, or None when the trace survives.  Two
+    families of O(n^2)-cheap checks:
+
+    * **Explains on singleton candidates** — a response preceded by
+      exactly one invocation has its commit history forced to the
+      singleton of its own input, so Explains can be decided outright;
+    * **must-commit-before consistency** — the Real-Time Order repair
+      induces a strict order on commit indices; a cycle in it (possible
+      only with a caller-supplied pairing) is rejected without search.
+
+    Both are *necessary* conditions: rejecting here never changes the
+    verdict, it only skips the exponential search.
+    """
+    cycle = _must_precede_cycle(responses, inv_pos)
+    if cycle is not None:
+        i, j = cycle
+        return (
+            f"must-commit-before order has a cycle between responses "
+            f"at {i} and {j}"
+        )
+    invocations_before = 0
+    position_iter = iter(sorted(responses))
+    position = next(position_iter, None)
+    for index, action in enumerate(trace.actions):
+        while position is not None and position == index:
+            if invocations_before == 1:
+                forced = (trace[position].input,)
+                if adt.output(forced) != trace[position].output:
+                    return (
+                        f"forced singleton history at {position} fails "
+                        f"Explains: f({forced!r}) = "
+                        f"{adt.output(forced)!r} but output is "
+                        f"{trace[position].output!r}"
+                    )
+            position = next(position_iter, None)
+        if isinstance(action, Invocation):
+            invocations_before += 1
+    return None
 
 
 def _search(
@@ -252,20 +357,40 @@ def _search(
     master: History,
     state: Hashable,
     committed: FrozenSet[int],
+    max_threshold: int,
 ) -> bool:
     if len(committed) == len(ctx.responses):
         return True
-    key = (master, committed)
+    # Lowe-style state caching: the subtree verdict depends only on the
+    # ADT state, the committed set, and the per-input consumption counts
+    # (Validity and feasibility are functions of counts via the
+    # availability thresholds) — not on the order of the master history.
+    key = (state, committed, frozenset(ctx.used.items()))
     if key in ctx.visited:
         return False
     ctx.visited.add(key)
+    if (
+        ctx.state_limit is not None
+        and len(ctx.visited) > ctx.state_limit
+    ):
+        raise _StateBudgetExceeded
     ctx.nodes += 1
     if ctx.node_limit is not None and ctx.nodes > ctx.node_limit:
         raise SearchBudgetExceeded(
             f"linearization search exceeded {ctx.node_limit} nodes"
         )
 
-    used = elems(master)
+    min_uncommitted = len(ctx.trace)
+    max_uncommitted = -1
+    for position in ctx.responses:
+        if position not in committed:
+            if position < min_uncommitted:
+                min_uncommitted = position
+            if position > max_uncommitted:
+                max_uncommitted = position
+
+    used = ctx.used
+    step = ctx.step
 
     # Option A: commit an uncommitted response next.
     for position in ctx.responses:
@@ -274,47 +399,62 @@ def _search(
         # Real-Time Order: a response that occurred before this
         # operation's invocation must already be committed (it must be a
         # strict prefix in the chain, and the DFS commits in chain order).
-        threshold = ctx.inv_pos[position]
-        if any(
-            other < threshold and other not in committed
-            for other in ctx.responses
-        ):
+        if min_uncommitted < ctx.inv_pos[position]:
             continue
         action = ctx.trace[position]
-        extended = master + (action.input,)
-        # Validity: the extended history must be drawn from the inputs
-        # invoked before `position`.
-        if not elems(extended).issubset(ctx.before[position]):
+        payload = action.input
+        copies = used.get(payload, 0) + 1
+        positions = ctx.inv_positions.get(payload, ())
+        if copies > len(positions):
             continue
-        new_state, output = ctx.adt.transition(state, action.input)
+        # Validity in O(1): the extended history fits the inputs invoked
+        # before `position` iff every consumed copy was invoked strictly
+        # earlier — i.e. the latest availability threshold is < position.
+        threshold = positions[copies - 1]
+        if threshold < max_threshold:
+            threshold = max_threshold
+        if threshold >= position:
+            continue
+        new_state, output = step(state, payload)
         if output != action.output:
             continue
+        extended = master + (payload,)
         ctx.witness[position] = extended
-        if _search(ctx, extended, new_state, committed | {position}):
+        used[payload] = copies
+        if _search(
+            ctx, extended, new_state, committed | {position}, threshold
+        ):
             return True
+        if copies > 1:
+            used[payload] = copies - 1
+        else:
+            del used[payload]
         del ctx.witness[position]
 
     # Option B: interleave an invocation input without committing (needed
     # for pending invocations whose effect is visible to others, and for
     # commit histories that embed other clients' inputs before their own
-    # commit point).  Only inputs still available in the global multiset
-    # are candidates, and only while responses remain to be committed.
-    for candidate in ctx.available:
-        if used.count(candidate) >= ctx.available.count(candidate):
+    # commit point).  Only inputs with unconsumed copies are candidates,
+    # and only while some uncommitted response can still absorb them.
+    for payload, positions in ctx.inv_positions.items():
+        copies = used.get(payload, 0) + 1
+        if copies > len(positions):
             continue
-        extended = master + (candidate,)
-        # Prune: at least one uncommitted response must be able to absorb
-        # this extension (its `before` multiset must cover it).
-        feasible = any(
-            position not in committed
-            and elems(extended).issubset(ctx.before[position])
-            for position in ctx.responses
-        )
-        if not feasible:
+        threshold = positions[copies - 1]
+        if threshold < max_threshold:
+            threshold = max_threshold
+        if threshold >= max_uncommitted:
             continue
-        new_state, _ = ctx.adt.transition(state, candidate)
-        if _search(ctx, extended, new_state, committed):
+        new_state, _ = step(state, payload)
+        used[payload] = copies
+        if _search(
+            ctx, master + (payload,), new_state, committed, threshold
+        ):
             return True
+        if copies > 1:
+            used[payload] = copies - 1
+        else:
+            del used[payload]
 
     return False
 
@@ -323,44 +463,72 @@ def linearize(
     trace: Trace,
     adt: ADT,
     node_limit: Optional[int] = None,
+    state_limit: Optional[int] = None,
 ) -> LinearizationResult:
     """Search for a linearization function for ``trace`` (Definition 5).
 
     Returns a :class:`LinearizationResult`; on success the witness can be
     re-validated with :func:`check_linearization_function`.  ``node_limit``
-    optionally bounds the search (raising :class:`SearchBudgetExceeded`)
-    for use in benchmarks.
+    optionally bounds the search (raising :class:`SearchBudgetExceeded`,
+    the legacy contract); ``state_limit`` bounds the memo table instead
+    and returns an ``unknown`` result rather than raising, so callers can
+    treat a blown budget as inconclusive without exception plumbing.
+
+    All invocation inputs must belong to the ADT's input set: a trace
+    containing an invocation outside ``I_T`` is not a trace of ``sigT``
+    at all (Section 4.2) and is rejected outright.
     """
     if not is_wellformed(trace):
         return LinearizationResult(False, reason="trace is not well-formed")
 
     responses = _response_positions(trace)
-    if not responses:
-        return LinearizationResult(True, witness={}, master=())
-
+    inv_positions: Dict[Input, List[int]] = {}
+    for index, action in enumerate(trace.actions):
+        if isinstance(action, Invocation):
+            if not adt.is_input(action.input):
+                return LinearizationResult(
+                    False, reason=f"invalid ADT input at index {index}"
+                )
+            inv_positions.setdefault(action.input, []).append(index)
     for position in responses:
         action = trace[position]
         if not adt.is_input(action.input):
             return LinearizationResult(
                 False, reason=f"invalid ADT input at index {position}"
             )
+    if not responses:
+        return LinearizationResult(True, witness={}, master=())
 
-    before = {
-        position: elems(inputs(trace, position)) for position in responses
-    }
-    available = elems(
-        [a.input for a in trace if isinstance(a, Invocation)]
-    )
+    inv_pos = invocation_positions(trace)
+    reason = prepass_reject(trace, adt, responses, inv_pos)
+    if reason is not None:
+        return LinearizationResult(False, reason=f"pre-pass: {reason}")
+
     ctx = _SearchContext(
         trace=trace,
         adt=adt,
         responses=responses,
-        inv_pos=invocation_positions(trace),
-        before=before,
-        available=available,
+        inv_pos=inv_pos,
+        inv_positions={
+            payload: tuple(indices)
+            for payload, indices in inv_positions.items()
+        },
+        step=adt.step,
         node_limit=node_limit,
+        state_limit=state_limit,
     )
-    if _search(ctx, (), adt.initial_state, frozenset()):
+    try:
+        found = _search(ctx, (), adt.initial_state, frozenset(), -1)
+    except _StateBudgetExceeded:
+        return LinearizationResult(
+            False,
+            unknown=True,
+            reason=(
+                f"linearization search exceeded the {state_limit}-state "
+                f"memo budget; verdict unknown"
+            ),
+        )
+    if found:
         witness = dict(ctx.witness)
         master = max(witness.values(), key=len) if witness else ()
         return LinearizationResult(True, witness=witness, master=master)
@@ -370,10 +538,15 @@ def linearize(
 
 
 def is_linearizable(
-    trace: Trace, adt: ADT, node_limit: Optional[int] = None
+    trace: Trace,
+    adt: ADT,
+    node_limit: Optional[int] = None,
+    state_limit: Optional[int] = None,
 ) -> bool:
     """Boolean convenience wrapper around :func:`linearize`."""
-    return linearize(trace, adt, node_limit=node_limit).ok
+    return linearize(
+        trace, adt, node_limit=node_limit, state_limit=state_limit
+    ).ok
 
 
 def lin_trace_property_contains(trace: Trace, adt: ADT) -> bool:

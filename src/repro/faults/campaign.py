@@ -34,8 +34,10 @@ from typing import (
 )
 
 from ..core.adt import consensus_adt
-from ..core.linearizability import SearchBudgetExceeded, linearize
+from ..core.fastcheck import check_linearizable
+from ..core.linearizability import SearchBudgetExceeded
 from ..core.traces import strip_phase_tags
+from .. import engine
 from ..mp.backoff import BackoffPolicy
 from ..mp.composed import ComposedConsensus
 from ..mp.multiphase import ThreePhaseConsensus
@@ -364,16 +366,27 @@ class SMRTarget(CampaignTarget):
 
 
 def _check(result: RunResult, trace, adt, node_limit) -> None:
-    """Run the linearizability checker and fold its verdict in."""
+    """Run the linearizability checker and fold its verdict in.
+
+    Uses the P-compositional fast path (:mod:`repro.core.fastcheck`) —
+    the KV target decomposes per key, the consensus targets fall through
+    to the monolithic search.  A blown budget (either the legacy
+    ``node_limit`` exception or an ``unknown`` verdict) marks the run
+    inconclusive rather than failing it.
+    """
     try:
-        verdict = linearize(trace, adt, node_limit=node_limit)
+        report = check_linearizable(trace, adt, node_limit=node_limit)
     except SearchBudgetExceeded as exceeded:
         result.inconclusive = True
         result.reason = str(exceeded)
         return
-    if not verdict.ok:
+    if report.unknown:
+        result.inconclusive = True
+        result.reason = report.result.reason
+        return
+    if not report.ok:
         result.ok = False
-        result.reason = verdict.reason
+        result.reason = report.result.reason
 
 
 TARGETS: Dict[str, Callable[[], CampaignTarget]] = {
@@ -476,6 +489,26 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def _build_target(name: str, n_servers: int) -> CampaignTarget:
+    target = TARGETS[name]()
+    if name != "multiphase":
+        target.n_servers = n_servers
+    return target
+
+
+def _run_campaign_job(
+    job: Tuple[str, int, bool, Optional[int], FaultSchedule]
+) -> RunResult:
+    """One (target, schedule) run, rebuilt from picklable parameters.
+
+    Module-level so spawn-started pool workers can import it; the target
+    object itself never crosses the process boundary.
+    """
+    name, n_servers, mutant, node_limit, schedule = job
+    target = _build_target(name, n_servers)
+    return target.run(schedule, mutant=mutant, node_limit=node_limit)
+
+
 def run_campaign(
     n_schedules: int = 50,
     base_seed: int = 0,
@@ -488,6 +521,7 @@ def run_campaign(
     node_limit: Optional[int] = 200_000,
     verbose: bool = False,
     emit: Callable[[str], None] = print,
+    jobs: int = 1,
 ) -> CampaignReport:
     """Run ``n_schedules`` random nemesis schedules against each target.
 
@@ -496,47 +530,58 @@ def run_campaign(
     delta-debugging and included in the report with their seeds.  With
     ``mutant=True`` the composed target swaps in the amnesiac acceptor
     (the injected safety bug) and the action mix favours recovery churn.
+
+    ``jobs > 1`` fans the (target, schedule) runs out across processes
+    via :func:`repro.engine.parallel_map`.  Each run is a pure function
+    of its seed, and results are consumed in submission order, so the
+    report — every verdict, metric, and emitted line — is byte-identical
+    to a ``jobs=1`` run.  Shrinking of any violations happens serially in
+    the parent afterwards (violations are rare; shrinking is adaptive and
+    inherently sequential).
     """
     report = CampaignReport()
     allow = MUTANT_ACTIONS if mutant else ACTION_CLASSES
+    jobs_list: List[Tuple[str, int, bool, Optional[int], FaultSchedule]] = []
     for name in targets:
-        target = TARGETS[name]()
-        if name != "multiphase":
-            target.n_servers = n_servers
+        target_servers = _build_target(name, n_servers).n_servers
         for k in range(n_schedules):
             schedule = random_schedule(
                 seed=base_seed + k,
-                n_servers=target.n_servers,
+                n_servers=target_servers,
                 horizon=horizon,
                 max_actions=max_actions,
                 allow=allow,
             )
-            result = target.run(
-                schedule, mutant=mutant, node_limit=node_limit
+            jobs_list.append(
+                (name, n_servers, mutant, node_limit, schedule)
             )
-            report.results.append(result)
-            if verbose:
-                emit(result.line())
-            if not result.ok and not result.inconclusive:
-                shrunk = schedule
-                if shrink:
+    results = engine.parallel_map(_run_campaign_job, jobs_list, jobs=jobs)
+    for job, result in zip(jobs_list, results):
+        name, _, _, _, schedule = job
+        report.results.append(result)
+        if verbose:
+            emit(result.line())
+        if not result.ok and not result.inconclusive:
+            target = _build_target(name, n_servers)
+            shrunk = schedule
+            if shrink:
 
-                    def still_fails(candidate: FaultSchedule) -> bool:
-                        probe = target.run(
-                            candidate, mutant=mutant, node_limit=node_limit
-                        )
-                        return not probe.ok and not probe.inconclusive
-
-                    shrunk = shrink_schedule(schedule, still_fails)
-                final = target.run(
-                    shrunk, mutant=mutant, node_limit=node_limit
-                )
-                report.violations.append(
-                    Violation(
-                        result=result,
-                        shrunk=shrunk,
-                        shrunk_reason=final.reason,
+                def still_fails(candidate: FaultSchedule) -> bool:
+                    probe = target.run(
+                        candidate, mutant=mutant, node_limit=node_limit
                     )
+                    return not probe.ok and not probe.inconclusive
+
+                shrunk = shrink_schedule(schedule, still_fails)
+            final = target.run(
+                shrunk, mutant=mutant, node_limit=node_limit
+            )
+            report.violations.append(
+                Violation(
+                    result=result,
+                    shrunk=shrunk,
+                    shrunk_reason=final.reason,
                 )
-                emit(report.violations[-1].report())
+            )
+            emit(report.violations[-1].report())
     return report

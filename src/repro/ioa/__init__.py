@@ -30,6 +30,11 @@ from .invariants import (
     check_inductive,
     check_invariants,
 )
+from .modelcheck import (
+    build_composition_scope,
+    composition_scope_row,
+    parallel_scope_table,
+)
 from .refinement import (
     InclusionCounterexample,
     RefinementCounterexample,
@@ -66,14 +71,17 @@ __all__ = [
     "SpecState",
     "StateSpaceBound",
     "Step",
+    "build_composition_scope",
     "check_inductive",
     "check_invariants",
     "check_refinement_mapping",
     "check_trace_inclusion",
     "compose_automata",
+    "composition_scope_row",
     "executions",
     "external_traces",
     "hide",
+    "parallel_scope_table",
     "reachable_states",
     "run_schedule",
 ]

@@ -117,6 +117,16 @@ def check_trace_inclusion(
     actions to the equivalence class used for matching (see
     :func:`phase_tag_blind`).  Returns ``(ok, counterexample,
     pairs_explored)``.
+
+    Visited pairs are deduplicated by ``(impl state, spec-state set)`` —
+    diamond-shaped automata explore linearly, not exponentially (see the
+    regression test in ``tests/test_refinement_perf.py``).  The witness
+    trace of a counterexample is rebuilt from parent pointers only on
+    failure; carrying a growing action tuple per frontier entry cost
+    O(edges × depth) copying on healthy runs.  Spec-set advances are
+    memoized per ``(spec set, action)``, which collapses the repeated
+    closure computations a diamond's re-converging paths would otherwise
+    redo.
     """
     if external is None:
         external = impl.is_external
@@ -124,31 +134,52 @@ def check_trace_inclusion(
     spec_start = _internal_closure(
         spec, frozenset(spec.initial_states())
     )
-    frontier = deque(
-        (state, spec_start, ()) for state in impl.initial_states()
-    )
+    # Parent-pointer forest over dequeued pairs: nodes[i] is
+    # (parent index, external action taken into this node or None).
+    nodes: List[Tuple[int, Optional[Action]]] = []
+    frontier: deque = deque()
+    for state in impl.initial_states():
+        nodes.append((-1, None))
+        frontier.append((state, spec_start, len(nodes) - 1))
     seen: Set[Tuple[State, FrozenSet[State]]] = {
         (state, spec_set) for state, spec_set, _ in frontier
     }
+
+    def rebuild(node: int) -> Tuple[Action, ...]:
+        actions: List[Action] = []
+        while node != -1:
+            parent, action = nodes[node]
+            if action is not None:
+                actions.append(action)
+            node = parent
+        return tuple(reversed(actions))
+
+    advance_cache: Dict[
+        Tuple[FrozenSet[State], Action], FrozenSet[State]
+    ] = {}
     explored = 0
     while frontier:
-        impl_state, spec_set, trace = frontier.popleft()
+        impl_state, spec_set, node = frontier.popleft()
         explored += 1
         for action, successor in successors(impl, impl_state, environment):
             if external(action):
-                new_spec = _advance(spec, spec_set, action, normalize)
+                cache_key = (spec_set, action)
+                new_spec = advance_cache.get(cache_key)
+                if new_spec is None:
+                    new_spec = _advance(spec, spec_set, action, normalize)
+                    advance_cache[cache_key] = new_spec
                 if not new_spec:
                     return (
                         False,
                         InclusionCounterexample(
-                            impl_state, spec_set, action, trace
+                            impl_state, spec_set, action, rebuild(node)
                         ),
                         explored,
                     )
-                new_trace = trace + (action,)
+                step: Optional[Action] = action
             else:
                 new_spec = spec_set
-                new_trace = trace
+                step = None
             key = (successor, new_spec)
             if key not in seen:
                 if max_states is not None and len(seen) >= max_states:
@@ -156,7 +187,8 @@ def check_trace_inclusion(
                         f"inclusion check exceeded {max_states} pairs"
                     )
                 seen.add(key)
-                frontier.append((successor, new_spec, new_trace))
+                nodes.append((node, step))
+                frontier.append((successor, new_spec, len(nodes) - 1))
     return True, None, explored
 
 

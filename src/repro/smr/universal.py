@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, Optional, Sequence, Tuple
 
-from ..core.adt import ADT, History, universal_adt
+from ..core.adt import ADT, History, PartitionSpec, universal_adt
 
 
 class UniversalFrontend:
@@ -56,12 +56,51 @@ def kv_delete(key: Hashable) -> Tuple:
     return ("delete", key)
 
 
+def kv_cell_adt(key: Hashable) -> ADT:
+    """The single-key component of the KV store: one cell's value.
+
+    State is the cell's current value, ``None`` meaning absent — which is
+    exactly what the full store answers for a missing key, so per-cell
+    outputs coincide with the store's outputs on the projected history.
+    """
+
+    def is_input(payload) -> bool:
+        if not isinstance(payload, tuple) or not payload:
+            return False
+        if payload[0] == "put":
+            return len(payload) == 3 and payload[1] == key
+        if payload[0] in ("get", "delete"):
+            return len(payload) == 2 and payload[1] == key
+        return False
+
+    def is_output(payload) -> bool:
+        return (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] == "value"
+        )
+
+    def transition(state, input):
+        op = input[0]
+        if op == "put":
+            return input[2], ("value", state)
+        if op == "get":
+            return state, ("value", state)
+        return None, ("value", state)
+
+    return ADT(f"kv_cell[{key!r}]", None, transition, is_input, is_output)
+
+
 def kv_store_adt() -> ADT:
     """A replicated key-value store as an ADT (the Gaios/Chubby shape the
     paper cites as consensus use cases).
 
     State is a tuple of (key, value) pairs; all commands answer
-    ``("value", previous_or_current)``.
+    ``("value", previous_or_current)``.  Every command touches exactly one
+    key and its output depends only on that key's sub-history, so the ADT
+    carries a :class:`~repro.core.adt.PartitionSpec` keyed on the command's
+    key with :func:`kv_cell_adt` components — the P-compositional checker
+    in :mod:`repro.core.fastcheck` decomposes traces per key.
     """
 
     def is_input(payload) -> bool:
@@ -95,4 +134,14 @@ def kv_store_adt() -> ADT:
         previous = mapping.pop(key, None)
         return tuple(sorted(mapping.items(), key=repr)), ("value", previous)
 
-    return ADT("kv_store", (), transition, is_input, is_output)
+    def key_of(payload):
+        if payload[0] == "put" and len(payload) == 3:
+            return payload[1]
+        if payload[0] in ("get", "delete") and len(payload) == 2:
+            return payload[1]
+        raise ValueError(f"not a kv command: {payload!r}")
+
+    partition = PartitionSpec(key_of=key_of, component=kv_cell_adt)
+    return ADT(
+        "kv_store", (), transition, is_input, is_output, partition=partition
+    )

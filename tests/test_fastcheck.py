@@ -1,0 +1,428 @@
+"""P-compositional checking agrees with the monolithic search.
+
+The fast path of :mod:`repro.core.fastcheck` decomposes traces per
+partition key (object name for products, map key for the KV store) and
+checks projections independently — sound by the locality theorem.
+These tests pin the engine to the monolithic verdict over random
+multi-object trace families, exercise the KV-store partition, force the
+monolithic fallback with a *non-local* mutant ADT whose objects secretly
+share state, and cover the budget/pre-pass plumbing of the optimized
+search itself.
+"""
+
+import random
+
+import pytest
+
+from repro.core.actions import Invocation, Response, Switch
+from repro.core.adt import (
+    ADT,
+    PartitionSpec,
+    counter_adt,
+    product_adt,
+    register_adt,
+    reg_read,
+    reg_write,
+    set_adt,
+    tag_object,
+)
+from repro.core.fastcheck import (
+    COMPOSITIONAL,
+    MONOLITHIC,
+    CheckReport,
+    check_linearizable,
+    is_linearizable_fast,
+    partition_trace,
+)
+from repro.core.linearizability import (
+    _must_precede_cycle,
+    linearize,
+    prepass_reject,
+)
+from repro.core.traces import Trace
+from repro.smr.universal import (
+    kv_cell_adt,
+    kv_delete,
+    kv_get,
+    kv_put,
+    kv_store_adt,
+)
+
+
+def product_inputs():
+    from repro.core.adt import (
+        counter_read,
+        inc,
+        set_add,
+        set_contains,
+    )
+
+    return [
+        tag_object("reg", reg_write(1)),
+        tag_object("reg", reg_read()),
+        tag_object("cnt", inc()),
+        tag_object("cnt", counter_read()),
+        tag_object("set", set_add("x")),
+        tag_object("set", set_contains("x")),
+    ]
+
+
+def random_trace(rng, adt, inputs, n_clients=3, n_steps=10, honest=0.6):
+    """Random well-formed phase-1 trace; dishonest responses use outputs
+    from a shuffled history, which usually breaks linearizability."""
+    clients = [f"c{i}" for i in range(n_clients)]
+    open_input = {c: None for c in clients}
+    state = adt.initial_state
+    actions = []
+    truthful = rng.random() < honest
+    for _ in range(n_steps):
+        client = rng.choice(clients)
+        if open_input[client] is None:
+            payload = rng.choice(inputs)
+            actions.append(Invocation(client, 1, payload))
+            open_input[client] = payload
+        else:
+            payload = open_input[client]
+            if truthful:
+                state, output = adt.transition(state, payload)
+            else:
+                history = [
+                    rng.choice(inputs) for _ in range(rng.randrange(3))
+                ] + [payload]
+                output = adt.output(tuple(history))
+            actions.append(Response(client, 1, payload, output))
+            open_input[client] = None
+    return Trace(actions)
+
+
+class TestProductAgreement:
+    def test_random_three_object_traces_agree(self):
+        adt = product_adt(
+            {
+                "reg": register_adt(),
+                "cnt": counter_adt(),
+                "set": set_adt(),
+            }
+        )
+        inputs = product_inputs()
+        rng = random.Random(42)
+        compositional_runs = 0
+        negatives = 0
+        for _ in range(200):
+            trace = random_trace(rng, adt, inputs)
+            mono = linearize(trace, adt)
+            report = check_linearizable(trace, adt)
+            assert mono.ok == report.ok, (trace, mono, report)
+            if report.strategy == COMPOSITIONAL:
+                compositional_runs += 1
+            if not mono.ok:
+                negatives += 1
+        # The family must actually exercise the fast path and contain
+        # genuine negatives, or the agreement above proves nothing.
+        assert compositional_runs > 150
+        assert negatives > 10
+
+    def test_parts_reported(self):
+        adt = product_adt({"reg": register_adt(), "cnt": counter_adt()})
+        from repro.core.adt import inc
+
+        trace = Trace(
+            [
+                Invocation("c1", 1, tag_object("reg", reg_write(5))),
+                Response(
+                    "c1", 1, tag_object("reg", reg_write(5)), ("reg", ("ok",))
+                ),
+                Invocation("c2", 1, tag_object("cnt", inc())),
+                Response(
+                    "c2", 1, tag_object("cnt", inc()), ("cnt", ("count", 0))
+                ),
+            ]
+        )
+        report = check_linearizable(trace, adt)
+        assert report.ok
+        assert report.strategy == COMPOSITIONAL
+        assert dict(report.parts) == {"reg": 2, "cnt": 2}
+
+
+class TestKVPartition:
+    def test_random_kv_traces_agree(self):
+        adt = kv_store_adt()
+        inputs = [
+            kv_put("a", 1),
+            kv_put("a", 2),
+            kv_get("a"),
+            kv_delete("a"),
+            kv_put("b", 7),
+            kv_get("b"),
+        ]
+        rng = random.Random(9)
+        for _ in range(200):
+            trace = random_trace(rng, adt, inputs, n_steps=8)
+            mono = linearize(trace, adt)
+            report = check_linearizable(trace, adt)
+            assert mono.ok == report.ok, (trace, mono, report)
+
+    def test_cell_component_matches_store_outputs(self):
+        cell = kv_cell_adt("k")
+        state = cell.initial_state
+        state, out = cell.transition(state, kv_put("k", 5))
+        assert out == ("value", None)
+        state, out = cell.transition(state, kv_get("k"))
+        assert out == ("value", 5)
+        state, out = cell.transition(state, kv_delete("k"))
+        assert out == ("value", 5)
+        _, out = cell.transition(state, kv_get("k"))
+        assert out == ("value", None)
+
+    def test_cross_key_pending_pair_is_ill_formed_globally(self):
+        # One client with two pending invocations on different keys:
+        # every per-key projection is well-formed, the global trace is
+        # not — the engine must reject it like the monolithic checker.
+        adt = kv_store_adt()
+        trace = Trace(
+            [
+                Invocation("c1", 1, kv_put("a", 1)),
+                Invocation("c1", 1, kv_put("b", 2)),
+            ]
+        )
+        mono = linearize(trace, adt)
+        report = check_linearizable(trace, adt)
+        assert not mono.ok
+        assert not report.ok
+        assert "well-formed" in report.result.reason
+
+
+def linked_registers_adt():
+    """A *non-local* mutant: two named registers where writing either
+    one writes both.  It reuses the product alphabet (inputs tagged
+    "x" / "y") but outputs depend on the other object's history, so
+    per-key decomposition would be unsound here — the engine must not
+    take the fast path for it.
+    """
+    inner = register_adt()
+
+    def is_input(payload):
+        return (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] in ("x", "y")
+            and inner.is_input(payload[1])
+        )
+
+    def is_output(payload):
+        return (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] in ("x", "y")
+            and inner.is_output(payload[1])
+        )
+
+    def transition(state, input):
+        name, op = input
+        if op[0] == "write":
+            # the non-local part: one write hits both registers
+            return (op[1], op[1]), (name, ("ok",))
+        value = state[0] if name == "x" else state[1]
+        return state, (name, ("value", value))
+
+    return ADT(
+        "linked_registers", (None, None), transition, is_input, is_output
+    )
+
+
+class TestNonLocalMutantFallback:
+    def trace_write_x_read_y(self):
+        wx = ("x", reg_write(1))
+        ry = ("y", reg_read())
+        return Trace(
+            [
+                Invocation("c1", 1, wx),
+                Response("c1", 1, wx, ("x", ("ok",))),
+                Invocation("c2", 1, ry),
+                Response("c2", 1, ry, ("y", ("value", 1))),
+            ]
+        )
+
+    def test_mutant_without_spec_stays_monolithic(self):
+        adt = linked_registers_adt()
+        trace = self.trace_write_x_read_y()
+        report = check_linearizable(trace, adt)
+        assert report.strategy == MONOLITHIC
+        # Linearizable for the linked semantics: the write to x set y.
+        assert report.ok
+
+    def test_naive_partition_of_mutant_would_flip_the_verdict(self):
+        # Attach the per-name partition the alphabet *suggests* to the
+        # linked ADT: the projections disagree with the monolithic
+        # verdict, demonstrating why partition specs are a semantic
+        # claim about the ADT and not derivable from payload shapes.
+        adt = linked_registers_adt()
+        naive = ADT(
+            "linked_registers_naive",
+            adt.initial_state,
+            adt.transition,
+            adt.is_input,
+            adt.is_output,
+            partition=PartitionSpec(
+                key_of=lambda payload: payload[0],
+                component=lambda key: register_adt(),
+                project_input=lambda key, payload: payload[1],
+                project_output=lambda key, payload: payload[1],
+            ),
+        )
+        trace = self.trace_write_x_read_y()
+        assert linearize(trace, adt).ok
+        report = check_linearizable(trace, naive)
+        assert report.strategy == COMPOSITIONAL
+        assert not report.ok  # projection of y sees read(1) from nowhere
+
+
+class TestPartitionTrace:
+    def test_switch_actions_are_unpartitionable(self):
+        spec = kv_store_adt().partition
+        trace = Trace(
+            [
+                Invocation("c1", 1, kv_put("a", 1)),
+                Switch("c1", 2, kv_put("a", 1), "v"),
+            ]
+        )
+        assert partition_trace(trace, spec) is None
+        # The engine's verdict still matches the monolithic checker's
+        # (here: rejected as ill-formed for the phase-1 property).
+        report = check_linearizable(trace, kv_store_adt())
+        assert report.ok == linearize(trace, kv_store_adt()).ok
+
+    def test_unexpected_payload_shapes_fall_back(self):
+        spec = kv_store_adt().partition
+        trace = Trace([Invocation("c1", 1, ("bogus",))])
+        assert partition_trace(trace, spec) is None
+
+    def test_projection_preserves_per_key_order(self):
+        spec = kv_store_adt().partition
+        trace = Trace(
+            [
+                Invocation("c1", 1, kv_put("a", 1)),
+                Invocation("c2", 1, kv_put("b", 2)),
+                Response("c1", 1, kv_put("a", 1), ("value", None)),
+                Response("c2", 1, kv_put("b", 2), ("value", None)),
+            ]
+        )
+        parts = partition_trace(trace, spec)
+        assert set(parts) == {"a", "b"}
+        assert [type(a).__name__ for a in parts["a"].actions] == [
+            "Invocation",
+            "Response",
+        ]
+
+
+class TestBudgets:
+    def concurrent_corrupt_trace(self, n_clients=8):
+        # All clients invoke, then all respond; last read is impossible,
+        # so proving non-linearizability must exhaust the window.
+        adt = register_adt()
+        actions = [
+            Invocation(f"c{i}", 1, reg_write(i)) for i in range(n_clients)
+        ]
+        actions.append(Invocation("r", 1, reg_read()))
+        actions += [
+            Response(f"c{i}", 1, reg_write(i), ("ok",))
+            for i in range(n_clients)
+        ]
+        actions.append(Response("r", 1, reg_read(), ("value", "never")))
+        return adt, Trace(actions)
+
+    def test_state_limit_returns_unknown(self):
+        adt, trace = self.concurrent_corrupt_trace()
+        verdict = linearize(trace, adt, state_limit=10)
+        assert not verdict.ok
+        assert verdict.unknown
+        assert "state memo budget" in verdict.reason
+
+    def test_unlimited_search_settles_it(self):
+        adt, trace = self.concurrent_corrupt_trace(n_clients=5)
+        verdict = linearize(trace, adt)
+        assert not verdict.ok
+        assert not verdict.unknown
+
+    def test_unknown_propagates_through_fastcheck(self):
+        adt, trace = self.concurrent_corrupt_trace()
+        report = check_linearizable(trace, adt, state_limit=10)
+        assert report.unknown
+        assert not report.ok
+
+    def test_compositional_unknown_is_reported(self):
+        adt = kv_store_adt()
+        n = 8
+        actions = [
+            Invocation(f"c{i}", 1, kv_put("a", i)) for i in range(n)
+        ]
+        actions.append(Invocation("r", 1, kv_get("a")))
+        actions += [
+            Response(f"c{i}", 1, kv_put("a", i), ("value", "bogus"))
+            for i in range(n)
+        ]
+        actions.append(Response("r", 1, kv_get("a"), ("value", "bogus")))
+        trace = Trace(actions)
+        report = check_linearizable(trace, adt, state_limit=5)
+        assert report.unknown
+        assert "partition" in report.result.reason
+
+
+class TestPrepass:
+    def test_singleton_explains_rejection(self):
+        adt = register_adt()
+        trace = Trace(
+            [
+                Invocation("c1", 1, reg_read()),
+                Response("c1", 1, reg_read(), ("value", "ghost")),
+            ]
+        )
+        verdict = linearize(trace, adt)
+        assert not verdict.ok
+        assert verdict.reason.startswith("pre-pass:")
+
+    def test_prepass_reject_helper(self):
+        adt = register_adt()
+        trace = Trace(
+            [
+                Invocation("c1", 1, reg_read()),
+                Response("c1", 1, reg_read(), ("value", "ghost")),
+            ]
+        )
+        reason = prepass_reject(trace, adt, responses=[1], inv_pos={1: 0})
+        assert reason is not None
+        assert "Explains" in reason
+
+    def test_must_precede_cycle_helper(self):
+        # Directly drive the defensive cycle check with a caller-supplied
+        # pairing: responses at 2 and 3 each claim an invocation *after*
+        # the other's response, which no commit order can satisfy.
+        cycle = _must_precede_cycle(responses=(2, 3), inv_pos={2: 5, 3: 4})
+        assert cycle is not None
+        acyclic = _must_precede_cycle(
+            responses=(1, 3), inv_pos={1: 0, 3: 2}
+        )
+        assert acyclic is None
+
+    def test_invalid_invocation_input_is_clean_false(self):
+        adt = register_adt()
+        trace = Trace([Invocation("c1", 1, ("not-a-register-op",))])
+        verdict = linearize(trace, adt)
+        assert not verdict.ok
+        assert "invalid ADT input" in verdict.reason
+
+
+class TestReportShape:
+    def test_bool_and_properties(self):
+        adt = kv_store_adt()
+        trace = Trace(
+            [
+                Invocation("c1", 1, kv_put("a", 1)),
+                Response("c1", 1, kv_put("a", 1), ("value", None)),
+            ]
+        )
+        report = check_linearizable(trace, adt)
+        assert isinstance(report, CheckReport)
+        assert bool(report)
+        assert report.ok and not report.unknown
+        assert is_linearizable_fast(trace, adt)

@@ -1,0 +1,118 @@
+"""Performance-shape regressions for the trace-inclusion checker.
+
+The subset construction must deduplicate frontier entries by
+``(impl state, spec-state set)``: a diamond-shaped automaton has
+exponentially many paths but linearly many states, and a checker that
+enqueues per-path re-explores the diamond ``2^N`` times.  These tests
+pin the explored-pair count to the linear regime and check that the
+parent-pointer counterexample reconstruction still yields a correct
+witness trace (the old implementation carried the trace tuple on every
+frontier entry; the count-based guarantee must survive the rewrite).
+"""
+
+import pytest
+
+from repro.ioa import FunctionalAutomaton, check_trace_inclusion
+
+
+def diamond_automaton(levels, tail=(("stop",),)):
+    """A chain of ``levels`` diamonds: state i branches via action
+    ``("s", i, 0)`` or ``("s", i, 1)`` and both branches re-converge at
+    i+1.  ``tail`` actions are emitted once after the last diamond —
+    ``2**levels`` paths, ``2 * levels + len(tail) + 1`` states.
+    """
+
+    def transitions(state):
+        kind, i = state
+        if kind == "join" and i < levels:
+            yield ("s", i, 0), ("branch", i)
+            yield ("s", i, 1), ("branch", i)
+        elif kind == "branch":
+            yield ("j", i), ("join", i + 1)
+        elif kind == "join":
+            for k, action in enumerate(tail):
+                if i == levels + k:
+                    yield action, ("join", i + 1)
+
+    return FunctionalAutomaton(
+        name=f"diamond[{levels}]",
+        initial=[("join", 0)],
+        is_input=lambda a: False,
+        is_output=lambda a: True,
+        is_internal=lambda a: False,
+        transitions=transitions,
+        input_step=lambda s, a: s,
+    )
+
+
+def permissive_spec(allow):
+    """A one-state spec performing exactly the actions ``allow`` accepts."""
+
+    def transitions(state):
+        for action in allow:
+            yield action, state
+
+    return FunctionalAutomaton(
+        name="permissive",
+        initial=["*"],
+        is_input=lambda a: False,
+        is_output=lambda a: True,
+        is_internal=lambda a: False,
+        transitions=transitions,
+        input_step=lambda s, a: s,
+    )
+
+
+def diamond_alphabet(levels, tail=()):
+    actions = []
+    for i in range(levels):
+        actions += [("s", i, 0), ("s", i, 1), ("j", i)]
+    actions += list(tail)
+    return actions
+
+
+class TestDiamondDedup:
+    def test_explored_pairs_linear_not_exponential(self):
+        levels = 16  # 2**16 paths; must stay linear in levels
+        impl = diamond_automaton(levels)
+        spec = permissive_spec(diamond_alphabet(levels, tail=[("stop",)]))
+        ok, cex, explored = check_trace_inclusion(impl, spec)
+        assert ok, str(cex)
+        assert explored <= 4 * levels + 8
+
+    def test_dedup_scales_with_levels(self):
+        counts = {}
+        for levels in (8, 16):
+            impl = diamond_automaton(levels)
+            spec = permissive_spec(
+                diamond_alphabet(levels, tail=[("stop",)])
+            )
+            _, _, counts[levels] = check_trace_inclusion(impl, spec)
+        # Doubling the diamond depth must roughly double the work, not
+        # square it (exponential re-exploration would be ~256x here).
+        assert counts[16] <= 3 * counts[8]
+
+
+class TestCounterexampleWitness:
+    def test_witness_trace_reconstructed_through_diamonds(self):
+        # The spec refuses the final action: the counterexample's trace
+        # must be a genuine path through every diamond, rebuilt from
+        # parent pointers.
+        levels = 5
+        impl = diamond_automaton(levels, tail=(("bad",),))
+        spec = permissive_spec(diamond_alphabet(levels))  # no ("bad",)
+        ok, cex, _ = check_trace_inclusion(impl, spec)
+        assert not ok
+        assert cex.action == ("bad",)
+        trace = list(cex.trace)
+        assert len(trace) == 2 * levels
+        for i in range(levels):
+            assert trace[2 * i] in (("s", i, 0), ("s", i, 1))
+            assert trace[2 * i + 1] == ("j", i)
+
+    def test_immediate_failure_has_empty_trace(self):
+        impl = diamond_automaton(0, tail=(("bad",),))
+        spec = permissive_spec([])
+        ok, cex, _ = check_trace_inclusion(impl, spec)
+        assert not ok
+        assert cex.trace == ()
