@@ -1,13 +1,16 @@
-"""Command-line entry point: regenerate the paper's experiments.
+"""Command-line entry point: experiments, the fault campaign, and the
+networked runtime.
 
 Usage::
 
-    python -m repro              # list experiments
-    python -m repro all          # run every harness
+    python -m repro              # list experiments and subcommands
+    python -m repro all          # run every experiment harness
     python -m repro e1 e6        # run selected experiments
     python -m repro examples     # run the example scripts
     python -m repro nemesis [N] [BASE_SEED] [--jobs N]  # fault campaign
     python -m repro harness [--quick|--full] [...]      # benchmark harness
+    python -m repro serve --replicas 3 --port-base 9000 # TCP cluster
+    python -m repro loadgen --replicas 3 --clients 8 --ops 200 --seed 0
 
 Each experiment prints the table/series described in EXPERIMENTS.md.
 ``nemesis`` prints one line per run — verdict, degradation metrics,
@@ -16,10 +19,14 @@ can be reproduced from its printed line alone; ``--jobs N`` fans the
 runs across N processes without changing a single output line.
 ``harness`` runs the benchmark regression harness
 (``benchmarks/harness.py``), writing machine-readable ``BENCH_*.json``.
+``serve`` hosts a replica cluster on real TCP ports until interrupted;
+``loadgen`` drives a closed-loop workload against a fresh cluster and
+checks the recorded wire-level history for linearizability.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib.util
 import os
 import subprocess
@@ -38,6 +45,7 @@ EXPERIMENTS = {
     "e7": ("bench_shared_memory", "registers-vs-CAS census (RCons/CASCons)"),
     "e9": ("bench_smr", "speculative SMR / replicated KV store"),
     "e10": ("bench_faults", "nemesis campaigns / resilience under faults"),
+    "e11": ("bench_net", "2 vs 3 message delays over real TCP sockets"),
     "sweep": (
         "bench_enumeration",
         "exhaustive trace-level Theorem-5 sweeps",
@@ -53,6 +61,10 @@ EXAMPLES = [
     "custom_phase.py",
 ]
 
+#: names that dispatch to argparse subparsers; anything else is an
+#: experiment key for the implicit ``run`` subcommand
+SUBCOMMANDS = ("run", "nemesis", "harness", "serve", "loadgen")
+
 
 def run_bench(module_name: str) -> None:
     """Import a benchmark harness by path and run its main()."""
@@ -61,50 +73,6 @@ def run_bench(module_name: str) -> None:
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     module.main()
-
-
-def run_nemesis(argv) -> int:
-    """Run a fault-injection campaign, one replayable line per run."""
-    from repro.faults import run_campaign
-
-    usage = "usage: python -m repro nemesis [N] [BASE_SEED] [--jobs N]"
-    jobs = 1
-    positional = []
-    it = iter(argv)
-    try:
-        for arg in it:
-            if arg == "--jobs":
-                jobs = int(next(it))
-            elif arg.startswith("--jobs="):
-                jobs = int(arg.split("=", 1)[1])
-            else:
-                positional.append(int(arg))
-    except (ValueError, StopIteration):
-        print(usage)
-        return 1
-    if len(positional) > 2:
-        print(usage)
-        return 1
-    n_schedules = positional[0] if positional else 20
-    base_seed = positional[1] if len(positional) > 1 else 0
-    report = run_campaign(
-        n_schedules=n_schedules,
-        base_seed=base_seed,
-        verbose=True,
-        jobs=jobs,
-    )
-    print()
-    print(report.summary())
-    return 0 if report.all_linearizable else 1
-
-
-def run_harness(argv) -> int:
-    """Run the benchmark regression harness (benchmarks/harness.py)."""
-    path = os.path.join(ROOT, "benchmarks", "harness.py")
-    spec = importlib.util.spec_from_file_location("harness", path)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module.main(argv)
 
 
 def run_examples() -> None:
@@ -116,32 +84,192 @@ def run_examples() -> None:
         )
 
 
-def main(argv) -> int:
-    args = [a.lower() for a in argv]
-    if not args:
-        print(__doc__)
-        print("experiments:")
-        for key, (module, title) in EXPERIMENTS.items():
-            print(f"  {key:<4} {title}  ({module}.py)")
-        print("  examples   run the example scripts")
-        return 0
-    if args[0] == "nemesis":
-        return run_nemesis(args[1:])
-    if args[0] == "harness":
-        return run_harness(argv[1:])
-    if args == ["all"]:
-        args = list(EXPERIMENTS)
-    for arg in args:
-        if arg == "examples":
+def list_experiments() -> None:
+    print(__doc__)
+    print("experiments:")
+    for key, (module, title) in EXPERIMENTS.items():
+        print(f"  {key:<5} {title}  ({module}.py)")
+    print("  examples   run the example scripts")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run experiment harnesses by key (the historical default)."""
+    names = [name.lower() for name in args.experiments]
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    for name in names:
+        if name == "examples":
             run_examples()
             continue
-        if arg not in EXPERIMENTS:
-            print(f"unknown experiment {arg!r}; run with no args to list")
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; run with no args to list")
             return 1
-        module, title = EXPERIMENTS[arg]
-        print(f"\n{'#' * 70}\n# {arg.upper()}: {title}\n{'#' * 70}")
+        module, title = EXPERIMENTS[name]
+        print(f"\n{'#' * 70}\n# {name.upper()}: {title}\n{'#' * 70}")
         run_bench(module)
     return 0
+
+
+def cmd_nemesis(args: argparse.Namespace) -> int:
+    """Run a fault-injection campaign, one replayable line per run."""
+    from repro.faults import run_campaign
+
+    report = run_campaign(
+        n_schedules=args.n_schedules,
+        base_seed=args.base_seed,
+        verbose=True,
+        jobs=args.jobs,
+    )
+    print()
+    print(report.summary())
+    return 0 if report.all_linearizable else 1
+
+
+def cmd_harness(args: argparse.Namespace) -> int:
+    """Run the benchmark regression harness (benchmarks/harness.py)."""
+    path = os.path.join(ROOT, "benchmarks", "harness.py")
+    spec = importlib.util.spec_from_file_location("harness", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.main(args.args)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Host a replica cluster over TCP until interrupted."""
+    import asyncio
+
+    from repro.net import LocalCluster
+
+    async def serve() -> None:
+        cluster = LocalCluster(
+            n_servers=args.replicas,
+            host=args.host,
+            port_base=args.port_base,
+        )
+        await cluster.start()
+        for node in cluster.nodes:
+            print(f"  {node.endpoint} listening on {args.host}:{node.port}")
+        print("serving; interrupt to stop")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await cluster.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a closed-loop load and check the history it recorded."""
+    from repro.net import run_loadgen
+
+    report = run_loadgen(
+        replicas=args.replicas,
+        clients=args.clients,
+        ops=args.ops,
+        seed=args.seed,
+        kill=args.kill,
+        kill_after=args.kill_after,
+        op_timeout=args.op_timeout,
+        quorum_timeout=args.quorum_timeout,
+        artifact=args.artifact,
+    )
+    print(report.summary())
+    return 0 if report.linearizable else 1
+
+
+def run_nemesis(argv) -> int:
+    """Importable nemesis entry point: usage errors return 1, not exit."""
+    try:
+        args = build_parser().parse_args(["nemesis", *argv])
+    except SystemExit:
+        return 1
+    return cmd_nemesis(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="speculative-linearizability experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run experiment harnesses by key")
+    p_run.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help="experiment keys (e1..e11, f1, sweep), 'all' or 'examples'",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_nem = sub.add_parser("nemesis", help="run a fault-injection campaign")
+    p_nem.add_argument("n_schedules", nargs="?", type=int, default=20)
+    p_nem.add_argument("base_seed", nargs="?", type=int, default=0)
+    p_nem.add_argument("--jobs", type=int, default=1)
+    p_nem.set_defaults(func=cmd_nemesis)
+
+    p_har = sub.add_parser("harness", help="run the benchmark harness")
+    p_har.add_argument("args", nargs=argparse.REMAINDER)
+    p_har.set_defaults(func=cmd_harness)
+
+    p_srv = sub.add_parser("serve", help="host a TCP replica cluster")
+    p_srv.add_argument("--replicas", type=int, default=3)
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port-base", type=int, default=9000)
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="run a checked closed-loop load over TCP"
+    )
+    p_load.add_argument("--replicas", type=int, default=3)
+    p_load.add_argument("--clients", type=int, default=8)
+    p_load.add_argument("--ops", type=int, default=200)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--kill",
+        type=int,
+        default=None,
+        metavar="NODE",
+        help="kill this replica index mid-run",
+    )
+    p_load.add_argument(
+        "--kill-after",
+        type=float,
+        default=0.25,
+        help="fraction of ops committed before the kill fires",
+    )
+    p_load.add_argument("--op-timeout", type=float, default=5.0)
+    p_load.add_argument("--quorum-timeout", type=float, default=0.15)
+    p_load.add_argument(
+        "--artifact",
+        default=None,
+        help="write the history + verdict JSON artifact here",
+    )
+    p_load.set_defaults(func=cmd_loadgen)
+
+    return parser
+
+
+def main(argv) -> int:
+    if not argv:
+        list_experiments()
+        return 0
+    # argparse.REMAINDER inside a subparser cannot capture leading
+    # `-`-prefixed tokens, so the harness passthrough dispatches here.
+    if argv[0].lower() == "harness":
+        return cmd_harness(argparse.Namespace(args=list(argv[1:])))
+    # Bare experiment keys keep working: `python -m repro e1 e6` is
+    # sugar for `python -m repro run e1 e6`.
+    if argv[0].lower() not in SUBCOMMANDS and argv[0] not in ("-h", "--help"):
+        argv = ["run", *argv]
+    elif argv[0].lower() in SUBCOMMANDS:
+        argv = [argv[0].lower(), *argv[1:]]
+    args = build_parser().parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":

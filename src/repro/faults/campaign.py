@@ -100,14 +100,39 @@ class RunResult:
         """Fraction of issued operations that left their first phase."""
         return self.switched / self.total if self.total else 0.0
 
+    #: how many worst-hit links a report line names explicitly
+    LINKS_SHOWN = 3
+
+    @staticmethod
+    def _pid_label(pid) -> str:
+        """Compact link-endpoint label: ('acc', 3, 1) → acc/3/1."""
+        if isinstance(pid, tuple):
+            return "/".join(str(part) for part in pid)
+        return str(pid)
+
     def stats_line(self) -> str:
-        """Network counters as one compact token sequence."""
+        """Network counters as one compact token sequence.
+
+        Aggregate totals first; then, when any link saw a fault, the
+        worst-hit links by name — so a report line says not only *how
+        much* was lost but *where*, and stays replayable (the per-link
+        order is deterministic, see ``NetworkStats.faulty_links``).
+        """
         s = self.stats or NetworkStats()
-        return (
+        base = (
             f"sent={s.sent} delivered={s.delivered} lost={s.lost} "
             f"dup={s.duplicated} dropped={s.dropped_crashed} "
             f"cut={s.partitioned}"
         )
+        faulty = s.faulty_links()
+        if not faulty:
+            return base
+        shown = " ".join(
+            f"{self._pid_label(src)}->{self._pid_label(dst)}"
+            f"(lost={ls.lost},dup={ls.duplicated},cut={ls.partitioned})"
+            for (src, dst), ls in faulty[: self.LINKS_SHOWN]
+        )
+        return f"{base} faulty_links={len(faulty)} worst: {shown}"
 
     def line(self) -> str:
         """One replayable report line: verdict, metrics, NetworkStats,

@@ -1,0 +1,76 @@
+"""Transport-level fault injection for the asyncio TCP runtime.
+
+The simulator injects faults inside :class:`repro.mp.sim.Network`; the
+networked substrate (:mod:`repro.net.transport`) delegates the same
+decisions to a :class:`TransportFaults` object consulted once per frame,
+*before* the frame reaches a socket.  Faults are therefore injected at
+the transport layer of the real stack — a dropped frame never leaves
+the process, a cut endpoint pair behaves like a switched-off link —
+while the accounting lands in the same
+:class:`~repro.mp.sim.NetworkStats` counters the simulator uses, so
+report lines read identically across substrates.
+
+Loss is i.i.d. from a seeded :class:`random.Random` (reproducible op
+streams; wall-clock interleaving stays real).  Partitions cut pairs of
+*endpoints* (node/client names, not pids): a cut is symmetric unless
+installed one-way, and heals explicitly via :meth:`heal` — on a real
+network nothing heals by virtual-time magic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set, Tuple
+
+
+class TransportFaults:
+    """Frame-level fault decisions for :class:`AsyncTransport`.
+
+    ``verdict(src_ep, dst_ep)`` returns ``None`` (deliver), ``"lost"``
+    (drop, count as loss) or ``"cut"`` (drop, count as partitioned).
+    """
+
+    def __init__(self, seed: int = 0, loss_rate: float = 0.0) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        self.rng = random.Random(seed)
+        self.loss_rate = loss_rate
+        self._cuts: Set[Tuple[str, str]] = set()
+
+    def partition(self, a: str, b: str, symmetric: bool = True) -> None:
+        """Cut frames from endpoint ``a`` to endpoint ``b`` (and back,
+        unless ``symmetric=False`` — a one-way link failure)."""
+        self._cuts.add((a, b))
+        if symmetric:
+            self._cuts.add((b, a))
+
+    def isolate(self, endpoint: str, others) -> None:
+        """Cut ``endpoint`` off from every endpoint in ``others``."""
+        for other in others:
+            if other != endpoint:
+                self.partition(endpoint, other)
+
+    def heal(
+        self, a: Optional[str] = None, b: Optional[str] = None
+    ) -> None:
+        """Remove cuts.  No arguments heals everything; ``(a, b)`` heals
+        that pair in both directions; ``(a,)`` heals every cut touching
+        ``a``."""
+        if a is None:
+            self._cuts.clear()
+            return
+        if b is not None:
+            self._cuts.discard((a, b))
+            self._cuts.discard((b, a))
+            return
+        self._cuts = {
+            pair for pair in self._cuts if a not in pair
+        }
+
+    def verdict(self, src_ep: str, dst_ep: str) -> Optional[str]:
+        """The fate of one frame: ``None``, ``"lost"`` or ``"cut"``."""
+        if (src_ep, dst_ep) in self._cuts:
+            return "cut"
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            return "lost"
+        return None

@@ -186,13 +186,13 @@ class ComposedConsensus(_SystemBase):
 
         def on_quorum_decide(decision: Hashable) -> None:
             outcome.decided_value = decision
-            outcome.decide_time = self.sim.now
+            outcome.decide_time = self.network.now
             self.recorder.respond(client, 1, input, decide(decision))
 
         def on_quorum_switch(switch_value: Hashable) -> None:
             outcome.switched = True
             outcome.switch_value = switch_value
-            outcome.switch_time = self.sim.now
+            outcome.switch_time = self.network.now
             self.recorder.switch(client, 2, input, switch_value)
             backup = BackupClient(
                 ("bcli", index),
@@ -207,7 +207,7 @@ class ComposedConsensus(_SystemBase):
 
         def on_backup_decide(decision: Hashable) -> None:
             outcome.decided_value = decision
-            outcome.decide_time = self.sim.now
+            outcome.decide_time = self.network.now
             self.recorder.respond(client, 2, input, decide(decision))
 
         def on_backup_give_up() -> None:
@@ -215,7 +215,7 @@ class ComposedConsensus(_SystemBase):
             # trace (which linearizability permits) but the outcome says
             # so explicitly instead of hanging silently.
             outcome.gave_up = True
-            outcome.give_up_time = self.sim.now
+            outcome.give_up_time = self.network.now
 
         def start() -> None:
             self.recorder.invoke(client, 1, input)
@@ -234,7 +234,7 @@ class ComposedConsensus(_SystemBase):
             self.network.register(quorum)
             quorum.propose(value)
 
-        self.sim.schedule(at, start)
+        self.network.call_later(at, start)
         return outcome
 
     def first_phase_trace(self) -> Trace:
@@ -288,13 +288,13 @@ class QuorumOnly(_SystemBase):
 
         def on_decide(decision: Hashable) -> None:
             outcome.decided_value = decision
-            outcome.decide_time = self.sim.now
+            outcome.decide_time = self.network.now
             self.recorder.respond(client, 1, input, decide(decision))
 
         def on_switch(switch_value: Hashable) -> None:
             outcome.switched = True
             outcome.switch_value = switch_value
-            outcome.switch_time = self.sim.now
+            outcome.switch_time = self.network.now
             self.recorder.switch_out(client, 2, input, switch_value)
 
         def start() -> None:
@@ -309,7 +309,7 @@ class QuorumOnly(_SystemBase):
             self.network.register(quorum)
             quorum.propose(value)
 
-        self.sim.schedule(at, start)
+        self.network.call_later(at, start)
         return outcome
 
 
@@ -376,7 +376,7 @@ class PaxosOnly(_SystemBase):
 
         def on_decide(decision: Hashable) -> None:
             outcome.decided_value = decision
-            outcome.decide_time = self.sim.now
+            outcome.decide_time = self.network.now
             self.recorder.respond(client, 1, input, decide(decision))
 
         def start() -> None:
@@ -390,5 +390,5 @@ class PaxosOnly(_SystemBase):
             self.network.register(paxos_client)
             paxos_client.submit(value)
 
-        self.sim.schedule(at, start)
+        self.network.call_later(at, start)
         return outcome

@@ -143,7 +143,7 @@ class PaxosCoordinator(Process):
     def attach(self, network) -> None:  # noqa: D102 - inherited behaviour
         super().attach(network)
         if self._pre_prepare:
-            self.sim.schedule(0.0, self.start_prepare)
+            self.call_soon(self.start_prepare)
 
     def on_recover(self, durable) -> None:
         """A coordinator is diskless: a restart clears every in-flight

@@ -20,6 +20,14 @@ both measurable:
 
 Nothing here knows about consensus: processes are callback objects wired
 through a :class:`Network`.
+
+The :class:`Network` is also the reference implementation of the
+**substrate port** (:mod:`repro.net.port`): the protocol roles in
+:mod:`repro.mp.quorum`, :mod:`repro.mp.paxos` and :mod:`repro.mp.backup`
+reach their substrate only through ``send``, ``call_later`` and ``now``,
+so the same unchanged algorithm code runs either here (virtual time,
+deterministic) or on the asyncio TCP runtime of :mod:`repro.net`
+(wall-clock time, real sockets).
 """
 
 from __future__ import annotations
@@ -155,11 +163,15 @@ class Process:
         for dst in dsts:
             self.send(dst, message)
 
-    def set_timer(self, delay: float, callback: Callable[[], None]) -> Timer:
+    def set_timer(self, delay: float, callback: Callable[[], None]):
         """Start a timer that fires unless the process crashes first.
 
         A timer armed before a crash stays dead even if the process later
         recovers: it belonged to the lost volatile state.
+
+        Routed through the substrate port (``network.call_later``) so the
+        same protocol code runs on the simulator and on the asyncio TCP
+        runtime; the returned handle supports ``cancel()``.
         """
         epoch = self._epoch
 
@@ -167,7 +179,16 @@ class Process:
             if not self.crashed and self._epoch == epoch:
                 callback()
 
-        return Timer(self.sim, delay, guarded)
+        return self.network.call_later(delay, guarded)
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` asynchronously-soon on the substrate.
+
+        The port-level replacement for ``self.sim.schedule(0.0, ...)``:
+        on the simulator it is exactly that; on the asyncio runtime it is
+        ``loop.call_soon``-equivalent scheduling.
+        """
+        self.network.call_later(0.0, callback)
 
     def crash(self) -> None:
         """Crash: the process neither sends nor receives until recovered.
@@ -207,8 +228,29 @@ class Process:
 
 
 @dataclass
+class LinkStats:
+    """Per-link (src → dst) counters: one row of the link matrix."""
+
+    sent: int = 0
+    lost: int = 0
+    duplicated: int = 0
+    partitioned: int = 0
+
+    @property
+    def faulty(self) -> bool:
+        """True iff this link saw any fault (loss, duplication, cut)."""
+        return bool(self.lost or self.duplicated or self.partitioned)
+
+
+@dataclass
 class NetworkStats:
-    """Counters for benchmark reporting."""
+    """Counters for benchmark reporting.
+
+    Aggregate totals plus a per-link breakdown: ``links`` maps each
+    ``(src, dst)`` pid pair that ever sent a message to its
+    :class:`LinkStats`, so a campaign report can name the links a fault
+    actually hit rather than only the totals.
+    """
 
     sent: int = 0
     delivered: int = 0
@@ -216,6 +258,32 @@ class NetworkStats:
     duplicated: int = 0
     dropped_crashed: int = 0
     partitioned: int = 0
+    links: Dict[Tuple[Hashable, Hashable], LinkStats] = field(
+        default_factory=dict
+    )
+
+    def link(self, src: Hashable, dst: Hashable) -> LinkStats:
+        """The (lazily created) counters of the ``src → dst`` link."""
+        key = (src, dst)
+        stats = self.links.get(key)
+        if stats is None:
+            stats = self.links[key] = LinkStats()
+        return stats
+
+    def faulty_links(self):
+        """``((src, dst), LinkStats)`` pairs that saw faults, worst first.
+
+        Deterministically ordered: by descending total fault count, then
+        by the repr of the link key — so report lines are reproducible.
+        """
+        hit = [(k, s) for k, s in self.links.items() if s.faulty]
+        hit.sort(
+            key=lambda kv: (
+                -(kv[1].lost + kv[1].duplicated + kv[1].partitioned),
+                repr(kv[0]),
+            )
+        )
+        return hit
 
 
 @dataclass
@@ -291,6 +359,21 @@ class Network:
         process.attach(self)
         return process
 
+    # -- substrate port (shared with repro.net.transport.AsyncTransport) --
+
+    @property
+    def now(self) -> float:
+        """The substrate clock: virtual time here, wall-clock on TCP."""
+        return self.sim.now
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` after ``delay`` substrate-time units.
+
+        Returns a cancellable timer handle — the port method behind
+        :meth:`Process.set_timer` and :meth:`Process.call_soon`.
+        """
+        return Timer(self.sim, delay, callback)
+
     def _sample_delay(self) -> float:
         if callable(self.delay):
             return self.delay(self.sim.rng) * self.delay_scale
@@ -360,17 +443,22 @@ class Network:
         matter how many scheduled partitions overlap on the same link.
         """
         self.stats.sent += 1
+        link = self.stats.link(src, dst)
+        link.sent += 1
         if self._partitioned(src, dst):
             self.stats.partitioned += 1
+            link.partitioned += 1
             return
         loss = self.effective_loss_rate
         if loss and self.sim.rng.random() < loss:
             self.stats.lost += 1
+            link.lost += 1
             return
         self._deliver_later(src, dst, message)
         duplicate = self.effective_duplicate_rate
         if duplicate and self.sim.rng.random() < duplicate:
             self.stats.duplicated += 1
+            link.duplicated += 1
             self._deliver_later(src, dst, message)
 
     def _deliver_later(self, src: Hashable, dst: Hashable, message: Any) -> None:

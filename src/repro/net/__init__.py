@@ -1,0 +1,61 @@
+"""`repro.net` — the asyncio TCP substrate for the speculative stack.
+
+The second implementation of the substrate port defined in
+:mod:`repro.net.port` (the first is the discrete-event simulator,
+:mod:`repro.mp.sim`).  The protocol roles — Quorum servers/clients,
+Paxos acceptors/coordinators, the Backup phase — run here *unchanged at
+the algorithm level*: they see the same ``send`` / ``set_timer`` /
+``on_message`` surface, but messages travel as length-prefixed JSON
+frames over real localhost TCP sockets and timers are wall-clock
+``loop.call_later`` timers.
+
+Modules:
+
+* :mod:`repro.net.codec` — the length-prefixed JSON wire codec
+  (tuple-preserving, so protocol messages round-trip exactly);
+* :mod:`repro.net.transport` — :class:`AsyncTransport`, the port
+  implementation: pid routing, connection pooling, reply routes,
+  transport-level fault injection, :class:`~repro.mp.sim.NetworkStats`;
+* :mod:`repro.net.node` — :class:`ReplicaNode`, one server's roles
+  (lazily instantiated per SMR slot) behind a TCP listener;
+* :mod:`repro.net.cluster` — :class:`LocalCluster`, an in-process
+  n-replica launcher with clean shutdown and mid-run kill;
+* :mod:`repro.net.client` — :class:`NetClient`, the client library
+  (slot probing, Quorum fast path, Backup switch, retries via
+  :class:`~repro.mp.backoff.BackoffPolicy`) and the wire-level
+  :class:`HistoryRecorder`;
+* :mod:`repro.net.loadgen` — the closed-loop multi-client load
+  generator: latency/throughput accounting and the end-of-run
+  :func:`~repro.core.fastcheck.check_linearizable` verdict.
+"""
+
+from .codec import (
+    FrameDecoder,
+    FrameError,
+    MAX_FRAME,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+)
+from .cluster import LocalCluster
+from .client import HistoryRecorder, NetClient
+from .loadgen import LoadReport, run_loadgen
+from .node import ReplicaNode
+from .transport import AsyncTransport, AddressBook
+
+__all__ = [
+    "AddressBook",
+    "AsyncTransport",
+    "FrameDecoder",
+    "FrameError",
+    "HistoryRecorder",
+    "LoadReport",
+    "LocalCluster",
+    "MAX_FRAME",
+    "NetClient",
+    "ReplicaNode",
+    "decode_payload",
+    "encode_frame",
+    "encode_payload",
+    "run_loadgen",
+]

@@ -1,0 +1,286 @@
+"""`NetClient`: the client library of the networked SMR deployment.
+
+A client replicates KV commands by driving, per log slot, the same
+composed consensus the simulator runs — a
+:class:`~repro.mp.quorum.QuorumClient` first (fast path, two message
+delays) and, on a switch, a :class:`~repro.mp.backup.BackupClient`
+(Paxos, three delays) — over an :class:`~repro.net.transport.AsyncTransport`
+shared by every client of the process.  The slot-probing loop mirrors
+``SpeculativeSMR.submit``: propose on the first slot not known decided,
+apply the winner, retry on the next slot if the winner was someone
+else's command.
+
+The clients keep a **local** cache of decided slots instead of a shared
+server-side log; this is safe by Quorum's own unanimity rule: a fast
+decision requires identical accepts from *all* servers, so every
+switch value for that slot equals the decided value and Backup can only
+confirm it — whatever a client learned a slot decided is what the slot
+decided, forever.
+
+Responses follow Section 6's universal-ADT recipe: the KV output
+function applied to the untagged log prefix ending at the committed
+slot.  The prefix is complete because the probing loop visits every slot
+between the client's starting point and its commit.
+
+Operations are bounded by ``op_timeout`` wall-clock seconds.  A timed
+out operation is left **pending** in the recorded history (which
+linearizability permits — the op may or may not have taken effect) and
+the client is poisoned: a sequential client that cannot know whether
+its op happened must not issue another, exactly the Jepsen recording
+discipline the checker's pending-op handling expects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..core.actions import Invocation, Response
+from ..core.traces import Trace
+from ..mp.backoff import BackoffPolicy
+from ..mp.backup import BackupClient
+from ..mp.quorum import QuorumClient
+from ..smr.universal import UniversalFrontend
+from .transport import AsyncTransport
+
+#: wall-clock Quorum timer (seconds): generous vs localhost RTTs, small
+#: vs the op timeout, so a contended slot switches to Backup quickly
+DEFAULT_QUORUM_TIMEOUT = 0.15
+
+#: wall-clock retry pacing for the Backup phase
+DEFAULT_BACKOFF = BackoffPolicy(
+    base=0.2, factor=2.0, cap=2.0, jitter=0.5, max_retries=8
+)
+
+
+class OperationTimeout(Exception):
+    """An operation exceeded ``op_timeout``; its fate is unknown."""
+
+
+@dataclass
+class OpResult:
+    """One committed operation, with the metrics the benchmarks read."""
+
+    client: Hashable
+    command: Tuple
+    response: Hashable
+    slot: int
+    latency: float
+    attempts: int
+    switched_slots: int
+
+    @property
+    def path(self) -> str:
+        """'fast' iff every slot on the way decided in Quorum."""
+        return "slow" if self.switched_slots else "fast"
+
+
+class HistoryRecorder:
+    """Wire-level history: what clients observed, when they observed it.
+
+    Events append in wall-clock order (the asyncio loop is single
+    threaded, so append order *is* real-time order).  ``trace()`` yields
+    the phase-1 interface trace — untagged KV commands — that
+    :func:`repro.core.fastcheck.check_linearizable` consumes; a timed
+    out operation contributes an invocation with no response.
+    """
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self.events: List[Tuple[str, Hashable, Tuple, Any, float]] = []
+
+    def invoke(self, client: Hashable, command: Tuple) -> None:
+        """Record an invocation at the current wall-clock instant."""
+        self.events.append(("inv", client, command, None, self._clock()))
+
+    def respond(self, client: Hashable, command: Tuple, response: Any) -> None:
+        """Record the matching response."""
+        self.events.append(("res", client, command, response, self._clock()))
+
+    def trace(self) -> Trace:
+        """The recorded history as a checkable interface trace."""
+        actions = []
+        for kind, client, command, response, _ in self.events:
+            if kind == "inv":
+                actions.append(Invocation(client, 1, command))
+            else:
+                actions.append(Response(client, 1, command, response))
+        return Trace(actions)
+
+    def pending_clients(self) -> Tuple[Hashable, ...]:
+        """Clients whose last recorded event is an unanswered invocation."""
+        open_invocations: Dict[Hashable, int] = {}
+        for kind, client, _, _, _ in self.events:
+            if kind == "inv":
+                open_invocations[client] = open_invocations.get(client, 0) + 1
+            else:
+                open_invocations[client] -= 1
+        return tuple(
+            sorted((c for c, n in open_invocations.items() if n), key=repr)
+        )
+
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        """The raw events in a JSON-artifact-friendly shape."""
+        return [
+            {
+                "kind": kind,
+                "client": client,
+                "command": list(command),
+                "response": list(response) if response is not None else None,
+                "at": at,
+            }
+            for kind, client, command, response, at in self.events
+        ]
+
+
+class NetClient:
+    """One sequential closed-loop client over a shared transport."""
+
+    def __init__(
+        self,
+        name: str,
+        n_servers: int,
+        transport: AsyncTransport,
+        log: Dict[int, Hashable],
+        recorder: HistoryRecorder,
+        frontend: UniversalFrontend,
+        quorum_timeout: float = DEFAULT_QUORUM_TIMEOUT,
+        backoff: Optional[BackoffPolicy] = None,
+        op_timeout: float = 5.0,
+    ) -> None:
+        self.name = name
+        self.n_servers = n_servers
+        self.transport = transport
+        self.log = log
+        self.recorder = recorder
+        self.frontend = frontend
+        self.quorum_timeout = quorum_timeout
+        self.backoff = backoff or DEFAULT_BACKOFF
+        self.op_timeout = op_timeout
+        self.poisoned = False
+        self.results: List[OpResult] = []
+        self._seq = 0
+
+    @staticmethod
+    def _untag(command: Tuple) -> Tuple:
+        return command[:-1]
+
+    def _prefix_response(self, slot: int) -> Hashable:
+        history = tuple(
+            self._untag(c)
+            for s, c in sorted(self.log.items())
+            if s <= slot
+        )
+        return self.frontend.respond(history)
+
+    async def submit(self, command: Tuple) -> Hashable:
+        """Replicate one KV command; return its derived response.
+
+        Raises :class:`OperationTimeout` after ``op_timeout`` seconds —
+        the op stays pending in the history and the client is poisoned.
+        """
+        if self.poisoned:
+            raise RuntimeError(
+                f"client {self.name!r} is poisoned by a timed-out op"
+            )
+        self._seq += 1
+        tagged = command + (("seq", (self.name, self._seq)),)
+        uid = (self.name, self._seq)
+        start = self.transport.now
+        future: asyncio.Future = self.transport.loop.create_future()
+        attempts = [0]
+        switched = [0]
+        op_pids: List[Hashable] = []
+
+        def try_slot(slot: int) -> None:
+            if future.done():
+                return
+            if slot in self.log:
+                advance(slot, self.log[slot])
+                return
+            attempts[0] += 1
+            sub = (uid, attempts[0])
+
+            def on_decide(winner: Hashable) -> None:
+                settle(slot, winner)
+
+            def on_switch(switch_value: Hashable) -> None:
+                if future.done():
+                    return
+                switched[0] += 1
+                backup = BackupClient(
+                    ("bcli", sub),
+                    coordinators=[
+                        ("coord", slot, j) for j in range(self.n_servers)
+                    ],
+                    n_acceptors=self.n_servers,
+                    on_decide=lambda winner: settle(slot, winner),
+                    backoff=self.backoff,
+                )
+                self.transport.register(backup)
+                op_pids.append(backup.pid)
+                for j in range(self.n_servers):
+                    self.transport.send(
+                        backup.pid,
+                        ("ctl", 0, j),
+                        ("register-learner", slot, backup.pid),
+                    )
+                backup.switch_to_backup(switch_value)
+
+            def settle(slot_: int, winner: Hashable) -> None:
+                if slot_ not in self.log:
+                    self.log[slot_] = winner
+                advance(slot_, self.log[slot_])
+
+            quorum = QuorumClient(
+                ("qcli", sub),
+                servers=[("qs", slot, j) for j in range(self.n_servers)],
+                on_decide=on_decide,
+                on_switch=on_switch,
+                timeout=self.quorum_timeout,
+            )
+            self.transport.register(quorum)
+            op_pids.append(quorum.pid)
+            quorum.propose(tagged)
+
+        def advance(slot: int, winner: Hashable) -> None:
+            if future.done():
+                return
+            if winner == tagged:
+                future.set_result(slot)
+            else:
+                try_slot(slot + 1)
+
+        self.recorder.invoke(self.name, command)
+        first = 0
+        while first in self.log:
+            first += 1
+        try_slot(first)
+        try:
+            slot = await asyncio.wait_for(future, self.op_timeout)
+        except asyncio.TimeoutError:
+            # The op's fate is unknown: leave the invocation pending and
+            # stop this client (a sequential client must not proceed).
+            self.poisoned = True
+            raise OperationTimeout(
+                f"{self.name}: {command!r} still undecided after "
+                f"{self.op_timeout}s"
+            ) from None
+        finally:
+            for pid in op_pids:
+                self.transport.unregister(pid)
+        response = self._prefix_response(slot)
+        self.recorder.respond(self.name, command, response)
+        self.results.append(
+            OpResult(
+                client=self.name,
+                command=command,
+                response=response,
+                slot=slot,
+                latency=self.transport.now - start,
+                attempts=attempts[0],
+                switched_slots=switched[0],
+            )
+        )
+        return response

@@ -1,0 +1,85 @@
+"""`LocalCluster`: an in-process n-replica deployment on localhost TCP.
+
+Each replica is a :class:`~repro.net.node.ReplicaNode` with its own
+:class:`~repro.net.transport.AsyncTransport` and listener on an
+ephemeral port; all of them (and any client transports handed out by
+:meth:`client_transport`) share one :class:`AddressBook`, which is the
+cluster's entire static configuration.
+
+``kill(i)`` closes a node's transport mid-run — listener gone,
+connections severed, address withdrawn — which is how the loadgen and
+the resilience tests exercise the Backup path over real sockets: with
+one of three replicas dead, Quorum can never again collect accepts from
+*all* servers, so every affected slot decides through Paxos (majority
+2/3 still alive).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..faults.netfaults import TransportFaults
+from .node import COORDINATOR_RETRY_DELAY, ReplicaNode
+from .transport import AddressBook, AsyncTransport
+
+
+class LocalCluster:
+    """n replica nodes in this process, one ephemeral TCP port each."""
+
+    def __init__(
+        self,
+        n_servers: int = 3,
+        faults: Optional[TransportFaults] = None,
+        retry_delay: float = COORDINATOR_RETRY_DELAY,
+        host: str = "127.0.0.1",
+        port_base: Optional[int] = None,
+    ) -> None:
+        self.n_servers = n_servers
+        self.book = AddressBook()
+        self.faults = faults
+        self.nodes: List[ReplicaNode] = [
+            ReplicaNode(
+                i,
+                n_servers,
+                self.book,
+                faults=faults,
+                retry_delay=retry_delay,
+                host=host,
+                port=0 if port_base is None else port_base + i,
+            )
+            for i in range(n_servers)
+        ]
+        self._client_transports: List[AsyncTransport] = []
+
+    async def start(self) -> None:
+        """Bind every node and publish the cluster in the address book."""
+        for node in self.nodes:
+            await node.start()
+
+    def client_transport(self, name: str = "client") -> AsyncTransport:
+        """A client-side transport wired to this cluster's address book.
+
+        Clients share one transport per process: n pooled connections
+        instead of n per client, and learned reply routes serve every
+        client pid on it.  The transport is closed by :meth:`stop`.
+        """
+        transport = AsyncTransport(name, self.book, faults=self.faults)
+        self._client_transports.append(transport)
+        return transport
+
+    async def kill(self, index: int) -> None:
+        """Kill replica ``index`` (crash semantics, no clean handover)."""
+        await self.nodes[index].stop()
+
+    async def stop(self) -> None:
+        """Tear the whole deployment down (idempotent)."""
+        for transport in self._client_transports:
+            await transport.close()
+        for node in self.nodes:
+            await node.stop()
+
+    def alive(self) -> List[int]:
+        """Indices of the nodes still serving."""
+        return [
+            node.index for node in self.nodes if not node.transport.closed
+        ]

@@ -1,0 +1,131 @@
+"""The wire codec: length-prefixed JSON frames, tuple-preserving.
+
+Protocol messages are plain Python values — tuples of strings, ints,
+floats, ``None`` and nested tuples (pids like ``("acc", 3, 1)``, KV
+commands like ``("put", "x", 1, ("seq", ("c0", 4)))``).  JSON alone
+cannot carry them: it collapses tuples into lists, and protocol
+payloads must round-trip *exactly* (pids are dict keys; sticky Quorum
+values are compared with ``==``; the history checker hashes inputs).
+
+The payload encoding therefore tags containers:
+
+========  =======================================
+tuple     ``{"t": [items...]}``
+list      ``{"l": [items...]}``
+dict      ``{"d": [[key, value], ...]}``
+scalar    itself (str / int / float / bool / None)
+========  =======================================
+
+``decode_payload(encode_payload(x)) == x`` for every value built from
+those shapes — the property test in ``tests/test_net_codec.py`` checks
+it over randomized payloads and over every concrete message family the
+protocols emit.
+
+Framing is a 4-byte big-endian length prefix followed by the UTF-8 JSON
+body.  :data:`MAX_FRAME` bounds the body on both sides: the encoder
+refuses to emit an oversized frame and the decoder refuses to buffer
+one announced by a corrupt or hostile peer (otherwise a single bogus
+length prefix could balloon memory).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Iterator, List
+
+#: Maximum frame body size in bytes (1 MiB); both sides enforce it.
+MAX_FRAME = 1 << 20
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A frame violated the wire protocol (size, JSON, or tagging)."""
+
+
+def encode_payload(value: Any) -> Any:
+    """Rewrite ``value`` into the tagged JSON-safe shape."""
+    if isinstance(value, tuple):
+        return {"t": [encode_payload(v) for v in value]}
+    if isinstance(value, list):
+        return {"l": [encode_payload(v) for v in value]}
+    if isinstance(value, dict):
+        return {
+            "d": [
+                [encode_payload(k), encode_payload(v)]
+                for k, v in value.items()
+            ]
+        }
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise FrameError(f"payload not wire-encodable: {value!r}")
+
+
+def decode_payload(value: Any) -> Any:
+    """Invert :func:`encode_payload`."""
+    if isinstance(value, dict):
+        if len(value) != 1:
+            raise FrameError(f"bad container tag: {value!r}")
+        tag, items = next(iter(value.items()))
+        if tag == "t":
+            return tuple(decode_payload(v) for v in items)
+        if tag == "l":
+            return [decode_payload(v) for v in items]
+        if tag == "d":
+            return {
+                decode_payload(k): decode_payload(v) for k, v in items
+            }
+        raise FrameError(f"unknown container tag {tag!r}")
+    return value
+
+
+def encode_frame(value: Any) -> bytes:
+    """One wire frame: length prefix + compact JSON of the tagged value."""
+    body = json.dumps(
+        encode_payload(value), separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+    if len(body) > MAX_FRAME:
+        raise FrameError(
+            f"frame body of {len(body)} bytes exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed byte chunks, iterate messages.
+
+    TCP gives a byte stream, not frames — a read may split a frame or
+    glue several.  The decoder buffers across ``feed`` calls and yields
+    each completed frame's decoded payload.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> Iterator[Any]:
+        """Consume ``data``; yield every message completed by it."""
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _LEN.size:
+                return
+            (length,) = _LEN.unpack_from(self._buffer)
+            if length > MAX_FRAME:
+                raise FrameError(
+                    f"peer announced a {length}-byte frame "
+                    f"(MAX_FRAME={MAX_FRAME})"
+                )
+            end = _LEN.size + length
+            if len(self._buffer) < end:
+                return
+            body = bytes(self._buffer[_LEN.size:end])
+            del self._buffer[:end]
+            try:
+                raw = json.loads(body)
+            except json.JSONDecodeError as exc:
+                raise FrameError(f"frame body is not JSON: {exc}") from exc
+            yield decode_payload(raw)
+
+    def feed_all(self, data: bytes) -> List[Any]:
+        """Eager convenience wrapper around :meth:`feed`."""
+        return list(self.feed(data))

@@ -1,0 +1,167 @@
+"""`ReplicaNode`: one physical server of the networked deployment.
+
+A node hosts, behind a single TCP listener, the three server roles of
+every SMR slot — exactly the roles a physical server hosts in
+:class:`repro.smr.replica.SpeculativeSMR`:
+
+* a :class:`~repro.mp.quorum.QuorumServer` (sticky acceptance, the fast
+  path);
+* a :class:`~repro.mp.paxos.PaxosAcceptor` (the Backup phase's durable
+  memory);
+* a :class:`~repro.mp.paxos.PaxosCoordinator` ranked by node index, with
+  node 0 pre-preparing (the steady-state phase-1 optimization behind the
+  paper's 3-delay Backup latency).
+
+Slots are unbounded, so roles are created **lazily**: the transport's
+miss handler fires on the first frame addressed to any role of an
+unknown slot and instantiates all three roles for it at once.  This is
+the networked analogue of ``SpeculativeSMR._ensure_slot`` — except no
+global coordinator exists; each node materializes slots independently,
+driven purely by the frames that reach it.
+
+The per-node control role ``("ctl", 0, index)`` handles the one piece of
+wiring that is configuration rather than protocol: Backup clients
+register themselves as learners on the slot's acceptor
+(``("register-learner", slot, pid)``).  If the acceptor has already
+accepted by then, the control role replays the current acceptance to the
+late learner — "accepted" announcements are idempotent (learners count
+votes in sets), and the replay closes the race between a client's
+registration and a coordinator's phase 2 running server-to-server.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..faults.netfaults import TransportFaults
+from ..mp.paxos import PaxosAcceptor, PaxosCoordinator
+from ..mp.quorum import QuorumServer
+from ..mp.sim import Process
+from .transport import AddressBook, AsyncTransport
+
+logger = logging.getLogger(__name__)
+
+#: wall-clock coordinator retry delay (seconds); the sim uses 8 virtual
+#: units, here the currency is real time on localhost
+COORDINATOR_RETRY_DELAY = 0.5
+
+
+class _ControlRole(Process):
+    """The node's configuration endpoint (learner registration)."""
+
+    def __init__(self, pid: Hashable, node: "ReplicaNode") -> None:
+        super().__init__(pid)
+        self.node = node
+
+    def on_message(self, src: Hashable, message: Any) -> None:
+        if message[0] == "register-learner":
+            _, slot, learner = message
+            self.node.register_learner(slot, learner)
+
+
+class ReplicaNode:
+    """All server roles of one replica, served over one TCP listener."""
+
+    def __init__(
+        self,
+        index: int,
+        n_servers: int,
+        book: AddressBook,
+        faults: Optional[TransportFaults] = None,
+        retry_delay: float = COORDINATOR_RETRY_DELAY,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.index = index
+        self.n_servers = n_servers
+        self.host = host
+        self.port = port
+        self.retry_delay = retry_delay
+        self.transport = AsyncTransport(f"node{index}", book, faults)
+        self.transport.miss_handler = self._on_miss
+        #: slot → learner pids currently registered on this node's acceptor
+        self.slot_learners: Dict[int, List[Hashable]] = {}
+        self.transport.register(_ControlRole(("ctl", 0, index), self))
+
+    @property
+    def endpoint(self) -> str:
+        """The node's endpoint name in the address book."""
+        return self.transport.endpoint
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listener and publish this node in the address book."""
+        host, port = await self.transport.start_server(self.host, self.port)
+        self.port = port
+        self.transport.book.add(self.endpoint, host, port)
+        return host, port
+
+    async def stop(self) -> None:
+        """Kill the node: close the listener and sever every connection."""
+        await self.transport.close()
+
+    # ------------------------------------------------------------------
+    # lazy slot materialization
+    # ------------------------------------------------------------------
+
+    def ensure_slot(self, slot: int) -> None:
+        """Host this node's three roles for ``slot`` (idempotent)."""
+        if slot in self.slot_learners:
+            return
+        i = self.index
+        self.transport.register(QuorumServer(("qs", slot, i)))
+        acceptor = self.transport.register(PaxosAcceptor(("acc", slot, i)))
+        self.transport.register(
+            PaxosCoordinator(
+                ("coord", slot, i),
+                rank=i,
+                n_coordinators=self.n_servers,
+                acceptors=[("acc", slot, j) for j in range(self.n_servers)],
+                pre_prepare=(i == 0),
+                retry_delay=self.retry_delay,
+            )
+        )
+        learners = [("coord", slot, j) for j in range(self.n_servers)]
+        self.slot_learners[slot] = learners
+        acceptor.register_learners(learners)
+
+    def register_learner(self, slot: int, learner: Hashable) -> None:
+        """Add a Backup client as a learner on this slot's acceptor.
+
+        Replays the acceptor's current acceptance to the new learner so a
+        registration that loses the race against phase 2 still hears the
+        vote (duplicates are harmless: learners count votes in sets).
+        """
+        self.ensure_slot(slot)
+        learners = self.slot_learners[slot]
+        if learner not in learners:
+            learners.append(learner)
+        acceptor = self.transport.processes[("acc", slot, self.index)]
+        acceptor.register_learners(learners)
+        if acceptor.accepted_ballot >= 0:
+            acceptor.send(
+                learner,
+                (
+                    "accepted",
+                    acceptor.accepted_ballot,
+                    acceptor.accepted_value,
+                ),
+            )
+
+    def _on_miss(self, src: Hashable, dst: Hashable, message: Any) -> None:
+        """Materialize the slot of an unknown role pid, then deliver."""
+        if (
+            isinstance(dst, tuple)
+            and len(dst) == 3
+            and dst[0] in ("qs", "acc", "coord")
+            and dst[2] == self.index
+            and isinstance(dst[1], int)
+        ):
+            self.ensure_slot(dst[1])
+            process = self.transport.processes.get(dst)
+            if process is not None:
+                self.transport.stats.delivered += 1
+                process.on_message(src, message)
+                return
+        logger.debug("node%d dropping frame for %r", self.index, dst)
+        self.transport.stats.dropped_crashed += 1

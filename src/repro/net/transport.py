@@ -1,0 +1,402 @@
+"""`AsyncTransport`: the substrate port over real asyncio TCP sockets.
+
+One transport instance is one *endpoint* — a replica node or a client
+process — hosting any number of protocol roles (pids).  Identical
+protocol code runs against it and against the simulator because both
+implement the port of :mod:`repro.net.port`:
+
+* ``send(src, dst, message)`` resolves ``dst`` to an endpoint, encodes
+  the envelope ``(src, dst, message)`` with the length-prefixed JSON
+  codec and writes it to a pooled TCP connection (opened on demand);
+* ``call_later`` is ``loop.call_later`` behind a cancellable handle;
+* ``now`` is the event-loop wall clock.
+
+Routing has two sources:
+
+1. the static :class:`AddressBook` — server role pids
+   ``("qs"|"acc"|"coord", slot, i)`` live on endpoint ``node{i}``;
+2. learned *reply routes* — when a frame from pid ``p`` arrives over a
+   connection, answers to ``p`` go back over that same connection.
+   Clients therefore need no listening socket: they dial the nodes, and
+   every server→client message (q-accepts, Paxos ``accepted``
+   announcements to registered learners, decisions) rides the client's
+   own connections, exactly like a request/response socket protocol
+   with server push.
+
+Delivery between two roles hosted on the *same* endpoint still
+round-trips through the codec (encode → decode, no socket): colocated
+roles keep in-process latency, but every message the system ever emits
+is proven wire-encodable.
+
+Faults are injected before a frame reaches a socket via
+:class:`repro.faults.netfaults.TransportFaults`; counters — aggregate
+and per-link at endpoint granularity — land in the same
+:class:`~repro.mp.sim.NetworkStats` shape the simulator reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..faults.netfaults import TransportFaults
+from ..mp.sim import NetworkStats
+from .codec import FrameDecoder, FrameError, encode_frame
+
+logger = logging.getLogger(__name__)
+
+#: roles hosted by replica nodes; pid shape ("role", slot, node_index).
+#: "ctl" is the node's control role (learner registration), one per node.
+SERVER_ROLES = frozenset({"qs", "acc", "coord", "ctl"})
+
+#: time an unreachable endpoint stays blacklisted before a reconnect
+#: attempt (seconds); sends during the cooldown are counted as lost
+RECONNECT_COOLDOWN = 0.25
+
+
+def endpoint_of_pid(pid: Hashable) -> Optional[str]:
+    """The static endpoint of a server-role pid, or None for client pids.
+
+    Server roles are addressed structurally — ``("acc", 7, 2)`` lives on
+    ``node2`` whichever process asks — so any endpoint can reach any
+    replica without prior contact.  Client-side pids have no static home;
+    they are reached through learned reply routes only.
+    """
+    if (
+        isinstance(pid, tuple)
+        and len(pid) == 3
+        and pid[0] in SERVER_ROLES
+        and isinstance(pid[2], int)
+    ):
+        return f"node{pid[2]}"
+    return None
+
+
+class AddressBook:
+    """Endpoint name → ``(host, port)`` — the cluster's static topology."""
+
+    def __init__(self) -> None:
+        self._addresses: Dict[str, Tuple[str, int]] = {}
+
+    def add(self, endpoint: str, host: str, port: int) -> None:
+        """Publish ``endpoint`` at ``host:port``."""
+        self._addresses[endpoint] = (host, port)
+
+    def remove(self, endpoint: str) -> None:
+        """Withdraw an endpoint (e.g. a killed node)."""
+        self._addresses.pop(endpoint, None)
+
+    def lookup(self, endpoint: str) -> Optional[Tuple[str, int]]:
+        """The address of ``endpoint``, or None if unpublished."""
+        return self._addresses.get(endpoint)
+
+    def endpoints(self) -> Tuple[str, ...]:
+        """All published endpoint names, sorted."""
+        return tuple(sorted(self._addresses))
+
+
+class _TimerHandle:
+    """Port timer handle wrapping ``loop.call_later``."""
+
+    __slots__ = ("_handle", "cancelled", "fired")
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, delay: float, callback):
+        self.cancelled = False
+        self.fired = False
+
+        def fire() -> None:
+            if not self.cancelled:
+                self.fired = True
+                callback()
+
+        self._handle = loop.call_later(max(0.0, delay), fire)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._handle.cancel()
+
+
+class _Peer:
+    """One outbound connection to a remote endpoint, opened lazily."""
+
+    def __init__(self) -> None:
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.queue: List[bytes] = []
+        self.task: Optional[asyncio.Task] = None
+        self.dead_until: float = 0.0
+
+
+class AsyncTransport:
+    """The asyncio TCP implementation of the substrate port."""
+
+    def __init__(
+        self,
+        endpoint: str,
+        book: AddressBook,
+        faults: Optional[TransportFaults] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.book = book
+        self.faults = faults
+        try:
+            self.loop = asyncio.get_running_loop()
+        except RuntimeError:
+            self.loop = asyncio.get_event_loop()
+        self.processes: Dict[Hashable, Any] = {}
+        self.stats = NetworkStats()
+        self.closed = False
+        #: called for frames whose dst pid is not registered here —
+        #: replica nodes use it for lazy slot creation and control frames
+        self.miss_handler: Optional[
+            Callable[[Hashable, Hashable, Any], None]
+        ] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._peers: Dict[str, _Peer] = {}
+        self._routes: Dict[Hashable, asyncio.StreamWriter] = {}
+        self._route_labels: Dict[Hashable, str] = {}
+        self._reader_tasks: List[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # the substrate port
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The wall clock of the event loop."""
+        return self.loop.time()
+
+    def call_later(self, delay: float, callback) -> _TimerHandle:
+        """Schedule ``callback`` after ``delay`` seconds of real time."""
+        return _TimerHandle(self.loop, delay, callback)
+
+    def register(self, process) -> Any:
+        """Host a protocol role on this endpoint."""
+        if process.pid in self.processes:
+            raise ValueError(f"duplicate process id {process.pid!r}")
+        self.processes[process.pid] = process
+        process.attach(self)
+        return process
+
+    def unregister(self, pid: Hashable) -> None:
+        """Drop a finished role; late frames to it count as dropped."""
+        self.processes.pop(pid, None)
+
+    def _route_of(self, dst: Hashable) -> Optional[asyncio.StreamWriter]:
+        writer = self._routes.get(dst)
+        if writer is not None and writer.is_closing():
+            del self._routes[dst]
+            return None
+        return writer
+
+    def send(self, src: Hashable, dst: Hashable, message: Any) -> None:
+        """Route one protocol message (fire-and-forget, may be lost).
+
+        Resolution order: a pid hosted here delivers locally (through the
+        codec, skipping the socket); a pid with a learned reply route uses
+        that connection; a server-role pid resolves statically to its
+        node endpoint; anything else — a remote client pid whose
+        connection is gone — is undeliverable and counts as lost.
+        """
+        if self.closed:
+            return
+        self.stats.sent += 1
+        route = None if dst in self.processes else self._route_of(dst)
+        if route is not None:
+            dst_ep = self._route_labels.get(dst, "peer")
+        else:
+            dst_ep = endpoint_of_pid(dst) or self.endpoint
+        if dst in self.processes:
+            dst_ep = self.endpoint
+        link = self.stats.link(self.endpoint, dst_ep)
+        link.sent += 1
+        if self.faults is not None:
+            verdict = self.faults.verdict(self.endpoint, dst_ep)
+            if verdict == "cut":
+                self.stats.partitioned += 1
+                link.partitioned += 1
+                return
+            if verdict == "lost":
+                self.stats.lost += 1
+                link.lost += 1
+                return
+        try:
+            frame = encode_frame((src, dst, message))
+        except FrameError:
+            logger.exception("unencodable message from %r to %r", src, dst)
+            raise
+        if dst in self.processes:
+            # Colocated roles: codec round-trip, no socket.
+            self.loop.call_soon(self._deliver_frame, frame)
+            return
+        if route is not None:
+            self._write(route, frame, link)
+            return
+        if endpoint_of_pid(dst) is None:
+            # A remote client pid with no live reply route: on a real
+            # network there is nowhere to send this — the peer hung up.
+            self.stats.lost += 1
+            link.lost += 1
+            return
+        self._send_to_endpoint(dst_ep, frame, link)
+
+    # ------------------------------------------------------------------
+    # outbound plumbing
+    # ------------------------------------------------------------------
+
+    def _write(self, writer: asyncio.StreamWriter, frame: bytes, link) -> None:
+        try:
+            writer.write(frame)
+        except (ConnectionError, RuntimeError):
+            self.stats.lost += 1
+            link.lost += 1
+
+    def _send_to_endpoint(self, dst_ep: str, frame: bytes, link) -> None:
+        peer = self._peers.get(dst_ep)
+        if peer is None:
+            peer = self._peers[dst_ep] = _Peer()
+        if peer.writer is not None:
+            if peer.writer.is_closing():
+                peer.writer = None
+                peer.dead_until = self.now + RECONNECT_COOLDOWN
+            else:
+                self._write(peer.writer, frame, link)
+                return
+        if peer.task is None or peer.task.done():
+            if self.now < peer.dead_until:
+                # Known-dead endpoint inside the cooldown: the frame is
+                # lost exactly as a packet to a dead host would be.
+                self.stats.lost += 1
+                link.lost += 1
+                return
+            peer.task = self.loop.create_task(self._connect(dst_ep, peer))
+        peer.queue.append(frame)
+
+    async def _connect(self, dst_ep: str, peer: _Peer) -> None:
+        address = self.book.lookup(dst_ep)
+        if address is None:
+            self._drop_queue(dst_ep, peer)
+            return
+        try:
+            reader, writer = await asyncio.open_connection(*address)
+        except OSError:
+            peer.dead_until = self.now + RECONNECT_COOLDOWN
+            self._drop_queue(dst_ep, peer)
+            return
+        peer.writer = writer
+        pending, peer.queue = peer.queue, []
+        link = self.stats.link(self.endpoint, dst_ep)
+        for frame in pending:
+            self._write(writer, frame, link)
+        # Answers may come back over this same connection (the remote
+        # endpoint learns reply routes from our src pids).
+        self._reader_tasks.append(
+            self.loop.create_task(self._read_loop(reader, writer))
+        )
+
+    def _drop_queue(self, dst_ep: str, peer: _Peer) -> None:
+        link = self.stats.link(self.endpoint, dst_ep)
+        for _ in peer.queue:
+            self.stats.lost += 1
+            link.lost += 1
+        peer.queue = []
+
+    # ------------------------------------------------------------------
+    # inbound plumbing
+    # ------------------------------------------------------------------
+
+    async def start_server(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Listen for inbound connections; returns the bound address."""
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await self._read_loop(reader, writer)
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder()
+        try:
+            while not self.closed:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                for envelope in decoder.feed(data):
+                    self._dispatch(envelope, writer)
+        except (ConnectionError, FrameError, asyncio.CancelledError):
+            return
+        finally:
+            self._forget_routes(writer)
+
+    def _forget_routes(self, writer: asyncio.StreamWriter) -> None:
+        stale = [pid for pid, w in self._routes.items() if w is writer]
+        for pid in stale:
+            del self._routes[pid]
+            self._route_labels.pop(pid, None)
+
+    def _dispatch(self, envelope: Any, writer: asyncio.StreamWriter) -> None:
+        if not (isinstance(envelope, tuple) and len(envelope) == 3):
+            raise FrameError(f"bad envelope: {envelope!r}")
+        src, dst, message = envelope
+        # Learn the reply route: answers to `src` ride this connection.
+        if self._routes.get(src) is not writer:
+            self._routes[src] = writer
+            peer = writer.get_extra_info("peername")
+            self._route_labels[src] = (
+                f"{peer[0]}:{peer[1]}" if peer else "peer"
+            )
+        self._deliver(src, dst, message)
+
+    def _deliver_frame(self, frame: bytes) -> None:
+        if self.closed:
+            return
+        decoder = FrameDecoder()
+        for src, dst, message in decoder.feed(frame):
+            self._deliver(src, dst, message)
+
+    def _deliver(self, src: Hashable, dst: Hashable, message: Any) -> None:
+        process = self.processes.get(dst)
+        if process is None:
+            if self.miss_handler is not None:
+                self.miss_handler(src, dst, message)
+            else:
+                self.stats.dropped_crashed += 1
+            return
+        if getattr(process, "crashed", False):
+            self.stats.dropped_crashed += 1
+            return
+        self.stats.delivered += 1
+        process.on_message(src, message)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Stop serving, sever every connection, kill pending tasks.
+
+        After ``close`` the endpoint behaves like a crashed host: frames
+        addressed to it are lost, and its own ``send`` is a no-op.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if self._server is not None:
+            self._server.close()
+        for task in self._reader_tasks:
+            task.cancel()
+        for peer in self._peers.values():
+            if peer.task is not None:
+                peer.task.cancel()
+            if peer.writer is not None and not peer.writer.is_closing():
+                peer.writer.close()
+        self._routes.clear()
+        self._route_labels.clear()
+        self.book.remove(self.endpoint)
+        await asyncio.sleep(0)

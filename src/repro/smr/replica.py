@@ -166,7 +166,7 @@ class SpeculativeSMR:
                     if pid in self.network.processes:
                         self.network.processes[pid].crash()
 
-        self.sim.schedule(max(0.0, at - self.sim.now), do_crash)
+        self.network.call_later(max(0.0, at - self.network.now), do_crash)
 
     def recover_server(self, index: int, at: float = 0.0) -> None:
         """Restart a physical server: its roles in every current slot
@@ -185,7 +185,7 @@ class SpeculativeSMR:
                     if pid in self.network.processes:
                         self.network.processes[pid].recover()
 
-        self.sim.schedule(max(0.0, at - self.sim.now), do_recover)
+        self.network.call_later(max(0.0, at - self.network.now), do_recover)
 
     def _ensure_slot(self, slot: int) -> _SlotInstance:
         if slot not in self.slots:
@@ -231,7 +231,7 @@ class SpeculativeSMR:
                 # command reports failure rather than probing further
                 # slots against the same dead cluster.
                 outcome.gave_up = True
-                outcome.give_up_time = self.sim.now
+                outcome.give_up_time = self.network.now
 
             def settle(slot: int, winner: Hashable, switched: bool) -> None:
                 instance = self.slots[slot]
@@ -256,7 +256,7 @@ class SpeculativeSMR:
         def advance(slot: int, winner: Hashable) -> None:
             if winner == command and outcome.commit_time is None:
                 outcome.slot = slot
-                outcome.commit_time = self.sim.now
+                outcome.commit_time = self.network.now
                 if self.on_commit is not None:
                     self.on_commit(outcome)
             elif outcome.commit_time is None:
@@ -266,13 +266,13 @@ class SpeculativeSMR:
             # Stamp the true start instant: `at` is relative to the call
             # time when submissions happen mid-simulation (e.g. queued
             # client operations of the KV store).
-            outcome.start = self.sim.now
+            outcome.start = self.network.now
             next_slot = 0
             while next_slot in self.log:
                 next_slot += 1
             try_slot(next_slot)
 
-        self.sim.schedule(at, start)
+        self.network.call_later(at, start)
         return outcome
 
     def run(self, until: Optional[float] = None, max_events: int = 500000) -> None:

@@ -41,8 +41,8 @@ def resolve(dotted):
 
 @pytest.mark.parametrize(
     "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/THEORY.md",
-            "docs/ALGORITHMS.md", "docs/PERFORMANCE.md",
-            "docs/RESILIENCE.md"]
+            "docs/ALGORITHMS.md", "docs/ARCHITECTURE.md",
+            "docs/PERFORMANCE.md", "docs/RESILIENCE.md"]
 )
 def test_dotted_references_resolve(doc):
     text = doc_text(doc)
@@ -56,7 +56,8 @@ def test_dotted_references_resolve(doc):
 
 @pytest.mark.parametrize(
     "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/THEORY.md",
-            "docs/PERFORMANCE.md", "docs/RESILIENCE.md"]
+            "docs/ARCHITECTURE.md", "docs/PERFORMANCE.md",
+            "docs/RESILIENCE.md"]
 )
 def test_referenced_files_exist(doc):
     text = doc_text(doc)

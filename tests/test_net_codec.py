@@ -1,0 +1,183 @@
+"""Property tests for the wire codec (`repro.net.codec`).
+
+The codec's contract is ``decode ∘ encode = id`` over every value the
+protocols ever put on the wire: nested tuples (pids, tagged KV
+commands), lists, dicts, and scalars.  Tested three ways — randomized
+payloads via hypothesis, the concrete message family of every protocol
+role, and the framing edges at :data:`MAX_FRAME`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.codec import (
+    MAX_FRAME,
+    FrameDecoder,
+    FrameError,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+)
+
+# ---------------------------------------------------------------------------
+# randomized payloads
+# ---------------------------------------------------------------------------
+
+scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2 ** 53), max_value=2 ** 53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20)
+)
+
+#: hashable payloads usable as dict keys and set-free tuple members
+hashable_payloads = st.recursive(
+    scalars,
+    lambda children: st.lists(children, max_size=4).map(tuple),
+    max_leaves=12,
+)
+
+payloads = st.recursive(
+    scalars,
+    lambda children: (
+        st.lists(children, max_size=4)
+        | st.lists(children, max_size=4).map(tuple)
+        | st.dictionaries(hashable_payloads, children, max_size=4)
+    ),
+    max_leaves=16,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(payloads)
+def test_payload_round_trip(value):
+    assert decode_payload(encode_payload(value)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(payloads)
+def test_frame_round_trip(value):
+    decoder = FrameDecoder()
+    (decoded,) = decoder.feed_all(encode_frame(value))
+    assert decoded == value
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(payloads, min_size=1, max_size=5), st.data())
+def test_stream_reassembly_at_arbitrary_chunking(values, data):
+    """TCP may split/glue frames arbitrarily; the decoder must not care."""
+    stream = b"".join(encode_frame(v) for v in values)
+    decoder = FrameDecoder()
+    out = []
+    position = 0
+    while position < len(stream):
+        size = data.draw(
+            st.integers(min_value=1, max_value=len(stream) - position)
+        )
+        out.extend(decoder.feed(stream[position : position + size]))
+        position += size
+    assert out == values
+
+
+# ---------------------------------------------------------------------------
+# the concrete message families of Quorum / Paxos / Backup / SMR
+# ---------------------------------------------------------------------------
+
+KV_COMMANDS = [
+    ("put", "alpha", 7, ("seq", ("c0", 4))),
+    ("get", "beta", ("seq", ("c1", 1))),
+    ("delete", "gamma", ("seq", ("c7", 19))),
+]
+
+PIDS = [
+    ("qs", 3, 1),
+    ("acc", 0, 2),
+    ("coord", 12, 0),
+    ("ctl", 0, 1),
+    ("qcli", (("c0", 4), 2)),
+    ("bcli", (("c1", 9), 1)),
+]
+
+MESSAGES = (
+    [("q-propose", cmd) for cmd in KV_COMMANDS]
+    + [("q-accept", cmd) for cmd in KV_COMMANDS]
+    + [
+        ("prepare", 7),
+        ("promise", 7, -1, None),
+        ("promise", 9, 4, KV_COMMANDS[0]),
+        ("nack", 7, 12),
+        ("accept", 7, KV_COMMANDS[1]),
+        ("accepted", 7, KV_COMMANDS[1]),
+        ("request", KV_COMMANDS[2]),
+        ("decision", KV_COMMANDS[0]),
+        ("register-learner", 5, ("bcli", (("c0", 4), 1))),
+    ]
+)
+
+
+@pytest.mark.parametrize("message", MESSAGES, ids=[m[0] for m in MESSAGES])
+@pytest.mark.parametrize("src", PIDS[:2], ids=["from-qs", "from-acc"])
+def test_protocol_envelopes_round_trip(src, message):
+    envelope = (src, PIDS[-1], message)
+    decoder = FrameDecoder()
+    (decoded,) = decoder.feed_all(encode_frame(envelope))
+    assert decoded == envelope
+    # Exact types, not just equality: tuples must come back as tuples
+    # (pids are dict keys, commands are compared with ==).
+    assert type(decoded) is tuple
+    assert type(decoded[2]) is tuple
+
+
+def test_tuple_list_distinction_survives():
+    value = (("a", 1), ["a", 1], {"k": ("v",)})
+    decoded = decode_payload(encode_payload(value))
+    assert type(decoded[0]) is tuple
+    assert type(decoded[1]) is list
+    assert type(decoded[2]["k"]) is tuple
+
+
+# ---------------------------------------------------------------------------
+# framing edges
+# ---------------------------------------------------------------------------
+
+
+def test_frame_just_under_limit_round_trips():
+    # JSON overhead: quotes around the string, so body = len + 2.
+    value = "x" * (MAX_FRAME - 2)
+    decoder = FrameDecoder()
+    (decoded,) = decoder.feed_all(encode_frame(value))
+    assert decoded == value
+
+
+def test_oversized_frame_refused_by_encoder():
+    with pytest.raises(FrameError, match="exceeds MAX_FRAME"):
+        encode_frame("x" * MAX_FRAME)
+
+
+def test_oversized_announcement_refused_by_decoder():
+    import struct
+
+    decoder = FrameDecoder()
+    bogus = struct.pack(">I", MAX_FRAME + 1)
+    with pytest.raises(FrameError, match="announced"):
+        list(decoder.feed(bogus))
+
+
+def test_garbage_body_refused():
+    import struct
+
+    decoder = FrameDecoder()
+    with pytest.raises(FrameError, match="not JSON"):
+        list(decoder.feed(struct.pack(">I", 4) + b"\xff\xfe\xfd\xfc"))
+
+
+def test_unencodable_payload_refused():
+    with pytest.raises(FrameError, match="not wire-encodable"):
+        encode_payload(object())
+
+
+def test_unknown_container_tag_refused():
+    with pytest.raises(FrameError, match="unknown container tag"):
+        decode_payload({"z": []})

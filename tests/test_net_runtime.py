@@ -1,0 +1,210 @@
+"""End-to-end tests of the asyncio TCP runtime (`repro.net`).
+
+Everything here runs real localhost sockets: a
+:class:`~repro.net.cluster.LocalCluster` on ephemeral ports, clients
+driving the Quorum/Backup composition over the wire codec, and the
+recorded history checked by the same
+:func:`~repro.core.fastcheck.check_linearizable` the simulator uses.
+Timeouts are kept tight so the whole module stays in CI-smoke range.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.fastcheck import check_linearizable
+from repro.faults.netfaults import TransportFaults
+from repro.mp.backoff import BackoffPolicy
+from repro.net import FrameError, LocalCluster, NetClient, run_loadgen
+from repro.net.client import HistoryRecorder, OperationTimeout
+from repro.smr.universal import UniversalFrontend, kv_store_adt
+
+FAST_BACKOFF = BackoffPolicy(
+    base=0.1, factor=2.0, cap=0.5, jitter=0.25, max_retries=4
+)
+
+SILENT = lambda line: None  # noqa: E731
+
+
+def make_client(cluster, transport, recorder, name="c0", **kwargs):
+    kwargs.setdefault("quorum_timeout", 0.15)
+    kwargs.setdefault("backoff", FAST_BACKOFF)
+    kwargs.setdefault("op_timeout", 3.0)
+    return NetClient(
+        name,
+        cluster.n_servers,
+        transport,
+        kwargs.pop("log", {}),
+        recorder,
+        UniversalFrontend(kv_store_adt()),
+        **kwargs,
+    )
+
+
+class TestLoadgen:
+    def test_end_to_end_linearizable(self, tmp_path):
+        artifact = tmp_path / "run.json"
+        report = run_loadgen(
+            replicas=3,
+            clients=4,
+            ops=30,
+            seed=0,
+            artifact=str(artifact),
+            emit=SILENT,
+        )
+        assert report.linearizable
+        assert report.committed == 30
+        assert report.pending == 0
+        assert report.fast + report.slow == 30
+        assert report.percentile(0.5) is not None
+        assert set(report.endpoint_stats) == {
+            "node0",
+            "node1",
+            "node2",
+            "clients",
+        }
+        payload = json.loads(artifact.read_text())
+        assert payload["report"]["verdict"] == "linearizable"
+        assert payload["history"]  # raw wire-level events travel along
+
+    def test_kill_replica_backup_path_stays_linearizable(self):
+        report = run_loadgen(
+            replicas=3,
+            clients=4,
+            ops=24,
+            seed=2,
+            kill=1,
+            kill_after=0.25,
+            emit=SILENT,
+        )
+        assert report.linearizable
+        assert report.killed == 1
+        assert report.committed == 24
+        # With one of three replicas dead, Quorum unanimity is
+        # impossible: post-kill slots must decide through Backup.
+        assert report.slow > 0
+
+
+class TestClusterAndClients:
+    def test_sequential_clients_see_each_other(self):
+        async def scenario():
+            cluster = LocalCluster(n_servers=3)
+            await cluster.start()
+            try:
+                # Two transports = two independent client processes with
+                # their own local slot caches; linearizability must hold
+                # across them (Quorum unanimity makes local caches safe).
+                t1 = cluster.client_transport("procA")
+                t2 = cluster.client_transport("procB")
+                recorder = HistoryRecorder(clock=lambda: t1.now)
+                a = make_client(cluster, t1, recorder, name="a")
+                b = make_client(cluster, t2, recorder, name="b")
+                assert await a.submit(("put", "x", 5)) == ("value", None)
+                assert await b.submit(("get", "x")) == ("value", 5)
+                assert await b.submit(("put", "x", 6)) == ("value", 5)
+                assert await a.submit(("get", "x")) == ("value", 6)
+                return recorder.trace()
+            finally:
+                await cluster.stop()
+
+        trace = asyncio.run(scenario())
+        assert check_linearizable(trace, kv_store_adt()).ok
+
+    def test_kill_withdraws_endpoint(self):
+        async def scenario():
+            cluster = LocalCluster(n_servers=3)
+            await cluster.start()
+            try:
+                assert cluster.book.endpoints() == ("node0", "node1", "node2")
+                await cluster.kill(1)
+                assert cluster.book.endpoints() == ("node0", "node2")
+                assert cluster.alive() == [0, 2]
+            finally:
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_unencodable_command_is_refused_at_the_wire(self):
+        async def scenario():
+            cluster = LocalCluster(n_servers=3)
+            await cluster.start()
+            try:
+                transport = cluster.client_transport()
+                recorder = HistoryRecorder(clock=lambda: transport.now)
+                client = make_client(cluster, transport, recorder)
+                with pytest.raises(FrameError):
+                    await client.submit(("put", "x", object()))
+            finally:
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+
+class TestPendingOps:
+    def test_majority_dead_leaves_op_pending_and_poisons_client(self):
+        async def scenario():
+            cluster = LocalCluster(n_servers=3)
+            await cluster.start()
+            try:
+                transport = cluster.client_transport()
+                recorder = HistoryRecorder(clock=lambda: transport.now)
+                client = make_client(
+                    cluster, transport, recorder, op_timeout=1.0
+                )
+                assert await client.submit(("put", "x", 1)) == (
+                    "value",
+                    None,
+                )
+                await cluster.kill(1)
+                await cluster.kill(2)
+                with pytest.raises(OperationTimeout):
+                    await client.submit(("put", "x", 2))
+                # Sequential clients must not continue past an op whose
+                # fate is unknown.
+                assert client.poisoned
+                with pytest.raises(RuntimeError, match="poisoned"):
+                    await client.submit(("get", "x"))
+                return recorder
+            finally:
+                await cluster.stop()
+
+        recorder = asyncio.run(scenario())
+        assert recorder.pending_clients() == ("c0",)
+        # The history — committed put, pending put — still checks out:
+        # the timed-out op may or may not have taken effect.
+        report = check_linearizable(recorder.trace(), kv_store_adt())
+        assert report.ok
+
+    def test_partitioned_minority_forces_backup_path(self):
+        async def scenario():
+            faults = TransportFaults(seed=0)
+            cluster = LocalCluster(n_servers=3, faults=faults)
+            await cluster.start()
+            try:
+                transport = cluster.client_transport("clients")
+                # Clients cannot reach node2: Quorum can never collect
+                # accepts from all three servers, but the servers still
+                # talk to each other, so Backup (majority 2/3) decides.
+                faults.partition("clients", "node2")
+                recorder = HistoryRecorder(clock=lambda: transport.now)
+                client = make_client(cluster, transport, recorder)
+                results = []
+                for value in range(3):
+                    results.append(
+                        await client.submit(("put", "k", value))
+                    )
+                assert [r for r in results] == [
+                    ("value", None),
+                    ("value", 0),
+                    ("value", 1),
+                ]
+                assert all(r.path == "slow" for r in client.results)
+                cut = transport.stats.link("clients", "node2")
+                assert cut.partitioned > 0
+                return recorder
+            finally:
+                await cluster.stop()
+
+        recorder = asyncio.run(scenario())
+        assert check_linearizable(recorder.trace(), kv_store_adt()).ok
