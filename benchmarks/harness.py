@@ -22,6 +22,10 @@ Benchmarks:
   is reported, not gated: it is a property of the machine's core count).
 * ``adt_hot_path`` — the ``lru_cache``-d ``ADT.step`` against the
   validating ``ADT.transition`` on the checker's hot loop shape.
+* ``recovery`` — WAL replay cost vs snapshot compaction, torn-tail
+  tolerance, and the live kill/restart throughput dip (E12; gates on
+  the fold-equivalence/tolerance/verdict booleans and the compaction
+  speedup, never on wall-clock).
 
 Usage::
 
@@ -369,11 +373,23 @@ def bench_adt_hot_path(quick):
     }
 
 
+def bench_recovery(quick):
+    """WAL replay/compaction/restart costs (delegates to bench_recovery.py)."""
+    import importlib.util
+
+    path = os.path.join(os.path.dirname(__file__), "bench_recovery.py")
+    spec = importlib.util.spec_from_file_location("bench_recovery", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.harness_report(quick)
+
+
 BENCHES = {
     "pcomp": bench_pcomp,
     "search": bench_search,
     "campaign_scaling": bench_campaign_scaling,
     "adt_hot_path": bench_adt_hot_path,
+    "recovery": bench_recovery,
 }
 
 

@@ -8,6 +8,7 @@ Usage::
     python -m repro e1 e6        # run selected experiments
     python -m repro examples     # run the example scripts
     python -m repro nemesis [N] [BASE_SEED] [--jobs N]  # fault campaign
+    python -m repro nemesis 3 0 --net [--amnesiac I]    # live-cluster chaos
     python -m repro harness [--quick|--full] [...]      # benchmark harness
     python -m repro serve --replicas 3 --port-base 9000 # TCP cluster
     python -m repro loadgen --replicas 3 --clients 8 --ops 200 --seed 0
@@ -17,6 +18,10 @@ Each experiment prints the table/series described in EXPERIMENTS.md.
 network counters and the full fault schedule with its seed — so any run
 can be reproduced from its printed line alone; ``--jobs N`` fans the
 runs across N processes without changing a single output line.
+``nemesis --net`` runs the same discipline against live localhost TCP
+clusters (kill/restart churn with WAL recovery, loss bursts,
+partitions); ``--amnesiac I`` disables replica I's WAL — the durability
+canary the campaign must catch as a linearizability violation.
 ``harness`` runs the benchmark regression harness
 (``benchmarks/harness.py``), writing machine-readable ``BENCH_*.json``.
 ``serve`` hosts a replica cluster on real TCP ports until interrupted;
@@ -46,6 +51,7 @@ EXPERIMENTS = {
     "e9": ("bench_smr", "speculative SMR / replicated KV store"),
     "e10": ("bench_faults", "nemesis campaigns / resilience under faults"),
     "e11": ("bench_net", "2 vs 3 message delays over real TCP sockets"),
+    "e12": ("bench_recovery", "WAL recovery: replay cost + restart dip"),
     "sweep": (
         "bench_enumeration",
         "exhaustive trace-level Theorem-5 sweeps",
@@ -112,6 +118,20 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_nemesis(args: argparse.Namespace) -> int:
     """Run a fault-injection campaign, one replayable line per run."""
+    if args.net:
+        from repro.faults import run_net_campaign
+
+        report = run_net_campaign(
+            n_schedules=args.n_schedules,
+            base_seed=args.base_seed,
+            amnesiac=args.amnesiac,
+            shrink=not args.no_shrink,
+            artifact_dir=args.artifact_dir,
+        )
+        print()
+        print(report.summary())
+        return 0 if report.all_linearizable else 1
+
     from repro.faults import run_campaign
 
     report = run_campaign(
@@ -138,21 +158,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Host a replica cluster over TCP until interrupted."""
     import asyncio
 
-    from repro.net import LocalCluster
+    from repro.net import LocalCluster, Supervisor
 
     async def serve() -> None:
         cluster = LocalCluster(
             n_servers=args.replicas,
             host=args.host,
             port_base=args.port_base,
+            wal_root=args.wal_dir,
         )
         await cluster.start()
+        supervisor = None
+        if args.supervise:
+            supervisor = Supervisor(cluster)
+            supervisor.start()
         for node in cluster.nodes:
             print(f"  {node.endpoint} listening on {args.host}:{node.port}")
+        if args.wal_dir:
+            print(f"  WALs under {args.wal_dir}")
+        if supervisor is not None:
+            print("  supervisor: dead replicas restart from their WALs")
         print("serving; interrupt to stop")
         try:
             await asyncio.Event().wait()
         finally:
+            if supervisor is not None:
+                await supervisor.stop()
             await cluster.stop()
 
     try:
@@ -176,6 +207,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         op_timeout=args.op_timeout,
         quorum_timeout=args.quorum_timeout,
         artifact=args.artifact,
+        wal_root=args.wal_dir,
     )
     print(report.summary())
     return 0 if report.linearizable else 1
@@ -210,6 +242,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_nem.add_argument("n_schedules", nargs="?", type=int, default=20)
     p_nem.add_argument("base_seed", nargs="?", type=int, default=0)
     p_nem.add_argument("--jobs", type=int, default=1)
+    p_nem.add_argument(
+        "--net",
+        action="store_true",
+        help="attack live TCP clusters (kill/restart, loss, partitions)",
+    )
+    p_nem.add_argument(
+        "--amnesiac",
+        type=int,
+        default=None,
+        metavar="NODE",
+        help="disable this replica's WAL (the durability canary)",
+    )
+    p_nem.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging violating schedules (live re-runs)",
+    )
+    p_nem.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="write per-run history + verdict JSON artifacts here",
+    )
     p_nem.set_defaults(func=cmd_nemesis)
 
     p_har = sub.add_parser("harness", help="run the benchmark harness")
@@ -220,6 +274,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--replicas", type=int, default=3)
     p_srv.add_argument("--host", default="127.0.0.1")
     p_srv.add_argument("--port-base", type=int, default=9000)
+    p_srv.add_argument(
+        "--wal-dir",
+        default=None,
+        help="persist each replica's WAL under this directory",
+    )
+    p_srv.add_argument(
+        "--supervise",
+        action="store_true",
+        help="auto-restart dead replicas from their WALs",
+    )
     p_srv.set_defaults(func=cmd_serve)
 
     p_load = sub.add_parser(
@@ -248,6 +312,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifact",
         default=None,
         help="write the history + verdict JSON artifact here",
+    )
+    p_load.add_argument(
+        "--wal-dir",
+        default=None,
+        help="give each replica a WAL under this directory",
     )
     p_load.set_defaults(func=cmd_loadgen)
 

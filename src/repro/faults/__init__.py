@@ -6,6 +6,12 @@ runs them against the real deployments and checks every trace for
 linearizability; :mod:`repro.faults.shrink` reduces violating schedules
 to minimal reproducers; :mod:`repro.faults.mutants` supplies
 intentionally broken processes that prove the harness catches real bugs.
+:mod:`repro.faults.netfaults` injects loss, loss bursts and
+partition-then-heal windows at the TCP transport layer, and
+:mod:`repro.faults.netcampaign` drives the same seeded-schedule /
+check-every-history / shrink-on-violation discipline against the *live*
+socket cluster, including kill/restart churn and the WAL-disabled
+amnesiac-node canary.
 """
 
 from .campaign import (
@@ -21,6 +27,7 @@ from .campaign import (
     run_campaign,
 )
 from .mutants import AmnesiacAcceptor
+from .netfaults import TransportFaults
 from .nemesis import (
     ACTION_CLASSES,
     BurstLoss,
@@ -36,6 +43,37 @@ from .nemesis import (
 )
 from .shrink import shrink_schedule
 
+#: netcampaign names resolved lazily (PEP 562): the module imports
+#: repro.net, which imports repro.faults.netfaults back — importing it
+#: eagerly here would deadlock package initialization when repro.net is
+#: imported first.
+_NETCAMPAIGN_NAMES = frozenset(
+    {
+        "KillNode",
+        "NET_ACTION_CLASSES",
+        "NetCampaignReport",
+        "NetLossBurst",
+        "NetPartition",
+        "NetRunResult",
+        "NetSchedule",
+        "NetViolation",
+        "RestartNode",
+        "random_net_schedule",
+        "run_net_campaign",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _NETCAMPAIGN_NAMES:
+        from . import netcampaign
+
+        return getattr(netcampaign, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
     "ACTION_CLASSES",
     "AmnesiacAcceptor",
@@ -49,15 +87,27 @@ __all__ = [
     "DuplicationStorm",
     "FaultAction",
     "FaultSchedule",
+    "KillNode",
     "MultiphaseTarget",
+    "NET_ACTION_CLASSES",
     "NemesisTarget",
+    "NetCampaignReport",
+    "NetLossBurst",
+    "NetPartition",
+    "NetRunResult",
+    "NetSchedule",
+    "NetViolation",
     "PartitionServers",
     "RecoverServer",
+    "RestartNode",
     "RunResult",
     "SMRTarget",
     "TARGETS",
+    "TransportFaults",
     "Violation",
+    "random_net_schedule",
     "random_schedule",
     "run_campaign",
+    "run_net_campaign",
     "shrink_schedule",
 ]

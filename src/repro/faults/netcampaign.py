@@ -1,0 +1,637 @@
+"""Nemesis campaigns against the *live* TCP cluster.
+
+PR 1's campaign attacks the simulator; this module drives the same
+discipline — seeded declarative fault schedules, every recorded history
+checked for linearizability, ddmin shrinking of violating schedules —
+against :class:`~repro.net.cluster.LocalCluster` over real sockets,
+while closed-loop :class:`~repro.net.client.NetClient` traffic flows.
+
+The action vocabulary is the crash-recovery one the runtime now
+supports: :class:`KillNode`/:class:`RestartNode` pairs (restarts replay
+the node's WAL), :class:`NetLossBurst` windows on
+:class:`~repro.faults.netfaults.TransportFaults`, and
+:class:`NetPartition` cut-then-heal windows between endpoints.
+Schedules are majority-preserving by default — at most a minority of
+replicas is ever down at once, so safety *and* liveness stay checkable.
+
+Two design points make violations observable rather than theoretical:
+
+* every client keeps its **own** decided-slot cache (unlike the
+  loadgen's shared log): if amnesia lets consensus fork, two clients
+  hold different logs and their recorded responses conflict;
+* every :class:`RestartNode` spawns a fresh **late-reader** client that
+  probes the log from slot 0 — the reader's quorum round mixes the
+  survivors' durable sticky accepts with the restarted node's answers,
+  which is exactly where a node that forgot its acceptance can steal a
+  settled slot and serve a forked prefix.
+
+The ``amnesiac`` knob disables the WAL on one replica.  With it unset,
+a campaign of kills, restarts, loss bursts and partitions must end with
+every history linearizable; with it set, the same machinery must
+*catch* the durability bug as a checker violation and shrink the fault
+schedule — typically down to the kill/restart pair of the amnesiac
+node.  That closed loop (mechanism → end-to-end checked guarantee) is
+the point of the whole layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import tempfile
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.fastcheck import check_linearizable
+from ..net.client import (
+    DEFAULT_QUORUM_TIMEOUT,
+    HistoryRecorder,
+    NetClient,
+    OperationTimeout,
+)
+from ..net.cluster import LocalCluster
+from ..net.loadgen import DEFAULT_KEYS, _command_stream
+from ..smr.universal import UniversalFrontend, kv_store_adt
+from .netfaults import TransportFaults
+from .shrink import shrink_schedule
+
+#: seeded pause between a client's ops (seconds).  Nonzero gaps matter:
+#: they open single-client-in-flight windows in which slots decide on
+#: the uncontended Quorum fast path, the one code path whose durability
+#: rests on the sticky acceptance alone (Backup-decided slots are also
+#: protected by the acceptor triple).
+OP_GAP = (0.005, 0.045)
+
+#: wall-clock grace beyond the schedule horizon before a run is
+#: abandoned as wedged (drivers cancelled, history still checked)
+RUN_GRACE = 10.0
+
+
+# ----------------------------------------------------------------------
+# schedule vocabulary
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NetFaultAction:
+    """Base class: one live-cluster perturbation at wall-clock ``at``
+    seconds after the run starts."""
+
+    at: float
+
+    def describe(self) -> str:
+        """One compact token for schedule lines and shrink reports."""
+        name = type(self).__name__
+        args = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+        )
+        return f"{name}({args})"
+
+
+@dataclass(frozen=True)
+class KillNode(NetFaultAction):
+    """Crash replica ``node``: listener closed, connections severed."""
+
+    node: int = 0
+
+
+@dataclass(frozen=True)
+class RestartNode(NetFaultAction):
+    """Relaunch replica ``node`` from its WAL directory."""
+
+    node: int = 0
+
+
+@dataclass(frozen=True)
+class NetLossBurst(NetFaultAction):
+    """Add i.i.d. frame loss at ``rate`` for ``duration`` seconds."""
+
+    duration: float = 0.5
+    rate: float = 0.2
+
+
+@dataclass(frozen=True)
+class NetPartition(NetFaultAction):
+    """Cut endpoints ``a``/``b`` for ``duration`` seconds, then heal."""
+
+    a: str = "clients"
+    b: str = "node0"
+    duration: float = 0.5
+
+
+#: every concrete action class, for generation and reports
+NET_ACTION_CLASSES = (KillNode, RestartNode, NetLossBurst, NetPartition)
+
+
+@dataclass(frozen=True)
+class NetSchedule:
+    """A seed plus an ordered tuple of live-cluster fault actions.
+
+    The seed drives the workload streams, the transport fault RNG and
+    the schedule itself, so the line :meth:`describe` prints is a
+    complete reproducer (modulo real-network timing, which is the point
+    of running on sockets).
+    """
+
+    seed: int
+    actions: Tuple[NetFaultAction, ...] = ()
+    horizon: float = 4.0
+    majority_preserving: bool = True
+
+    def subset(self, keep: Iterable[int]) -> "NetSchedule":
+        """The schedule restricted to the action positions in ``keep``
+        (the delta-debugging shrinker's hook)."""
+        kept = frozenset(keep)
+        return NetSchedule(
+            seed=self.seed,
+            actions=tuple(
+                a for i, a in enumerate(self.actions) if i in kept
+            ),
+            horizon=self.horizon,
+            majority_preserving=self.majority_preserving,
+        )
+
+    def fault_classes(self) -> Tuple[str, ...]:
+        """The sorted, deduplicated action kinds (metric aggregation)."""
+        kinds = {type(a).__name__ for a in self.actions}
+        return tuple(sorted(kinds)) or ("None",)
+
+    def describe(self) -> str:
+        """One replayable line: seed, horizon and every action."""
+        inner = "; ".join(a.describe() for a in self.actions) or "no faults"
+        return f"seed={self.seed} horizon={self.horizon} [{inner}]"
+
+
+def random_net_schedule(
+    seed: int,
+    n_servers: int = 3,
+    horizon: float = 4.0,
+    max_kills: int = 2,
+    max_net_actions: int = 2,
+    majority_preserving: bool = True,
+    must_restart: Optional[int] = None,
+) -> NetSchedule:
+    """Draw a live-cluster fault schedule, deterministically from ``seed``.
+
+    Kills always come paired with a later restart, and pairs are placed
+    so at most a minority of replicas is down at any instant (unless
+    ``majority_preserving=False``).  ``must_restart`` forces one
+    kill/restart pair for that node — the amnesiac-canary campaigns use
+    it so the node under suspicion is guaranteed to lose its memory
+    mid-run.  Action times land in the first part of the horizon so the
+    tail is left for recovery and late readers.
+    """
+    rng = random.Random(f"netcampaign:{seed}")
+    minority = max(1, (n_servers - 1) // 2)
+    span = max(0.8, min(horizon * 0.5, 2.0))
+    actions: List[NetFaultAction] = []
+    down: List[Tuple[float, float, int]] = []  # (start, end, node)
+
+    def fits(start: float, end: float, node: int) -> bool:
+        overlapping = [
+            iv for iv in down if not (iv[1] <= start or iv[0] >= end)
+        ]
+        if any(iv[2] == node for iv in overlapping):
+            return False
+        if majority_preserving and len(overlapping) + 1 > minority:
+            return False
+        return True
+
+    def add_pair(node: int) -> bool:
+        at = round(rng.uniform(0.2, span), 2)
+        duration = round(rng.uniform(0.3, 0.7), 2)
+        if not fits(at, at + duration, node):
+            return False
+        down.append((at, at + duration, node))
+        actions.append(KillNode(at=at, node=node))
+        actions.append(RestartNode(at=round(at + duration, 2), node=node))
+        return True
+
+    if must_restart is not None:
+        while not add_pair(must_restart):
+            pass
+    for _ in range(rng.randint(0, max_kills)):
+        add_pair(rng.randrange(n_servers))
+
+    endpoints = ["clients"] + [f"node{i}" for i in range(n_servers)]
+    for _ in range(rng.randint(0, max_net_actions)):
+        at = round(rng.uniform(0.1, span), 2)
+        if rng.random() < 0.5:
+            actions.append(
+                NetLossBurst(
+                    at=at,
+                    duration=round(rng.uniform(0.2, 0.6), 2),
+                    rate=round(rng.uniform(0.05, 0.3), 2),
+                )
+            )
+        else:
+            a, b = rng.sample(endpoints, 2)
+            actions.append(
+                NetPartition(
+                    at=at,
+                    a=a,
+                    b=b,
+                    duration=round(rng.uniform(0.2, 0.6), 2),
+                )
+            )
+
+    if not actions:
+        actions.append(NetLossBurst(at=0.3, duration=0.4, rate=0.15))
+    actions.sort(key=lambda a: a.at)
+    return NetSchedule(
+        seed=seed,
+        actions=tuple(actions),
+        horizon=horizon,
+        majority_preserving=majority_preserving,
+    )
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class NetRunResult:
+    """One live-cluster run: what happened, and the checker's verdict."""
+
+    schedule: NetSchedule
+    verdict: str = "unknown"
+    strategy: str = ""
+    reason: Optional[str] = None
+    committed: int = 0
+    pending: int = 0
+    successors: int = 0
+    kills: int = 0
+    restarts: int = 0
+    skipped_kills: int = 0
+    late_readers: int = 0
+    fast: int = 0
+    slow: int = 0
+    duration: float = 0.0
+    amnesiac: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "linearizable"
+
+    @property
+    def violation(self) -> bool:
+        return self.verdict == "violation"
+
+    def line(self) -> str:
+        """One replayable report line, campaign.py style."""
+        tag = "OK " if self.ok else ("BUG" if self.violation else "???")
+        extra = f" amnesiac=node{self.amnesiac}" if self.amnesiac is not None else ""
+        return (
+            f"[{tag}] {self.verdict:<13} committed={self.committed:<3} "
+            f"pending={self.pending} successors={self.successors} "
+            f"kills={self.kills} restarts={self.restarts} "
+            f"late={self.late_readers} fast={self.fast} slow={self.slow} "
+            f"t={self.duration:.2f}s{extra} :: {self.schedule.describe()}"
+        )
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "schedule": self.schedule.describe(),
+            "verdict": self.verdict,
+            "strategy": self.strategy,
+            "reason": self.reason,
+            "committed": self.committed,
+            "pending": self.pending,
+            "successors": self.successors,
+            "kills": self.kills,
+            "restarts": self.restarts,
+            "skipped_kills": self.skipped_kills,
+            "late_readers": self.late_readers,
+            "fast": self.fast,
+            "slow": self.slow,
+            "duration": self.duration,
+            "amnesiac": self.amnesiac,
+        }
+
+
+@dataclass
+class NetViolation:
+    """A linearizability violation plus its shrunk reproducer."""
+
+    result: NetRunResult
+    shrunk: NetSchedule
+    shrunk_reason: Optional[str] = None
+
+    def report(self) -> str:
+        lines = [
+            "linearizability violation on the live cluster",
+            f"  run     : {self.result.line()}",
+            f"  reason  : {self.result.reason}",
+            f"  shrunk  : {self.shrunk.describe()} "
+            f"({len(self.shrunk.actions)}/{len(self.result.schedule.actions)}"
+            f" actions)",
+        ]
+        if self.shrunk_reason:
+            lines.append(f"  replayed: {self.shrunk_reason}")
+        return "\n".join(lines)
+
+
+@dataclass
+class NetCampaignReport:
+    """Aggregate outcome of a live-cluster campaign."""
+
+    runs: List[NetRunResult] = field(default_factory=list)
+    violations: List[NetViolation] = field(default_factory=list)
+
+    @property
+    def all_linearizable(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        ok = sum(1 for r in self.runs if r.ok)
+        inconclusive = sum(
+            1 for r in self.runs if not r.ok and not r.violation
+        )
+        lines = [
+            f"net campaign: {len(self.runs)} runs, {ok} linearizable, "
+            f"{len(self.violations)} violations, "
+            f"{inconclusive} inconclusive",
+        ]
+        for violation in self.violations:
+            lines.append(violation.report())
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _RunConfig:
+    """Everything about a run that is not the schedule."""
+
+    replicas: int = 3
+    clients: int = 3
+    ops_per_client: int = 8
+    keys: Tuple[str, ...] = DEFAULT_KEYS
+    op_timeout: float = 2.0
+    quorum_timeout: float = DEFAULT_QUORUM_TIMEOUT
+    amnesiac: Optional[int] = None
+    wal_fsync: bool = True
+
+
+async def _run_schedule(
+    schedule: NetSchedule, config: _RunConfig
+) -> Tuple[NetRunResult, HistoryRecorder]:
+    """One live run: cluster up, traffic + nemesis, check, tear down."""
+    loop = asyncio.get_running_loop()
+    result = NetRunResult(schedule=schedule, amnesiac=config.amnesiac)
+    majority = config.replicas // 2 + 1
+    with tempfile.TemporaryDirectory(prefix="repro-net-wal-") as wal_root:
+        faults = TransportFaults(seed=schedule.seed)
+        cluster = LocalCluster(
+            n_servers=config.replicas,
+            faults=faults,
+            wal_root=wal_root,
+            amnesiac=()
+            if config.amnesiac is None
+            else (config.amnesiac,),
+            wal_fsync=config.wal_fsync,
+        )
+        await cluster.start()
+        transport = cluster.client_transport("clients")
+        recorder = HistoryRecorder(clock=lambda: transport.now)
+        frontend = UniversalFrontend(kv_store_adt())
+        all_clients: List[NetClient] = []
+        late_tasks: List[asyncio.Task] = []
+
+        def make_client(name: str) -> NetClient:
+            # Per-client decided-slot caches: a forked consensus must
+            # surface as conflicting recorded responses, not be papered
+            # over by a shared log.
+            client = NetClient(
+                name,
+                config.replicas,
+                transport,
+                {},
+                recorder,
+                frontend,
+                quorum_timeout=config.quorum_timeout,
+                op_timeout=config.op_timeout,
+            )
+            all_clients.append(client)
+            return client
+
+        async def drive(index: int) -> None:
+            client = make_client(f"c{index}")
+            rng = random.Random(f"netload:{schedule.seed}:{index}")
+            stream = _command_stream(rng, config.keys)
+            for _ in range(config.ops_per_client):
+                await asyncio.sleep(rng.uniform(*OP_GAP))
+                command = next(stream)
+                try:
+                    await client.submit(command)
+                    result.committed += 1
+                except OperationTimeout:
+                    result.successors += 1
+                    client = client.successor()
+                    all_clients.append(client)
+
+        async def read_back(index: int) -> None:
+            # A late reader starts with an empty log and probes from
+            # slot 0: its responses replay the whole decided prefix,
+            # which is where a recovered-but-amnesiac node forks history.
+            client = make_client(f"late{index}")
+            for key in config.keys:
+                try:
+                    await client.submit(("get", key))
+                    result.committed += 1
+                except OperationTimeout:
+                    result.successors += 1
+                    client = client.successor()
+                    all_clients.append(client)
+
+        async def nemesis() -> None:
+            start = loop.time()
+            for action in sorted(schedule.actions, key=lambda a: a.at):
+                delay = start + action.at - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                if isinstance(action, KillNode):
+                    alive = cluster.alive()
+                    if action.node not in alive:
+                        continue
+                    if (
+                        schedule.majority_preserving
+                        and len(alive) - 1 < majority
+                    ):
+                        # A shrink probe may have dropped this kill's
+                        # partner restart; never let a probe take the
+                        # majority down (runs would only wedge).
+                        result.skipped_kills += 1
+                        continue
+                    await cluster.kill(action.node)
+                    result.kills += 1
+                elif isinstance(action, RestartNode):
+                    if action.node in cluster.alive():
+                        continue
+                    await cluster.restart(action.node)
+                    result.restarts += 1
+                    result.late_readers += 1
+                    late_tasks.append(
+                        loop.create_task(read_back(result.late_readers))
+                    )
+                elif isinstance(action, NetLossBurst):
+                    faults.burst_loss(action.rate, action.duration)
+                elif isinstance(action, NetPartition):
+                    faults.partition(
+                        action.a, action.b, duration=action.duration
+                    )
+
+        start = transport.now
+        budget = schedule.horizon + config.op_timeout + RUN_GRACE
+        tasks = [loop.create_task(nemesis())] + [
+            loop.create_task(drive(i)) for i in range(config.clients)
+        ]
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*tasks), timeout=budget
+            )
+            if late_tasks:
+                await asyncio.wait_for(
+                    asyncio.gather(*late_tasks), timeout=budget
+                )
+        except asyncio.TimeoutError:
+            for task in tasks + late_tasks:
+                task.cancel()
+            await asyncio.gather(
+                *tasks, *late_tasks, return_exceptions=True
+            )
+            result.reason = "run exceeded its wall-clock budget"
+        result.duration = transport.now - start
+        await cluster.stop()
+
+    result.pending = len(recorder.pending_clients())
+    ops = [r for c in all_clients for r in c.results]
+    result.fast = sum(1 for r in ops if r.path == "fast")
+    result.slow = sum(1 for r in ops if r.path == "slow")
+
+    check = check_linearizable(recorder.trace(), kv_store_adt())
+    result.strategy = check.strategy
+    if check.unknown:
+        result.verdict = "unknown"
+        result.reason = result.reason or check.result.reason
+    elif check.ok:
+        result.verdict = "linearizable"
+    else:
+        result.verdict = "violation"
+        result.reason = check.result.reason
+    return result, recorder
+
+
+def _write_artifact(
+    directory: str, name: str, payload: Dict[str, Any]
+) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=repr)
+    return path
+
+
+def run_net_campaign(
+    n_schedules: int = 3,
+    base_seed: int = 0,
+    replicas: int = 3,
+    clients: int = 3,
+    ops_per_client: int = 8,
+    horizon: float = 4.0,
+    op_timeout: float = 2.0,
+    quorum_timeout: float = DEFAULT_QUORUM_TIMEOUT,
+    keys: Tuple[str, ...] = DEFAULT_KEYS,
+    amnesiac: Optional[int] = None,
+    majority_preserving: bool = True,
+    shrink: bool = True,
+    schedules: Optional[List[NetSchedule]] = None,
+    artifact_dir: Optional[str] = None,
+    wal_fsync: bool = True,
+    emit=print,
+) -> NetCampaignReport:
+    """Run seeded chaos campaigns against live localhost clusters.
+
+    Each schedule boots a fresh :class:`LocalCluster` (WAL-backed; the
+    ``amnesiac`` replica, if any, gets none), drives closed-loop client
+    traffic while the nemesis kills/restarts replicas and perturbs the
+    transport, then feeds the recorded wire-level history through
+    :func:`~repro.core.fastcheck.check_linearizable`.  A violating
+    schedule is delta-debugged to a 1-minimal reproducer by re-running
+    the live cluster per probe (``shrink=False`` skips this).  Explicit
+    ``schedules`` override generation — the CI canary passes a directed
+    kill/restart pair.  With ``artifact_dir`` every run writes its
+    history + verdict JSON, and every violation its shrunk schedule.
+    """
+    config = _RunConfig(
+        replicas=replicas,
+        clients=clients,
+        ops_per_client=ops_per_client,
+        keys=keys,
+        op_timeout=op_timeout,
+        quorum_timeout=quorum_timeout,
+        amnesiac=amnesiac,
+        wal_fsync=wal_fsync,
+    )
+    if schedules is None:
+        schedules = [
+            random_net_schedule(
+                seed=base_seed + k,
+                n_servers=replicas,
+                horizon=horizon,
+                majority_preserving=majority_preserving,
+                must_restart=amnesiac,
+            )
+            for k in range(n_schedules)
+        ]
+    report = NetCampaignReport()
+    for schedule in schedules:
+        result, recorder = asyncio.run(_run_schedule(schedule, config))
+        report.runs.append(result)
+        emit(result.line())
+        if artifact_dir:
+            _write_artifact(
+                artifact_dir,
+                f"net-run-{schedule.seed}.json",
+                {
+                    "report": result.to_jsonable(),
+                    "history": recorder.to_jsonable(),
+                },
+            )
+        if not result.violation:
+            continue
+
+        shrunk, shrunk_reason = schedule, result.reason
+        if shrink:
+            emit("  shrinking the failing schedule (live re-runs)...")
+
+            def still_fails(candidate: NetSchedule) -> bool:
+                probe, _ = asyncio.run(_run_schedule(candidate, config))
+                return probe.violation
+
+            shrunk = shrink_schedule(schedule, still_fails)
+            replay, _ = asyncio.run(_run_schedule(shrunk, config))
+            shrunk_reason = replay.reason
+        violation = NetViolation(
+            result=result, shrunk=shrunk, shrunk_reason=shrunk_reason
+        )
+        report.violations.append(violation)
+        emit(violation.report())
+        if artifact_dir:
+            _write_artifact(
+                artifact_dir,
+                f"net-violation-{schedule.seed}.json",
+                {
+                    "report": result.to_jsonable(),
+                    "shrunk": shrunk.describe(),
+                    "shrunk_reason": shrunk_reason,
+                },
+            )
+    return report

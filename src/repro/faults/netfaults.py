@@ -11,16 +11,24 @@ while the accounting lands in the same
 report lines read identically across substrates.
 
 Loss is i.i.d. from a seeded :class:`random.Random` (reproducible op
-streams; wall-clock interleaving stays real).  Partitions cut pairs of
-*endpoints* (node/client names, not pids): a cut is symmetric unless
-installed one-way, and heals explicitly via :meth:`heal` — on a real
-network nothing heals by virtual-time magic.
+streams; wall-clock interleaving stays real), and :meth:`burst_loss`
+opens additive loss windows that expire on the fault clock — the
+transport analogue of the simulator nemesis's ``BurstLoss``.
+Partitions cut pairs of *endpoints* (node/client names, not pids): a
+cut is symmetric unless installed one-way, and heals either explicitly
+via :meth:`heal` or automatically when installed with a ``duration`` —
+the heal time is checked lazily against ``clock`` on the next frame,
+so a healed pair reconnects without any timer machinery.  This matches
+the simulator nemesis's partition/heal pairs: a seeded schedule fully
+determines when every cut opens and closes.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Optional, Set, Tuple
+import time
+from typing import Dict, List, Optional, Tuple
 
 
 class TransportFaults:
@@ -30,25 +38,45 @@ class TransportFaults:
     (drop, count as loss) or ``"cut"`` (drop, count as partitioned).
     """
 
-    def __init__(self, seed: int = 0, loss_rate: float = 0.0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        clock=time.monotonic,
+    ) -> None:
         if not 0.0 <= loss_rate <= 1.0:
             raise ValueError("loss_rate must be in [0, 1]")
         self.rng = random.Random(seed)
         self.loss_rate = loss_rate
-        self._cuts: Set[Tuple[str, str]] = set()
+        self.clock = clock
+        #: directed endpoint pair → heal time (``math.inf`` = explicit)
+        self._cuts: Dict[Tuple[str, str], float] = {}
+        #: additive loss windows: (rate, expiry time)
+        self._bursts: List[Tuple[float, float]] = []
 
-    def partition(self, a: str, b: str, symmetric: bool = True) -> None:
+    def partition(
+        self,
+        a: str,
+        b: str,
+        symmetric: bool = True,
+        duration: Optional[float] = None,
+    ) -> None:
         """Cut frames from endpoint ``a`` to endpoint ``b`` (and back,
-        unless ``symmetric=False`` — a one-way link failure)."""
-        self._cuts.add((a, b))
+        unless ``symmetric=False`` — a one-way link failure).  With
+        ``duration`` the cut heals itself ``duration`` seconds from
+        now; without, it lasts until :meth:`heal`."""
+        heal_at = math.inf if duration is None else self.clock() + duration
+        self._cuts[(a, b)] = heal_at
         if symmetric:
-            self._cuts.add((b, a))
+            self._cuts[(b, a)] = heal_at
 
-    def isolate(self, endpoint: str, others) -> None:
+    def isolate(
+        self, endpoint: str, others, duration: Optional[float] = None
+    ) -> None:
         """Cut ``endpoint`` off from every endpoint in ``others``."""
         for other in others:
             if other != endpoint:
-                self.partition(endpoint, other)
+                self.partition(endpoint, other, duration=duration)
 
     def heal(
         self, a: Optional[str] = None, b: Optional[str] = None
@@ -60,17 +88,41 @@ class TransportFaults:
             self._cuts.clear()
             return
         if b is not None:
-            self._cuts.discard((a, b))
-            self._cuts.discard((b, a))
+            self._cuts.pop((a, b), None)
+            self._cuts.pop((b, a), None)
             return
         self._cuts = {
-            pair for pair in self._cuts if a not in pair
+            pair: heal_at
+            for pair, heal_at in self._cuts.items()
+            if a not in pair
         }
+
+    def burst_loss(self, rate: float, duration: float) -> None:
+        """Add i.i.d. loss at ``rate`` for the next ``duration`` seconds
+        (windows compose additively, like the simulator's BurstLoss)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self._bursts.append((rate, self.clock() + duration))
+
+    def effective_loss_rate(self) -> float:
+        """Baseline loss plus every still-open burst window."""
+        if self._bursts:
+            now = self.clock()
+            self._bursts = [
+                burst for burst in self._bursts if burst[1] > now
+            ]
+        return min(
+            1.0, self.loss_rate + sum(rate for rate, _ in self._bursts)
+        )
 
     def verdict(self, src_ep: str, dst_ep: str) -> Optional[str]:
         """The fate of one frame: ``None``, ``"lost"`` or ``"cut"``."""
-        if (src_ep, dst_ep) in self._cuts:
-            return "cut"
-        if self.loss_rate and self.rng.random() < self.loss_rate:
+        heal_at = self._cuts.get((src_ep, dst_ep))
+        if heal_at is not None:
+            if self.clock() < heal_at:
+                return "cut"
+            del self._cuts[(src_ep, dst_ep)]
+        rate = self.effective_loss_rate()
+        if rate and self.rng.random() < rate:
             return "lost"
         return None

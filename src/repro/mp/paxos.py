@@ -145,6 +145,24 @@ class PaxosCoordinator(Process):
         if self._pre_prepare:
             self.call_soon(self.start_prepare)
 
+    def adopt_decision(self, value: Hashable) -> None:
+        """Install an externally learned decision.
+
+        Decisions are stable, so adopting one that *was* made is always
+        safe: the coordinator answers requests with it and never
+        proposes again.  The networked runtime calls this when a
+        restarting node replays its WAL's decided log, which both
+        spares recovered slots a redundant Paxos round and keeps a
+        pre-preparing coordinator from re-proposing on settled slots.
+        """
+        if self.decision is not None:
+            return
+        self.decision = value
+        self.pending_requests = []
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
+
     def on_recover(self, durable) -> None:
         """A coordinator is diskless: a restart clears every in-flight
         proposal attempt.  Queued requests and learned decisions were in

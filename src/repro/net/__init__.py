@@ -26,7 +26,13 @@ Modules:
   :class:`HistoryRecorder`;
 * :mod:`repro.net.loadgen` — the closed-loop multi-client load
   generator: latency/throughput accounting and the end-of-run
-  :func:`~repro.core.fastcheck.check_linearizable` verdict.
+  :func:`~repro.core.fastcheck.check_linearizable` verdict;
+* :mod:`repro.net.wal` — the durable substrate: an append-only,
+  checksummed, fsync'd :class:`WriteAheadLog` with snapshot compaction,
+  folded per node into a :class:`NodeWAL` so a killed replica restarts
+  (:meth:`LocalCluster.restart`, or automatically via
+  :class:`Supervisor`) with its acceptor triples, sticky Quorum
+  acceptances and decided log intact.
 """
 
 from .codec import (
@@ -37,11 +43,12 @@ from .codec import (
     encode_frame,
     encode_payload,
 )
-from .cluster import LocalCluster
-from .client import HistoryRecorder, NetClient
+from .cluster import LocalCluster, Supervisor
+from .client import HistoryRecorder, NetClient, OperationTimeout
 from .loadgen import LoadReport, run_loadgen
 from .node import ReplicaNode
 from .transport import AsyncTransport, AddressBook
+from .wal import NodeWAL, RecoveredState, WriteAheadLog
 
 __all__ = [
     "AddressBook",
@@ -53,7 +60,12 @@ __all__ = [
     "LocalCluster",
     "MAX_FRAME",
     "NetClient",
+    "NodeWAL",
+    "OperationTimeout",
+    "RecoveredState",
     "ReplicaNode",
+    "Supervisor",
+    "WriteAheadLog",
     "decode_payload",
     "encode_frame",
     "encode_payload",

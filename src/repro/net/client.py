@@ -161,6 +161,34 @@ class NetClient:
         self.poisoned = False
         self.results: List[OpResult] = []
         self._seq = 0
+        self._incarnation = 0
+
+    def successor(self) -> "NetClient":
+        """A fresh client identity continuing this client's workload.
+
+        A timed-out op poisons a client id forever — the invocation
+        stays pending and a sequential client must not issue another op
+        under the same id.  Jepsen's discipline is to keep the *load*
+        going anyway: mint a new id (``c3`` → ``c3@1`` → ``c3@2`` …)
+        that shares the transport, the decided-slot cache, the recorder
+        and the frontend, so the workload continues through a fault
+        window while the old id's pending op stays in the history for
+        the checker to account for.
+        """
+        root = self.name.split("@", 1)[0]
+        heir = NetClient(
+            f"{root}@{self._incarnation + 1}",
+            self.n_servers,
+            self.transport,
+            self.log,
+            self.recorder,
+            self.frontend,
+            quorum_timeout=self.quorum_timeout,
+            backoff=self.backoff,
+            op_timeout=self.op_timeout,
+        )
+        heir._incarnation = self._incarnation + 1
+        return heir
 
     @staticmethod
     def _untag(command: Tuple) -> Tuple:

@@ -12,15 +12,34 @@ the resilience tests exercise the Backup path over real sockets: with
 one of three replicas dead, Quorum can never again collect accepts from
 *all* servers, so every affected slot decides through Paxos (majority
 2/3 still alive).
+
+With ``wal_root`` set each node persists its durable state to a
+:class:`~repro.net.wal.NodeWAL` under ``wal_root/node{i}``, and
+``restart(i)`` relaunches a killed node *from that directory*: a fresh
+``ReplicaNode`` replays the WAL, rebuilds its per-slot roles with
+recovered acceptor triples, sticky Quorum acceptances and decided
+values, and rebinds the listener — peers reconnect via the address
+book on their next send.  Node indices listed in ``amnesiac`` get no
+WAL and restart blank, the deliberate durability bug the net nemesis
+campaign must catch (:mod:`repro.faults.netcampaign`).
+
+:class:`Supervisor` automates the relaunch: a watch task polls for dead
+nodes and calls ``restart`` on each after ``restart_delay`` — unless
+the index is held via :meth:`Supervisor.hold`, which is how chaos
+schedules keep a node down for a controlled window.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import asyncio
+import contextlib
+import os
+from typing import List, Optional, Sequence, Tuple
 
 from ..faults.netfaults import TransportFaults
 from .node import COORDINATOR_RETRY_DELAY, ReplicaNode
 from .transport import AddressBook, AsyncTransport
+from .wal import NodeWAL
 
 
 class LocalCluster:
@@ -33,23 +52,43 @@ class LocalCluster:
         retry_delay: float = COORDINATOR_RETRY_DELAY,
         host: str = "127.0.0.1",
         port_base: Optional[int] = None,
+        wal_root: Optional[str] = None,
+        amnesiac: Sequence[int] = (),
+        wal_fsync: bool = True,
     ) -> None:
         self.n_servers = n_servers
         self.book = AddressBook()
         self.faults = faults
+        self.retry_delay = retry_delay
+        self.host = host
+        self.port_base = port_base
+        self.wal_root = wal_root
+        self.amnesiac = frozenset(amnesiac)
+        self.wal_fsync = wal_fsync
+        self.stopped = False
         self.nodes: List[ReplicaNode] = [
-            ReplicaNode(
-                i,
-                n_servers,
-                self.book,
-                faults=faults,
-                retry_delay=retry_delay,
-                host=host,
-                port=0 if port_base is None else port_base + i,
-            )
-            for i in range(n_servers)
+            self._make_node(i) for i in range(n_servers)
         ]
         self._client_transports: List[AsyncTransport] = []
+
+    def _make_node(self, index: int) -> ReplicaNode:
+        """Build a node, opening (and replaying) its WAL if configured."""
+        wal = None
+        if self.wal_root is not None and index not in self.amnesiac:
+            wal = NodeWAL(
+                os.path.join(self.wal_root, f"node{index}"),
+                fsync=self.wal_fsync,
+            )
+        return ReplicaNode(
+            index,
+            self.n_servers,
+            self.book,
+            faults=self.faults,
+            retry_delay=self.retry_delay,
+            host=self.host,
+            port=0 if self.port_base is None else self.port_base + index,
+            wal=wal,
+        )
 
     async def start(self) -> None:
         """Bind every node and publish the cluster in the address book."""
@@ -71,8 +110,27 @@ class LocalCluster:
         """Kill replica ``index`` (crash semantics, no clean handover)."""
         await self.nodes[index].stop()
 
+    async def restart(self, index: int) -> ReplicaNode:
+        """Relaunch a killed replica from its WAL directory.
+
+        A fresh :class:`ReplicaNode` replays the node's WAL (if the
+        cluster has one) and rebuilds every recovered slot's roles
+        before the new listener accepts a single frame; an amnesiac
+        node comes back blank.  Peers and clients reconnect through the
+        shared address book — the transport's per-peer reconnect
+        cooldown retries the lookup on the next send.
+        """
+        old = self.nodes[index]
+        if not old.transport.closed:
+            raise RuntimeError(f"node{index} is still alive; kill it first")
+        node = self._make_node(index)
+        self.nodes[index] = node
+        await node.start()
+        return node
+
     async def stop(self) -> None:
         """Tear the whole deployment down (idempotent)."""
+        self.stopped = True
         for transport in self._client_transports:
             await transport.close()
         for node in self.nodes:
@@ -83,3 +141,71 @@ class LocalCluster:
         return [
             node.index for node in self.nodes if not node.transport.closed
         ]
+
+
+class Supervisor:
+    """Detects dead nodes and relaunches them from their WAL directories.
+
+    The watch task polls ``cluster.nodes`` every ``poll_interval``
+    seconds; a node found dead (and not held) for at least
+    ``restart_delay`` is restarted via :meth:`LocalCluster.restart`.
+    ``hold(i)``/``release(i)`` exempt an index — chaos schedules hold a
+    node before killing it so the down window stays *theirs*, then
+    release it (or restart it themselves).  ``restarted`` accumulates
+    ``(monotonic_time, index)`` pairs for assertions and reports.
+    """
+
+    def __init__(
+        self,
+        cluster: LocalCluster,
+        poll_interval: float = 0.05,
+        restart_delay: float = 0.0,
+    ) -> None:
+        self.cluster = cluster
+        self.poll_interval = poll_interval
+        self.restart_delay = restart_delay
+        self.held: set = set()
+        self.restarted: List[Tuple[float, int]] = []
+        self._down_since: dict = {}
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        """Start the watch task on the running loop."""
+        self._task = asyncio.get_running_loop().create_task(self._watch())
+
+    def hold(self, index: int) -> None:
+        """Exempt ``index`` from supervision (keep it down)."""
+        self.held.add(index)
+
+    def release(self, index: int) -> None:
+        """Resume supervising ``index``."""
+        self.held.discard(index)
+        self._down_since.pop(index, None)
+
+    async def stop(self) -> None:
+        """Cancel the watch task (idempotent)."""
+        if self._task is None:
+            return
+        self._task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._task
+        self._task = None
+
+    async def _watch(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self.cluster.stopped:
+            await asyncio.sleep(self.poll_interval)
+            now = loop.time()
+            for node in list(self.cluster.nodes):
+                index = node.index
+                if not node.transport.closed:
+                    self._down_since.pop(index, None)
+                    continue
+                if index in self.held or self.cluster.stopped:
+                    continue
+                since = self._down_since.setdefault(index, now)
+                if now - since < self.restart_delay:
+                    continue
+                self._down_since.pop(index, None)
+                await self.cluster.restart(index)
+                self.restarted.append((now, index))

@@ -56,6 +56,7 @@ class LoadReport:
     strategy: str = ""
     reason: Optional[str] = None
     killed: Optional[int] = None
+    successors: int = 0
     endpoint_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
@@ -91,6 +92,11 @@ class LoadReport:
             )
         if self.killed is not None:
             lines.append(f"  killed: node{self.killed} mid-run")
+        if self.successors:
+            lines.append(
+                f"  timeouts: {self.successors} op(s) left pending; "
+                f"load continued under successor client ids"
+            )
         verdict = f"  history: {self.verdict}"
         if self.strategy:
             verdict += f" ({self.strategy})"
@@ -117,6 +123,7 @@ class LoadReport:
             "strategy": self.strategy,
             "reason": self.reason,
             "killed": self.killed,
+            "successors": self.successors,
             "endpoint_stats": self.endpoint_stats,
         }
 
@@ -146,15 +153,17 @@ async def _run(
     op_timeout: float,
     quorum_timeout: float,
     keys: Tuple[str, ...],
+    wal_root: Optional[str],
     emit,
 ) -> Tuple[LoadReport, HistoryRecorder]:
-    cluster = LocalCluster(n_servers=replicas)
+    cluster = LocalCluster(n_servers=replicas, wal_root=wal_root)
     await cluster.start()
     transport = cluster.client_transport("clients")
     recorder = HistoryRecorder(clock=lambda: transport.now)
     frontend = UniversalFrontend(kv_store_adt())
     shared_log: Dict[int, Any] = {}
     committed = [0]
+    successors = [0]
     killed = [False]
     kill_threshold = max(1, int(ops * kill_after)) if kill is not None else None
 
@@ -171,6 +180,8 @@ async def _run(
         )
         for i in range(clients)
     ]
+    #: every client incarnation that ran, successors included
+    all_clients = list(net_clients)
 
     per_client = [ops // clients] * clients
     for i in range(ops % clients):
@@ -186,8 +197,17 @@ async def _run(
             try:
                 await client.submit(command)
             except OperationTimeout:
-                emit(f"  {client.name}: op timed out, left pending")
-                return
+                # The op stays pending and this client id is poisoned;
+                # keep the load flowing under a fresh id (Jepsen-style)
+                # instead of stalling for the rest of the run.
+                successors[0] += 1
+                emit(
+                    f"  {client.name}: op timed out, left pending; "
+                    f"continuing as successor"
+                )
+                client = client.successor()
+                all_clients.append(client)
+                continue
             committed[0] += 1
             if (
                 kill_threshold is not None
@@ -227,7 +247,7 @@ async def _run(
     else:
         verdict, reason = "violation", check.result.reason
 
-    results = [r for c in net_clients for r in c.results]
+    results = [r for c in all_clients for r in c.results]
     report = LoadReport(
         replicas=replicas,
         clients=clients,
@@ -242,6 +262,7 @@ async def _run(
         strategy=check.strategy,
         reason=reason,
         killed=kill if killed[0] else None,
+        successors=successors[0],
         endpoint_stats=endpoint_stats,
     )
     return report, recorder
@@ -257,6 +278,7 @@ def run_loadgen(
     op_timeout: float = 5.0,
     quorum_timeout: float = 0.15,
     keys: Tuple[str, ...] = DEFAULT_KEYS,
+    wal_root: Optional[str] = None,
     artifact: Optional[str] = None,
     emit=print,
 ) -> LoadReport:
@@ -264,7 +286,9 @@ def run_loadgen(
 
     Returns the :class:`LoadReport`; with ``artifact`` set, also writes a
     JSON file carrying the run configuration, the report and the raw
-    wire-level history (the CI smoke job uploads it).
+    wire-level history (the CI smoke job uploads it).  With ``wal_root``
+    set the replicas persist their durable state under that directory
+    (see :class:`~repro.net.wal.NodeWAL`).
     """
     report, recorder = asyncio.run(
         _run(
@@ -277,6 +301,7 @@ def run_loadgen(
             op_timeout=op_timeout,
             quorum_timeout=quorum_timeout,
             keys=keys,
+            wal_root=wal_root,
             emit=emit,
         )
     )
@@ -289,6 +314,7 @@ def run_loadgen(
                 "seed": seed,
                 "kill": kill,
                 "kill_after": kill_after,
+                "wal_root": wal_root,
             },
             "report": report.to_jsonable(),
             "history": recorder.to_jsonable(),

@@ -19,6 +19,20 @@ the networked analogue of ``SpeculativeSMR._ensure_slot`` — except no
 global coordinator exists; each node materializes slots independently,
 driven purely by the frames that reach it.
 
+With a :class:`~repro.net.wal.NodeWAL` attached the roles become
+*durable*: a :class:`_DurableRole` wrapper buffers every outbound
+message while a handler runs, appends the role's changed
+``durable_state()`` to the WAL, and only then releases the replies —
+the classical persist-before-reply rule, so no acknowledgement ever
+refers to state that a crash could erase.  On ``start()`` a node
+replays its WAL *before* binding the listener: every recovered slot is
+materialized, acceptor triples and sticky Quorum acceptances are
+restored via the roles' ``on_recover`` hooks, and decided values are
+installed with ``PaxosCoordinator.adopt_decision`` — only then can a
+frame reach the node.  Without a WAL the node is **amnesiac**: it
+restarts blank, which is the intentional safety bug the net nemesis
+campaign exists to catch (:mod:`repro.faults.netcampaign`).
+
 The per-node control role ``("ctl", 0, index)`` handles the one piece of
 wiring that is configuration rather than protocol: Backup clients
 register themselves as learners on the slot's acceptor
@@ -39,6 +53,7 @@ from ..mp.paxos import PaxosAcceptor, PaxosCoordinator
 from ..mp.quorum import QuorumServer
 from ..mp.sim import Process
 from .transport import AddressBook, AsyncTransport
+from .wal import NodeWAL, RecoveredState
 
 logger = logging.getLogger(__name__)
 
@@ -60,6 +75,113 @@ class _ControlRole(Process):
             self.node.register_learner(slot, learner)
 
 
+class _DurableRole:
+    """Mixin enforcing persist-before-reply around ``on_message``.
+
+    While the wrapped handler runs, ``send`` only buffers; afterwards,
+    if ``durable_state()`` changed, the new state is appended (and
+    fsync'd) to the WAL, and only then are the buffered frames
+    released.  A crash inside the handler thus loses the replies but
+    never the state they would have promised — exactly the stable
+    storage discipline single-decree Paxos and Quorum's sticky
+    acceptance both assume.  Timer- and config-driven sends outside a
+    handler pass through unbuffered.  With ``wal=None`` the wrapper is
+    inert and the role behaves like its volatile base class.
+    """
+
+    _wal: Optional[NodeWAL] = None
+    _wal_buffer: Optional[List[Tuple[Hashable, Any]]] = None
+
+    def _wire_wal(self, wal: Optional[NodeWAL], kind: str, slot: int) -> None:
+        self._wal = wal
+        self._wal_kind = kind
+        self._wal_slot = slot
+        self._wal_buffer = None
+        self._wal_persisted = self.durable_state()
+
+    def restore(self, state: Any) -> None:
+        """Apply recovered durable state without re-logging it."""
+        self.on_recover(state)
+        self._wal_persisted = self.durable_state()
+
+    def send(self, dst: Hashable, message: Any) -> None:
+        if self._wal_buffer is not None:
+            self._wal_buffer.append((dst, message))
+        else:
+            super().send(dst, message)
+
+    def on_message(self, src: Hashable, message: Any) -> None:
+        if self._wal is None:
+            super().on_message(src, message)
+            return
+        if self._wal.closed:
+            # The node is dead (stable storage released by stop()); a
+            # frame still draining through the old transport's dispatch
+            # must be dropped, not answered — crash semantics.
+            return
+        self._wal_buffer = []
+        try:
+            super().on_message(src, message)
+            state = self.durable_state()
+            if state != self._wal_persisted:
+                self._wal.record(self._wal_kind, self._wal_slot, state)
+                self._wal_persisted = state
+        finally:
+            buffered, self._wal_buffer = self._wal_buffer, None
+        for dst, msg in buffered:
+            super().send(dst, msg)
+
+
+class DurableQuorumServer(_DurableRole, QuorumServer):
+    """Quorum server whose sticky acceptance survives the process."""
+
+    def __init__(self, pid: Hashable, wal: Optional[NodeWAL] = None) -> None:
+        super().__init__(pid)
+        self._wire_wal(wal, "qs", pid[1])
+
+
+class DurableAcceptor(_DurableRole, PaxosAcceptor):
+    """Paxos acceptor whose triple is written before any answer."""
+
+    def __init__(self, pid: Hashable, wal: Optional[NodeWAL] = None) -> None:
+        super().__init__(pid)
+        self._wire_wal(wal, "acc", pid[1])
+
+
+class RecordingCoordinator(PaxosCoordinator):
+    """Coordinator that logs each slot's decision to the WAL.
+
+    The decided log is what makes recovery *cheap*: a restarted node
+    answers requests on settled slots from the WAL instead of paying a
+    Paxos round per slot.  It is an optimization, not a safety
+    requirement — losing it only costs latency, so the decision is
+    logged after the fact rather than via persist-before-reply.
+    """
+
+    def __init__(self, *args, wal=None, slot=None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._wal = wal
+        self._slot = slot
+        self._decision_logged = False
+
+    def adopt_decision(self, value: Hashable) -> None:
+        had = self.decision is not None
+        super().adopt_decision(value)
+        if not had:
+            self._decision_logged = True  # came *from* the WAL
+
+    def on_message(self, src: Hashable, message: Any) -> None:
+        super().on_message(src, message)
+        if (
+            self._wal is not None
+            and not self._wal.closed
+            and not self._decision_logged
+            and self.decision is not None
+        ):
+            self._wal.record_decided(self._slot, self.decision)
+            self._decision_logged = True
+
+
 class ReplicaNode:
     """All server roles of one replica, served over one TCP listener."""
 
@@ -72,12 +194,17 @@ class ReplicaNode:
         retry_delay: float = COORDINATOR_RETRY_DELAY,
         host: str = "127.0.0.1",
         port: int = 0,
+        wal: Optional[NodeWAL] = None,
     ) -> None:
         self.index = index
         self.n_servers = n_servers
         self.host = host
         self.port = port
         self.retry_delay = retry_delay
+        self.wal = wal
+        self.recovered: Optional[RecoveredState] = (
+            wal.recovered if wal is not None else None
+        )
         self.transport = AsyncTransport(f"node{index}", book, faults)
         self.transport.miss_handler = self._on_miss
         #: slot → learner pids currently registered on this node's acceptor
@@ -90,7 +217,15 @@ class ReplicaNode:
         return self.transport.endpoint
 
     async def start(self) -> Tuple[str, int]:
-        """Bind the listener and publish this node in the address book."""
+        """Recover from the WAL, then bind and publish the listener.
+
+        Recovery runs strictly before the listener exists: every slot
+        the WAL mentions is materialized with its durable state
+        restored, so no frame can race a half-recovered node.
+        """
+        if self.recovered is not None:
+            for slot in self.recovered.slots():
+                self.ensure_slot(slot)
         host, port = await self.transport.start_server(self.host, self.port)
         self.port = port
         self.transport.book.add(self.endpoint, host, port)
@@ -99,6 +234,8 @@ class ReplicaNode:
     async def stop(self) -> None:
         """Kill the node: close the listener and sever every connection."""
         await self.transport.close()
+        if self.wal is not None:
+            self.wal.close()
 
     # ------------------------------------------------------------------
     # lazy slot materialization
@@ -109,18 +246,34 @@ class ReplicaNode:
         if slot in self.slot_learners:
             return
         i = self.index
-        self.transport.register(QuorumServer(("qs", slot, i)))
-        acceptor = self.transport.register(PaxosAcceptor(("acc", slot, i)))
-        self.transport.register(
-            PaxosCoordinator(
+        qs = self.transport.register(
+            DurableQuorumServer(("qs", slot, i), wal=self.wal)
+        )
+        acceptor = self.transport.register(
+            DurableAcceptor(("acc", slot, i), wal=self.wal)
+        )
+        coordinator = self.transport.register(
+            RecordingCoordinator(
                 ("coord", slot, i),
                 rank=i,
                 n_coordinators=self.n_servers,
                 acceptors=[("acc", slot, j) for j in range(self.n_servers)],
                 pre_prepare=(i == 0),
                 retry_delay=self.retry_delay,
+                wal=self.wal,
+                slot=slot,
             )
         )
+        if self.recovered is not None:
+            triple = self.recovered.acceptors.get(slot)
+            if triple is not None:
+                acceptor.restore(triple)
+            sticky = self.recovered.quorum.get(slot)
+            if sticky is not None:
+                qs.restore(sticky)
+            decided = self.recovered.decided.get(slot)
+            if decided is not None:
+                coordinator.adopt_decision(decided)
         learners = [("coord", slot, j) for j in range(self.n_servers)]
         self.slot_learners[slot] = learners
         acceptor.register_learners(learners)

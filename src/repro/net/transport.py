@@ -333,12 +333,30 @@ class AsyncTransport:
             return
         finally:
             self._forget_routes(writer)
+            self._forget_peer(writer)
 
     def _forget_routes(self, writer: asyncio.StreamWriter) -> None:
         stale = [pid for pid, w in self._routes.items() if w is writer]
         for pid in stale:
             del self._routes[pid]
             self._route_labels.pop(pid, None)
+
+    def _forget_peer(self, writer: asyncio.StreamWriter) -> None:
+        """Drop a pooled connection whose remote end hung up.
+
+        TCP half-close makes this necessary: a killed node's FIN ends our
+        read loop, but the write side of the socket still looks open, so
+        without this hook later sends would pour frames into the dead
+        connection instead of re-dialing — and a *restarted* node (new
+        port in the address book) would stay unreachable until the stale
+        writer finally errored.  EOF carries no cooldown; if the endpoint
+        is really gone the next dial fails and sets one.
+        """
+        if not writer.is_closing():
+            writer.close()
+        for peer in self._peers.values():
+            if peer.writer is writer:
+                peer.writer = None
 
     def _dispatch(self, envelope: Any, writer: asyncio.StreamWriter) -> None:
         if not (isinstance(envelope, tuple) and len(envelope) == 3):

@@ -1,0 +1,310 @@
+"""Write-ahead log: the stable storage of the networked deployment.
+
+The simulator fakes durability (``Process.crash`` snapshots
+``durable_state()`` in memory); a real node must survive losing its
+process, so the TCP runtime writes the same durable facts to disk
+*before* any reply leaves the node — the classical Paxos stable-storage
+rule, now literal.  Three kinds of fact are logged, all per SMR slot:
+
+* ``("acc", slot, (promised, accepted_ballot, accepted_value))`` — the
+  acceptor triple of :class:`~repro.mp.paxos.PaxosAcceptor`;
+* ``("qs", slot, accepted)`` — the sticky Quorum acceptance of
+  :class:`~repro.mp.quorum.QuorumServer` (Quorum's unanimity argument
+  assumes servers never forget their first acceptance);
+* ``("dec", slot, value)`` — the decided log, so a recovered
+  coordinator answers requests instead of re-running Paxos.
+
+The on-disk format is deliberately boring: an append-only file of
+``[length u32][crc32 u32][payload]`` records, each payload the compact
+JSON of the tuple-preserving codec (:mod:`repro.net.codec`), fsync'd
+per append.  A crash mid-append leaves a torn tail — a short header, a
+short body, or a checksum mismatch — which replay detects, truncates,
+and reports; everything before the tear is intact because records are
+written strictly in order.
+
+Replay cost grows with log length, so :class:`NodeWAL` folds the log
+into per-slot maps and periodically **compacts**: the folded state is
+written to ``snapshot.json`` via an atomic tmp-file rename and the log
+is truncated.  Recovery is then snapshot + tail, equivalent by
+construction to replaying the full history (each record overwrites its
+slot's entry; the snapshot is exactly the fold of the dropped prefix).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from .codec import decode_payload, encode_payload
+
+#: record header: payload length, crc32 of the payload (big-endian u32s)
+_HEADER = struct.Struct(">II")
+
+#: sanity bound on a single record; a length field beyond this is torn
+#: garbage, not a record (matches the transport's frame guard scale)
+MAX_RECORD = 1 << 20
+
+#: default number of appended records that triggers snapshot compaction
+DEFAULT_COMPACT_THRESHOLD = 1024
+
+
+class WriteAheadLog:
+    """Append-only, checksummed, fsync'd record log with snapshots.
+
+    Opening the log replays it: ``snapshot`` holds the decoded snapshot
+    value (or ``None``), ``records`` the decoded log records after it,
+    and ``torn_tail`` whether a truncated/corrupt tail was discarded.
+    The file is truncated back to its last valid record, so appends
+    after a torn open produce a clean log again.
+    """
+
+    def __init__(self, directory: str, fsync: bool = True) -> None:
+        self.directory = directory
+        self.fsync = fsync
+        os.makedirs(directory, exist_ok=True)
+        self.log_path = os.path.join(directory, "wal.log")
+        self.snapshot_path = os.path.join(directory, "snapshot.json")
+        self.snapshot: Optional[Any] = self._load_snapshot()
+        self.records, valid_bytes, self.torn_tail = self._replay()
+        #: records appended since the last compaction (replayed + new)
+        self.record_count = len(self.records)
+        # a+b creates the file if missing; O_APPEND writes always land at
+        # the (possibly just truncated) end of file
+        self._handle = open(self.log_path, "a+b")
+        self._handle.truncate(valid_bytes)
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+
+    def _load_snapshot(self) -> Optional[Any]:
+        """Decode ``snapshot.json`` if present and intact.
+
+        A corrupt snapshot is treated as absent: the atomic rename in
+        :meth:`compact` means a torn snapshot can only be a leftover
+        ``.tmp`` (ignored) or filesystem damage beyond our contract.
+        """
+        try:
+            with open(self.snapshot_path, "r", encoding="ascii") as handle:
+                return decode_payload(json.load(handle))
+        except (OSError, ValueError):
+            return None
+
+    def _replay(self) -> Tuple[List[Any], int, bool]:
+        """Scan the log, returning (records, valid_bytes, torn_tail)."""
+        try:
+            with open(self.log_path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return [], 0, False
+        records: List[Any] = []
+        offset = 0
+        while offset < len(data):
+            if offset + _HEADER.size > len(data):
+                return records, offset, True  # torn header
+            length, checksum = _HEADER.unpack_from(data, offset)
+            body_start = offset + _HEADER.size
+            if length > MAX_RECORD or body_start + length > len(data):
+                return records, offset, True  # torn/garbage body
+            body = data[body_start : body_start + length]
+            if zlib.crc32(body) != checksum:
+                return records, offset, True  # corrupt tail
+            try:
+                records.append(decode_payload(json.loads(body.decode("ascii"))))
+            except (ValueError, UnicodeDecodeError):
+                return records, offset, True
+            offset = body_start + length
+        return records, offset, False
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def append(self, value: Any) -> None:
+        """Durably append one record (returns after flush + fsync)."""
+        body = json.dumps(
+            encode_payload(value), separators=(",", ":"), ensure_ascii=True
+        ).encode("ascii")
+        self._handle.write(_HEADER.pack(len(body), zlib.crc32(body)) + body)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.record_count += 1
+
+    def compact(self, snapshot_value: Any) -> None:
+        """Atomically install ``snapshot_value`` and truncate the log.
+
+        The snapshot is written to a tmp file, fsync'd, and renamed over
+        ``snapshot.json`` (atomic on POSIX); only then is the log
+        truncated.  A crash between the two leaves snapshot + full log,
+        which replays to the same state (slot records are idempotent
+        overwrites).
+        """
+        tmp_path = self.snapshot_path + ".tmp"
+        with open(tmp_path, "w", encoding="ascii") as handle:
+            json.dump(
+                encode_payload(snapshot_value),
+                handle,
+                separators=(",", ":"),
+                ensure_ascii=True,
+            )
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, self.snapshot_path)
+        self._fsync_directory()
+        self._handle.truncate(0)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.snapshot = snapshot_value
+        self.records = []
+        self.record_count = 0
+
+    def _fsync_directory(self) -> None:
+        """Persist the rename itself (directory metadata), best effort."""
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def close(self) -> None:
+        """Close the log file handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+
+@dataclass
+class RecoveredState:
+    """Per-slot durable facts folded out of a node's WAL."""
+
+    #: slot → (promised, accepted_ballot, accepted_value)
+    acceptors: Dict[int, Tuple[int, int, Optional[Hashable]]] = field(
+        default_factory=dict
+    )
+    #: slot → sticky Quorum acceptance
+    quorum: Dict[int, Hashable] = field(default_factory=dict)
+    #: slot → decided value (the SMR decided log)
+    decided: Dict[int, Hashable] = field(default_factory=dict)
+    torn_tail: bool = False
+    records_replayed: int = 0
+
+    def slots(self) -> List[int]:
+        """Every slot any recovered fact mentions, ascending."""
+        return sorted(
+            set(self.acceptors) | set(self.quorum) | set(self.decided)
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not (self.acceptors or self.quorum or self.decided)
+
+
+class NodeWAL:
+    """One node's durable state, kept as folded maps over a log.
+
+    ``record(kind, slot, payload)`` durably appends one fact (the kinds
+    are the module-level vocabulary: ``"acc"``, ``"qs"``, ``"dec"``) and
+    updates the in-memory fold; once ``compact_threshold`` records have
+    accumulated the fold is snapshotted and the log truncated.
+    ``recovered`` is the fold as of open time — what a restarting
+    :class:`~repro.net.node.ReplicaNode` rebuilds its roles from.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: bool = True,
+        compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+    ) -> None:
+        self.wal = WriteAheadLog(directory, fsync=fsync)
+        self.compact_threshold = compact_threshold
+        state = RecoveredState(
+            torn_tail=self.wal.torn_tail,
+            records_replayed=len(self.wal.records),
+        )
+        if self.wal.snapshot is not None:
+            self._apply_snapshot(state, self.wal.snapshot)
+        for record in self.wal.records:
+            self._apply(state, record)
+        self.state = state
+        self.recovered = RecoveredState(
+            acceptors=dict(state.acceptors),
+            quorum=dict(state.quorum),
+            decided=dict(state.decided),
+            torn_tail=state.torn_tail,
+            records_replayed=state.records_replayed,
+        )
+
+    @property
+    def directory(self) -> str:
+        return self.wal.directory
+
+    @staticmethod
+    def _apply(state: RecoveredState, record: Any) -> None:
+        kind, slot, payload = record
+        if kind == "acc":
+            state.acceptors[slot] = tuple(payload)
+        elif kind == "qs":
+            state.quorum[slot] = payload
+        elif kind == "dec":
+            state.decided[slot] = payload
+
+    @staticmethod
+    def _apply_snapshot(state: RecoveredState, snapshot: Any) -> None:
+        state.acceptors.update(snapshot.get("acc", {}))
+        state.quorum.update(snapshot.get("qs", {}))
+        state.decided.update(snapshot.get("dec", {}))
+
+    def record(self, kind: str, slot: int, payload: Any) -> None:
+        """Durably log one fact; returns only after it is on disk."""
+        record = (kind, slot, payload)
+        self._apply(self.state, record)
+        self.wal.append(record)
+        if self.wal.record_count >= self.compact_threshold:
+            self.compact()
+
+    def record_acceptor(
+        self, slot: int, triple: Tuple[int, int, Optional[Hashable]]
+    ) -> None:
+        """Log the acceptor triple of ``slot``."""
+        self.record("acc", slot, triple)
+
+    def record_quorum(self, slot: int, accepted: Hashable) -> None:
+        """Log the sticky Quorum acceptance of ``slot``."""
+        self.record("qs", slot, accepted)
+
+    def record_decided(self, slot: int, value: Hashable) -> None:
+        """Log a decided value (the SMR decided log)."""
+        self.record("dec", slot, value)
+
+    def compact(self) -> None:
+        """Snapshot the current fold and truncate the log."""
+        self.wal.compact(
+            {
+                "acc": dict(self.state.acceptors),
+                "qs": dict(self.state.quorum),
+                "dec": dict(self.state.decided),
+            }
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self.wal.closed
+
+    def close(self) -> None:
+        self.wal.close()

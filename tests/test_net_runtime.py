@@ -16,7 +16,13 @@ import pytest
 from repro.core.fastcheck import check_linearizable
 from repro.faults.netfaults import TransportFaults
 from repro.mp.backoff import BackoffPolicy
-from repro.net import FrameError, LocalCluster, NetClient, run_loadgen
+from repro.net import (
+    FrameError,
+    LocalCluster,
+    NetClient,
+    Supervisor,
+    run_loadgen,
+)
 from repro.net.client import HistoryRecorder, OperationTimeout
 from repro.smr.universal import UniversalFrontend, kv_store_adt
 
@@ -139,6 +145,152 @@ class TestClusterAndClients:
                 await cluster.stop()
 
         asyncio.run(scenario())
+
+
+class TestCrashRecovery:
+    def test_kill_restart_recovers_state_and_makes_progress(self, tmp_path):
+        """The acceptance scenario: a replica with accepted WAL state is
+        killed, restarted from its WAL over real sockets, serves reads
+        of the state it recovered, and the cluster reaches fresh
+        decisions — the whole history linearizable."""
+
+        async def scenario():
+            cluster = LocalCluster(n_servers=3, wal_root=str(tmp_path))
+            await cluster.start()
+            try:
+                transport = cluster.client_transport("clients")
+                recorder = HistoryRecorder(clock=lambda: transport.now)
+                a = make_client(cluster, transport, recorder, name="a")
+                assert await a.submit(("put", "x", 1)) == ("value", None)
+                assert await a.submit(("put", "y", 2)) == ("value", None)
+                await cluster.kill(1)
+                assert cluster.alive() == [0, 2]
+                # With node1 dead this decides through Backup (2/3
+                # majority), so node1's WAL never hears about it.
+                assert await a.submit(("put", "x", 3)) == ("value", 1)
+                node = await cluster.restart(1)
+                assert cluster.alive() == [0, 1, 2]
+                # The relaunched node replayed real slots from its WAL.
+                assert node.recovered is not None
+                assert node.recovered.slots()
+                # A fresh client (empty slot cache) replays the whole
+                # prefix, mixing recovered state into its quorum rounds.
+                b = make_client(cluster, transport, recorder, name="b")
+                assert await b.submit(("get", "x")) == ("value", 3)
+                assert await b.submit(("get", "y")) == ("value", 2)
+                # Fresh decisions after the restart.
+                assert await a.submit(("put", "y", 4)) == ("value", 2)
+                return recorder
+            finally:
+                await cluster.stop()
+
+        recorder = asyncio.run(scenario())
+        report = check_linearizable(recorder.trace(), kv_store_adt())
+        assert report.ok
+
+    def test_restart_of_never_accepted_node_is_clean(self, tmp_path):
+        async def scenario():
+            cluster = LocalCluster(n_servers=3, wal_root=str(tmp_path))
+            await cluster.start()
+            try:
+                # Kill before any traffic: the WAL is empty and the
+                # restart must come back with nothing to recover.
+                await cluster.kill(2)
+                node = await cluster.restart(2)
+                assert node.recovered is not None
+                assert node.recovered.empty
+                transport = cluster.client_transport("clients")
+                recorder = HistoryRecorder(clock=lambda: transport.now)
+                client = make_client(cluster, transport, recorder)
+                assert await client.submit(("put", "x", 1)) == (
+                    "value",
+                    None,
+                )
+                assert await client.submit(("get", "x")) == ("value", 1)
+            finally:
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_restarting_a_live_node_is_refused(self, tmp_path):
+        async def scenario():
+            cluster = LocalCluster(n_servers=3, wal_root=str(tmp_path))
+            await cluster.start()
+            try:
+                with pytest.raises(RuntimeError, match="still alive"):
+                    await cluster.restart(0)
+            finally:
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_supervisor_restarts_dead_nodes(self, tmp_path):
+        async def scenario():
+            cluster = LocalCluster(n_servers=3, wal_root=str(tmp_path))
+            await cluster.start()
+            supervisor = Supervisor(cluster, poll_interval=0.02)
+            supervisor.start()
+            try:
+                await cluster.kill(1)
+                for _ in range(100):
+                    if supervisor.restarted:
+                        break
+                    await asyncio.sleep(0.02)
+                assert [i for _, i in supervisor.restarted] == [1]
+                assert cluster.alive() == [0, 1, 2]
+                # A held node stays down until released.
+                supervisor.hold(2)
+                await cluster.kill(2)
+                await asyncio.sleep(0.2)
+                assert cluster.alive() == [0, 1]
+                supervisor.release(2)
+                for _ in range(100):
+                    if cluster.alive() == [0, 1, 2]:
+                        break
+                    await asyncio.sleep(0.02)
+                assert cluster.alive() == [0, 1, 2]
+            finally:
+                await supervisor.stop()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_successor_continues_the_workload(self, tmp_path):
+        async def scenario():
+            cluster = LocalCluster(n_servers=3, wal_root=str(tmp_path))
+            await cluster.start()
+            try:
+                transport = cluster.client_transport("clients")
+                recorder = HistoryRecorder(clock=lambda: transport.now)
+                client = make_client(
+                    cluster, transport, recorder, op_timeout=0.8
+                )
+                assert await client.submit(("put", "x", 1)) == (
+                    "value",
+                    None,
+                )
+                # Majority down: the next op times out and poisons c0.
+                await cluster.kill(1)
+                await cluster.kill(2)
+                with pytest.raises(OperationTimeout):
+                    await client.submit(("put", "x", 2))
+                heir = client.successor()
+                assert heir.name == "c0@1"
+                assert heir.log is client.log  # shared decided-slot cache
+                await cluster.restart(1)
+                await cluster.restart(2)
+                # The heir keeps the load going; the pending op may or
+                # may not have taken effect, so only observe via a get.
+                value = await heir.submit(("get", "x"))
+                assert value in (("value", 1), ("value", 2))
+                assert heir.successor().name == "c0@2"
+                return recorder
+            finally:
+                await cluster.stop()
+
+        recorder = asyncio.run(scenario())
+        assert recorder.pending_clients() == ("c0",)
+        assert check_linearizable(recorder.trace(), kv_store_adt()).ok
 
 
 class TestPendingOps:

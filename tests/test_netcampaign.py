@@ -1,0 +1,183 @@
+"""Tests of the live-cluster nemesis campaign (`repro.faults.netcampaign`).
+
+The schedule-level properties (determinism, majority preservation,
+shrinker hooks) are pure and fast; the campaign-level tests boot real
+localhost clusters, so they use small directed schedules to stay in
+CI-smoke range.  The amnesiac test is the canary that justifies the
+whole layer: disabling one replica's WAL must surface as a checker
+violation with a shrunk reproducer, not as silence.
+"""
+
+import pytest
+
+from repro.faults.netcampaign import (
+    KillNode,
+    NET_ACTION_CLASSES,
+    NetLossBurst,
+    NetPartition,
+    NetSchedule,
+    RestartNode,
+    random_net_schedule,
+    run_net_campaign,
+)
+
+SILENT = lambda line: None  # noqa: E731
+
+#: the directed kill/restart pair of the durability canary: traffic is
+#: still flowing at the kill, and the restart leaves the tail of the
+#: horizon to the late reader that probes the recovered prefix
+CANARY = lambda seed: NetSchedule(  # noqa: E731
+    seed=seed,
+    actions=(KillNode(at=0.7, node=2), RestartNode(at=1.2, node=2)),
+    horizon=3.0,
+)
+
+
+class TestScheduleGeneration:
+    def test_deterministic_in_seed(self):
+        a = random_net_schedule(seed=7)
+        b = random_net_schedule(seed=7)
+        assert a == b
+        assert a.describe() == b.describe()
+        assert random_net_schedule(seed=8) != a
+
+    def test_kills_are_paired_with_later_restarts(self):
+        for seed in range(20):
+            schedule = random_net_schedule(seed=seed, max_kills=2)
+            kills = [a for a in schedule.actions if isinstance(a, KillNode)]
+            restarts = {
+                a.node: a.at
+                for a in schedule.actions
+                if isinstance(a, RestartNode)
+            }
+            for kill in kills:
+                assert kill.node in restarts
+                assert restarts[kill.node] > kill.at
+
+    def test_majority_preserving_bounds_concurrent_downtime(self):
+        for seed in range(30):
+            schedule = random_net_schedule(
+                seed=seed, n_servers=3, max_kills=2
+            )
+            windows = []
+            for action in schedule.actions:
+                if isinstance(action, KillNode):
+                    windows.append([action.at, None, action.node])
+                elif isinstance(action, RestartNode):
+                    for window in windows:
+                        if window[2] == action.node and window[1] is None:
+                            window[1] = action.at
+            # At every kill instant, at most a minority (1 of 3) down.
+            for start, end, _ in windows:
+                concurrent = sum(
+                    1
+                    for s, e, _ in windows
+                    if s is not None and e is not None and s <= start < e
+                )
+                assert concurrent <= 1
+
+    def test_must_restart_forces_the_amnesiac_pair(self):
+        for seed in range(10):
+            schedule = random_net_schedule(seed=seed, must_restart=1)
+            assert any(
+                isinstance(a, KillNode) and a.node == 1
+                for a in schedule.actions
+            )
+            assert any(
+                isinstance(a, RestartNode) and a.node == 1
+                for a in schedule.actions
+            )
+
+    def test_actions_sorted_and_nonempty(self):
+        for seed in range(10):
+            schedule = random_net_schedule(seed=seed)
+            assert schedule.actions
+            ats = [a.at for a in schedule.actions]
+            assert ats == sorted(ats)
+
+    def test_subset_preserves_metadata(self):
+        schedule = NetSchedule(
+            seed=3,
+            actions=(
+                KillNode(at=0.5, node=1),
+                RestartNode(at=1.0, node=1),
+                NetLossBurst(at=0.2),
+                NetPartition(at=0.4),
+            ),
+            horizon=5.0,
+            majority_preserving=False,
+        )
+        sub = schedule.subset([0, 2])
+        assert sub.seed == 3
+        assert sub.horizon == 5.0
+        assert sub.majority_preserving is False
+        assert sub.actions == (KillNode(at=0.5, node=1), NetLossBurst(at=0.2))
+        assert schedule.subset(range(4)) == schedule
+
+    def test_describe_names_every_action_class(self):
+        for cls in NET_ACTION_CLASSES:
+            assert cls.__name__ in cls(at=0.1).describe()
+
+
+class TestLiveCampaign:
+    def test_healthy_campaign_is_linearizable(self):
+        report = run_net_campaign(
+            schedules=[CANARY(0)],
+            clients=2,
+            ops_per_client=5,
+            emit=SILENT,
+        )
+        assert report.all_linearizable
+        (run,) = report.runs
+        assert run.ok
+        assert run.kills == 1
+        assert run.restarts == 1
+        assert run.late_readers == 1
+        assert run.committed > 0
+
+    def test_artifacts_are_written(self, tmp_path):
+        run_net_campaign(
+            schedules=[CANARY(0)],
+            clients=2,
+            ops_per_client=4,
+            artifact_dir=str(tmp_path),
+            emit=SILENT,
+        )
+        assert (tmp_path / "net-run-0.json").exists()
+
+    def test_amnesiac_node_is_caught_and_shrunk(self):
+        """The durability canary: one WAL-disabled replica must turn the
+        same kill/restart campaign into a checker violation.
+
+        The fork is timing-dependent (the restarted blank node must
+        steal a fast-decided slot from a late reader before the
+        survivors' backup rounds protect it), so a few seeds are tried;
+        across them the campaign must catch the bug at least once.
+        """
+        report = None
+        for seed in (0, 2, 1, 3, 4):
+            report = run_net_campaign(
+                schedules=[CANARY(seed)],
+                amnesiac=2,
+                clients=3,
+                ops_per_client=6,
+                emit=SILENT,
+            )
+            if report.violations:
+                break
+        assert report is not None and report.violations, (
+            "the amnesiac node was never caught: the campaign cannot "
+            "see the durability bug it exists to detect"
+        )
+        violation = report.violations[0]
+        assert violation.result.violation
+        assert violation.result.amnesiac == 2
+        assert "no linearization" in violation.result.reason
+        # The shrunk reproducer still contains the amnesiac's restart
+        # (without it the node never forgets anything mid-run).
+        assert any(
+            isinstance(a, RestartNode) and a.node == 2
+            for a in violation.shrunk.actions
+        )
+        assert len(violation.shrunk.actions) <= 2
+        assert "violation" in violation.report()

@@ -1,0 +1,224 @@
+"""Unit tests of the write-ahead log (`repro.net.wal`).
+
+The WAL is the stable storage of the TCP runtime: everything here
+exercises the crash cases the runtime's recovery depends on — a clean
+replay, torn tails of every flavour (short header, short body, corrupt
+checksum), and the snapshot-compaction invariant that snapshot + tail
+replays to the same fold as the full history.
+"""
+
+import json
+import os
+import struct
+
+from repro.net.wal import (
+    DEFAULT_COMPACT_THRESHOLD,
+    NodeWAL,
+    RecoveredState,
+    WriteAheadLog,
+)
+
+
+def log_bytes(wal_dir):
+    with open(os.path.join(str(wal_dir), "wal.log"), "rb") as handle:
+        return handle.read()
+
+
+class TestWriteAheadLog:
+    def test_first_boot_is_empty_and_clean(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        assert wal.records == []
+        assert wal.snapshot is None
+        assert not wal.torn_tail
+        wal.close()
+        assert wal.closed
+
+    def test_append_then_replay_round_trips_tuples(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        values = [
+            ("acc", 0, (1, 1, ("put", "x", 5, ("seq", ("c0", 1))))),
+            ("qs", 3, ("get", "y", ("seq", ("c1", 2)))),
+            ("dec", 0, None),
+        ]
+        for value in values:
+            wal.append(value)
+        wal.close()
+        reopened = WriteAheadLog(str(tmp_path))
+        # Tuples survive the JSON trip exactly — the codec's whole point.
+        assert reopened.records == values
+        assert not reopened.torn_tail
+        reopened.close()
+
+    def test_torn_final_record_is_truncated_and_reported(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(("dec", 0, "keep-me"))
+        wal.append(("dec", 1, "the-crash-eats-me"))
+        wal.close()
+        # Tear the last record mid-body, as a crash mid-write would.
+        data = log_bytes(tmp_path)
+        with open(os.path.join(str(tmp_path), "wal.log"), "wb") as handle:
+            handle.write(data[:-4])
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.records == [("dec", 0, "keep-me")]
+        assert reopened.torn_tail
+        # The tear was truncated away: appends continue on a clean log.
+        reopened.append(("dec", 1, "retried"))
+        reopened.close()
+        final = WriteAheadLog(str(tmp_path))
+        assert final.records == [("dec", 0, "keep-me"), ("dec", 1, "retried")]
+        assert not final.torn_tail
+        final.close()
+
+    def test_torn_header_is_tolerated(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(("dec", 0, "keep-me"))
+        wal.close()
+        with open(os.path.join(str(tmp_path), "wal.log"), "ab") as handle:
+            handle.write(b"\x00\x00\x00")  # header needs 8 bytes
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.records == [("dec", 0, "keep-me")]
+        assert reopened.torn_tail
+        reopened.close()
+
+    def test_corrupt_checksum_stops_replay(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(("dec", 0, "good"))
+        wal.append(("dec", 1, "rotten"))
+        wal.close()
+        data = bytearray(log_bytes(tmp_path))
+        data[-1] ^= 0xFF  # flip a bit inside the last record's body
+        with open(os.path.join(str(tmp_path), "wal.log"), "wb") as handle:
+            handle.write(bytes(data))
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.records == [("dec", 0, "good")]
+        assert reopened.torn_tail
+        reopened.close()
+
+    def test_garbage_length_field_is_torn_not_fatal(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(("dec", 0, "good"))
+        wal.close()
+        with open(os.path.join(str(tmp_path), "wal.log"), "ab") as handle:
+            handle.write(struct.pack(">II", 0xFFFFFFFF, 0) + b"junk")
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.records == [("dec", 0, "good")]
+        assert reopened.torn_tail
+        reopened.close()
+
+    def test_compact_installs_snapshot_and_truncates(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(("dec", 0, "a"))
+        wal.compact({"state": ("folded",)})
+        assert log_bytes(tmp_path) == b""
+        wal.append(("dec", 1, "tail"))
+        wal.close()
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.snapshot == {"state": ("folded",)}
+        assert reopened.records == [("dec", 1, "tail")]
+        reopened.close()
+
+    def test_corrupt_snapshot_is_treated_as_absent(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.compact({"fine": 1})
+        wal.append(("dec", 0, "tail"))
+        wal.close()
+        with open(os.path.join(str(tmp_path), "snapshot.json"), "w") as handle:
+            handle.write("{ not json")
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.snapshot is None
+        assert reopened.records == [("dec", 0, "tail")]
+        reopened.close()
+
+
+class TestNodeWAL:
+    def test_fold_and_recovery(self, tmp_path):
+        wal = NodeWAL(str(tmp_path))
+        assert wal.recovered.empty
+        wal.record_acceptor(0, (2, 2, ("put", "x", 1)))
+        wal.record_quorum(1, ("get", "x"))
+        wal.record_decided(0, ("put", "x", 1))
+        wal.record_acceptor(0, (3, 2, ("put", "x", 1)))  # overwrite wins
+        wal.close()
+        reopened = NodeWAL(str(tmp_path))
+        state = reopened.recovered
+        assert state.acceptors == {0: (3, 2, ("put", "x", 1))}
+        assert state.quorum == {1: ("get", "x")}
+        assert state.decided == {0: ("put", "x", 1)}
+        assert state.slots() == [0, 1]
+        assert not state.empty
+        assert state.records_replayed == 4
+        reopened.close()
+
+    def test_snapshot_plus_tail_equals_full_replay(self, tmp_path):
+        ref_dir = tmp_path / "ref"
+        snap_dir = tmp_path / "snap"
+        records = [
+            ("acc", s, (s, s, ("put", "k", s))) for s in range(6)
+        ] + [("qs", s, ("get", "k")) for s in range(6)] + [
+            ("dec", s, ("put", "k", s)) for s in range(3)
+        ]
+        reference = NodeWAL(str(ref_dir))
+        compacted = NodeWAL(str(snap_dir), compact_threshold=5)
+        for kind, slot, payload in records:
+            reference.record(kind, slot, payload)
+            compacted.record(kind, slot, payload)
+        reference.close()
+        compacted.close()
+        # The compacted log really did snapshot (threshold << records).
+        assert os.path.exists(os.path.join(str(snap_dir), "snapshot.json"))
+        a = NodeWAL(str(ref_dir)).recovered
+        b = NodeWAL(str(snap_dir)).recovered
+        assert a.acceptors == b.acceptors
+        assert a.quorum == b.quorum
+        assert a.decided == b.decided
+
+    def test_auto_compaction_bounds_log_length(self, tmp_path):
+        wal = NodeWAL(str(tmp_path), compact_threshold=10)
+        for i in range(35):
+            wal.record_decided(i, ("put", "k", i))
+        assert wal.wal.record_count < 10
+        wal.close()
+        reopened = NodeWAL(str(tmp_path))
+        assert len(reopened.recovered.decided) == 35
+        reopened.close()
+
+    def test_default_threshold_matches_module_constant(self, tmp_path):
+        wal = NodeWAL(str(tmp_path))
+        assert wal.compact_threshold == DEFAULT_COMPACT_THRESHOLD
+        wal.close()
+        assert wal.closed
+
+    def test_recovered_is_a_frozen_copy(self, tmp_path):
+        wal = NodeWAL(str(tmp_path))
+        wal.record_decided(0, "v")
+        # .state moves with new records; .recovered stays at open time.
+        assert wal.recovered.decided == {}
+        assert wal.state.decided == {0: "v"}
+        wal.close()
+
+    def test_torn_tail_surfaces_through_recovered_state(self, tmp_path):
+        wal = NodeWAL(str(tmp_path))
+        wal.record_decided(0, "keep")
+        wal.record_decided(1, "torn")
+        wal.close()
+        path = os.path.join(str(tmp_path), "wal.log")
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-2])
+        reopened = NodeWAL(str(tmp_path))
+        assert reopened.recovered.torn_tail
+        assert reopened.recovered.decided == {0: "keep"}
+        reopened.close()
+
+
+class TestRecoveredState:
+    def test_slots_union_and_empty(self):
+        state = RecoveredState()
+        assert state.empty
+        assert state.slots() == []
+        state.acceptors[3] = (0, -1, None)
+        state.quorum[1] = "q"
+        state.decided[2] = "d"
+        assert state.slots() == [1, 2, 3]
+        assert not state.empty
