@@ -12,6 +12,7 @@ Usage::
     python -m repro harness [--quick|--full] [...]      # benchmark harness
     python -m repro serve --replicas 3 --port-base 9000 # TCP cluster
     python -m repro loadgen --replicas 3 --clients 8 --ops 200 --seed 0
+    python -m repro lint [--format text|json] [--baseline] [PATH...]
 
 Each experiment prints the table/series described in EXPERIMENTS.md.
 ``nemesis`` prints one line per run — verdict, degradation metrics,
@@ -27,6 +28,10 @@ canary the campaign must catch as a linearizability violation.
 ``serve`` hosts a replica cluster on real TCP ports until interrupted;
 ``loadgen`` drives a closed-loop workload against a fresh cluster and
 checks the recorded wire-level history for linearizability.
+``lint`` runs the protocol-aware static analysis pass
+(:mod:`repro.analysis`) — determinism, durability, atomicity,
+async-hygiene and IOA well-formedness rules — over ``src/``, exiting
+nonzero on any non-baselined finding (see docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -69,7 +74,7 @@ EXAMPLES = [
 
 #: names that dispatch to argparse subparsers; anything else is an
 #: experiment key for the implicit ``run`` subcommand
-SUBCOMMANDS = ("run", "nemesis", "harness", "serve", "loadgen")
+SUBCOMMANDS = ("run", "nemesis", "harness", "serve", "loadgen", "lint")
 
 
 def run_bench(module_name: str) -> None:
@@ -213,6 +218,13 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if report.linearizable else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the protocol-aware static analysis pass (repro.analysis)."""
+    from repro.analysis.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def run_nemesis(argv) -> int:
     """Importable nemesis entry point: usage errors return 1, not exit."""
     try:
@@ -319,6 +331,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="give each replica a WAL under this directory",
     )
     p_load.set_defaults(func=cmd_loadgen)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the protocol-aware static analysis pass"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -1,0 +1,40 @@
+"""`repro.analysis` — protocol-aware static analysis for this repo.
+
+An AST-based lint framework whose rules encode the invariants the type
+system cannot see: seeded determinism in the simulated layers (RD01),
+persist-before-reply durability in the TCP runtime (RD02), atomic-only
+shared-memory access in ``sm/`` (RD03), asyncio hygiene in ``net/``
+(RD04), and I/O-automaton well-formedness in ``ioa/`` (RD05).
+
+Run it as ``python -m repro lint [--format text|json] [--baseline]``;
+findings can be suppressed inline with ``# repro: disable=RD01`` or
+grandfathered in the committed baseline file (kept empty by policy).
+See ``docs/ANALYSIS.md`` for the rule catalogue.
+"""
+
+from .baseline import load_baseline, write_baseline
+from .engine import (
+    LintReport,
+    analyze_source,
+    iter_python_files,
+    package_relpath,
+    run_lint,
+)
+from .findings import Finding
+from .registry import ModuleContext, Rule, all_rules, register, rule_ids
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "analyze_source",
+    "iter_python_files",
+    "load_baseline",
+    "package_relpath",
+    "register",
+    "rule_ids",
+    "run_lint",
+    "write_baseline",
+]

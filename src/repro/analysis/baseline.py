@@ -1,0 +1,77 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline lets the lint gate turn on while known findings are being
+burned down: ``python -m repro lint --baseline`` writes the current
+findings to the baseline file, and subsequent runs report only findings
+*not* in it.  Entries are keyed by ``rule|path|message`` (no line
+number — see :meth:`repro.analysis.findings.Finding.key`) with a count,
+so two identical violations in one file need two baseline slots: fixing
+one and adding another elsewhere in the file is still caught.
+
+The repo's policy is an **empty** baseline (see ``docs/ANALYSIS.md``);
+the file exists so the mechanism stays exercised and any future
+grandfathering is an explicit, reviewed diff.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Counter as CounterT, List, Sequence, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+#: the baseline file's name at the repository root
+BASELINE_NAME = "lint-baseline.json"
+
+
+def load_baseline(path: str) -> "CounterT[str]":
+    """Read a baseline file into a key → count multiset."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline version in {path}")
+    counts: CounterT[str] = Counter()
+    for entry in data.get("findings", []):
+        key = f"{entry['rule']}|{entry['path']}|{entry['message']}"
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, deterministic)."""
+    counts: CounterT[Tuple[str, str, str]] = Counter(
+        (f.rule, f.path, f.message) for f in findings
+    )
+    entries = [
+        {"rule": rule, "path": rel, "message": message, "count": count}
+        for (rule, rel, message), count in sorted(counts.items())
+    ]
+    data = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline: "CounterT[str]"
+) -> "tuple[List[Finding], List[Finding]]":
+    """Partition findings into (new, baselined) against the multiset.
+
+    Each baseline slot absorbs at most ``count`` findings with its key;
+    the rest are new.  Findings are processed in report order, so which
+    duplicates are absorbed is deterministic.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

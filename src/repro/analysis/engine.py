@@ -1,0 +1,163 @@
+"""The lint engine: walk files, run rules, apply suppressions + baseline.
+
+The engine is deliberately dumb plumbing — every protocol-aware idea
+lives in the rules (``repro/analysis/rules/``).  It parses each module
+once, hands the AST to every rule whose scope matches, filters the raw
+findings through inline suppressions and the committed baseline, and
+folds the result into a :class:`LintReport` that renders as text or
+JSON (the CI artifact format).
+
+Scoping is by *package-relative* path: ``…/src/repro/mp/sim.py`` is
+analyzed as ``repro/mp/sim.py``, so rules address layers (``repro/mp/``,
+``repro/net/``) independently of where the tree is checked out — and
+test fixtures opt into a rule by mirroring the layout under a temp dir.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Counter as CounterT, Iterable, List, Optional, Sequence
+
+from .baseline import load_baseline, split_baselined
+from .findings import Finding
+from .registry import ModuleContext, Rule, all_rules
+from .suppressions import split_suppressed
+
+
+def package_relpath(path: str) -> str:
+    """The path from the ``repro`` package root, in posix form.
+
+    Falls back to the path as given (posix-normalized) when it does not
+    contain a ``repro`` component — such files still parse, but rules
+    scoped to package layers will skip them.
+    """
+    posix = path.replace(os.sep, "/")
+    parts = posix.split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return posix.lstrip("./")
+
+
+def iter_python_files(root: str) -> Iterable[str]:
+    """Every ``*.py`` under ``root`` (or ``root`` itself), sorted."""
+    if os.path.isfile(root):
+        yield root
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)  #: new findings
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True iff nothing new was found and every file parsed."""
+        return not self.findings and not self.parse_errors
+
+    def all_findings(self) -> List[Finding]:
+        """New + baselined findings (what ``--baseline`` writes)."""
+        return sorted(self.findings + self.baselined)
+
+    def summary(self) -> str:
+        return (
+            f"checked {self.checked_files} files: "
+            f"{len(self.findings)} findings "
+            f"({len(self.suppressed)} suppressed, "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.parse_errors)} parse errors)"
+        )
+
+    def to_text(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        lines.extend(f"parse error: {error}" for error in self.parse_errors)
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "findings": [f.to_json() for f in self.findings],
+            "baselined": [f.to_json() for f in self.baselined],
+            "suppressed": [f.to_json() for f in self.suppressed],
+            "parse_errors": list(self.parse_errors),
+            "summary": {
+                "checked_files": self.checked_files,
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+                "clean": self.clean,
+            },
+        }
+
+
+def analyze_source(
+    source: str,
+    relpath: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> "tuple[List[Finding], List[Finding]]":
+    """Lint one module's source; returns (active, suppressed) findings.
+
+    ``relpath`` should be package-relative (``repro/...``) — it decides
+    which rules run.  Raises ``SyntaxError`` if the source cannot parse.
+    """
+    if rules is None:
+        rules = all_rules()
+    tree = ast.parse(source, filename=relpath)
+    ctx = ModuleContext(relpath=relpath, source=source, tree=tree)
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies(relpath):
+            raw.extend(rule.check(ctx))
+    active, suppressed = split_suppressed(sorted(raw), ctx.lines)
+    return active, suppressed
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline_path: Optional[str] = None,
+) -> LintReport:
+    """Lint every python file under ``paths`` against the active rules.
+
+    With ``baseline_path`` naming an existing baseline file, findings in
+    it are reported separately as grandfathered (:class:`LintReport`'s
+    ``baselined``) and do not fail the run.
+    """
+    if rules is None:
+        rules = all_rules()
+    report = LintReport()
+    collected: List[Finding] = []
+    for root in paths:
+        for path in iter_python_files(root):
+            relpath = package_relpath(path)
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    source = handle.read()
+                active, suppressed = analyze_source(source, relpath, rules)
+            except (SyntaxError, OSError, UnicodeDecodeError) as exc:
+                report.parse_errors.append(f"{path}: {exc}")
+                continue
+            report.checked_files += 1
+            collected.extend(active)
+            report.suppressed.extend(suppressed)
+    collected.sort()
+    baseline: "CounterT[str]" = Counter()
+    if baseline_path is not None and os.path.exists(baseline_path):
+        baseline = load_baseline(baseline_path)
+    report.findings, report.baselined = split_baselined(collected, baseline)
+    return report

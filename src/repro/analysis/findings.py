@@ -1,0 +1,48 @@
+"""`Finding`: one lint result, with its baseline identity.
+
+A finding pinpoints a violated invariant at ``path:line:col`` and names
+the rule that detected it.  Its *key* — ``rule|path|message`` — omits
+the line number on purpose: a baseline entry keyed this way survives
+unrelated edits above the finding, so grandfathered findings do not
+churn as the file grows (the same trade engines like pylint's and
+ESLint's baselines make).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str  #: posix path relative to the package root, e.g. repro/mp/sim.py
+    line: int  #: 1-based line of the offending node
+    col: int  #: 0-based column of the offending node
+    rule: str  #: rule id, e.g. "RD01"
+    message: str  #: what invariant is violated, and how
+    hint: str = ""  #: how to fix it
+
+    def key(self) -> str:
+        """Baseline identity: stable across unrelated line shifts."""
+        return f"{self.rule}|{self.path}|{self.message}"
+
+    def format(self) -> str:
+        """One human-readable report line."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"  [fix: {self.hint}]"
+        return text
+
+    def to_json(self) -> Dict[str, Any]:
+        """The JSON-report shape of this finding."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,216 @@
+"""RD02 — persist-before-reply in the TCP runtime's durable roles.
+
+The WAL discipline of :mod:`repro.net.node`: while a durable role's
+handler runs, outbound messages are buffered; the role's changed
+``durable_state()`` is appended (and fsync'd) to the WAL; only then are
+the buffered replies released.  A reply that escapes *before* the
+append is a promise a crash can erase — the exact bug class the
+amnesiac-node canary exists to catch dynamically.  RD02 catches it at
+diff time.
+
+A class is *durable* when it derives from ``_DurableRole``, is
+``_DurableRole`` itself, or touches ``self._wal`` anywhere.  Inside
+each such class RD02 analyzes the handler method (``on_message``) in
+source order:
+
+* an emit — ``super().send(...)``, the release of buffered frames —
+  before the first WAL append (``…wal.record(...)`` /
+  ``…wal.record_decided(...)``) is a persist-before-reply violation;
+* an emit in a handler with *no* append at all is flagged too, unless
+  the handler delegates to ``super().on_message(...)`` (whose override
+  persists) before emitting;
+* a write to a *durable attribute* — one that the class's own
+  ``durable_state()`` reads — after the first append diverges memory
+  from disk without re-logging, so the next crash recovers stale state.
+
+The rule is scoped to ``repro/net/``; volatile roles (no WAL contact)
+are never analyzed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..registry import ModuleContext, Rule, register
+
+#: WAL append methods (the persistence points)
+WAL_APPENDS = frozenset({"record", "record_decided"})
+
+Pos = Tuple[int, int]
+
+
+def _pos(node: ast.AST) -> Pos:
+    return (node.lineno, node.col_offset)
+
+
+def _is_super_call(call: ast.Call, attr: str) -> bool:
+    """True for ``super().<attr>(...)``."""
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == attr
+        and isinstance(call.func.value, ast.Call)
+        and isinstance(call.func.value.func, ast.Name)
+        and call.func.value.func.id == "super"
+    )
+
+
+def _attr_chain(node: ast.AST) -> List[str]:
+    """The dotted names of an attribute chain, outermost last."""
+    names: List[str] = []
+    while isinstance(node, ast.Attribute):
+        names.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.append(node.id)
+    return names
+
+
+def _is_wal_append(call: ast.Call) -> bool:
+    """True for ``<chain containing a wal name>.record*(...)``."""
+    if not (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in WAL_APPENDS
+    ):
+        return False
+    return any("wal" in name.lower() for name in _attr_chain(call.func.value))
+
+
+def _references_wal(node: ast.AST) -> bool:
+    """True iff the subtree reads or writes ``self._wal``."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr == "_wal"
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _self_attr_target(node: ast.AST) -> Optional[str]:
+    """The attribute name if ``node`` is a ``self.X`` target."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _durable_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attributes the class's own ``durable_state`` reads."""
+    attrs: Set[str] = set()
+    for item in cls.body:
+        if (
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name == "durable_state"
+        ):
+            for node in ast.walk(item):
+                name = _self_attr_target(node)
+                if name is not None and not name.startswith("_wal"):
+                    attrs.add(name)
+    return attrs
+
+
+@register
+class Rd02Durability(Rule):
+    """Replies before WAL appends, and post-persist durable mutations."""
+
+    id = "RD02"
+    title = "persist-before-reply durability"
+    scope = ("repro/net/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not self._is_durable(cls):
+                continue
+            durable_attrs = _durable_attrs(cls)
+            for item in cls.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "on_message"
+                ):
+                    yield from self._check_handler(
+                        ctx, cls, item, durable_attrs
+                    )
+
+    def _is_durable(self, cls: ast.ClassDef) -> bool:
+        if cls.name == "_DurableRole":
+            return True
+        for base in cls.bases:
+            if isinstance(base, ast.Name) and base.id == "_DurableRole":
+                return True
+            if isinstance(base, ast.Attribute) and base.attr == "_DurableRole":
+                return True
+        return _references_wal(cls)
+
+    def _check_handler(
+        self,
+        ctx: ModuleContext,
+        cls: ast.ClassDef,
+        handler: ast.AST,
+        durable_attrs: Set[str],
+    ) -> Iterator[Finding]:
+        appends: List[Pos] = []
+        emits: List[Tuple[Pos, ast.Call]] = []
+        delegates: List[Pos] = []
+        mutations: List[Tuple[Pos, ast.AST, str]] = []
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Call):
+                if _is_wal_append(node):
+                    appends.append(_pos(node))
+                elif _is_super_call(node, "send"):
+                    emits.append((_pos(node), node))
+                elif _is_super_call(node, "on_message"):
+                    delegates.append(_pos(node))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for leaf in ast.walk(target):
+                        name = _self_attr_target(leaf)
+                        if name is not None:
+                            mutations.append((_pos(node), node, name))
+        first_append = min(appends) if appends else None
+        for pos, call in sorted(emits, key=lambda item: item[0]):
+            if first_append is None:
+                if delegates and min(delegates) < pos:
+                    continue  # super().on_message persisted on our behalf
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"{cls.name}.on_message releases a reply with no WAL "
+                    "append on the handler path",
+                    "append the changed durable_state() to the WAL "
+                    "(and fsync) before any super().send",
+                )
+            elif pos < first_append:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"{cls.name}.on_message releases a reply before the "
+                    "WAL append — a crash can erase the promised state",
+                    "buffer sends while the handler runs and release "
+                    "them only after wal.record(...)",
+                )
+        if first_append is not None and durable_attrs:
+            for pos, node, name in sorted(mutations, key=lambda m: m[0]):
+                if name in durable_attrs and pos > first_append:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{cls.name}.on_message mutates durable attribute "
+                        f"{name!r} after the WAL append — recovery would "
+                        "restore stale state",
+                        "mutate durable attributes before capturing "
+                        "durable_state(), or re-log after the change",
+                    )

@@ -1,0 +1,61 @@
+"""RD03 — shared memory only through the atomic read/write/cas API.
+
+The Section 5 algorithms (RCons, CASCons, the splitter) are proved
+against *atomic registers and CAS*: every primitive is one serialized
+step of the interleaving scheduler, which is what makes the cells
+linearizable by construction and the E7 operation census meaningful.
+Code in ``repro/sm/`` that reaches around
+:class:`repro.sm.memory.SharedMemory`'s API breaks both properties at
+once: the access is invisible to the scheduler (so it is not atomic in
+the explored interleavings) and uncounted (so the census lies).
+
+RD03 flags, everywhere in ``repro/sm/`` except ``memory.py`` itself:
+
+* any access to the private cell map ``._cells`` (read or write);
+* calls to ``.peek(...)`` — the declared *test helper* that skips
+  operation counting; algorithm code must issue a ``("read", name)``
+  operation through the scheduler instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ModuleContext, Rule, register
+
+
+@register
+class Rd03Atomicity(Rule):
+    """Direct cell access bypassing the read/write/cas API."""
+
+    id = "RD03"
+    title = "atomic-only shared memory access"
+    scope = ("repro/sm/",)
+    exclude = ("repro/sm/memory.py",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "_cells":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "direct access to SharedMemory._cells bypasses the "
+                    "atomic read/write/cas API",
+                    "issue a ('read'|'write'|'cas', ...) operation "
+                    "through the scheduler instead",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "peek"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "peek() skips the scheduler and the operation "
+                    "census (it is a test helper)",
+                    "yield a ('read', name) operation so the access is "
+                    "an atomic, counted step",
+                )

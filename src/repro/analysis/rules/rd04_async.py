@@ -1,0 +1,122 @@
+"""RD04 — asyncio hygiene in the TCP runtime.
+
+Two failure modes that silently corrupt wire-level histories:
+
+* **Orphan tasks.**  ``asyncio.create_task`` / ``loop.create_task`` /
+  ``asyncio.ensure_future`` called as a bare statement drops the only
+  reference to the task: the event loop holds it weakly, so it can be
+  garbage-collected mid-flight, and its exception — if it survives long
+  enough to raise one — is reported to nobody.  A reader task that dies
+  this way looks exactly like a lossy network.  Retain the handle
+  (assign it, append it to a task list, await it) so cancellation and
+  exceptions have an owner.
+
+* **Silent broad excepts.**  ``except Exception:`` (or worse) with a
+  body that neither logs nor re-raises converts every bug in the
+  handler into a dropped frame.  The transport's discipline is that
+  narrowed exceptions (``ConnectionError``, ``FrameError``) may be
+  swallowed where the protocol treats them as loss — anything broader
+  must be logged or propagated.
+
+Scoped to ``repro/net/`` — the layer where a swallowed error and a
+lost frame are indistinguishable to the linearizability checker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ModuleContext, Rule, register
+
+SPAWNERS = frozenset({"create_task", "ensure_future"})
+BROAD = frozenset({"Exception", "BaseException"})
+LOG_METHODS = frozenset(
+    {"exception", "error", "warning", "info", "debug", "log", "critical"}
+)
+
+
+def _is_spawner(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in SPAWNERS
+    if isinstance(func, ast.Name):
+        return func.id in SPAWNERS
+    return False
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:``, ``except Exception``/``BaseException`` or a
+    tuple containing one of them."""
+    node = handler.type
+    if node is None:
+        return True
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    for expr in exprs:
+        if isinstance(expr, ast.Name) and expr.id in BROAD:
+            return True
+        if isinstance(expr, ast.Attribute) and expr.attr in BROAD:
+            return True
+    return False
+
+
+def _handles_visibly(handler: ast.ExceptHandler) -> bool:
+    """True iff the body logs, re-raises, or does real work."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in LOG_METHODS:
+                return True
+    # A body that only passes / returns / continues is a swallow; any
+    # other statement counts as handling.
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Return):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue  # docstring / ellipsis
+        return True
+    return False
+
+
+@register
+class Rd04AsyncHygiene(Rule):
+    """Fire-and-forget tasks and silent broad excepts in net/."""
+
+    id = "RD04"
+    title = "async hygiene"
+    scope = ("repro/net/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and _is_spawner(node.value)
+            ):
+                yield self.finding(
+                    ctx,
+                    node.value,
+                    "fire-and-forget create_task: the loop keeps only a "
+                    "weak reference, so the task can vanish mid-flight "
+                    "and its exception is lost",
+                    "retain the handle (assign it or append it to a "
+                    "task list) so it can be awaited or cancelled",
+                )
+            elif isinstance(node, ast.ExceptHandler):
+                if _is_broad(node) and not _handles_visibly(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "broad except swallows errors silently — a bug "
+                        "here is indistinguishable from frame loss",
+                        "narrow the exception types, or log before "
+                        "returning",
+                    )

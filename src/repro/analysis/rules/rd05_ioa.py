@@ -1,0 +1,192 @@
+"""RD05 — I/O automaton definitions must be well-formed.
+
+The Section 6 formalization (and the model checker driving Theorem 3's
+executable counterpart) leans on two structural properties of every
+automaton:
+
+* **Signature totality.**  An IOA is input-enabled and its transition
+  relation covers the whole signature; operationally, a subclass of
+  :class:`repro.ioa.automaton.IOAutomaton` must define all six hooks —
+  ``initial_states``, ``is_input``, ``is_output``, ``is_internal``,
+  ``transitions``, ``input_step``.  A missing hook is a signature
+  action with no declared transition: the base class raises
+  ``NotImplementedError`` only when the model checker happens to reach
+  it, i.e. the hole is found by state-space luck instead of at diff
+  time.
+
+* **Mutation-free preconditions.**  The signature predicates and the
+  transition enumerators are consulted *speculatively* — during
+  composition broadcast, enabledness checks and hiding — arbitrarily
+  often and in arbitrary order.  If ``is_input``/``transitions``/
+  ``input_step`` mutate ``self``, exploring the state space changes the
+  automaton, and model-checking results become schedule-dependent.
+  States must be values; hooks must be observers.
+
+Scoped to ``repro/ioa/``.  Only classes that directly subclass
+``IOAutomaton`` are held to the totality check (deeper subclassing
+inherits concrete hooks the rule cannot see in one file); the purity
+check also covers any class named ``*Automaton``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..findings import Finding
+from ..registry import ModuleContext, Rule, register
+
+REQUIRED_HOOKS = (
+    "initial_states",
+    "is_input",
+    "is_output",
+    "is_internal",
+    "transitions",
+    "input_step",
+)
+
+#: methods that must not mutate self (preconditions + transition hooks)
+PURE_METHODS = frozenset(
+    {
+        "initial_states",
+        "is_input",
+        "is_output",
+        "is_internal",
+        "is_external",
+        "in_signature",
+        "transitions",
+        "input_step",
+    }
+)
+
+#: method names that mutate their receiver
+MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _base_names(cls: ast.ClassDef) -> List[str]:
+    names: List[str] = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _self_chain_root(node: ast.AST) -> Optional[ast.AST]:
+    """Walk an attribute/subscript chain to its root expression."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node
+
+
+def _is_self_rooted(node: ast.AST) -> bool:
+    root = _self_chain_root(node)
+    return isinstance(root, ast.Name) and root.id == "self"
+
+
+@register
+class Rd05IoaWellFormedness(Rule):
+    """Total signatures and mutation-free hooks for I/O automata."""
+
+    id = "RD05"
+    title = "IOA well-formedness"
+    scope = ("repro/ioa/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            bases = _base_names(cls)
+            direct_subclass = "IOAutomaton" in bases
+            automaton_like = direct_subclass or cls.name.endswith(
+                "Automaton"
+            )
+            if not automaton_like:
+                continue
+            methods = {
+                item.name: item
+                for item in cls.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if direct_subclass:
+                missing = [
+                    hook for hook in REQUIRED_HOOKS if hook not in methods
+                ]
+                if missing:
+                    yield self.finding(
+                        ctx,
+                        cls,
+                        f"automaton {cls.name} leaves signature hooks "
+                        f"undeclared: {', '.join(missing)} — part of its "
+                        "signature has no transition",
+                        "define every hook; input_step may return the "
+                        "state unchanged for ignored inputs",
+                    )
+            for name, method in methods.items():
+                if name in PURE_METHODS:
+                    yield from self._check_purity(ctx, cls, method)
+
+    def _check_purity(
+        self, ctx: ModuleContext, cls: ast.ClassDef, method: ast.AST
+    ) -> Iterator[Finding]:
+        label = f"{cls.name}.{getattr(method, 'name', '?')}"
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                if isinstance(node, ast.AnnAssign) and node.value is None:
+                    continue  # a bare annotation binds nothing
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if target is not None and _is_self_rooted(target):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{label} mutates self — preconditions and "
+                            "transition hooks must be observers",
+                            "compute into locals and return a new "
+                            "state/value instead",
+                        )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if _is_self_rooted(target):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{label} deletes state on self — hooks must "
+                            "be observers",
+                            "keep states immutable values",
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATORS
+                and _is_self_rooted(node.func.value)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{label} calls {node.func.attr}() on self state — "
+                    "preconditions and transition hooks must be "
+                    "observers",
+                    "build the collection locally and return it",
+                )

@@ -1,0 +1,53 @@
+"""Inline suppression comments: ``# repro: disable=RD01[,RD04]``.
+
+A trailing comment suppresses the named rules on its own line; a
+comment standing alone on a line suppresses them on the next line (so a
+suppression can sit above an expression too long to share a line with).
+``disable=all`` suppresses every rule.  Suppressions are deliberate,
+reviewable exceptions — the report counts them so a diff that adds one
+is visible.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Set
+
+from .findings import Finding
+
+DISABLE_RE = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def disabled_lines(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids disabled there."""
+    disabled: Dict[int, Set[str]] = {}
+    for index, line in enumerate(lines, start=1):
+        match = DISABLE_RE.search(line)
+        if match is None:
+            continue
+        rules = {
+            token.strip().upper()
+            for token in match.group(1).split(",")
+            if token.strip()
+        }
+        # A comment-only line shields the line below it; a trailing
+        # comment shields its own line.
+        target = index + 1 if line.lstrip().startswith("#") else index
+        disabled.setdefault(target, set()).update(rules)
+    return disabled
+
+
+def split_suppressed(
+    findings: Sequence[Finding], lines: Sequence[str]
+) -> "tuple[List[Finding], List[Finding]]":
+    """Partition findings into (active, suppressed) per the comments."""
+    disabled = disabled_lines(lines)
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        rules = disabled.get(finding.line, set())
+        if finding.rule in rules or "ALL" in rules:
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    return active, suppressed

@@ -23,7 +23,7 @@ switch actions; ``sig_T`` below builds that signature.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, FrozenSet, Hashable, Optional, Tuple
+from typing import Any, Callable, Hashable, Optional
 
 Client = Hashable
 Input = Hashable

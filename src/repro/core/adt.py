@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Hashable, Iterable, Optional, Sequence, Tuple
 
 Input = Hashable
 Output = Hashable

@@ -40,7 +40,7 @@ from typing import (
 
 from .actions import Input, Invocation, Output, Response
 from .adt import ADT
-from .traces import Trace, is_wellformed, pending_invocations
+from .traces import Trace, is_wellformed
 
 
 @dataclass(frozen=True)

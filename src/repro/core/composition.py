@@ -27,7 +27,7 @@ counterexample would falsify the reproduction.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from .actions import Action, Switch, sig_phase
 from .adt import ADT

@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from .actions import Action, Invocation, Response, Switch
-from .adt import ADT
 from .traces import Trace
 
 IDLE = "idle"

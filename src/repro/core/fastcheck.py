@@ -39,7 +39,7 @@ including a non-local mutant ADT that must force the fallback.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from .actions import Invocation, Response

@@ -30,7 +30,7 @@ the shared-memory algorithms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Hashable, List, Optional, Set, Tuple
 
 from .actions import Input, Invocation, Response, Switch
 from .adt import decided_value, propose, proposed_value

@@ -8,7 +8,7 @@ short reports — used by the examples and handy in test failures.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional, Sequence
+from typing import List, Sequence
 
 from .actions import Invocation, Response, Switch
 from .linearizability import LinearizationResult

@@ -18,7 +18,7 @@ text rendering, used by the examples and suitable for CI logs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from .actions import sig_phase
 from .adt import ADT

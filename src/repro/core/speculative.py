@@ -37,7 +37,7 @@ aborts, collapsing the commit search to a prefix walk.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Callable,
     Dict,
@@ -52,7 +52,7 @@ from typing import (
     Tuple,
 )
 
-from .actions import Input, Invocation, Response, Switch, SwitchValue
+from .actions import Input, Invocation, Switch, SwitchValue
 from .adt import ADT, History
 from .multisets import Multiset, elems, union_all
 from .sequences import is_prefix, is_strict_prefix, longest_common_prefix

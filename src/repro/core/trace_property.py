@@ -17,7 +17,7 @@ follows and is exercised in the tests.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Iterable
 
 from .actions import Action, Signature
 from .traces import Trace

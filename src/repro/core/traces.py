@@ -23,17 +23,7 @@ equivalent at every call site; we use ``t[:i]`` throughout.
 
 from __future__ import annotations
 
-from typing import (
-    Callable,
-    Dict,
-    Hashable,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from typing import Callable, Dict, Iterable, Iterator, List, Tuple
 
 from .actions import (
     Action,

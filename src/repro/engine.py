@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, TypeVar
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")

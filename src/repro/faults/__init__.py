@@ -27,7 +27,6 @@ from .campaign import (
     run_campaign,
 )
 from .mutants import AmnesiacAcceptor
-from .netfaults import TransportFaults
 from .nemesis import (
     ACTION_CLASSES,
     BurstLoss,
@@ -41,6 +40,7 @@ from .nemesis import (
     RecoverServer,
     random_schedule,
 )
+from .netfaults import TransportFaults
 from .shrink import shrink_schedule
 
 #: netcampaign names resolved lazily (PEP 562): the module imports

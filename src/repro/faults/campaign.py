@@ -33,11 +33,11 @@ from typing import (
     Tuple,
 )
 
+from .. import engine
 from ..core.adt import consensus_adt
 from ..core.fastcheck import check_linearizable
 from ..core.linearizability import SearchBudgetExceeded
 from ..core.traces import strip_phase_tags
-from .. import engine
 from ..mp.backoff import BackoffPolicy
 from ..mp.composed import ComposedConsensus
 from ..mp.multiphase import ThreePhaseConsensus

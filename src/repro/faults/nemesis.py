@@ -37,8 +37,8 @@ when each window closes (counters, not save/restore of a global).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, fields
-from typing import Callable, Hashable, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, fields
+from typing import Callable, Hashable, Iterable, List, Tuple
 
 
 class NemesisTarget:

@@ -42,7 +42,7 @@ import os
 import random
 import tempfile
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.fastcheck import check_linearizable
 from ..net.client import (

@@ -43,11 +43,11 @@ from .refinement import (
 )
 from .spec_automaton import (
     ABORTED,
+    ClientEnvironment,
+    InitEnvironment,
     PENDING,
     READY,
     SLEEP,
-    ClientEnvironment,
-    InitEnvironment,
     SpecAutomaton,
     SpecState,
 )

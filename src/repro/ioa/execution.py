@@ -11,17 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import (
-    Callable,
-    Dict,
-    Hashable,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Set,
-    Tuple,
-)
+from typing import Callable, Iterable, Iterator, Optional, Set, Tuple
 
 from .automaton import Action, IOAutomaton, State
 

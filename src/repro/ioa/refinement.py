@@ -23,16 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import (
-    Callable,
-    Dict,
-    FrozenSet,
-    Iterable,
-    List,
-    Optional,
-    Set,
-    Tuple,
-)
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .automaton import Action, IOAutomaton, State
 from .execution import Environment, successors

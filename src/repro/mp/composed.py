@@ -26,8 +26,8 @@ headline claim (2 vs 3 message delays).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 from ..core.adt import decide, propose
 from ..core.recording import TraceRecorder
@@ -36,7 +36,7 @@ from .backoff import BackoffPolicy
 from .backup import BackupClient
 from .paxos import PaxosAcceptor, PaxosClient, PaxosCoordinator
 from .quorum import QuorumClient, QuorumServer
-from .sim import Network, NetworkStats, Process, Simulator
+from .sim import Network, NetworkStats, Simulator
 
 
 @dataclass

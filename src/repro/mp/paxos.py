@@ -30,7 +30,6 @@ exercises crash schedules, message loss and duplication.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,

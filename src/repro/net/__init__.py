@@ -35,6 +35,8 @@ Modules:
   acceptances and decided log intact.
 """
 
+from .client import HistoryRecorder, NetClient, OperationTimeout
+from .cluster import LocalCluster, Supervisor
 from .codec import (
     FrameDecoder,
     FrameError,
@@ -43,11 +45,9 @@ from .codec import (
     encode_frame,
     encode_payload,
 )
-from .cluster import LocalCluster, Supervisor
-from .client import HistoryRecorder, NetClient, OperationTimeout
 from .loadgen import LoadReport, run_loadgen
 from .node import ReplicaNode
-from .transport import AsyncTransport, AddressBook
+from .transport import AddressBook, AsyncTransport
 from .wal import NodeWAL, RecoveredState, WriteAheadLog
 
 __all__ = [

@@ -33,7 +33,7 @@ discipline the checker's pending-op handling expects.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ..core.actions import Invocation, Response

@@ -46,7 +46,7 @@ registration and a coordinator's phase 2 running server-to-server.
 from __future__ import annotations
 
 import logging
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, TYPE_CHECKING, Tuple
 
 from ..faults.netfaults import TransportFaults
 from ..mp.paxos import PaxosAcceptor, PaxosCoordinator
@@ -92,6 +92,12 @@ class _DurableRole:
     _wal: Optional[NodeWAL] = None
     _wal_buffer: Optional[List[Tuple[Hashable, Any]]] = None
 
+    if TYPE_CHECKING:
+        # provided by the concrete role the mixin is combined with
+        def durable_state(self) -> Any: ...
+
+        def on_recover(self, state: Any) -> None: ...
+
     def _wire_wal(self, wal: Optional[NodeWAL], kind: str, slot: int) -> None:
         self._wal = wal
         self._wal_kind = kind
@@ -108,11 +114,11 @@ class _DurableRole:
         if self._wal_buffer is not None:
             self._wal_buffer.append((dst, message))
         else:
-            super().send(dst, message)
+            super().send(dst, message)  # type: ignore[misc]
 
     def on_message(self, src: Hashable, message: Any) -> None:
         if self._wal is None:
-            super().on_message(src, message)
+            super().on_message(src, message)  # type: ignore[misc]
             return
         if self._wal.closed:
             # The node is dead (stable storage released by stop()); a
@@ -121,7 +127,7 @@ class _DurableRole:
             return
         self._wal_buffer = []
         try:
-            super().on_message(src, message)
+            super().on_message(src, message)  # type: ignore[misc]
             state = self.durable_state()
             if state != self._wal_persisted:
                 self._wal.record(self._wal_kind, self._wal_slot, state)
@@ -129,7 +135,7 @@ class _DurableRole:
         finally:
             buffered, self._wal_buffer = self._wal_buffer, None
         for dst, msg in buffered:
-            super().send(dst, msg)
+            super().send(dst, msg)  # type: ignore[misc]
 
 
 class DurableQuorumServer(_DurableRole, QuorumServer):

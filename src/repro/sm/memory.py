@@ -14,8 +14,8 @@ execution actually used.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Tuple
 
 
 @dataclass

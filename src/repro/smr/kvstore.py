@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
-from ..core.traces import Trace
 from ..core.actions import Invocation, Response
+from ..core.traces import Trace
 from .replica import CommandOutcome, SpeculativeSMR
 from .universal import UniversalFrontend, kv_delete, kv_get, kv_put, kv_store_adt
 

@@ -26,9 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
+from ..core.actions import Invocation, Response
 from ..core.adt import ADT
 from ..core.traces import Trace
-from ..core.actions import Invocation, Response
 from .replica import CommandOutcome, SpeculativeSMR
 from .universal import UniversalFrontend
 

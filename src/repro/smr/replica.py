@@ -25,8 +25,8 @@ slot, virtual-time latency) feed experiment E9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional
 
 from ..mp.backoff import BackoffPolicy
 from ..mp.backup import BackupClient

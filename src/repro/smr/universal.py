@@ -15,9 +15,9 @@ output function to the history responses.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Optional, Sequence, Tuple
+from typing import Hashable, Sequence, Tuple
 
-from ..core.adt import ADT, History, PartitionSpec, universal_adt
+from ..core.adt import ADT, PartitionSpec, universal_adt
 
 
 class UniversalFrontend:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.core.actions import Invocation, Response, Switch
 from repro.core.adt import ADT, decide, propose

@@ -1,0 +1,559 @@
+"""Tests for the protocol-aware static analysis pass (repro.analysis).
+
+Each rule is demonstrated by at least one known-bad fixture snippet and
+one near-miss that must stay clean; RD02 is additionally exercised by
+deliberately reintroducing the persist-before-reply bug in a scratch
+copy of the real ``net/node.py``.  The suite also pins the framework
+contracts: inline suppressions, baseline round-tripping, and — the
+self-hosting gate — that the committed tree lints clean against the
+committed (empty) baseline.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    analyze_source,
+    load_baseline,
+    package_relpath,
+    rule_ids,
+    run_lint,
+    write_baseline,
+)
+from repro.analysis.baseline import BASELINE_NAME
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+SRC = os.path.join(ROOT, "src")
+NODE_PY = os.path.join(SRC, "repro", "net", "node.py")
+
+def rules_of(source, relpath):
+    """The active rule ids a snippet triggers (dedent applied)."""
+    active, _ = analyze_source(textwrap.dedent(source), relpath)
+    return [finding.rule for finding in active]
+
+
+# ----------------------------------------------------------------------
+# per-rule fixtures: known-bad snippets and near-misses
+# ----------------------------------------------------------------------
+
+BAD_SNIPPETS = [
+    # RD01: wall clocks / global RNG / unseeded constructions in
+    # replayable layers
+    (
+        "RD01",
+        """\
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        "repro/mp/scratch.py",
+    ),
+    (
+        "RD01",
+        """\
+        import random
+
+        def pick(options):
+            return random.choice(options)
+        """,
+        "repro/faults/scratch.py",
+    ),
+    (
+        "RD01",
+        """\
+        import random
+
+        rng = random.Random()
+        """,
+        "repro/core/scratch.py",
+    ),
+    (
+        "RD01",
+        """\
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+        """,
+        "repro/sm/scratch.py",
+    ),
+    (
+        "RD01",
+        """\
+        import os
+
+        def nonce():
+            return os.urandom(8)
+        """,
+        "repro/faults/scratch.py",
+    ),
+    (
+        "RD01",
+        """\
+        class Cell:
+            def __hash__(self):
+                return id(self)
+        """,
+        "repro/core/scratch.py",
+    ),
+    # RD03: bypassing the atomic shared-memory API
+    (
+        "RD03",
+        """\
+        def sneak(memory, name):
+            return memory._cells[name]
+        """,
+        "repro/sm/scratch.py",
+    ),
+    (
+        "RD03",
+        """\
+        def sneak(memory, name):
+            return memory.peek(name)
+        """,
+        "repro/sm/scratch.py",
+    ),
+    # RD04: orphan tasks and silent broad excepts in net/
+    (
+        "RD04",
+        """\
+        import asyncio
+
+        def spawn(loop, coro):
+            loop.create_task(coro())
+        """,
+        "repro/net/scratch.py",
+    ),
+    (
+        "RD04",
+        """\
+        def drain(frames):
+            try:
+                frames.pop()
+            except Exception:
+                pass
+        """,
+        "repro/net/scratch.py",
+    ),
+    # RD05: incomplete signatures and impure hooks
+    (
+        "RD05",
+        """\
+        class Half(IOAutomaton):
+            def initial_states(self):
+                return [0]
+
+            def is_input(self, action):
+                return False
+        """,
+        "repro/ioa/scratch.py",
+    ),
+    (
+        "RD05",
+        """\
+        class Memoizing(IOAutomaton):
+            def initial_states(self):
+                return [0]
+
+            def is_input(self, action):
+                return False
+
+            def is_output(self, action):
+                return True
+
+            def is_internal(self, action):
+                return False
+
+            def input_step(self, state, action):
+                return state
+
+            def transitions(self, state):
+                self.cache.append(state)
+                return []
+        """,
+        "repro/ioa/scratch.py",
+    ),
+]
+
+GOOD_SNIPPETS = [
+    # seeded randomness and port clocks are the sanctioned forms
+    (
+        """\
+        import random
+
+        def pick(options, seed):
+            return random.Random(seed).choice(options)
+        """,
+        "repro/faults/scratch.py",
+    ),
+    # wall clocks outside the replayable layers are RD01-exempt
+    (
+        """\
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        "repro/net/scratch.py",
+    ),
+    # memory.py itself implements the API it guards
+    (
+        """\
+        class SharedMemory:
+            def read(self, name):
+                return self._cells.get(name)
+        """,
+        "repro/sm/memory.py",
+    ),
+    # a retained task handle is not an orphan
+    (
+        """\
+        def spawn(loop, coro, tasks):
+            tasks.append(loop.create_task(coro()))
+        """,
+        "repro/net/scratch.py",
+    ),
+    # a narrowed, counted except is the transport's sanctioned shape
+    (
+        """\
+        def write(writer, frame, stats):
+            try:
+                writer.write(frame)
+            except (ConnectionError, RuntimeError):
+                stats.lost += 1
+        """,
+        "repro/net/scratch.py",
+    ),
+    # a complete, observer-only automaton
+    (
+        """\
+        class Total(IOAutomaton):
+            def initial_states(self):
+                return [0]
+
+            def is_input(self, action):
+                return False
+
+            def is_output(self, action):
+                return True
+
+            def is_internal(self, action):
+                return False
+
+            def input_step(self, state, action):
+                return state
+
+            def transitions(self, state):
+                return [(("out",), state + 1)]
+        """,
+        "repro/ioa/scratch.py",
+    ),
+]
+
+
+@pytest.mark.parametrize("rule,source,relpath", BAD_SNIPPETS)
+def test_bad_fixture_is_caught(rule, source, relpath):
+    assert rule in rules_of(source, relpath)
+
+
+@pytest.mark.parametrize("source,relpath", GOOD_SNIPPETS)
+def test_near_miss_stays_clean(source, relpath):
+    assert rules_of(source, relpath) == []
+
+
+def test_every_rule_has_a_failing_fixture():
+    covered = {rule for rule, _, _ in BAD_SNIPPETS} | {"RD02"}
+    assert covered == set(rule_ids()) == {
+        "RD01",
+        "RD02",
+        "RD03",
+        "RD04",
+        "RD05",
+    }
+
+
+# ----------------------------------------------------------------------
+# RD02 against the real durable roles
+# ----------------------------------------------------------------------
+
+GOOD_BODY = """\
+        self._wal_buffer = []
+        try:
+            super().on_message(src, message)  # type: ignore[misc]
+            state = self.durable_state()
+            if state != self._wal_persisted:
+                self._wal.record(self._wal_kind, self._wal_slot, state)
+                self._wal_persisted = state
+        finally:
+            buffered, self._wal_buffer = self._wal_buffer, None
+        for dst, msg in buffered:
+            super().send(dst, msg)  # type: ignore[misc]
+"""
+
+BUGGED_BODY = """\
+        self._wal_buffer = []
+        try:
+            super().on_message(src, message)
+            buffered, self._wal_buffer = self._wal_buffer, None
+            for dst, msg in buffered:
+                super().send(dst, msg)
+            state = self.durable_state()
+            if state != self._wal_persisted:
+                self._wal.record(self._wal_kind, self._wal_slot, state)
+                self._wal_persisted = state
+        finally:
+            pass
+"""
+
+
+def test_rd02_real_node_is_clean():
+    with open(NODE_PY) as handle:
+        source = handle.read()
+    active, _ = analyze_source(source, "repro/net/node.py")
+    assert [f for f in active if f.rule == "RD02"] == []
+
+
+def test_rd02_catches_reintroduced_persist_before_reply_bug():
+    """Reordering the WAL append after the reply release must be caught."""
+    with open(NODE_PY) as handle:
+        source = handle.read()
+    assert GOOD_BODY in source, (
+        "net/node.py's persist-before-reply body drifted; update the "
+        "scratch mutation in this test alongside it"
+    )
+    mutated = source.replace(GOOD_BODY, BUGGED_BODY)
+    active, _ = analyze_source(mutated, "repro/net/node.py")
+    rd02 = [f for f in active if f.rule == "RD02"]
+    assert rd02, "the reintroduced persist-before-reply bug went unnoticed"
+    assert "before the WAL append" in rd02[0].message
+
+
+def test_rd02_flags_reply_with_no_wal_append():
+    source = textwrap.dedent(
+        """\
+        class Leaky(_DurableRole):
+            def on_message(self, src, message):
+                self._wal = self._wal
+                super().send(src, ("ack",))
+        """
+    )
+    assert rules_of(source, "repro/net/scratch.py") == ["RD02"]
+
+
+def test_rd02_flags_durable_mutation_after_append():
+    source = textwrap.dedent(
+        """\
+        class Sloppy(_DurableRole):
+            def durable_state(self):
+                return self.ballot
+
+            def on_message(self, src, message):
+                self._wal.record("acc", 0, self.durable_state())
+                self.ballot = message
+        """
+    )
+    active, _ = analyze_source(source, "repro/net/scratch.py")
+    assert [f.rule for f in active] == ["RD02"]
+    assert "mutates durable attribute 'ballot'" in active[0].message
+
+
+def test_rd02_delegating_subclass_is_clean():
+    """super().on_message persists on the subclass's behalf."""
+    source = textwrap.dedent(
+        """\
+        class Chatty(_DurableRole):
+            def on_message(self, src, message):
+                super().on_message(src, message)
+                super().send(src, ("also",))
+        """
+    )
+    assert rules_of(source, "repro/net/scratch.py") == []
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+
+
+def test_trailing_suppression_comment():
+    source = "import time\nstamp = time.time()  # repro: disable=RD01\n"
+    active, suppressed = analyze_source(source, "repro/mp/scratch.py")
+    assert active == []
+    assert [f.rule for f in suppressed] == ["RD01"]
+
+
+def test_standalone_suppression_shields_next_line():
+    source = (
+        "import time\n"
+        "# repro: disable=RD01\n"
+        "stamp = time.time()\n"
+    )
+    active, suppressed = analyze_source(source, "repro/mp/scratch.py")
+    assert active == []
+    assert [f.rule for f in suppressed] == ["RD01"]
+
+
+def test_suppression_is_rule_specific():
+    source = "import time\nstamp = time.time()  # repro: disable=RD03\n"
+    active, suppressed = analyze_source(source, "repro/mp/scratch.py")
+    assert [f.rule for f in active] == ["RD01"]
+    assert suppressed == []
+
+
+def test_disable_all_suppresses_everything():
+    source = "import time\nstamp = time.time()  # repro: disable=all\n"
+    active, suppressed = analyze_source(source, "repro/mp/scratch.py")
+    assert active == []
+    assert [f.rule for f in suppressed] == ["RD01"]
+
+
+# ----------------------------------------------------------------------
+# baseline round-tripping
+# ----------------------------------------------------------------------
+
+BAD_MODULE = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def write_tree(root, files):
+    for relpath, source in files.items():
+        path = os.path.join(root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(source)
+
+
+def test_baseline_round_trip(tmp_path):
+    """--baseline write -> clean run -> a new finding is still reported."""
+    tree = tmp_path / "tree"
+    write_tree(str(tree), {"repro/mp/old.py": BAD_MODULE})
+    baseline_file = str(tmp_path / BASELINE_NAME)
+
+    report = run_lint([str(tree)], baseline_path=baseline_file)
+    assert [f.rule for f in report.findings] == ["RD01"]
+
+    write_baseline(baseline_file, report.all_findings())
+    assert len(load_baseline(baseline_file)) == 1
+
+    report = run_lint([str(tree)], baseline_path=baseline_file)
+    assert report.clean
+    assert [f.rule for f in report.baselined] == ["RD01"]
+
+    # A fresh violation in a different file is not absorbed.
+    write_tree(str(tree), {"repro/mp/new.py": BAD_MODULE})
+    report = run_lint([str(tree)], baseline_path=baseline_file)
+    assert [f.rule for f in report.findings] == ["RD01"]
+    assert report.findings[0].path == "repro/mp/new.py"
+    assert [f.path for f in report.baselined] == ["repro/mp/old.py"]
+
+
+def test_baseline_counts_duplicates_per_file(tmp_path):
+    """Two identical findings need two baseline slots."""
+    tree = tmp_path / "tree"
+    double = (
+        "import time\n\n\ndef a():\n    return time.time()\n\n\n"
+        "def b():\n    return time.time()\n"
+    )
+    write_tree(str(tree), {"repro/mp/old.py": double})
+    baseline_file = str(tmp_path / BASELINE_NAME)
+    report = run_lint([str(tree)], baseline_path=baseline_file)
+    assert len(report.findings) == 2
+    write_baseline(baseline_file, report.all_findings())
+
+    # Fixing one and adding another identical one elsewhere in the file
+    # keeps the total at two, but the *new* one must not be absorbed by
+    # the freed slot silently growing: counts match, so it is absorbed —
+    # while a third occurrence is reported.
+    triple = double + "\n\ndef c():\n    return time.time()\n"
+    write_tree(str(tree), {"repro/mp/old.py": triple})
+    report = run_lint([str(tree)], baseline_path=baseline_file)
+    assert len(report.baselined) == 2
+    assert len(report.findings) == 1
+
+
+def test_committed_baseline_is_empty():
+    baseline = load_baseline(os.path.join(ROOT, BASELINE_NAME))
+    assert sum(baseline.values()) == 0, (
+        "the committed baseline must stay empty: fix findings instead "
+        "of grandfathering them (docs/ANALYSIS.md)"
+    )
+
+
+# ----------------------------------------------------------------------
+# the self-hosting gate: the committed tree lints clean
+# ----------------------------------------------------------------------
+
+
+def test_tree_is_clean():
+    report = run_lint(
+        [SRC], baseline_path=os.path.join(ROOT, BASELINE_NAME)
+    )
+    assert report.checked_files > 50
+    assert report.parse_errors == []
+    assert report.findings == [], "\n" + report.to_text()
+
+
+def test_package_relpath_normalizes_to_package_root():
+    assert (
+        package_relpath(os.path.join(SRC, "repro", "mp", "sim.py"))
+        == "repro/mp/sim.py"
+    )
+    assert package_relpath("repro/net/node.py") == "repro/net/node.py"
+    assert package_relpath("./scratch.py") == "scratch.py"
+
+
+# ----------------------------------------------------------------------
+# the CLI
+# ----------------------------------------------------------------------
+
+
+def run_cli(*args, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=ROOT,
+    )
+
+
+def test_cli_full_tree_is_clean():
+    result = run_cli()
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 findings" in result.stdout
+
+
+def test_cli_reports_findings_as_json(tmp_path):
+    write_tree(str(tmp_path), {"repro/mp/bad.py": BAD_MODULE})
+    result = run_cli(str(tmp_path), "--format", "json")
+    assert result.returncode == 1
+    data = json.loads(result.stdout)
+    assert data["summary"]["clean"] is False
+    assert data["findings"][0]["rule"] == "RD01"
+    assert data["findings"][0]["path"] == "repro/mp/bad.py"
+    assert data["findings"][0]["hint"]
+
+
+def test_cli_text_report_names_rule_and_location(tmp_path):
+    write_tree(str(tmp_path), {"repro/mp/bad.py": BAD_MODULE})
+    result = run_cli(str(tmp_path))
+    assert result.returncode == 1
+    assert "repro/mp/bad.py:5" in result.stdout
+    assert "RD01" in result.stdout
+
+
+def test_cli_baseline_write_then_clean(tmp_path):
+    write_tree(str(tmp_path), {"repro/mp/bad.py": BAD_MODULE})
+    baseline_file = str(tmp_path / BASELINE_NAME)
+    result = run_cli(
+        str(tmp_path), "--baseline", "--baseline-file", baseline_file
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    result = run_cli(str(tmp_path), "--baseline-file", baseline_file)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "1 baselined" in result.stdout

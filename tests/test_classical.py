@@ -1,7 +1,5 @@
 """Tests for classical linearizability* (paper Appendix A)."""
 
-import pytest
-
 from repro.core.actions import inv, res
 from repro.core.adt import (
     consensus_adt,
@@ -12,7 +10,6 @@ from repro.core.adt import (
     register_adt,
 )
 from repro.core.classical import (
-    Operation,
     agrees_with_adt,
     check_classical_witness,
     extract_operations,

@@ -4,8 +4,6 @@ import os
 import subprocess
 import sys
 
-import pytest
-
 ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 
 

@@ -11,14 +11,13 @@ Sleep/Aborted bookkeeping, pending-input transfer, ...).
 
 import pytest
 
-from repro.core.actions import Switch
 from repro.core.sequences import is_prefix
 from repro.ioa import (
     ABORTED,
+    ClientEnvironment,
     PENDING,
     READY,
     SLEEP,
-    ClientEnvironment,
     SpecAutomaton,
     check_invariants,
     compose_automata,

@@ -11,8 +11,6 @@ The theorem is checked three ways:
 
 import random
 
-import pytest
-
 from repro.core.actions import inv, res, swi
 from repro.core.adt import consensus_adt, decide, propose
 from repro.core.composition import (

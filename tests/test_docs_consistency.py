@@ -41,7 +41,7 @@ def resolve(dotted):
 
 @pytest.mark.parametrize(
     "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/THEORY.md",
-            "docs/ALGORITHMS.md", "docs/ARCHITECTURE.md",
+            "docs/ALGORITHMS.md", "docs/ANALYSIS.md", "docs/ARCHITECTURE.md",
             "docs/PERFORMANCE.md", "docs/RESILIENCE.md"]
 )
 def test_dotted_references_resolve(doc):
@@ -56,8 +56,8 @@ def test_dotted_references_resolve(doc):
 
 @pytest.mark.parametrize(
     "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/THEORY.md",
-            "docs/ARCHITECTURE.md", "docs/PERFORMANCE.md",
-            "docs/RESILIENCE.md"]
+            "docs/ANALYSIS.md", "docs/ARCHITECTURE.md",
+            "docs/PERFORMANCE.md", "docs/RESILIENCE.md"]
 )
 def test_referenced_files_exist(doc):
     text = doc_text(doc)

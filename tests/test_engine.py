@@ -6,8 +6,6 @@ the parallel result is *identical* to the serial one — same order, same
 verdicts, same emitted lines — only the wall-clock may differ.
 """
 
-import pytest
-
 import repro.engine as engine
 from repro.core.enumeration import (
     parallel_composition_sweep,

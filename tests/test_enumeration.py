@@ -6,15 +6,12 @@ composed trace whose phase projections satisfy SLin while the whole does
 not would falsify Theorem 5.
 """
 
-import pytest
-
 from repro.core.adt import consensus_adt
 from repro.core.composition import check_composition_theorem, check_theorem_2
 from repro.core.enumeration import (
     count_traces,
     enumerate_composed_consensus_traces,
     enumerate_consensus_phase_traces,
-    enumerate_phase_traces,
 )
 from repro.core.speculative import consensus_rinit, is_speculatively_linearizable
 from repro.core.traces import is_phase_wellformed

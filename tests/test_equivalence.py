@@ -27,11 +27,11 @@ from hypothesis import strategies as st
 from repro.core.adt import (
     consensus_adt,
     counter_adt,
+    deq,
+    enq,
     inc,
     propose,
     queue_adt,
-    enq,
-    deq,
     reg_read,
     reg_write,
     register_adt,

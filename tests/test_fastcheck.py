@@ -12,24 +12,22 @@ search itself.
 
 import random
 
-import pytest
-
 from repro.core.actions import Invocation, Response, Switch
 from repro.core.adt import (
     ADT,
     PartitionSpec,
     counter_adt,
     product_adt,
-    register_adt,
     reg_read,
     reg_write,
+    register_adt,
     set_adt,
     tag_object,
 )
 from repro.core.fastcheck import (
     COMPOSITIONAL,
-    MONOLITHIC,
     CheckReport,
+    MONOLITHIC,
     check_linearizable,
     is_linearizable_fast,
     partition_trace,

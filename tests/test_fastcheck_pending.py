@@ -16,8 +16,6 @@ single cell has no partition spec → monolithic):
 * pending operations on several keys decompose per key.
 """
 
-import pytest
-
 from repro.core.actions import Invocation, Response
 from repro.core.fastcheck import (
     COMPOSITIONAL,

@@ -14,7 +14,6 @@ import pytest
 from repro.core.linearizability import linearize
 from repro.core.traces import strip_phase_tags
 from repro.faults import (
-    ACTION_CLASSES,
     BurstLoss,
     CrashServer,
     DelaySpike,

@@ -16,22 +16,20 @@ from repro.core.actions import Invocation, Response, inv, res
 from repro.core.adt import (
     consensus_adt,
     decide,
+    deq,
+    enq,
     product_adt,
     propose,
     queue_adt,
-    enq,
-    deq,
-    register_adt,
     reg_read,
     reg_write,
+    register_adt,
     tag_object,
 )
 from repro.core.linearizability import is_linearizable
 from repro.core.traces import Trace
 
-import sys, os
-sys.path.insert(0, os.path.dirname(__file__))
-from helpers import random_linearizable_trace, random_wellformed_trace
+from helpers import random_linearizable_trace
 
 
 def tag_trace(name, trace):

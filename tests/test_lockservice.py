@@ -1,7 +1,5 @@
 """Tests for the Chubby-style lock service (the paper's motivating app)."""
 
-import pytest
-
 from repro.core.linearizability import is_linearizable
 from repro.smr.lockservice import (
     LockService,

@@ -12,9 +12,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net.codec import (
-    MAX_FRAME,
     FrameDecoder,
     FrameError,
+    MAX_FRAME,
     decode_payload,
     encode_frame,
     encode_payload,

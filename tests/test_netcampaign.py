@@ -8,8 +8,6 @@ whole layer: disabling one replica's WAL must surface as a checker
 violation with a shrunk reproducer, not as silence.
 """
 
-import pytest
-
 from repro.faults.netcampaign import (
     KillNode,
     NET_ACTION_CLASSES,

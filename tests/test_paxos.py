@@ -1,9 +1,7 @@
 """Tests for the single-decree Paxos implementation (the Backup engine)."""
 
-import pytest
-
 from repro.mp.composed import PaxosOnly
-from repro.mp.paxos import PaxosAcceptor, PaxosClient, PaxosCoordinator
+from repro.mp.paxos import PaxosAcceptor, PaxosCoordinator
 from repro.mp.sim import Network, Process, Simulator
 
 

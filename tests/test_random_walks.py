@@ -8,7 +8,6 @@ the schedules, so failures shrink to minimal reproducers.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,9 +7,7 @@ spanning both phases.  Mutation tests confirm the checker would catch a
 broken specification, so a green inclusion is meaningful.
 """
 
-import pytest
-
-from repro.core.actions import Invocation, Response, Switch
+from repro.core.actions import Response, Switch
 from repro.ioa import (
     ClientEnvironment,
     FunctionalAutomaton,

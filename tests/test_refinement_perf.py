@@ -10,8 +10,6 @@ witness trace (the old implementation carried the trace tuple on every
 frontier entry; the count-based guarantee must survive the rewrite).
 """
 
-import pytest
-
 from repro.ioa import FunctionalAutomaton, check_trace_inclusion
 
 

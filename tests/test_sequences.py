@@ -1,6 +1,5 @@
 """Unit and property tests for the sequence vocabulary (paper Section 3)."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -269,9 +269,6 @@ class TestPartitionedConsensus:
         from repro.mp import ComposedConsensus
 
         system = ComposedConsensus(n_servers=3, seed=0)
-        everyone_else = [("qs", i) for i in range(3)] + [
-            ("acc", i) for i in range(3)
-        ] + [("coord", i) for i in range(3)]
         # Cut the client side from server 2's roles: Quorum cannot get
         # all accepts, Backup still has a majority.
         cut = {("qs", 2), ("acc", 2), ("coord", 2)}

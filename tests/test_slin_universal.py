@@ -7,14 +7,11 @@ concrete histories, responses are full histories, and clients keep
 invoking after being served.
 """
 
-import pytest
-
 from repro.core.actions import inv, res, swi
 from repro.core.adt import universal_adt
 from repro.core.speculative import (
     is_speculatively_linearizable,
     singleton_rinit,
-    speculatively_linearize,
 )
 from repro.core.traces import Trace
 

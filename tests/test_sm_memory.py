@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.sm.memory import OpCounts, SharedMemory
+from repro.sm.memory import SharedMemory
 from repro.sm.scheduler import (
     InterleavingScheduler,
     count_schedules,

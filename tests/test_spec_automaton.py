@@ -6,19 +6,17 @@ linearizable per the *trace-level* checker over the universal ADT with the
 singleton rinit — the two formalizations of the paper agree.
 """
 
-import pytest
-
 from repro.core.actions import Invocation, Response, Switch
 from repro.core.adt import universal_adt
 from repro.core.speculative import is_speculatively_linearizable, singleton_rinit
 from repro.core.traces import Trace
 from repro.ioa import (
     ABORTED,
+    ClientEnvironment,
+    InitEnvironment,
     PENDING,
     READY,
     SLEEP,
-    ClientEnvironment,
-    InitEnvironment,
     SpecAutomaton,
     compose_automata,
     executions,

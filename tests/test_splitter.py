@@ -7,8 +7,6 @@ Properties, checked over *every* interleaving of small scopes:
   first — returns True.
 """
 
-import pytest
-
 from repro.sm.memory import SharedMemory
 from repro.sm.scheduler import InterleavingScheduler, explore_schedules
 from repro.sm.splitter import splitter

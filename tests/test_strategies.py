@@ -5,10 +5,10 @@ from hypothesis import given, settings
 
 from repro.core.adt import (
     consensus_adt,
+    deq,
+    enq,
     propose,
     queue_adt,
-    enq,
-    deq,
 )
 from repro.core.classical import is_linearizable_classical
 from repro.core.linearizability import is_linearizable
@@ -76,7 +76,6 @@ def test_strategy_mix_is_informative():
     # Sample the phase-trace strategy: it must produce both accepted and
     # rejected instances to be a useful test distribution.
     from hypothesis import find
-    import hypothesis.errors
 
     def accepted(t):
         return len(t) > 2 and is_speculatively_linearizable(

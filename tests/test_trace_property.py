@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.actions import Signature, inv, res, sig_T, sig_phase, swi
+from repro.core.actions import Signature, inv, res, sig_phase, swi
 from repro.core.adt import consensus_adt, decide, propose
 from repro.core.speculative import consensus_rinit
 from repro.core.trace_property import (

@@ -1,7 +1,5 @@
 """Tests for traces and well-formedness (paper Sections 3, 4.5, 5.4)."""
 
-import pytest
-
 from repro.core.actions import inv, res, swi
 from repro.core.adt import decide, propose
 from repro.core.traces import (

@@ -7,7 +7,6 @@ checksum), and the snapshot-compaction invariant that snapshot + tail
 replays to the same fold as the full history.
 """
 
-import json
 import os
 import struct
 
