@@ -26,6 +26,9 @@ Benchmarks:
   tolerance, and the live kill/restart throughput dip (E12; gates on
   the fold-equivalence/tolerance/verdict booleans and the compaction
   speedup, never on wall-clock).
+* ``grayfaults`` — simulated and live degradation under gray failures
+  (slow node, timer drift, clock skew, torn-tail WAL restart); gates
+  on every-history-linearizable and tear-tolerated booleans (E13).
 
 Usage::
 
@@ -373,15 +376,25 @@ def bench_adt_hot_path(quick):
     }
 
 
-def bench_recovery(quick):
-    """WAL replay/compaction/restart costs (delegates to bench_recovery.py)."""
+def _delegated(module_name):
+    """Load a standalone benchmark module and return its harness entry."""
     import importlib.util
 
-    path = os.path.join(os.path.dirname(__file__), "bench_recovery.py")
-    spec = importlib.util.spec_from_file_location("bench_recovery", path)
+    path = os.path.join(os.path.dirname(__file__), f"{module_name}.py")
+    spec = importlib.util.spec_from_file_location(module_name, path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    return module.harness_report(quick)
+    return module.harness_report
+
+
+def bench_recovery(quick):
+    """WAL replay/compaction/restart costs (delegates to bench_recovery.py)."""
+    return _delegated("bench_recovery")(quick)
+
+
+def bench_grayfaults(quick):
+    """Gray-failure degradation (delegates to bench_grayfaults.py)."""
+    return _delegated("bench_grayfaults")(quick)
 
 
 BENCHES = {
@@ -390,6 +403,7 @@ BENCHES = {
     "campaign_scaling": bench_campaign_scaling,
     "adt_hot_path": bench_adt_hot_path,
     "recovery": bench_recovery,
+    "grayfaults": bench_grayfaults,
 }
 
 

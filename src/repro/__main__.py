@@ -57,6 +57,7 @@ EXPERIMENTS = {
     "e10": ("bench_faults", "nemesis campaigns / resilience under faults"),
     "e11": ("bench_net", "2 vs 3 message delays over real TCP sockets"),
     "e12": ("bench_recovery", "WAL recovery: replay cost + restart dip"),
+    "e13": ("bench_grayfaults", "gray failures: fast-path ratio + recovery"),
     "sweep": (
         "bench_enumeration",
         "exhaustive trace-level Theorem-5 sweeps",

@@ -9,13 +9,17 @@ amnesiac-node canary exists to catch dynamically.  RD02 catches it at
 diff time.
 
 A class is *durable* when it derives from ``_DurableRole``, is
-``_DurableRole`` itself, or touches ``self._wal`` anywhere.  Inside
+``_DurableRole`` itself, or touches ``self._wal`` or ``self._fs``
+anywhere (roles built straight on the injectable filesystem seam are
+held to the same discipline as WAL-backed ones).  Inside
 each such class RD02 analyzes the handler method (``on_message``) in
 source order:
 
 * an emit — ``super().send(...)``, the release of buffered frames —
   before the first WAL append (``…wal.record(...)`` /
-  ``…wal.record_decided(...)``) is a persist-before-reply violation;
+  ``…wal.record_decided(...)``) or direct :class:`FaultFS` persistence
+  point (``…fs.append(...)`` / ``…fs.fsync(...)``) is a
+  persist-before-reply violation;
 * an emit in a handler with *no* append at all is flagged too, unless
   the handler delegates to ``super().on_message(...)`` (whose override
   persists) before emitting;
@@ -37,6 +41,9 @@ from ..registry import ModuleContext, Rule, register
 
 #: WAL append methods (the persistence points)
 WAL_APPENDS = frozenset({"record", "record_decided"})
+
+#: FaultFS methods that make bytes durable when called on an fs seam
+FS_PERSISTS = frozenset({"append", "fsync"})
 
 Pos = Tuple[int, int]
 
@@ -67,22 +74,38 @@ def _attr_chain(node: ast.AST) -> List[str]:
     return names
 
 
+def _is_fs_name(name: str) -> bool:
+    """True for names that denote a :class:`FaultFS` seam (``fs``,
+    ``_fs``, ``faultfs``, ``wal_fs`` …) — deliberately *not* any name
+    merely containing "fs" (``offsets`` is a list, not a disk)."""
+    lowered = name.lower()
+    return (
+        lowered in ("fs", "_fs")
+        or "faultfs" in lowered
+        or lowered.startswith("fs_")
+        or lowered.endswith("_fs")
+    )
+
+
 def _is_wal_append(call: ast.Call) -> bool:
-    """True for ``<chain containing a wal name>.record*(...)``."""
-    if not (
-        isinstance(call.func, ast.Attribute)
-        and call.func.attr in WAL_APPENDS
-    ):
+    """True for a persistence point: ``<wal chain>.record*(...)`` or a
+    direct ``<fs chain>.append/fsync(...)`` on the FaultFS seam."""
+    if not isinstance(call.func, ast.Attribute):
         return False
-    return any("wal" in name.lower() for name in _attr_chain(call.func.value))
+    chain = _attr_chain(call.func.value)
+    if call.func.attr in WAL_APPENDS:
+        return any("wal" in name.lower() for name in chain)
+    if call.func.attr in FS_PERSISTS:
+        return any(_is_fs_name(name) for name in chain)
+    return False
 
 
 def _references_wal(node: ast.AST) -> bool:
-    """True iff the subtree reads or writes ``self._wal``."""
+    """True iff the subtree reads or writes ``self._wal``/``self._fs``."""
     for sub in ast.walk(node):
         if (
             isinstance(sub, ast.Attribute)
-            and sub.attr == "_wal"
+            and sub.attr in ("_wal", "_fs")
             and isinstance(sub.value, ast.Name)
             and sub.value.id == "self"
         ):

@@ -30,6 +30,7 @@ from .mutants import AmnesiacAcceptor
 from .nemesis import (
     ACTION_CLASSES,
     BurstLoss,
+    ClockSkew,
     CrashServer,
     DelaySpike,
     DuplicationStorm,
@@ -38,6 +39,8 @@ from .nemesis import (
     NemesisTarget,
     PartitionServers,
     RecoverServer,
+    SlowNode,
+    TimerDrift,
     random_schedule,
 )
 from .netfaults import TransportFaults
@@ -56,8 +59,13 @@ _NETCAMPAIGN_NAMES = frozenset(
         "NetPartition",
         "NetRunResult",
         "NetSchedule",
+        "NetSlowNode",
         "NetViolation",
         "RestartNode",
+        "WALBitFlip",
+        "WALNoSpace",
+        "WALTearTail",
+        "asymmetric_bridge",
         "random_net_schedule",
         "run_net_campaign",
     }
@@ -81,6 +89,7 @@ __all__ = [
     "CAMPAIGN_BACKOFF",
     "CampaignReport",
     "CampaignTarget",
+    "ClockSkew",
     "ComposedTarget",
     "CrashServer",
     "DelaySpike",
@@ -96,15 +105,22 @@ __all__ = [
     "NetPartition",
     "NetRunResult",
     "NetSchedule",
+    "NetSlowNode",
     "NetViolation",
     "PartitionServers",
     "RecoverServer",
     "RestartNode",
     "RunResult",
     "SMRTarget",
+    "SlowNode",
     "TARGETS",
+    "TimerDrift",
     "TransportFaults",
     "Violation",
+    "WALBitFlip",
+    "WALNoSpace",
+    "WALTearTail",
+    "asymmetric_bridge",
     "random_net_schedule",
     "random_schedule",
     "run_campaign",

@@ -27,6 +27,12 @@ Action vocabulary (all times are virtual, i.e. message-delay units):
 :class:`DelaySpike`        multiply message delays during a window
 :class:`BurstLoss`         add i.i.d. loss during a window
 :class:`DuplicationStorm`  add i.i.d. duplication during a window
+:class:`SlowNode`          gray failure: one server alive but late — its
+                           message delays multiplied during a window
+:class:`TimerDrift`        gray failure: one server's timers tick fast
+                           or slow relative to the cluster
+:class:`ClockSkew`         gray failure: one server's local clock reads
+                           offset from true time
 ========================  =================================================
 
 Windows compose: overlapping bursts add their rates, overlapping spikes
@@ -200,6 +206,70 @@ class DuplicationStorm(_Window):
         network.extra_duplicate -= self.rate
 
 
+@dataclass(frozen=True)
+class SlowNode(FaultAction):
+    """Gray failure: server ``server`` stays alive and correct, but
+    every message it sends or receives takes ``factor``× as long during
+    the window.  Unlike :class:`DelaySpike` (cluster-wide), this skews
+    *one* replica — the fast path's unanimity now waits on the straggler
+    while Backup's majority does not.
+    """
+
+    server: int = 0
+    factor: float = 4.0
+    duration: float = 10.0
+
+    def apply(self, target: NemesisTarget) -> None:
+        target.network.slow_node(
+            target.server_membership((self.server,)),
+            self.factor,
+            self.at,
+            self.at + self.duration,
+        )
+
+
+@dataclass(frozen=True)
+class TimerDrift(FaultAction):
+    """Gray failure: server ``server``'s local tick runs at ``rate``×
+    real speed during the window (timers armed while it is active fire
+    ``rate``× later for rate > 1, earlier for rate < 1) — retransmit
+    and coordinator-retry timers drift against the cluster.
+    """
+
+    server: int = 0
+    rate: float = 2.0
+    duration: float = 10.0
+
+    def apply(self, target: NemesisTarget) -> None:
+        target.network.timer_drift(
+            target.server_membership((self.server,)),
+            self.rate,
+            self.at,
+            self.at + self.duration,
+        )
+
+
+@dataclass(frozen=True)
+class ClockSkew(FaultAction):
+    """Gray failure: server ``server``'s local clock reads ``offset``
+    units away from true time during the window.  Scheduling is
+    untouched — the lie is visible only through ``local_now``, which is
+    exactly why protocols must never gate safety on wall clocks.
+    """
+
+    server: int = 0
+    offset: float = 25.0
+    duration: float = 10.0
+
+    def apply(self, target: NemesisTarget) -> None:
+        target.network.clock_skew(
+            target.server_membership((self.server,)),
+            self.offset,
+            self.at,
+            self.at + self.duration,
+        )
+
+
 #: every concrete action class, for generation and (de)serialization
 ACTION_CLASSES = (
     CrashServer,
@@ -208,6 +278,9 @@ ACTION_CLASSES = (
     DelaySpike,
     BurstLoss,
     DuplicationStorm,
+    SlowNode,
+    TimerDrift,
+    ClockSkew,
 )
 
 
@@ -327,6 +400,35 @@ def random_schedule(
                     at=at,
                     duration=round(rng.uniform(5.0, fault_span / 3), 1),
                     rate=round(rng.uniform(0.2, 0.8), 2),
+                )
+            )
+        elif cls is SlowNode:
+            actions.append(
+                SlowNode(
+                    at=at,
+                    server=rng.randrange(n_servers),
+                    factor=round(rng.uniform(2.0, 8.0), 1),
+                    duration=round(rng.uniform(5.0, fault_span / 2), 1),
+                )
+            )
+        elif cls is TimerDrift:
+            # log-symmetric around honest: as likely 1/3× as 3×
+            rate = round(3.0 ** rng.uniform(-1.0, 1.0), 2)
+            actions.append(
+                TimerDrift(
+                    at=at,
+                    server=rng.randrange(n_servers),
+                    rate=rate,
+                    duration=round(rng.uniform(5.0, fault_span / 2), 1),
+                )
+            )
+        elif cls is ClockSkew:
+            actions.append(
+                ClockSkew(
+                    at=at,
+                    server=rng.randrange(n_servers),
+                    offset=round(rng.uniform(-50.0, 50.0), 1),
+                    duration=round(rng.uniform(5.0, fault_span / 2), 1),
                 )
             )
 

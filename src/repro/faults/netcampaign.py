@@ -10,9 +10,28 @@ The action vocabulary is the crash-recovery one the runtime now
 supports: :class:`KillNode`/:class:`RestartNode` pairs (restarts replay
 the node's WAL), :class:`NetLossBurst` windows on
 :class:`~repro.faults.netfaults.TransportFaults`, and
-:class:`NetPartition` cut-then-heal windows between endpoints.
+:class:`NetPartition` cut-then-heal windows between endpoints —
+symmetric by default, or one-way with ``one_way=True`` (the asymmetric
+link failure; :func:`asymmetric_bridge` composes a ring of them).
 Schedules are majority-preserving by default — at most a minority of
 replicas is ever down at once, so safety *and* liveness stay checkable.
+
+On top of the crash vocabulary sit the *gray* failures the paper's
+fail-stop model cannot express:
+
+* :class:`NetSlowNode` — one replica stays alive and correct but every
+  frame touching it is held before the wire (``TransportFaults.slow``);
+* :class:`WALTearTail` — kill a node and tear the final bytes off its
+  at-rest WAL (crash mid-append); the restart must *tolerate* the tear
+  and serve the intact prefix;
+* :class:`WALBitFlip` — kill a node and flip one seeded bit inside a
+  complete WAL record body; the restart must *fail-stop*
+  (:exc:`~repro.net.wal.WALCorruptionError`), counted in
+  ``NetRunResult.failstops``, never serving from the corrupt fold;
+* :class:`WALNoSpace` — arm injected ``ENOSPC`` on one node's
+  :class:`~repro.net.faultfs.FaultyFS` for a bounded run of appends;
+  the node backs off and retries instead of crashing or replying
+  without durability.
 
 Two design points make violations observable rather than theoretical:
 
@@ -52,7 +71,9 @@ from ..net.client import (
     OperationTimeout,
 )
 from ..net.cluster import LocalCluster
+from ..net.faultfs import FaultyFS, flip_record_body, tear_tail
 from ..net.loadgen import DEFAULT_KEYS, _command_stream
+from ..net.wal import WALCorruptionError
 from ..smr.universal import UniversalFrontend, kv_store_adt
 from .netfaults import TransportFaults
 from .shrink import shrink_schedule
@@ -114,15 +135,94 @@ class NetLossBurst(NetFaultAction):
 
 @dataclass(frozen=True)
 class NetPartition(NetFaultAction):
-    """Cut endpoints ``a``/``b`` for ``duration`` seconds, then heal."""
+    """Cut endpoints ``a``/``b`` for ``duration`` seconds, then heal.
+
+    With ``one_way=True`` only the ``a → b`` direction is cut — the
+    asymmetric link failure: ``b`` keeps hearing from ``a`` and replies
+    into a void.
+    """
 
     a: str = "clients"
     b: str = "node0"
     duration: float = 0.5
+    one_way: bool = False
+
+
+@dataclass(frozen=True)
+class NetSlowNode(NetFaultAction):
+    """Make replica ``node`` a slow node for ``duration`` seconds: every
+    frame it sends or receives is held ``delay`` seconds before the
+    socket.  The node stays alive and correct — just late."""
+
+    node: int = 0
+    delay: float = 0.05
+    duration: float = 1.0
+
+
+@dataclass(frozen=True)
+class WALTearTail(NetFaultAction):
+    """Kill replica ``node`` and tear the last ``cut`` bytes off its
+    at-rest WAL — the crash-mid-append torn write.  A later
+    :class:`RestartNode` must tolerate the tear: replay truncates the
+    incomplete record and serves the intact prefix."""
+
+    node: int = 0
+    cut: int = 3
+
+
+@dataclass(frozen=True)
+class WALBitFlip(NetFaultAction):
+    """Kill replica ``node`` and flip one seeded bit inside a complete
+    record body of its at-rest WAL.  A later :class:`RestartNode` must
+    **fail-stop** — the restart raises
+    :exc:`~repro.net.wal.WALCorruptionError`, the node stays dead, and
+    the run counts a ``failstop`` instead of a restart."""
+
+    node: int = 0
+
+
+@dataclass(frozen=True)
+class WALNoSpace(NetFaultAction):
+    """Exhaust replica ``node``'s disk for its next ``count`` WAL
+    appends (injected ``ENOSPC`` via :class:`FaultyFS`).  The node must
+    back off and retry, never replying before the record is durable."""
+
+    node: int = 0
+    count: int = 4
 
 
 #: every concrete action class, for generation and reports
-NET_ACTION_CLASSES = (KillNode, RestartNode, NetLossBurst, NetPartition)
+NET_ACTION_CLASSES = (
+    KillNode,
+    RestartNode,
+    NetLossBurst,
+    NetPartition,
+    NetSlowNode,
+    WALTearTail,
+    WALBitFlip,
+    WALNoSpace,
+)
+
+
+def asymmetric_bridge(
+    at: float,
+    endpoints: Tuple[str, ...] = ("node0", "node1", "node2"),
+    duration: float = 0.5,
+) -> Tuple[NetPartition, ...]:
+    """A ring of one-way cuts: each endpoint cannot send to the next,
+    yet every pair stays mutually reachable through the asymmetric
+    remainder — the classic gray partition in which no node looks dead
+    from everywhere at once."""
+    return tuple(
+        NetPartition(
+            at=at,
+            a=endpoints[i],
+            b=endpoints[(i + 1) % len(endpoints)],
+            duration=duration,
+            one_way=True,
+        )
+        for i in range(len(endpoints))
+    )
 
 
 @dataclass(frozen=True)
@@ -172,6 +272,7 @@ def random_net_schedule(
     max_net_actions: int = 2,
     majority_preserving: bool = True,
     must_restart: Optional[int] = None,
+    storage_faults: bool = False,
 ) -> NetSchedule:
     """Draw a live-cluster fault schedule, deterministically from ``seed``.
 
@@ -180,8 +281,13 @@ def random_net_schedule(
     ``majority_preserving=False``).  ``must_restart`` forces one
     kill/restart pair for that node — the amnesiac-canary campaigns use
     it so the node under suspicion is guaranteed to lose its memory
-    mid-run.  Action times land in the first part of the horizon so the
-    tail is left for recovery and late readers.
+    mid-run.  Network perturbations draw from loss bursts, partitions
+    (sometimes one-way) and slow-node windows.  ``storage_faults=True``
+    additionally converts one down-window into a
+    :class:`WALTearTail`/:class:`RestartNode` pair, so the recovered
+    node replays a torn log under traffic.  Action times land in the
+    first part of the horizon so the tail is left for recovery and late
+    readers.
     """
     rng = random.Random(f"netcampaign:{seed}")
     minority = max(1, (n_servers - 1) // 2)
@@ -199,18 +305,26 @@ def random_net_schedule(
             return False
         return True
 
-    def add_pair(node: int) -> bool:
+    def add_pair(node: int, tear: bool = False) -> bool:
         at = round(rng.uniform(0.2, span), 2)
         duration = round(rng.uniform(0.3, 0.7), 2)
         if not fits(at, at + duration, node):
             return False
         down.append((at, at + duration, node))
-        actions.append(KillNode(at=at, node=node))
+        if tear:
+            actions.append(
+                WALTearTail(at=at, node=node, cut=rng.randrange(1, 8))
+            )
+        else:
+            actions.append(KillNode(at=at, node=node))
         actions.append(RestartNode(at=round(at + duration, 2), node=node))
         return True
 
     if must_restart is not None:
         while not add_pair(must_restart):
+            pass
+    if storage_faults:
+        while not add_pair(rng.randrange(n_servers), tear=True):
             pass
     for _ in range(rng.randint(0, max_kills)):
         add_pair(rng.randrange(n_servers))
@@ -218,7 +332,8 @@ def random_net_schedule(
     endpoints = ["clients"] + [f"node{i}" for i in range(n_servers)]
     for _ in range(rng.randint(0, max_net_actions)):
         at = round(rng.uniform(0.1, span), 2)
-        if rng.random() < 0.5:
+        kind = rng.random()
+        if kind < 0.4:
             actions.append(
                 NetLossBurst(
                     at=at,
@@ -226,7 +341,7 @@ def random_net_schedule(
                     rate=round(rng.uniform(0.05, 0.3), 2),
                 )
             )
-        else:
+        elif kind < 0.75:
             a, b = rng.sample(endpoints, 2)
             actions.append(
                 NetPartition(
@@ -234,6 +349,16 @@ def random_net_schedule(
                     a=a,
                     b=b,
                     duration=round(rng.uniform(0.2, 0.6), 2),
+                    one_way=rng.random() < 0.3,
+                )
+            )
+        else:
+            actions.append(
+                NetSlowNode(
+                    at=at,
+                    node=rng.randrange(n_servers),
+                    delay=round(rng.uniform(0.02, 0.08), 3),
+                    duration=round(rng.uniform(0.4, 1.0), 2),
                 )
             )
 
@@ -267,6 +392,7 @@ class NetRunResult:
     kills: int = 0
     restarts: int = 0
     skipped_kills: int = 0
+    failstops: int = 0
     late_readers: int = 0
     fast: int = 0
     slow: int = 0
@@ -285,6 +411,8 @@ class NetRunResult:
         """One replayable report line, campaign.py style."""
         tag = "OK " if self.ok else ("BUG" if self.violation else "???")
         extra = f" amnesiac=node{self.amnesiac}" if self.amnesiac is not None else ""
+        if self.failstops:
+            extra += f" failstops={self.failstops}"
         return (
             f"[{tag}] {self.verdict:<13} committed={self.committed:<3} "
             f"pending={self.pending} successors={self.successors} "
@@ -305,6 +433,7 @@ class NetRunResult:
             "kills": self.kills,
             "restarts": self.restarts,
             "skipped_kills": self.skipped_kills,
+            "failstops": self.failstops,
             "late_readers": self.late_readers,
             "fast": self.fast,
             "slow": self.slow,
@@ -389,6 +518,14 @@ async def _run_schedule(
     majority = config.replicas // 2 + 1
     with tempfile.TemporaryDirectory(prefix="repro-net-wal-") as wal_root:
         faults = TransportFaults(seed=schedule.seed)
+        # Nodes targeted by WALNoSpace get a FaultyFS under their WAL so
+        # the nemesis can exhaust the "disk" mid-run; everything else
+        # writes through the passthrough seam.
+        wal_fs = {
+            action.node: FaultyFS(seed=schedule.seed)
+            for action in schedule.actions
+            if isinstance(action, WALNoSpace)
+        }
         cluster = LocalCluster(
             n_servers=config.replicas,
             faults=faults,
@@ -397,6 +534,7 @@ async def _run_schedule(
             if config.amnesiac is None
             else (config.amnesiac,),
             wal_fsync=config.wal_fsync,
+            wal_fs=wal_fs or None,
         )
         await cluster.start()
         transport = cluster.client_transport("clients")
@@ -451,6 +589,20 @@ async def _run_schedule(
                     client = client.successor()
                     all_clients.append(client)
 
+        async def kill_guarded(node: int) -> bool:
+            """Kill ``node`` unless it is already down or the kill would
+            take the majority with it (shrink probes may have dropped a
+            partner restart; a wedged run teaches nothing)."""
+            alive = cluster.alive()
+            if node not in alive:
+                return True  # already down: the at-rest mutation may proceed
+            if schedule.majority_preserving and len(alive) - 1 < majority:
+                result.skipped_kills += 1
+                return False
+            await cluster.kill(node)
+            result.kills += 1
+            return True
+
         async def nemesis() -> None:
             start = loop.time()
             for action in sorted(schedule.actions, key=lambda a: a.at):
@@ -465,9 +617,6 @@ async def _run_schedule(
                         schedule.majority_preserving
                         and len(alive) - 1 < majority
                     ):
-                        # A shrink probe may have dropped this kill's
-                        # partner restart; never let a probe take the
-                        # majority down (runs would only wedge).
                         result.skipped_kills += 1
                         continue
                     await cluster.kill(action.node)
@@ -475,7 +624,15 @@ async def _run_schedule(
                 elif isinstance(action, RestartNode):
                     if action.node in cluster.alive():
                         continue
-                    await cluster.restart(action.node)
+                    try:
+                        await cluster.restart(action.node)
+                    except WALCorruptionError:
+                        # Provably corrupt stable storage: the node
+                        # fail-stops instead of recovering.  It stays
+                        # dead for the rest of the run — no late
+                        # reader, the survivors carry the majority.
+                        result.failstops += 1
+                        continue
                     result.restarts += 1
                     result.late_readers += 1
                     late_tasks.append(
@@ -485,8 +642,37 @@ async def _run_schedule(
                     faults.burst_loss(action.rate, action.duration)
                 elif isinstance(action, NetPartition):
                     faults.partition(
-                        action.a, action.b, duration=action.duration
+                        action.a,
+                        action.b,
+                        symmetric=not action.one_way,
+                        duration=action.duration,
                     )
+                elif isinstance(action, NetSlowNode):
+                    faults.slow(
+                        f"node{action.node}",
+                        action.delay,
+                        duration=action.duration,
+                    )
+                elif isinstance(action, WALTearTail):
+                    if await kill_guarded(action.node):
+                        tear_tail(
+                            os.path.join(
+                                wal_root, f"node{action.node}", "wal.log"
+                            ),
+                            cut=action.cut,
+                        )
+                elif isinstance(action, WALBitFlip):
+                    if await kill_guarded(action.node):
+                        flip_record_body(
+                            os.path.join(
+                                wal_root, f"node{action.node}", "wal.log"
+                            ),
+                            seed=schedule.seed,
+                        )
+                elif isinstance(action, WALNoSpace):
+                    fs = wal_fs.get(action.node)
+                    if fs is not None:
+                        fs.fail_appends(action.count)
 
         start = transport.now
         budget = schedule.horizon + config.op_timeout + RUN_GRACE

@@ -21,6 +21,12 @@ the heal time is checked lazily against ``clock`` on the next frame,
 so a healed pair reconnects without any timer machinery.  This matches
 the simulator nemesis's partition/heal pairs: a seeded schedule fully
 determines when every cut opens and closes.
+
+:meth:`slow` models the *slow-node* gray failure on the real stack:
+every frame touching a slow endpoint is held for a fixed delay before
+reaching a socket (the transport asks :meth:`frame_delay` per frame and
+defers the write), so one replica can be alive, correct, and late —
+the failure mode the clean fail-stop model cannot express.
 """
 
 from __future__ import annotations
@@ -53,6 +59,8 @@ class TransportFaults:
         self._cuts: Dict[Tuple[str, str], float] = {}
         #: additive loss windows: (rate, expiry time)
         self._bursts: List[Tuple[float, float]] = []
+        #: slow-node windows: endpoint → (added delay seconds, expiry)
+        self._slow: Dict[str, Tuple[float, float]] = {}
 
     def partition(
         self,
@@ -114,6 +122,41 @@ class TransportFaults:
         return min(
             1.0, self.loss_rate + sum(rate for rate, _ in self._bursts)
         )
+
+    def slow(
+        self, endpoint: str, delay: float, duration: Optional[float] = None
+    ) -> None:
+        """Make ``endpoint`` a slow node: every frame it sends or
+        receives is held ``delay`` seconds before hitting the wire.
+        With ``duration`` the slowness expires on the fault clock; a
+        repeat call overwrites (endpoints have one bottleneck, not a
+        stack of them)."""
+        if delay < 0:
+            raise ValueError("slow-node delay must be non-negative")
+        expiry = math.inf if duration is None else self.clock() + duration
+        self._slow[endpoint] = (delay, expiry)
+
+    def quicken(self, endpoint: str) -> None:
+        """Lift a slow-node window before its expiry."""
+        self._slow.pop(endpoint, None)
+
+    def frame_delay(self, src_ep: str, dst_ep: str) -> float:
+        """Seconds to hold a frame on the ``src_ep → dst_ep`` link — the
+        worse of the two endpoints' active slow-node windows (a slow
+        node drags both its inbound and outbound links)."""
+        if not self._slow:
+            return 0.0
+        now = self.clock()
+        delay = 0.0
+        for endpoint in (src_ep, dst_ep):
+            window = self._slow.get(endpoint)
+            if window is None:
+                continue
+            if window[1] <= now:
+                del self._slow[endpoint]
+                continue
+            delay = max(delay, window[0])
+        return delay
 
     def verdict(self, src_ep: str, dst_ep: str) -> Optional[str]:
         """The fate of one frame: ``None``, ``"lost"`` or ``"cut"``."""

@@ -171,7 +171,11 @@ class Process:
 
         Routed through the substrate port (``network.call_later``) so the
         same protocol code runs on the simulator and on the asyncio TCP
-        runtime; the returned handle supports ``cancel()``.
+        runtime; the returned handle supports ``cancel()``.  The armed
+        delay is scaled by the substrate's ``timer_scale`` for this pid,
+        which is how the nemesis injects timer-rate drift (a gray
+        failure: this process's tick runs fast or slow relative to the
+        cluster) without the protocol code knowing.
         """
         epoch = self._epoch
 
@@ -179,7 +183,13 @@ class Process:
             if not self.crashed and self._epoch == epoch:
                 callback()
 
-        return self.network.call_later(delay, guarded)
+        scale = self.network.timer_scale(self.pid)
+        return self.network.call_later(delay * scale, guarded)
+
+    def local_now(self) -> float:
+        """This process's *local* clock reading — substrate time plus
+        any clock-skew gray failure currently applied to it."""
+        return self.network.local_now(self.pid)
 
     def call_soon(self, callback: Callable[[], None]) -> None:
         """Run ``callback`` asynchronously-soon on the substrate.
@@ -320,6 +330,27 @@ class _Partition:
         return self.symmetric and self._in_b(src) and self._in_a(dst)
 
 
+@dataclass
+class _GrayWindow:
+    """A time-bounded per-process gray-failure attribute.
+
+    One record shape serves all three gray failures — a slow-node
+    factor, a timer-drift rate, or a clock-skew offset — because each
+    is just "``value`` applies to matching pids during [start, end)".
+    Like :class:`_Partition`, membership is a predicate evaluated
+    lazily, so a window covers roles registered after it was scheduled
+    (every SMR slot of a physical server, for instance).
+    """
+
+    member: Callable[[Hashable], bool]
+    start: float
+    end: float
+    value: float
+
+    def applies(self, pid: Hashable, now: float) -> bool:
+        return self.start <= now < self.end and self.member(pid)
+
+
 class Network:
     """The asynchronous network connecting processes.
 
@@ -350,6 +381,12 @@ class Network:
         self.processes: Dict[Hashable, Process] = {}
         self.stats = NetworkStats()
         self._partitions: List[_Partition] = []
+        # Gray-failure windows (nemesis layer), evaluated lazily per
+        # event like partitions: slow-node delay factors, timer-rate
+        # drifts, and clock-skew offsets, each scoped to a pid group.
+        self._slow: List[_GrayWindow] = []
+        self._drifts: List[_GrayWindow] = []
+        self._skews: List[_GrayWindow] = []
 
     def register(self, process: Process) -> Process:
         """Add a process to the network."""
@@ -426,6 +463,82 @@ class Network:
         now = self.sim.now
         return any(p.blocks(src, dst, now) for p in self._partitions)
 
+    # -- gray failures: slow nodes, timer drift, clock skew ------------
+
+    def slow_node(self, group, factor: float, start: float, end: float) -> None:
+        """Multiply every message delay touching ``group`` by ``factor``
+        during [start, end) — the classic gray failure of one replica
+        that is alive, correct, and achingly slow.  Overlapping windows
+        compose multiplicatively."""
+        if end <= start:
+            raise ValueError("slow-node window must end after it starts")
+        if factor <= 0:
+            raise ValueError("slow-node factor must be positive")
+        self._slow.append(
+            _GrayWindow(self._membership(group), start, end, factor)
+        )
+
+    def timer_drift(self, group, rate: float, start: float, end: float) -> None:
+        """Stretch (rate > 1) or compress (rate < 1) the timers of
+        ``group`` during [start, end): a drifting local tick makes
+        retransmit and election timers fire late or early relative to
+        the rest of the cluster."""
+        if end <= start:
+            raise ValueError("timer-drift window must end after it starts")
+        if rate <= 0:
+            raise ValueError("timer-drift rate must be positive")
+        self._drifts.append(
+            _GrayWindow(self._membership(group), start, end, rate)
+        )
+
+    def clock_skew(self, group, offset: float, start: float, end: float) -> None:
+        """Offset the *local* clock reading of ``group`` by ``offset``
+        during [start, end).  Delivery order is untouched — skew lies to
+        the process about what time it is (:meth:`local_now`), not to
+        the scheduler."""
+        if end <= start:
+            raise ValueError("clock-skew window must end after it starts")
+        self._skews.append(
+            _GrayWindow(self._membership(group), start, end, offset)
+        )
+
+    def slow_factor(self, pid: Hashable) -> float:
+        """The composed slow-node delay factor applying to ``pid`` now."""
+        if not self._slow:
+            return 1.0
+        now = self.sim.now
+        factor = 1.0
+        for window in self._slow:
+            if window.applies(pid, now):
+                factor *= window.value
+        return factor
+
+    def timer_scale(self, pid: Hashable) -> float:
+        """The composed timer-rate drift of ``pid`` now (1.0 = honest).
+
+        Part of the substrate port: :meth:`Process.set_timer` multiplies
+        every armed delay by this, on whichever substrate hosts it.
+        """
+        if not self._drifts:
+            return 1.0
+        now = self.sim.now
+        rate = 1.0
+        for window in self._drifts:
+            if window.applies(pid, now):
+                rate *= window.value
+        return rate
+
+    def local_now(self, pid: Hashable) -> float:
+        """What ``pid``'s wall clock claims: ``now`` plus active skews."""
+        now = self.sim.now
+        if not self._skews:
+            return now
+        skewed = now
+        for window in self._skews:
+            if window.applies(pid, now):
+                skewed += window.value
+        return skewed
+
     @property
     def effective_loss_rate(self) -> float:
         """Baseline loss plus any active burst windows, clamped to 1."""
@@ -463,6 +576,11 @@ class Network:
 
     def _deliver_later(self, src: Hashable, dst: Hashable, message: Any) -> None:
         delay = self._sample_delay()
+        if self._slow:
+            # a slow node drags every link it touches: its processing
+            # and its NIC are one shared bottleneck, so take the worse
+            # of the two endpoints' factors
+            delay *= max(self.slow_factor(src), self.slow_factor(dst))
 
         def deliver() -> None:
             process = self.processes.get(dst)

@@ -21,7 +21,12 @@ recovered acceptor triples, sticky Quorum acceptances and decided
 values, and rebinds the listener — peers reconnect via the address
 book on their next send.  Node indices listed in ``amnesiac`` get no
 WAL and restart blank, the deliberate durability bug the net nemesis
-campaign must catch (:mod:`repro.faults.netcampaign`).
+campaign must catch (:mod:`repro.faults.netcampaign`).  ``wal_fs``
+substitutes a :class:`~repro.net.faultfs.FaultFS` under selected
+nodes' WALs — the storage-fault campaigns inject ``ENOSPC`` and torn
+writes through it.  A restart whose WAL replay finds provable
+corruption propagates :exc:`~repro.net.wal.WALCorruptionError`: the
+node fail-stops (stays dead) rather than serve from a corrupt fold.
 
 :class:`Supervisor` automates the relaunch: a watch task polls for dead
 nodes and calls ``restart`` on each after ``restart_delay`` — unless
@@ -34,12 +39,13 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import os
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.netfaults import TransportFaults
+from .faultfs import FaultFS
 from .node import COORDINATOR_RETRY_DELAY, ReplicaNode
 from .transport import AddressBook, AsyncTransport
-from .wal import NodeWAL
+from .wal import NodeWAL, WALCorruptionError
 
 
 class LocalCluster:
@@ -55,6 +61,7 @@ class LocalCluster:
         wal_root: Optional[str] = None,
         amnesiac: Sequence[int] = (),
         wal_fsync: bool = True,
+        wal_fs: Optional[Dict[int, FaultFS]] = None,
     ) -> None:
         self.n_servers = n_servers
         self.book = AddressBook()
@@ -65,6 +72,7 @@ class LocalCluster:
         self.wal_root = wal_root
         self.amnesiac = frozenset(amnesiac)
         self.wal_fsync = wal_fsync
+        self.wal_fs = wal_fs or {}
         self.stopped = False
         self.nodes: List[ReplicaNode] = [
             self._make_node(i) for i in range(n_servers)
@@ -78,6 +86,7 @@ class LocalCluster:
             wal = NodeWAL(
                 os.path.join(self.wal_root, f"node{index}"),
                 fsync=self.wal_fsync,
+                fs=self.wal_fs.get(index),
             )
         return ReplicaNode(
             index,
@@ -166,6 +175,9 @@ class Supervisor:
         self.restart_delay = restart_delay
         self.held: set = set()
         self.restarted: List[Tuple[float, int]] = []
+        #: indices whose restart hit provable WAL corruption; the
+        #: supervisor holds them (fail-stop) instead of retrying forever
+        self.failstopped: List[int] = []
         self._down_since: dict = {}
         self._task: Optional[asyncio.Task] = None
 
@@ -207,5 +219,10 @@ class Supervisor:
                 if now - since < self.restart_delay:
                     continue
                 self._down_since.pop(index, None)
-                await self.cluster.restart(index)
+                try:
+                    await self.cluster.restart(index)
+                except WALCorruptionError:
+                    self.failstopped.append(index)
+                    self.held.add(index)
+                    continue
                 self.restarted.append((now, index))

@@ -49,17 +49,25 @@ import logging
 from typing import Any, Dict, Hashable, List, Optional, TYPE_CHECKING, Tuple
 
 from ..faults.netfaults import TransportFaults
+from ..mp.backoff import BackoffPolicy
 from ..mp.paxos import PaxosAcceptor, PaxosCoordinator
 from ..mp.quorum import QuorumServer
 from ..mp.sim import Process
 from .transport import AddressBook, AsyncTransport
-from .wal import NodeWAL, RecoveredState
+from .wal import NodeWAL, RecoveredState, WALFullError
 
 logger = logging.getLogger(__name__)
 
 #: wall-clock coordinator retry delay (seconds); the sim uses 8 virtual
 #: units, here the currency is real time on localhost
 COORDINATOR_RETRY_DELAY = 0.5
+
+#: backoff for a WAL append that hit ENOSPC: short first retry (space
+#: often frees fast — a compaction elsewhere), bounded budget so a
+#: permanently full disk becomes an explicit fail-stop, not a hang
+WAL_RETRY_BACKOFF = BackoffPolicy(
+    base=0.05, factor=2.0, cap=1.0, jitter=0.25, max_retries=6
+)
 
 
 class _ControlRole(Process):
@@ -87,10 +95,19 @@ class _DurableRole:
     acceptance both assume.  Timer- and config-driven sends outside a
     handler pass through unbuffered.  With ``wal=None`` the wrapper is
     inert and the role behaves like its volatile base class.
+
+    A full disk is survivable: when the append raises
+    :exc:`~repro.net.wal.WALFullError` the replies stay buffered and a
+    backoff timer (:data:`WAL_RETRY_BACKOFF`) re-attempts the persist;
+    frames arriving while the retry is pending are dropped (the client
+    retries — answering them would promise unpersisted state).  Only
+    when the budget is exhausted does the role fail-stop by closing the
+    node's WAL, which silences every role sharing it.
     """
 
     _wal: Optional[NodeWAL] = None
     _wal_buffer: Optional[List[Tuple[Hashable, Any]]] = None
+    _wal_retry: Optional[Tuple[Any, List[Tuple[Hashable, Any]]]] = None
 
     if TYPE_CHECKING:
         # provided by the concrete role the mixin is combined with
@@ -103,6 +120,8 @@ class _DurableRole:
         self._wal_kind = kind
         self._wal_slot = slot
         self._wal_buffer = None
+        self._wal_retry = None
+        self._wal_attempt = 0
         self._wal_persisted = self.durable_state()
 
     def restore(self, state: Any) -> None:
@@ -120,20 +139,74 @@ class _DurableRole:
         if self._wal is None:
             super().on_message(src, message)  # type: ignore[misc]
             return
-        if self._wal.closed:
-            # The node is dead (stable storage released by stop()); a
-            # frame still draining through the old transport's dispatch
-            # must be dropped, not answered — crash semantics.
+        if self._wal.closed or self._wal_retry is not None:
+            # The node is dead (stable storage released by stop() or a
+            # fail-stop), or persistence is stalled on a full disk: the
+            # frame must be dropped, not answered — crash semantics,
+            # and never a promise about unpersisted state.
             return
         self._wal_buffer = []
+        stalled = False
+        state = self._wal_persisted
         try:
             super().on_message(src, message)  # type: ignore[misc]
             state = self.durable_state()
             if state != self._wal_persisted:
-                self._wal.record(self._wal_kind, self._wal_slot, state)
-                self._wal_persisted = state
+                try:
+                    self._wal.record(self._wal_kind, self._wal_slot, state)
+                except WALFullError:
+                    stalled = True
+                else:
+                    self._wal_persisted = state
         finally:
             buffered, self._wal_buffer = self._wal_buffer, None
+        if stalled:
+            self._wal_begin_retry(state, buffered)
+            return
+        for dst, msg in buffered:
+            super().send(dst, msg)  # type: ignore[misc]
+
+    # -- ENOSPC backoff-and-retry --------------------------------------
+
+    def _wal_begin_retry(
+        self, state: Any, buffered: List[Tuple[Hashable, Any]]
+    ) -> None:
+        """Park the unpersisted state + replies and arm the first retry."""
+        logger.warning(
+            "%r: WAL append hit ENOSPC; holding %d replies and retrying",
+            self.pid, len(buffered),
+        )
+        self._wal_retry = (state, buffered)
+        self._wal_attempt = 0
+        self.set_timer(
+            WAL_RETRY_BACKOFF.delay(0, key=str(self.pid)),
+            self._wal_retry_tick,
+        )
+
+    def _wal_retry_tick(self) -> None:
+        """Re-attempt the parked persist; release replies on success."""
+        if self._wal is None or self._wal.closed or self._wal_retry is None:
+            return
+        state, buffered = self._wal_retry
+        try:
+            self._wal.record(self._wal_kind, self._wal_slot, state)
+        except WALFullError:
+            self._wal_attempt += 1
+            if WAL_RETRY_BACKOFF.exhausted(self._wal_attempt):
+                logger.error(
+                    "%r: WAL still full after %d retries; failing stop",
+                    self.pid, self._wal_attempt,
+                )
+                self._wal_retry = None
+                self._wal.close()  # fail-stop: closed WAL gates handlers
+                return
+            self.set_timer(
+                WAL_RETRY_BACKOFF.delay(self._wal_attempt, key=str(self.pid)),
+                self._wal_retry_tick,
+            )
+            return
+        self._wal_persisted = state
+        self._wal_retry = None
         for dst, msg in buffered:
             super().send(dst, msg)  # type: ignore[misc]
 
@@ -184,7 +257,10 @@ class RecordingCoordinator(PaxosCoordinator):
             and not self._decision_logged
             and self.decision is not None
         ):
-            self._wal.record_decided(self._slot, self.decision)
+            try:
+                self._wal.record_decided(self._slot, self.decision)
+            except WALFullError:
+                return  # optimization only; the next message retries
             self._decision_logged = True
 
 

@@ -23,7 +23,13 @@ A :class:`~repro.mp.sim.Process` holds a reference to its substrate in
 * ``network.now`` — the substrate clock (virtual or wall);
 * ``network.register(process)`` — attach a role;
 * ``network.stats`` — a :class:`~repro.mp.sim.NetworkStats` with
-  aggregate and per-link counters.
+  aggregate and per-link counters;
+* ``network.timer_scale(pid)`` — the timer-rate drift currently applied
+  to ``pid`` (1.0 when healthy); ``Process.set_timer`` multiplies every
+  armed delay by it, which is how the nemesis makes one node's tick run
+  fast or slow without the protocol code knowing;
+* ``network.local_now(pid)`` — what ``pid``'s local wall clock claims:
+  ``now`` plus any clock-skew gray failure scoped to it.
 
 This module carries the :class:`typing.Protocol` definitions so either
 substrate can be type-checked against the port; neither imports the
@@ -61,3 +67,9 @@ class SubstratePort(Protocol):
 
     def register(self, process: Any) -> Any:
         """Attach a process so it can send and receive."""
+
+    def timer_scale(self, pid: Hashable) -> float:
+        """The timer-rate drift applying to ``pid`` now (1.0 = honest)."""
+
+    def local_now(self, pid: Hashable) -> float:
+        """``pid``'s local clock reading: ``now`` plus active skew."""

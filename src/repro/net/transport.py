@@ -170,6 +170,16 @@ class AsyncTransport:
         """Schedule ``callback`` after ``delay`` seconds of real time."""
         return _TimerHandle(self.loop, delay, callback)
 
+    def timer_scale(self, pid: Hashable) -> float:
+        """Port conformance: the TCP runtime's timers tick honestly
+        (time gray failures are a simulator-side injection; the real
+        stack's gray failure is the slow-node frame hold)."""
+        return 1.0
+
+    def local_now(self, pid: Hashable) -> float:
+        """Port conformance: no skew — every role reads the loop clock."""
+        return self.now
+
     def register(self, process) -> Any:
         """Host a protocol role on this endpoint."""
         if process.pid in self.processes:
@@ -220,6 +230,24 @@ class AsyncTransport:
                 self.stats.lost += 1
                 link.lost += 1
                 return
+            hold = self.faults.frame_delay(self.endpoint, dst_ep)
+            if hold > 0.0:
+                # Slow-node gray failure: the frame exists but dawdles.
+                # Routes are re-resolved at fire time, so a connection
+                # that dies during the hold degrades to loss, exactly
+                # as a buffered packet to a dead host would.
+                self.loop.call_later(
+                    hold, self._forward, src, dst, dst_ep, message
+                )
+                return
+        self._forward(src, dst, dst_ep, message)
+
+    def _forward(self, src: Hashable, dst: Hashable, dst_ep: str, message: Any) -> None:
+        """Encode and route one fault-cleared frame (possibly deferred
+        by a slow-node hold; see :meth:`send` for resolution order)."""
+        if self.closed:
+            return
+        link = self.stats.link(self.endpoint, dst_ep)
         try:
             frame = encode_frame((src, dst, message))
         except FrameError:
@@ -229,6 +257,7 @@ class AsyncTransport:
             # Colocated roles: codec round-trip, no socket.
             self.loop.call_soon(self._deliver_frame, frame)
             return
+        route = self._route_of(dst)
         if route is not None:
             self._write(route, frame, link)
             return

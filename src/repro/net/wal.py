@@ -17,21 +17,45 @@ rule, now literal.  Three kinds of fact are logged, all per SMR slot:
 The on-disk format is deliberately boring: an append-only file of
 ``[length u32][crc32 u32][payload]`` records, each payload the compact
 JSON of the tuple-preserving codec (:mod:`repro.net.codec`), fsync'd
-per append.  A crash mid-append leaves a torn tail — a short header, a
-short body, or a checksum mismatch — which replay detects, truncates,
-and reports; everything before the tear is intact because records are
-written strictly in order.
+per append.  All filesystem access goes through the injectable
+:class:`~repro.net.faultfs.FaultFS` seam, so the nemesis can tear
+writes, flip bits, exhaust the disk, or lie about fsync.
+
+Replay distinguishes two failure classes, because they demand opposite
+responses:
+
+* **torn tail** — the final record is an *incomplete prefix* (short
+  header, body shorter than its declared length, or a zero-length
+  frame from block zero-fill).  Appends are strictly ordered, so
+  everything before the tear is intact: replay truncates the tear and
+  carries on.  A bit-flipped *length field* is indistinguishable from
+  a tear (both read as "body past EOF") and is tolerated the same way;
+  the linearizability canary in the campaign layer is the backstop for
+  that ambiguity.
+* **corruption** — a *complete* record whose crc32 does not match, or
+  whose checksummed payload fails to decode.  No crash can produce
+  that (a tear leaves a prefix, never a full frame with wrong bytes),
+  so the storage itself is lying and nothing downstream of it can be
+  trusted: replay raises :exc:`WALCorruptionError` and the node must
+  fail-stop — never serve from a corrupted fold.
+
+``ENOSPC`` on append is survivable: the partial frame is rolled back
+(the file is truncated to the last durable record) and the typed
+:exc:`WALFullError` tells the caller to back off and retry rather than
+crash the event loop.
 
 Replay cost grows with log length, so :class:`NodeWAL` folds the log
 into per-slot maps and periodically **compacts**: the folded state is
-written to ``snapshot.json`` via an atomic tmp-file rename and the log
-is truncated.  Recovery is then snapshot + tail, equivalent by
-construction to replaying the full history (each record overwrites its
-slot's entry; the snapshot is exactly the fold of the dropped prefix).
+written to ``snapshot.json`` (crc32-wrapped) via an atomic tmp-file
+rename and the log is truncated.  Recovery is then snapshot + tail,
+equivalent by construction to replaying the full history (each record
+overwrites its slot's entry; the snapshot is exactly the fold of the
+dropped prefix).
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import struct
@@ -40,16 +64,31 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from .codec import decode_payload, encode_payload
+from .faultfs import FaultFS
 
 #: record header: payload length, crc32 of the payload (big-endian u32s)
 _HEADER = struct.Struct(">II")
 
-#: sanity bound on a single record; a length field beyond this is torn
-#: garbage, not a record (matches the transport's frame guard scale)
+#: sanity bound on a single record; a length field beyond this can only
+#: be garbage (matches the transport's frame guard scale)
 MAX_RECORD = 1 << 20
 
 #: default number of appended records that triggers snapshot compaction
 DEFAULT_COMPACT_THRESHOLD = 1024
+
+
+class WALError(Exception):
+    """Base class of the WAL's typed failures."""
+
+
+class WALCorruptionError(WALError):
+    """Stable storage returned provably corrupt data (a complete record
+    with a checksum mismatch).  The only safe answer is fail-stop."""
+
+
+class WALFullError(WALError):
+    """An append hit ``ENOSPC``.  The log was rolled back to its last
+    durable record; the caller should back off and retry."""
 
 
 class WriteAheadLog:
@@ -57,25 +96,34 @@ class WriteAheadLog:
 
     Opening the log replays it: ``snapshot`` holds the decoded snapshot
     value (or ``None``), ``records`` the decoded log records after it,
-    and ``torn_tail`` whether a truncated/corrupt tail was discarded.
-    The file is truncated back to its last valid record, so appends
-    after a torn open produce a clean log again.
+    and ``torn_tail`` whether a truncated tail was discarded.  The file
+    is truncated back to its last valid record, so appends after a torn
+    open produce a clean log again.  A complete-but-corrupt record
+    raises :exc:`WALCorruptionError` instead — see the module docstring
+    for the torn/corrupt distinction.
     """
 
-    def __init__(self, directory: str, fsync: bool = True) -> None:
+    def __init__(
+        self,
+        directory: str,
+        fsync: bool = True,
+        fs: Optional[FaultFS] = None,
+    ) -> None:
         self.directory = directory
         self.fsync = fsync
-        os.makedirs(directory, exist_ok=True)
+        self.fs = fs if fs is not None else FaultFS()
+        self.fs.makedirs(directory)
         self.log_path = os.path.join(directory, "wal.log")
         self.snapshot_path = os.path.join(directory, "snapshot.json")
         self.snapshot: Optional[Any] = self._load_snapshot()
         self.records, valid_bytes, self.torn_tail = self._replay()
         #: records appended since the last compaction (replayed + new)
         self.record_count = len(self.records)
-        # a+b creates the file if missing; O_APPEND writes always land at
-        # the (possibly just truncated) end of file
-        self._handle = open(self.log_path, "a+b")
-        self._handle.truncate(valid_bytes)
+        #: bytes of the log known to hold only complete records — the
+        #: rollback point when an append fails mid-frame
+        self._valid_bytes = valid_bytes
+        self._handle = self.fs.open_append(self.log_path)
+        self.fs.truncate(self._handle, valid_bytes)
 
     # ------------------------------------------------------------------
     # replay
@@ -84,21 +132,47 @@ class WriteAheadLog:
     def _load_snapshot(self) -> Optional[Any]:
         """Decode ``snapshot.json`` if present and intact.
 
-        A corrupt snapshot is treated as absent: the atomic rename in
-        :meth:`compact` means a torn snapshot can only be a leftover
-        ``.tmp`` (ignored) or filesystem damage beyond our contract.
+        Snapshots written by :meth:`compact` are wrapped as
+        ``{"crc32": c, "snapshot": payload}``; a wrapper whose checksum
+        does not match is provable corruption and raises
+        :exc:`WALCorruptionError`.  An unparseable or legacy unwrapped
+        file is treated as absent (the atomic rename in :meth:`compact`
+        means a torn snapshot can only be a leftover ``.tmp``, ignored,
+        or damage outside the checksummed contract).
         """
         try:
-            with open(self.snapshot_path, "r", encoding="ascii") as handle:
-                return decode_payload(json.load(handle))
+            raw = json.loads(self.fs.read_text(self.snapshot_path))
         except (OSError, ValueError):
+            return None
+        if isinstance(raw, dict) and set(raw) == {"crc32", "snapshot"}:
+            body = _snapshot_body(raw["snapshot"])
+            if zlib.crc32(body) != raw["crc32"]:
+                raise WALCorruptionError(
+                    f"snapshot checksum mismatch in {self.snapshot_path}"
+                )
+            payload = raw["snapshot"]
+        else:
+            payload = raw  # legacy unwrapped snapshot
+        try:
+            return decode_payload(payload)
+        except (ValueError, TypeError) as exc:
+            if isinstance(raw, dict) and set(raw) == {"crc32", "snapshot"}:
+                # checksum was fine but the payload will not decode:
+                # that is corruption, not a torn write
+                raise WALCorruptionError(
+                    f"undecodable checksummed snapshot: {exc}"
+                ) from exc
             return None
 
     def _replay(self) -> Tuple[List[Any], int, bool]:
-        """Scan the log, returning (records, valid_bytes, torn_tail)."""
+        """Scan the log, returning (records, valid_bytes, torn_tail).
+
+        Raises :exc:`WALCorruptionError` on a complete record whose
+        checksum or decode fails; tolerates (and reports) incomplete
+        tails.
+        """
         try:
-            with open(self.log_path, "rb") as handle:
-                data = handle.read()
+            data = self.fs.read_bytes(self.log_path)
         except OSError:
             return [], 0, False
         records: List[Any] = []
@@ -108,15 +182,33 @@ class WriteAheadLog:
                 return records, offset, True  # torn header
             length, checksum = _HEADER.unpack_from(data, offset)
             body_start = offset + _HEADER.size
-            if length > MAX_RECORD or body_start + length > len(data):
-                return records, offset, True  # torn/garbage body
+            if length == 0:
+                # no real record is empty; zero-filled tail blocks
+                # (crash + ext4 zero-fill) read as length 0, crc 0
+                return records, offset, True
+            if body_start + length > len(data):
+                # body past EOF: a tear — or a flipped length field,
+                # which is indistinguishable from one (documented
+                # ambiguity; the campaign canary is the backstop)
+                return records, offset, True
+            if length > MAX_RECORD:
+                raise WALCorruptionError(
+                    f"record at offset {offset} claims {length} bytes "
+                    f"(> MAX_RECORD) yet the bytes are present"
+                )
             body = data[body_start : body_start + length]
             if zlib.crc32(body) != checksum:
-                return records, offset, True  # corrupt tail
+                raise WALCorruptionError(
+                    f"checksum mismatch in complete record at offset "
+                    f"{offset} of {self.log_path}"
+                )
             try:
                 records.append(decode_payload(json.loads(body.decode("ascii"))))
-            except (ValueError, UnicodeDecodeError):
-                return records, offset, True
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise WALCorruptionError(
+                    f"undecodable record with valid checksum at offset "
+                    f"{offset}: {exc}"
+                ) from exc
             offset = body_start + length
         return records, offset, False
 
@@ -125,58 +217,59 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
 
     def append(self, value: Any) -> None:
-        """Durably append one record (returns after flush + fsync)."""
+        """Durably append one record (returns after flush + fsync).
+
+        On ``ENOSPC`` the partial frame is truncated away (so the log
+        stays a clean prefix of complete records) and
+        :exc:`WALFullError` is raised for the caller to retry.
+        """
         body = json.dumps(
             encode_payload(value), separators=(",", ":"), ensure_ascii=True
         ).encode("ascii")
-        self._handle.write(_HEADER.pack(len(body), zlib.crc32(body)) + body)
-        self._handle.flush()
+        frame = _HEADER.pack(len(body), zlib.crc32(body)) + body
+        try:
+            self.fs.append(self._handle, frame)
+        except OSError as exc:
+            # roll back whatever prefix of the frame made it to disk
+            self.fs.truncate(self._handle, self._valid_bytes)
+            if exc.errno == errno.ENOSPC:
+                raise WALFullError(
+                    f"append of {len(frame)} bytes hit ENOSPC; "
+                    f"log rolled back to {self._valid_bytes} bytes"
+                ) from exc
+            raise
         if self.fsync:
-            os.fsync(self._handle.fileno())
+            self.fs.fsync(self._handle)
+        self._valid_bytes += len(frame)
         self.record_count += 1
 
     def compact(self, snapshot_value: Any) -> None:
         """Atomically install ``snapshot_value`` and truncate the log.
 
-        The snapshot is written to a tmp file, fsync'd, and renamed over
-        ``snapshot.json`` (atomic on POSIX); only then is the log
-        truncated.  A crash between the two leaves snapshot + full log,
-        which replays to the same state (slot records are idempotent
-        overwrites).
+        The snapshot is written crc32-wrapped to a tmp file, fsync'd,
+        and renamed over ``snapshot.json`` (atomic on POSIX); only then
+        is the log truncated.  A crash between the two leaves snapshot
+        + full log, which replays to the same state (slot records are
+        idempotent overwrites).
         """
+        payload = encode_payload(snapshot_value)
+        wrapped = {"crc32": zlib.crc32(_snapshot_body(payload)),
+                   "snapshot": payload}
         tmp_path = self.snapshot_path + ".tmp"
-        with open(tmp_path, "w", encoding="ascii") as handle:
-            json.dump(
-                encode_payload(snapshot_value),
-                handle,
-                separators=(",", ":"),
-                ensure_ascii=True,
-            )
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
-        os.replace(tmp_path, self.snapshot_path)
-        self._fsync_directory()
-        self._handle.truncate(0)
-        self._handle.flush()
+        self.fs.write_text(
+            tmp_path,
+            json.dumps(wrapped, separators=(",", ":"), ensure_ascii=True),
+            fsync=self.fsync,
+        )
+        self.fs.replace(tmp_path, self.snapshot_path)
+        self.fs.fsync_dir(self.directory)
+        self.fs.truncate(self._handle, 0)
         if self.fsync:
-            os.fsync(self._handle.fileno())
+            self.fs.fsync(self._handle)
         self.snapshot = snapshot_value
         self.records = []
         self.record_count = 0
-
-    def _fsync_directory(self) -> None:
-        """Persist the rename itself (directory metadata), best effort."""
-        try:
-            fd = os.open(self.directory, os.O_RDONLY)
-        except OSError:
-            return
-        try:
-            os.fsync(fd)
-        except OSError:
-            pass
-        finally:
-            os.close(fd)
+        self._valid_bytes = 0
 
     @property
     def closed(self) -> bool:
@@ -184,8 +277,16 @@ class WriteAheadLog:
 
     def close(self) -> None:
         """Close the log file handle (idempotent)."""
-        if not self._handle.closed:
-            self._handle.close()
+        self.fs.close(self._handle)
+
+
+def _snapshot_body(payload: Any) -> bytes:
+    """The canonical bytes a snapshot checksum covers (compact JSON —
+    deterministic across a loads/dumps round trip because JSON objects
+    preserve document key order)."""
+    return json.dumps(
+        payload, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
 
 
 @dataclass
@@ -230,8 +331,9 @@ class NodeWAL:
         directory: str,
         fsync: bool = True,
         compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+        fs: Optional[FaultFS] = None,
     ) -> None:
-        self.wal = WriteAheadLog(directory, fsync=fsync)
+        self.wal = WriteAheadLog(directory, fsync=fsync, fs=fs)
         self.compact_threshold = compact_threshold
         state = RecoveredState(
             torn_tail=self.wal.torn_tail,
@@ -271,12 +373,22 @@ class NodeWAL:
         state.decided.update(snapshot.get("dec", {}))
 
     def record(self, kind: str, slot: int, payload: Any) -> None:
-        """Durably log one fact; returns only after it is on disk."""
+        """Durably log one fact; returns only after it is on disk.
+
+        Raises :exc:`WALFullError` if the disk is full (the fact is
+        *not* durable; retry after backoff).  A full disk during the
+        follow-on compaction is swallowed: compaction is an
+        optimization, and retrying the append would double-log the
+        fact.
+        """
         record = (kind, slot, payload)
-        self._apply(self.state, record)
         self.wal.append(record)
+        self._apply(self.state, record)
         if self.wal.record_count >= self.compact_threshold:
-            self.compact()
+            try:
+                self.compact()
+            except WALFullError:
+                pass  # deferred: next record retries compaction
 
     def record_acceptor(
         self, slot: int, triple: Tuple[int, int, Optional[Hashable]]

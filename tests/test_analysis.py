@@ -284,14 +284,23 @@ def test_every_rule_has_a_failing_fixture():
 
 GOOD_BODY = """\
         self._wal_buffer = []
+        stalled = False
+        state = self._wal_persisted
         try:
             super().on_message(src, message)  # type: ignore[misc]
             state = self.durable_state()
             if state != self._wal_persisted:
-                self._wal.record(self._wal_kind, self._wal_slot, state)
-                self._wal_persisted = state
+                try:
+                    self._wal.record(self._wal_kind, self._wal_slot, state)
+                except WALFullError:
+                    stalled = True
+                else:
+                    self._wal_persisted = state
         finally:
             buffered, self._wal_buffer = self._wal_buffer, None
+        if stalled:
+            self._wal_begin_retry(state, buffered)
+            return
         for dst, msg in buffered:
             super().send(dst, msg)  # type: ignore[misc]
 """
@@ -361,6 +370,52 @@ def test_rd02_flags_durable_mutation_after_append():
     active, _ = analyze_source(source, "repro/net/scratch.py")
     assert [f.rule for f in active] == ["RD02"]
     assert "mutates durable attribute 'ballot'" in active[0].message
+
+
+def test_rd02_flags_reply_before_faultfs_fsync():
+    """A role built straight on the FaultFS seam (no NodeWAL) is held
+    to the same persist-before-reply discipline: the fsync is the
+    persistence point, and an ack released before it is flagged."""
+    source = textwrap.dedent(
+        """\
+        class RawDiskRole(Process):
+            def on_message(self, src, message):
+                self.pending = message
+                super().send(src, ("ack", self.pending))
+                self._fs.append(self.handle, frame(message))
+                self._fs.fsync(self.handle)
+        """
+    )
+    active, _ = analyze_source(source, "repro/net/scratch.py")
+    assert [f.rule for f in active] == ["RD02"]
+    assert "before the WAL append" in active[0].message
+
+
+def test_rd02_faultfs_fsync_before_reply_is_clean():
+    source = textwrap.dedent(
+        """\
+        class RawDiskRole(Process):
+            def on_message(self, src, message):
+                self._fs.append(self.handle, frame(message))
+                self._fs.fsync(self.handle)
+                super().send(src, ("ack",))
+        """
+    )
+    assert rules_of(source, "repro/net/scratch.py") == []
+
+
+def test_rd02_list_append_is_not_a_persistence_point():
+    """``self.offsets.append`` must not satisfy the durability rule —
+    "fs" inside an unrelated name is a list, not a disk."""
+    source = textwrap.dedent(
+        """\
+        class Sneaky(_DurableRole):
+            def on_message(self, src, message):
+                self.offsets.append(message)
+                super().send(src, ("ack",))
+        """
+    )
+    assert rules_of(source, "repro/net/scratch.py") == ["RD02"]
 
 
 def test_rd02_delegating_subclass_is_clean():

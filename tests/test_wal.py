@@ -10,10 +10,13 @@ replays to the same fold as the full history.
 import os
 import struct
 
+import pytest
+
 from repro.net.wal import (
     DEFAULT_COMPACT_THRESHOLD,
     NodeWAL,
     RecoveredState,
+    WALCorruptionError,
     WriteAheadLog,
 )
 
@@ -79,7 +82,10 @@ class TestWriteAheadLog:
         assert reopened.torn_tail
         reopened.close()
 
-    def test_corrupt_checksum_stops_replay(self, tmp_path):
+    def test_corrupt_checksum_fail_stops(self, tmp_path):
+        # A *complete* record with a bad crc32 is not a tear (a crash
+        # leaves a prefix, never a full frame with wrong bytes): the
+        # storage is lying, and replay must refuse to serve from it.
         wal = WriteAheadLog(str(tmp_path))
         wal.append(("dec", 0, "good"))
         wal.append(("dec", 1, "rotten"))
@@ -88,10 +94,8 @@ class TestWriteAheadLog:
         data[-1] ^= 0xFF  # flip a bit inside the last record's body
         with open(os.path.join(str(tmp_path), "wal.log"), "wb") as handle:
             handle.write(bytes(data))
-        reopened = WriteAheadLog(str(tmp_path))
-        assert reopened.records == [("dec", 0, "good")]
-        assert reopened.torn_tail
-        reopened.close()
+        with pytest.raises(WALCorruptionError):
+            WriteAheadLog(str(tmp_path))
 
     def test_garbage_length_field_is_torn_not_fatal(self, tmp_path):
         wal = WriteAheadLog(str(tmp_path))
