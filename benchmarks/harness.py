@@ -29,6 +29,16 @@ Benchmarks:
 * ``grayfaults`` — simulated and live degradation under gray failures
   (slow node, timer drift, clock skew, torn-tail WAL restart); gates
   on every-history-linearizable and tear-tolerated booleans (E13).
+* ``throughput`` — the high-throughput data plane (slot pipelining +
+  batching + binary codec + sharding + group commit) against the seed
+  one-op-per-round client; gates on the dimensionless ``speedup``
+  (floor 10x) and all-histories-linearizable, reports uniform
+  ops/s + p50/p99 latency per configuration.
+
+Throughput-shaped benchmarks report a **uniform metric surface** via
+:func:`throughput_metrics` — ``ops_per_s``, ``latency_p50_ms``,
+``latency_p99_ms`` — so dashboards and regression checks read the same
+keys everywhere.
 
 Usage::
 
@@ -37,8 +47,11 @@ Usage::
     python -m repro harness --quick
 
 ``--check DIR`` compares the fresh numbers against the committed
-baseline: a gated ratio may not regress by more than 2x, booleans must
-match.  Exit status 1 on any regression.
+baseline: a gated ratio may not regress by more than the tolerance
+(global default 2x; a check may carry its own ``"tolerance"`` — latency
+percentiles get a looser one, they are noisy on shared CI runners),
+booleans must match, ``min`` floors are absolute.  Exit status 1 on any
+regression.
 """
 
 from __future__ import annotations
@@ -63,8 +76,45 @@ from repro.core.fastcheck import COMPOSITIONAL, check_linearizable
 from repro.core.linearizability import linearize
 from repro.core.traces import Trace
 
-#: regression tolerance for gated ratio metrics
+#: default regression tolerance for gated ratio metrics; a check dict
+#: may override it with its own ``"tolerance"`` key
 TOLERANCE = 2.0
+
+
+def percentile(samples, q):
+    """The q-th percentile (0..100) by linear interpolation.
+
+    Tiny and dependency-free on purpose: every throughput benchmark and
+    the loadgen must agree on what "p99" means.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1 - frac) + ordered[hi] * frac)
+
+
+def throughput_metrics(latencies_s, duration_s, prefix=""):
+    """The uniform ops/s + latency-percentile metric surface.
+
+    ``latencies_s`` are per-op latencies in seconds; ``duration_s`` the
+    wall-clock of the run that committed them.  Returns the three keys
+    every throughput-shaped benchmark reports (optionally prefixed, for
+    side-by-side configurations in one report).
+    """
+    committed = len(latencies_s)
+    return {
+        f"{prefix}ops_per_s": (
+            committed / duration_s if duration_s else 0.0
+        ),
+        f"{prefix}latency_p50_ms": percentile(latencies_s, 50) * 1e3,
+        f"{prefix}latency_p99_ms": percentile(latencies_s, 99) * 1e3,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -397,6 +447,11 @@ def bench_grayfaults(quick):
     return _delegated("bench_grayfaults")(quick)
 
 
+def bench_throughput(quick):
+    """Data-plane throughput vs seed (delegates to bench_throughput.py)."""
+    return _delegated("bench_throughput")(quick)
+
+
 BENCHES = {
     "pcomp": bench_pcomp,
     "search": bench_search,
@@ -404,6 +459,7 @@ BENCHES = {
     "adt_hot_path": bench_adt_hot_path,
     "recovery": bench_recovery,
     "grayfaults": bench_grayfaults,
+    "throughput": bench_throughput,
 }
 
 
@@ -425,9 +481,9 @@ def write_reports(reports, out_dir):
 def check_regressions(reports, baseline_dir):
     """Compare gated metrics against the committed baseline.
 
-    Ratio metrics may not regress by more than :data:`TOLERANCE`;
-    booleans must match; ``min`` floors are absolute.  Returns the list
-    of failure messages.
+    Ratio metrics may not regress by more than the check's own
+    ``"tolerance"`` (default :data:`TOLERANCE`); booleans must match;
+    ``min`` floors are absolute.  Returns the list of failure messages.
     """
     failures = []
     for report in reports:
@@ -442,6 +498,7 @@ def check_regressions(reports, baseline_dir):
         for check in report.get("checks", []):
             metric = check["metric"]
             mode = check["mode"]
+            tolerance = check.get("tolerance", TOLERANCE)
             current = report["metrics"].get(metric)
             floor = check.get("min")
             if floor is not None and not (
@@ -461,16 +518,16 @@ def check_regressions(reports, baseline_dir):
                         f"{name}.{metric}: {current!r} != baseline {base!r}"
                     )
             elif mode == "higher_better":
-                if current < base / TOLERANCE:
+                if current < base / tolerance:
                     failures.append(
                         f"{name}.{metric} regressed: {current:.3g} < "
-                        f"baseline {base:.3g} / {TOLERANCE}"
+                        f"baseline {base:.3g} / {tolerance}"
                     )
             elif mode == "lower_better":
-                if current > base * TOLERANCE:
+                if current > base * tolerance:
                     failures.append(
                         f"{name}.{metric} regressed: {current:.3g} > "
-                        f"baseline {base:.3g} * {TOLERANCE}"
+                        f"baseline {base:.3g} * {tolerance}"
                     )
     return failures
 

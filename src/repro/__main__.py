@@ -133,6 +133,9 @@ def cmd_nemesis(args: argparse.Namespace) -> int:
             amnesiac=args.amnesiac,
             shrink=not args.no_shrink,
             artifact_dir=args.artifact_dir,
+            pipelined=args.pipelined,
+            codec=args.codec,
+            group_commit=args.group_commit,
         )
         print()
         print(report.summary())
@@ -214,8 +217,17 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         quorum_timeout=args.quorum_timeout,
         artifact=args.artifact,
         wal_root=args.wal_dir,
+        shards=args.shards,
+        pipeline=args.pipeline,
+        window=args.window,
+        batch=args.batch,
+        codec=args.codec,
+        group_commit=args.group_commit,
+        check=not args.no_check,
     )
     print(report.summary())
+    if args.no_check:
+        return 0
     return 0 if report.linearizable else 1
 
 
@@ -277,6 +289,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write per-run history + verdict JSON artifacts here",
     )
+    p_nem.add_argument(
+        "--pipelined",
+        action="store_true",
+        help="with --net: drive main traffic through the batching "
+        "SlotPipeline instead of per-op probing clients",
+    )
+    p_nem.add_argument(
+        "--codec",
+        choices=("json", "binary"),
+        default=None,
+        help="with --net: wire codec for the cluster under attack",
+    )
+    p_nem.add_argument(
+        "--group-commit",
+        action="store_true",
+        help="with --net: coalesce WAL appends into shared fsyncs",
+    )
     p_nem.set_defaults(func=cmd_nemesis)
 
     p_har = sub.add_parser("harness", help="run the benchmark harness")
@@ -330,6 +359,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--wal-dir",
         default=None,
         help="give each replica a WAL under this directory",
+    )
+    p_load.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="independent replica groups routed by key (implies --pipeline)",
+    )
+    p_load.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="use the batching SlotPipeline data plane",
+    )
+    p_load.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="in-flight decrees per shard (pipeline mode)",
+    )
+    p_load.add_argument(
+        "--batch",
+        type=int,
+        default=16,
+        help="max ops coalesced into one decree (pipeline mode)",
+    )
+    p_load.add_argument(
+        "--codec",
+        choices=("json", "binary"),
+        default=None,
+        help="wire codec (default: json)",
+    )
+    p_load.add_argument(
+        "--group-commit",
+        action="store_true",
+        help="coalesce WAL fsyncs per event-loop tick",
+    )
+    p_load.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the linearizability verdict (pure benchmarking)",
     )
     p_load.set_defaults(func=cmd_loadgen)
 

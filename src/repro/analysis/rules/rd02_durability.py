@@ -17,8 +17,10 @@ source order:
 
 * an emit — ``super().send(...)``, the release of buffered frames —
   before the first WAL append (``…wal.record(...)`` /
-  ``…wal.record_decided(...)``) or direct :class:`FaultFS` persistence
-  point (``…fs.append(...)`` / ``…fs.fsync(...)``) is a
+  ``…wal.record_decided(...)`` / ``…wal.record_durable(...)``, the
+  group-commit entry point whose callback fires only after the shared
+  fsync) or direct :class:`FaultFS` persistence point
+  (``…fs.append(...)`` / ``…fs.fsync(...)``) is a
   persist-before-reply violation;
 * an emit in a handler with *no* append at all is flagged too, unless
   the handler delegates to ``super().on_message(...)`` (whose override
@@ -40,7 +42,7 @@ from ..findings import Finding
 from ..registry import ModuleContext, Rule, register
 
 #: WAL append methods (the persistence points)
-WAL_APPENDS = frozenset({"record", "record_decided"})
+WAL_APPENDS = frozenset({"record", "record_decided", "record_durable"})
 
 #: FaultFS methods that make bytes durable when called on an fs seam
 FS_PERSISTS = frozenset({"append", "fsync"})

@@ -61,7 +61,7 @@ import os
 import random
 import tempfile
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.fastcheck import check_linearizable
 from ..net.client import (
@@ -73,6 +73,7 @@ from ..net.client import (
 from ..net.cluster import LocalCluster
 from ..net.faultfs import FaultyFS, flip_record_body, tear_tail
 from ..net.loadgen import DEFAULT_KEYS, _command_stream
+from ..net.pipeline import PipelineClient, SlotPipeline
 from ..net.wal import WALCorruptionError
 from ..smr.universal import UniversalFrontend, kv_store_adt
 from .netfaults import TransportFaults
@@ -398,6 +399,9 @@ class NetRunResult:
     slow: int = 0
     duration: float = 0.0
     amnesiac: Optional[int] = None
+    pipelined: bool = False
+    decrees: int = 0
+    batched_ops: int = 0
 
     @property
     def ok(self) -> bool:
@@ -413,6 +417,11 @@ class NetRunResult:
         extra = f" amnesiac=node{self.amnesiac}" if self.amnesiac is not None else ""
         if self.failstops:
             extra += f" failstops={self.failstops}"
+        if self.pipelined:
+            extra += (
+                f" pipelined decrees={self.decrees}"
+                f" batched={self.batched_ops}"
+            )
         return (
             f"[{tag}] {self.verdict:<13} committed={self.committed:<3} "
             f"pending={self.pending} successors={self.successors} "
@@ -439,6 +448,9 @@ class NetRunResult:
             "slow": self.slow,
             "duration": self.duration,
             "amnesiac": self.amnesiac,
+            "pipelined": self.pipelined,
+            "decrees": self.decrees,
+            "batched_ops": self.batched_ops,
         }
 
 
@@ -507,6 +519,15 @@ class _RunConfig:
     quorum_timeout: float = DEFAULT_QUORUM_TIMEOUT
     amnesiac: Optional[int] = None
     wal_fsync: bool = True
+    #: drive main traffic through a shared SlotPipeline (batched,
+    #: windowed decrees) instead of one NetClient probe per op.  Late
+    #: readers always stay on NetClients with private decided-slot
+    #: caches — they are the fork detectors.
+    pipelined: bool = False
+    codec: Optional[str] = None
+    window: int = 8
+    batch: int = 16
+    group_commit: bool = False
 
 
 async def _run_schedule(
@@ -535,13 +556,25 @@ async def _run_schedule(
             else (config.amnesiac,),
             wal_fsync=config.wal_fsync,
             wal_fs=wal_fs or None,
+            codec=config.codec,
+            group_commit=config.group_commit,
         )
         await cluster.start()
         transport = cluster.client_transport("clients")
         recorder = HistoryRecorder(clock=lambda: transport.now)
         frontend = UniversalFrontend(kv_store_adt())
-        all_clients: List[NetClient] = []
+        all_clients: List[Union[NetClient, PipelineClient]] = []
         late_tasks: List[asyncio.Task] = []
+        pipeline: Optional[SlotPipeline] = None
+        if config.pipelined:
+            pipeline = SlotPipeline(
+                "main",
+                config.replicas,
+                transport,
+                window=config.window,
+                max_batch=config.batch,
+                quorum_timeout=config.quorum_timeout,
+            )
 
         def make_client(name: str) -> NetClient:
             # Per-client decided-slot caches: a forked consensus must
@@ -560,8 +593,24 @@ async def _run_schedule(
             all_clients.append(client)
             return client
 
+        def make_driver(name: str) -> Union[NetClient, PipelineClient]:
+            # Main traffic rides the batching pipeline when configured;
+            # the closed-loop contract (invoke-before-effect, timeout →
+            # pending + poisoned identity) is identical either way, so
+            # the checker sees the same kind of history.
+            if pipeline is None:
+                return make_client(name)
+            client = PipelineClient(
+                name,
+                pipeline,
+                recorder,
+                op_timeout=config.op_timeout,
+            )
+            all_clients.append(client)
+            return client
+
         async def drive(index: int) -> None:
-            client = make_client(f"c{index}")
+            client = make_driver(f"c{index}")
             rng = random.Random(f"netload:{schedule.seed}:{index}")
             stream = _command_stream(rng, config.keys)
             for _ in range(config.ops_per_client):
@@ -697,6 +746,10 @@ async def _run_schedule(
         result.duration = transport.now - start
         await cluster.stop()
 
+    if pipeline is not None:
+        result.pipelined = True
+        result.decrees = pipeline.decrees
+        result.batched_ops = pipeline.batched_ops
     result.pending = len(recorder.pending_clients())
     ops = [r for c in all_clients for r in c.results]
     result.fast = sum(1 for r in ops if r.path == "fast")
@@ -741,6 +794,11 @@ def run_net_campaign(
     schedules: Optional[List[NetSchedule]] = None,
     artifact_dir: Optional[str] = None,
     wal_fsync: bool = True,
+    pipelined: bool = False,
+    codec: Optional[str] = None,
+    window: int = 8,
+    batch: int = 16,
+    group_commit: bool = False,
     emit=print,
 ) -> NetCampaignReport:
     """Run seeded chaos campaigns against live localhost clusters.
@@ -755,6 +813,14 @@ def run_net_campaign(
     ``schedules`` override generation — the CI canary passes a directed
     kill/restart pair.  With ``artifact_dir`` every run writes its
     history + verdict JSON, and every violation its shrunk schedule.
+
+    ``pipelined=True`` swaps the main traffic onto a shared batching
+    :class:`~repro.net.pipeline.SlotPipeline` (``window``/``batch``
+    sized; ``codec``/``group_commit`` configure the cluster), which is
+    how CI proves group commit and decree batching compose with the
+    chaos vocabulary.  Late readers stay on probing ``NetClient``\\ s
+    with private decided-slot caches either way — they are the fork
+    detectors.
     """
     config = _RunConfig(
         replicas=replicas,
@@ -765,6 +831,11 @@ def run_net_campaign(
         quorum_timeout=quorum_timeout,
         amnesiac=amnesiac,
         wal_fsync=wal_fsync,
+        pipelined=pipelined,
+        codec=codec,
+        window=window,
+        batch=batch,
+        group_commit=group_commit,
     )
     if schedules is None:
         schedules = [

@@ -11,8 +11,14 @@ frames over real localhost TCP sockets and timers are wall-clock
 
 Modules:
 
-* :mod:`repro.net.codec` — the length-prefixed JSON wire codec
-  (tuple-preserving, so protocol messages round-trip exactly);
+* :mod:`repro.net.codec` — the length-prefixed wire codecs: tagged
+  JSON (the default) and a struct-packed binary format, both
+  tuple-preserving and selectable per cluster, decoded uniformly via a
+  magic-byte dispatch;
+* :mod:`repro.net.pipeline` — :class:`SlotPipeline` and
+  :class:`PipelineClient`, the high-throughput data plane: request
+  batching into decree batches, a window of in-flight slots,
+  multiplexed logical clients, incremental response derivation;
 * :mod:`repro.net.transport` — :class:`AsyncTransport`, the port
   implementation: pid routing, connection pooling, reply routes,
   transport-level fault injection, :class:`~repro.mp.sim.NetworkStats`;
@@ -35,39 +41,59 @@ Modules:
   acceptances and decided log intact.
 """
 
-from .client import HistoryRecorder, NetClient, OperationTimeout
-from .cluster import LocalCluster, Supervisor
+from .client import (
+    HistoryRecorder,
+    NetClient,
+    OperationTimeout,
+    RequestTooLarge,
+)
+from .cluster import LocalCluster, ShardedCluster, Supervisor, shard_of
 from .codec import (
+    BINARY_CODEC,
     FrameDecoder,
     FrameError,
+    FrameTooLarge,
+    JSON_CODEC,
     MAX_FRAME,
     decode_payload,
     encode_frame,
     encode_payload,
+    get_codec,
 )
 from .loadgen import LoadReport, run_loadgen
 from .node import ReplicaNode
+from .pipeline import PayloadTooLarge, PipelineClient, SlotPipeline
 from .transport import AddressBook, AsyncTransport
 from .wal import NodeWAL, RecoveredState, WriteAheadLog
 
 __all__ = [
     "AddressBook",
     "AsyncTransport",
+    "BINARY_CODEC",
     "FrameDecoder",
     "FrameError",
+    "FrameTooLarge",
     "HistoryRecorder",
+    "JSON_CODEC",
     "LoadReport",
     "LocalCluster",
     "MAX_FRAME",
     "NetClient",
     "NodeWAL",
     "OperationTimeout",
+    "PayloadTooLarge",
+    "PipelineClient",
     "RecoveredState",
     "ReplicaNode",
+    "RequestTooLarge",
+    "ShardedCluster",
+    "SlotPipeline",
     "Supervisor",
     "WriteAheadLog",
     "decode_payload",
     "encode_frame",
     "encode_payload",
+    "get_codec",
     "run_loadgen",
+    "shard_of",
 ]

@@ -41,7 +41,8 @@ from ..core.traces import Trace
 from ..mp.backoff import BackoffPolicy
 from ..mp.backup import BackupClient
 from ..mp.quorum import QuorumClient
-from ..smr.universal import UniversalFrontend
+from ..smr.universal import UniversalFrontend, batch_commands
+from .codec import FrameTooLarge
 from .transport import AsyncTransport
 
 #: wall-clock Quorum timer (seconds): generous vs localhost RTTs, small
@@ -56,6 +57,15 @@ DEFAULT_BACKOFF = BackoffPolicy(
 
 class OperationTimeout(Exception):
     """An operation exceeded ``op_timeout``; its fate is unknown."""
+
+
+class RequestTooLarge(Exception):
+    """A single command cannot fit one wire frame.
+
+    Raised *before* the invocation is recorded or any byte leaves the
+    process: the history stays clean, the client is not poisoned, and
+    the connection is never torn by an oversized frame mid-write.
+    """
 
 
 @dataclass
@@ -195,10 +205,14 @@ class NetClient:
         return command[:-1]
 
     def _prefix_response(self, slot: int) -> Hashable:
+        # decrees may be batches (a pipelined proposer shares the
+        # cluster): flatten each decided value to its commands so the
+        # derived history is the true sequential one
         history = tuple(
             self._untag(c)
-            for s, c in sorted(self.log.items())
+            for s, v in sorted(self.log.items())
             if s <= slot
+            for c in batch_commands(v)
         )
         return self.frontend.respond(history)
 
@@ -215,6 +229,17 @@ class NetClient:
         self._seq += 1
         tagged = command + (("seq", (self.name, self._seq)),)
         uid = (self.name, self._seq)
+        probe = (("qcli", (uid, 1)), ("qs", 0, 0), ("q-propose", tagged))
+        try:
+            self.transport.codec.encode_frame(probe)
+        except FrameTooLarge as exc:
+            # per-op failure, pre-invocation: surface it typed instead
+            # of letting the encoder blow up inside the proposer
+            self._seq -= 1
+            raise RequestTooLarge(
+                f"{self.name}: {command[:1]!r}... cannot fit one wire "
+                f"frame ({exc})"
+            ) from exc
         start = self.transport.now
         future: asyncio.Future = self.transport.loop.create_future()
         attempts = [0]

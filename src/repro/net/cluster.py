@@ -39,9 +39,11 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import os
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.netfaults import TransportFaults
+from .codec import Codec, get_codec
 from .faultfs import FaultFS
 from .node import COORDINATOR_RETRY_DELAY, ReplicaNode
 from .transport import AddressBook, AsyncTransport
@@ -62,6 +64,8 @@ class LocalCluster:
         amnesiac: Sequence[int] = (),
         wal_fsync: bool = True,
         wal_fs: Optional[Dict[int, FaultFS]] = None,
+        codec: Optional[str] = None,
+        group_commit: bool = False,
     ) -> None:
         self.n_servers = n_servers
         self.book = AddressBook()
@@ -73,6 +77,11 @@ class LocalCluster:
         self.amnesiac = frozenset(amnesiac)
         self.wal_fsync = wal_fsync
         self.wal_fs = wal_fs or {}
+        self.codec_name = codec
+        self.codec: Optional[Codec] = (
+            get_codec(codec) if codec is not None else None
+        )
+        self.group_commit = group_commit
         self.stopped = False
         self.nodes: List[ReplicaNode] = [
             self._make_node(i) for i in range(n_servers)
@@ -87,6 +96,7 @@ class LocalCluster:
                 os.path.join(self.wal_root, f"node{index}"),
                 fsync=self.wal_fsync,
                 fs=self.wal_fs.get(index),
+                group_commit=self.group_commit,
             )
         return ReplicaNode(
             index,
@@ -97,6 +107,7 @@ class LocalCluster:
             host=self.host,
             port=0 if self.port_base is None else self.port_base + index,
             wal=wal,
+            codec=self.codec,
         )
 
     async def start(self) -> None:
@@ -111,7 +122,9 @@ class LocalCluster:
         instead of n per client, and learned reply routes serve every
         client pid on it.  The transport is closed by :meth:`stop`.
         """
-        transport = AsyncTransport(name, self.book, faults=self.faults)
+        transport = AsyncTransport(
+            name, self.book, faults=self.faults, codec=self.codec
+        )
         self._client_transports.append(transport)
         return transport
 
@@ -149,6 +162,72 @@ class LocalCluster:
         """Indices of the nodes still serving."""
         return [
             node.index for node in self.nodes if not node.transport.closed
+        ]
+
+
+def shard_of(key: object, n_shards: int) -> int:
+    """The shard index serving ``key`` — stable across processes.
+
+    Uses crc32 over ``repr(key)`` rather than Python's ``hash`` (which
+    is salted per process for strings): clients, the loadgen and the
+    checker must all agree on the routing, forever.
+    """
+    return zlib.crc32(repr(key).encode("utf-8")) % n_shards
+
+
+class ShardedCluster:
+    """N independent replica groups, routed by the partition key.
+
+    Each shard is a full :class:`LocalCluster` — its own address book,
+    nodes, WAL directories and consensus state — and serves a disjoint
+    subset of keys chosen by :func:`shard_of`.  The routing key is the
+    *same* key :class:`~repro.core.adt.PartitionSpec` partitions traces
+    by, which is what makes verification compositional: every command
+    for a key executes on exactly one shard, so each shard's recorded
+    history is a complete history over its key subset, P-compositional
+    checking applies shard-locally, and the whole deployment is
+    linearizable iff every shard's history is
+    (Horn & Kroening's locality argument, see PAPERS.md).
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        n_servers: int = 3,
+        wal_root: Optional[str] = None,
+        **cluster_kwargs,
+    ) -> None:
+        self.n_shards = n_shards
+        self.shards: List[LocalCluster] = [
+            LocalCluster(
+                n_servers=n_servers,
+                wal_root=(
+                    os.path.join(wal_root, f"shard{s}")
+                    if wal_root is not None
+                    else None
+                ),
+                **cluster_kwargs,
+            )
+            for s in range(n_shards)
+        ]
+
+    async def start(self) -> None:
+        for shard in self.shards:
+            await shard.start()
+
+    async def stop(self) -> None:
+        for shard in self.shards:
+            await shard.stop()
+
+    def shard_for_key(self, key: object) -> LocalCluster:
+        """The replica group serving ``key``."""
+        return self.shards[shard_of(key, self.n_shards)]
+
+    def client_transports(self, name: str = "client") -> List[AsyncTransport]:
+        """One client transport per shard, in shard order."""
+        return [
+            shard.client_transport(f"{name}-s{s}")
+            for s, shard in enumerate(self.shards)
         ]
 
 

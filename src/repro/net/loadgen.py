@@ -31,7 +31,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.fastcheck import check_linearizable
 from ..smr.universal import UniversalFrontend, kv_store_adt
 from .client import HistoryRecorder, NetClient, OperationTimeout
-from .cluster import LocalCluster
+from .cluster import LocalCluster, ShardedCluster, shard_of
+from .pipeline import PipelineClient, SlotPipeline
 
 #: keys the generated workload touches; small enough to create real
 #: slot contention, large enough for the P-compositional checker to
@@ -58,6 +59,17 @@ class LoadReport:
     killed: Optional[int] = None
     successors: int = 0
     endpoint_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: data-plane configuration (defaults describe the seed path)
+    shards: int = 1
+    pipelined: bool = False
+    window: Optional[int] = None
+    batch: Optional[int] = None
+    codec: Optional[str] = None
+    #: per-shard linearizability verdicts, shard order (pipelined runs)
+    shard_verdicts: List[str] = field(default_factory=list)
+    #: decrees proposed / ops they carried, summed over shards
+    decrees: int = 0
+    batched_ops: int = 0
 
     @property
     def linearizable(self) -> bool:
@@ -97,11 +109,20 @@ class LoadReport:
                 f"  timeouts: {self.successors} op(s) left pending; "
                 f"load continued under successor client ids"
             )
+        if self.pipelined:
+            avg = self.batched_ops / self.decrees if self.decrees else 0.0
+            lines.append(
+                f"  data plane: {self.shards} shard(s), window={self.window} "
+                f"batch<={self.batch} codec={self.codec or 'json'}; "
+                f"{self.decrees} decrees, {avg:.1f} ops/decree"
+            )
         verdict = f"  history: {self.verdict}"
         if self.strategy:
             verdict += f" ({self.strategy})"
         if self.reason:
             verdict += f" -- {self.reason}"
+        if self.shard_verdicts:
+            verdict += f" [shards: {', '.join(self.shard_verdicts)}]"
         lines.append(verdict)
         return "\n".join(lines)
 
@@ -122,9 +143,18 @@ class LoadReport:
             "verdict": self.verdict,
             "strategy": self.strategy,
             "reason": self.reason,
+            "latency_p99": self.percentile(0.99),
             "killed": self.killed,
             "successors": self.successors,
             "endpoint_stats": self.endpoint_stats,
+            "shards": self.shards,
+            "pipelined": self.pipelined,
+            "window": self.window,
+            "batch": self.batch,
+            "codec": self.codec,
+            "shard_verdicts": self.shard_verdicts,
+            "decrees": self.decrees,
+            "batched_ops": self.batched_ops,
         }
 
 
@@ -268,6 +298,183 @@ async def _run(
     return report, recorder
 
 
+async def _run_pipelined(
+    replicas: int,
+    clients: int,
+    ops: int,
+    seed: int,
+    kill: Optional[int],
+    kill_after: float,
+    op_timeout: float,
+    quorum_timeout: float,
+    keys: Tuple[str, ...],
+    wal_root: Optional[str],
+    shards: int,
+    window: int,
+    batch: int,
+    codec: Optional[str],
+    group_commit: bool,
+    check: bool,
+    emit,
+) -> Tuple[LoadReport, List[HistoryRecorder]]:
+    """The high-volume data plane: sharded clusters, one batching
+    :class:`SlotPipeline` per shard, logical clients routed by key.
+
+    Commands route to ``shard_of(key, shards)`` — the same key the KV
+    ADT's :class:`~repro.core.adt.PartitionSpec` partitions traces by —
+    so each shard records a complete history over a disjoint key set
+    and is checked independently; the run's verdict is the conjunction
+    (P-compositionality shard-locally, composition across shards).
+    """
+    sharded = ShardedCluster(
+        n_shards=shards,
+        n_servers=replicas,
+        wal_root=wal_root,
+        codec=codec,
+        group_commit=group_commit,
+    )
+    await sharded.start()
+    transports = sharded.client_transports("clients")
+    recorders = [
+        HistoryRecorder(clock=(lambda t: (lambda: t.now))(transport))
+        for transport in transports
+    ]
+    pipelines = [
+        SlotPipeline(
+            f"shard{s}",
+            replicas,
+            transports[s],
+            window=window,
+            max_batch=batch,
+            quorum_timeout=quorum_timeout,
+        )
+        for s in range(shards)
+    ]
+    committed = [0]
+    successors = [0]
+    killed = [False]
+    kill_threshold = max(1, int(ops * kill_after)) if kill is not None else None
+    all_clients: List[PipelineClient] = []
+
+    def make_routed(index: int) -> Dict[int, PipelineClient]:
+        routed = {}
+        for s in range(shards):
+            client = PipelineClient(
+                f"c{index}",
+                pipelines[s],
+                recorders[s],
+                op_timeout=op_timeout,
+            )
+            routed[s] = client
+            all_clients.append(client)
+        return routed
+
+    per_client = [ops // clients] * clients
+    for i in range(ops % clients):
+        per_client[i] += 1
+
+    async def drive(index: int) -> None:
+        routed = make_routed(index)
+        stream = _command_stream(
+            random.Random(f"loadgen:{seed}:{index}"), keys
+        )
+        for _ in range(per_client[index]):
+            command = next(stream)
+            target = shard_of(command[1], shards)
+            try:
+                await routed[target].submit(command)
+            except OperationTimeout:
+                # fate-unknown: the identity is poisoned everywhere (a
+                # sequential client must not continue), successors keep
+                # the load flowing under fresh ids (Jepsen-style)
+                successors[0] += 1
+                emit(
+                    f"  c{index}: op timed out on shard{target}, left "
+                    f"pending; continuing as successor"
+                )
+                routed = {
+                    s: client.successor() for s, client in routed.items()
+                }
+                all_clients.extend(routed.values())
+                continue
+            committed[0] += 1
+            if (
+                kill_threshold is not None
+                and not killed[0]
+                and committed[0] >= kill_threshold
+            ):
+                # kill the same node index in every shard: each replica
+                # group loses one of its replicas, the Backup path takes
+                # over shard-wide
+                killed[0] = True
+                emit(
+                    f"  killing node{kill} in all {shards} shard(s) "
+                    f"after {committed[0]} commits"
+                )
+                for shard in sharded.shards:
+                    await shard.kill(kill)
+
+    start = transports[0].now
+    await asyncio.gather(*(drive(i) for i in range(clients)))
+    duration = transports[0].now - start
+
+    endpoint_stats = {}
+    for s, shard in enumerate(sharded.shards):
+        for node in shard.nodes:
+            st = node.transport.stats
+            endpoint_stats[f"shard{s}/{node.endpoint}"] = {
+                "sent": st.sent,
+                "delivered": st.delivered,
+                "lost": st.lost,
+            }
+    await sharded.stop()
+
+    shard_verdicts: List[str] = []
+    verdict, strategy, reason = "skipped", "", None
+    if check:
+        verdict, strategy, reason = "linearizable", "", None
+        for s, recorder in enumerate(recorders):
+            result = check_linearizable(recorder.trace(), kv_store_adt())
+            if result.unknown:
+                shard_verdicts.append("unknown")
+                if verdict == "linearizable":
+                    verdict, reason = "unknown", result.result.reason
+            elif result.ok:
+                shard_verdicts.append("linearizable")
+            else:
+                shard_verdicts.append("violation")
+                verdict, reason = "violation", result.result.reason
+            strategy = strategy or result.strategy
+
+    results = [r for c in all_clients for r in c.results]
+    report = LoadReport(
+        replicas=replicas,
+        clients=clients,
+        ops_requested=ops,
+        committed=committed[0],
+        pending=sum(len(r.pending_clients()) for r in recorders),
+        fast=sum(1 for r in results if r.path == "fast"),
+        slow=sum(1 for r in results if r.path == "slow"),
+        duration=duration,
+        latencies=[r.latency for r in results],
+        verdict=verdict,
+        strategy=strategy,
+        reason=reason,
+        killed=kill if killed[0] else None,
+        successors=successors[0],
+        endpoint_stats=endpoint_stats,
+        shards=shards,
+        pipelined=True,
+        window=window,
+        batch=batch,
+        codec=codec,
+        shard_verdicts=shard_verdicts,
+        decrees=sum(p.decrees for p in pipelines),
+        batched_ops=sum(p.batched_ops for p in pipelines),
+    )
+    return report, recorders
+
+
 def run_loadgen(
     replicas: int = 3,
     clients: int = 8,
@@ -280,6 +487,13 @@ def run_loadgen(
     keys: Tuple[str, ...] = DEFAULT_KEYS,
     wal_root: Optional[str] = None,
     artifact: Optional[str] = None,
+    shards: int = 1,
+    pipeline: bool = False,
+    window: int = 8,
+    batch: int = 16,
+    codec: Optional[str] = None,
+    group_commit: bool = False,
+    check: bool = True,
     emit=print,
 ) -> LoadReport:
     """Run a full closed-loop load against a fresh localhost cluster.
@@ -289,22 +503,57 @@ def run_loadgen(
     wire-level history (the CI smoke job uploads it).  With ``wal_root``
     set the replicas persist their durable state under that directory
     (see :class:`~repro.net.wal.NodeWAL`).
+
+    ``pipeline=True`` (implied by ``shards > 1``) switches to the
+    high-throughput data plane — per-shard batching
+    :class:`~repro.net.pipeline.SlotPipeline` proposers with ``window``
+    in-flight decrees and up to ``batch`` ops per decree, optional
+    ``codec="binary"`` frames and WAL ``group_commit`` — with every
+    shard's history checked independently (``check=False`` skips the
+    verdict for pure benchmarking).
     """
-    report, recorder = asyncio.run(
-        _run(
-            replicas=replicas,
-            clients=clients,
-            ops=ops,
-            seed=seed,
-            kill=kill,
-            kill_after=kill_after,
-            op_timeout=op_timeout,
-            quorum_timeout=quorum_timeout,
-            keys=keys,
-            wal_root=wal_root,
-            emit=emit,
+    if shards > 1:
+        pipeline = True
+    if pipeline:
+        report, recorders = asyncio.run(
+            _run_pipelined(
+                replicas=replicas,
+                clients=clients,
+                ops=ops,
+                seed=seed,
+                kill=kill,
+                kill_after=kill_after,
+                op_timeout=op_timeout,
+                quorum_timeout=quorum_timeout,
+                keys=keys,
+                wal_root=wal_root,
+                shards=shards,
+                window=window,
+                batch=batch,
+                codec=codec,
+                group_commit=group_commit,
+                check=check,
+                emit=emit,
+            )
         )
-    )
+        history: Any = [r.to_jsonable() for r in recorders]
+    else:
+        report, recorder = asyncio.run(
+            _run(
+                replicas=replicas,
+                clients=clients,
+                ops=ops,
+                seed=seed,
+                kill=kill,
+                kill_after=kill_after,
+                op_timeout=op_timeout,
+                quorum_timeout=quorum_timeout,
+                keys=keys,
+                wal_root=wal_root,
+                emit=emit,
+            )
+        )
+        history = recorder.to_jsonable()
     if artifact:
         payload = {
             "config": {
@@ -315,9 +564,15 @@ def run_loadgen(
                 "kill": kill,
                 "kill_after": kill_after,
                 "wal_root": wal_root,
+                "shards": shards,
+                "pipeline": pipeline,
+                "window": window if pipeline else None,
+                "batch": batch if pipeline else None,
+                "codec": codec,
+                "group_commit": group_commit,
             },
             "report": report.to_jsonable(),
-            "history": recorder.to_jsonable(),
+            "history": history,
         }
         with open(artifact, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, default=repr)

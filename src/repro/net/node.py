@@ -53,6 +53,7 @@ from ..mp.backoff import BackoffPolicy
 from ..mp.paxos import PaxosAcceptor, PaxosCoordinator
 from ..mp.quorum import QuorumServer
 from ..mp.sim import Process
+from .codec import Codec
 from .transport import AddressBook, AsyncTransport
 from .wal import NodeWAL, RecoveredState, WALFullError
 
@@ -146,23 +147,34 @@ class _DurableRole:
             # and never a promise about unpersisted state.
             return
         self._wal_buffer = []
-        stalled = False
         state = self._wal_persisted
         try:
             super().on_message(src, message)  # type: ignore[misc]
             state = self.durable_state()
-            if state != self._wal_persisted:
-                try:
-                    self._wal.record(self._wal_kind, self._wal_slot, state)
-                except WALFullError:
-                    stalled = True
-                else:
-                    self._wal_persisted = state
         finally:
             buffered, self._wal_buffer = self._wal_buffer, None
-        if stalled:
+        if state == self._wal_persisted:
+            # nothing new to persist; replies promise only already
+            # durable state and may leave at once
+            self._wal_release(buffered)
+            return
+        try:
+            # under group commit the callback fires after the shared
+            # fsync of this event-loop tick — one sync covers every
+            # role that recorded in it, and no reply beats its record
+            self._wal.record_durable(
+                self._wal_kind,
+                self._wal_slot,
+                state,
+                lambda: self._wal_release(buffered),
+            )
+        except WALFullError:
             self._wal_begin_retry(state, buffered)
             return
+        self._wal_persisted = state
+
+    def _wal_release(self, buffered: List[Tuple[Hashable, Any]]) -> None:
+        """Let the buffered replies leave (state is durable or unchanged)."""
         for dst, msg in buffered:
             super().send(dst, msg)  # type: ignore[misc]
 
@@ -277,6 +289,7 @@ class ReplicaNode:
         host: str = "127.0.0.1",
         port: int = 0,
         wal: Optional[NodeWAL] = None,
+        codec: Optional[Codec] = None,
     ) -> None:
         self.index = index
         self.n_servers = n_servers
@@ -287,7 +300,9 @@ class ReplicaNode:
         self.recovered: Optional[RecoveredState] = (
             wal.recovered if wal is not None else None
         )
-        self.transport = AsyncTransport(f"node{index}", book, faults)
+        self.transport = AsyncTransport(
+            f"node{index}", book, faults, codec=codec
+        )
         self.transport.miss_handler = self._on_miss
         #: slot → learner pids currently registered on this node's acceptor
         self.slot_learners: Dict[int, List[Hashable]] = {}

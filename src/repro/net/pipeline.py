@@ -1,0 +1,430 @@
+"""`SlotPipeline`: the high-throughput replication data plane.
+
+:class:`~repro.net.client.NetClient` replicates one op per consensus
+round and probes slots one at a time — correct, and exactly the paper's
+client model, but it caps throughput at one op per protocol round trip.
+This module rebuilds the client side for volume while leaving the
+server roles and the consensus protocols untouched:
+
+* **batching** — queued client ops are coalesced into a single decree
+  value ``("batch", (op, ...))`` (:func:`repro.smr.universal.make_batch`),
+  so one Quorum/Backup round decides many operations;
+* **slot pipelining** — up to ``window`` consecutive slots are kept in
+  flight at once instead of probing the next slot only after the
+  previous one settled;
+* **connection multiplexing** — every logical client shares the one
+  transport (one socket per server node); ops are correlated back to
+  their callers by their unique ``("seq", (client, seq))`` tags through
+  the pipeline's waiter map, the moral equivalent of correlation ids on
+  a multiplexed request/response socket;
+* **incremental responses** — decided slots are applied to a running
+  ADT state with ``adt.transition`` (O(1) amortized per op) instead of
+  re-deriving each response from the whole log prefix (O(n) per op,
+  O(n²) per run — the other half of the seed throughput ceiling).
+
+Safety rests on the same two arguments as the probing client:
+
+* *no value decides twice* — a batch is proposed at exactly one slot at
+  a time, and is re-enqueued only after its slot demonstrably decided a
+  different winner (Quorum unanimity makes a learned decision final);
+  distinct batches are distinct values because each carries its ops'
+  unique per-client tags;
+* *prefix completeness* — responses are derived only from the applied
+  contiguous prefix; a slot is applied only once every lower slot is
+  decided, so the derived state reflects exactly the decrees that
+  precede it in the log.
+
+Real-time order is preserved: an op invoked after another's response
+enters the queue after the first committed, so it lands in a decree at
+a strictly higher slot.
+
+Oversized work never tears a connection (the typed
+:exc:`~repro.net.codec.FrameTooLarge` discipline): a batch whose frame
+would exceed ``MAX_FRAME`` is split in half and re-tried, and a single
+op that cannot fit a frame by itself fails with the per-op
+:exc:`PayloadTooLarge` *before* its invocation is recorded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+from ..core.adt import ADT
+from ..mp.backoff import BackoffPolicy
+from ..mp.backup import BackupClient
+from ..mp.quorum import QuorumClient
+from ..smr.universal import batch_commands, kv_store_adt, make_batch
+from .client import (
+    DEFAULT_BACKOFF,
+    DEFAULT_QUORUM_TIMEOUT,
+    HistoryRecorder,
+    OperationTimeout,
+    OpResult,
+)
+from .codec import JSON_CODEC, MAX_FRAME, FrameTooLarge
+from .transport import AsyncTransport
+
+#: default number of decrees kept in flight
+DEFAULT_WINDOW = 8
+
+#: default max ops coalesced into one decree
+DEFAULT_MAX_BATCH = 16
+
+#: headroom between a size-checked frame and MAX_FRAME — covers the
+#: envelope-shape differences between the probe and the server-side
+#: frames (phase-2 broadcasts, WAL records) that carry the same value
+FRAME_SLACK = 4096
+
+
+class PayloadTooLarge(Exception):
+    """A single operation cannot fit one wire frame even unbatched.
+
+    Raised to the submitting caller *before* its invocation is recorded
+    or any byte leaves the process — a per-op error, never a torn
+    connection and never a poisoned client.
+    """
+
+
+class DecreeAbandoned(Exception):
+    """The decree carrying this op exhausted its Backup retry budget.
+
+    The op's fate is unknown (it may still decide later), so it must be
+    treated exactly like a timeout: invocation left pending, client
+    poisoned.
+    """
+
+
+class _Entry:
+    """One queued op: its tagged command, the caller's future, and the
+    decree-level metrics accumulated on its way to a commit."""
+
+    __slots__ = ("tagged", "future", "attempts", "switched")
+
+    def __init__(self, tagged: Tuple, future: asyncio.Future) -> None:
+        self.tagged = tagged
+        self.future = future
+        self.attempts = 0
+        self.switched = 0
+
+
+def _probe_frame(value: Hashable) -> Tuple:
+    """A representative wire envelope for size-checking ``value``."""
+    return (("qcli", ("probe", 0, 0)), ("qs", 0, 0), ("q-propose", value))
+
+
+class SlotPipeline:
+    """A windowed, batching proposer shared by many logical clients.
+
+    One pipeline drives one replica group (one cluster / shard).  Ops
+    enter via :meth:`enqueue`; the pump drains the queue into decree
+    batches, keeps up to ``window`` slots in flight, and resolves each
+    op's future with its derived response once the op's slot joins the
+    applied contiguous prefix.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_servers: int,
+        transport: AsyncTransport,
+        adt: Optional[ADT] = None,
+        window: int = DEFAULT_WINDOW,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        quorum_timeout: float = DEFAULT_QUORUM_TIMEOUT,
+        backoff: Optional[BackoffPolicy] = None,
+    ) -> None:
+        self.name = name
+        self.n_servers = n_servers
+        self.transport = transport
+        self.adt = adt if adt is not None else kv_store_adt()
+        self.window = window
+        self.max_batch = max_batch
+        self.quorum_timeout = quorum_timeout
+        self.backoff = backoff or DEFAULT_BACKOFF
+        #: slot → decided value (shared decided-log cache; safe by
+        #: Quorum unanimity, same argument as NetClient.log)
+        self.log: Dict[int, Hashable] = {}
+        self.queue: Deque[_Entry] = deque()
+        #: slot → the entries riding the decree in flight there
+        self.in_flight: Dict[int, List[_Entry]] = {}
+        #: tagged command → entry, the multiplexing correlation map
+        self._waiters: Dict[Tuple, _Entry] = {}
+        self._next_slot = 0
+        self._applied_upto = 0
+        self._state = self.adt.initial_state
+        #: decrees proposed / ops they carried (observability)
+        self.decrees = 0
+        self.batched_ops = 0
+        self.splits = 0
+        self._pump_scheduled = False
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+
+    def fits(self, value: Hashable) -> bool:
+        """Whether ``value`` fits one frame in every encoding it rides.
+
+        Checked against the *JSON* codec even when the wire runs binary:
+        the WAL logs decree values as JSON records under the same 1 MiB
+        bound, so the larger encoding is the binding one.
+        """
+        try:
+            wire = self.transport.codec.encode_frame(_probe_frame(value))
+            journal = JSON_CODEC.encode_frame(_probe_frame(value))
+        except FrameTooLarge:
+            return False
+        return max(len(wire), len(journal)) + FRAME_SLACK <= MAX_FRAME
+
+    def enqueue(self, tagged: Tuple) -> asyncio.Future:
+        """Queue one tagged op; the future resolves with its response.
+
+        Raises :exc:`PayloadTooLarge` if the op cannot fit a frame even
+        as a batch of one (nothing is queued or sent in that case).
+        """
+        if not self.fits(make_batch((tagged,))):
+            raise PayloadTooLarge(
+                f"operation {tagged[:-1]!r} cannot fit one wire frame "
+                f"(MAX_FRAME={MAX_FRAME})"
+            )
+        future: asyncio.Future = self.transport.loop.create_future()
+        entry = _Entry(tagged, future)
+        self.queue.append(entry)
+        self._waiters[tagged] = entry
+        # defer the pump one loop tick: every op enqueued in this tick
+        # (all the concurrent clients' submits) coalesces into the same
+        # decree batch instead of going out one decree per op
+        if not self._pump_scheduled:
+            self._pump_scheduled = True
+            self.transport.loop.call_soon(self._scheduled_pump)
+        return future
+
+    # ------------------------------------------------------------------
+    # the pump
+    # ------------------------------------------------------------------
+
+    def _claim_slot(self) -> int:
+        slot = self._next_slot
+        while slot in self.log:
+            slot += 1
+        self._next_slot = slot + 1
+        return slot
+
+    def _scheduled_pump(self) -> None:
+        self._pump_scheduled = False
+        self._pump()
+
+    def _pump(self) -> None:
+        while len(self.in_flight) < self.window and self.queue:
+            group = [
+                self.queue.popleft()
+                for _ in range(min(self.max_batch, len(self.queue)))
+            ]
+            value = make_batch(tuple(entry.tagged for entry in group))
+            while len(group) > 1 and not self.fits(value):
+                # split-and-retry: halve until the batch frames; the
+                # cut tail rejoins the queue head.  Terminates because
+                # a singleton always fits (the enqueue pre-check).
+                self.splits += 1
+                half = (len(group) + 1) // 2
+                self.queue.extendleft(reversed(group[half:]))
+                group = group[:half]
+                value = make_batch(tuple(entry.tagged for entry in group))
+            self.decrees += 1
+            self.batched_ops += len(group)
+            for entry in group:
+                entry.attempts += 1
+            self._propose(self._claim_slot(), value, group)
+
+    def _propose(
+        self, slot: int, value: Hashable, group: List[_Entry]
+    ) -> None:
+        self.in_flight[slot] = group
+        sub = (self.name, slot)
+        op_pids: List[Hashable] = []
+        settled = [False]
+
+        def settle(winner: Hashable) -> None:
+            if settled[0]:
+                return
+            settled[0] = True
+            for pid in op_pids:
+                self.transport.unregister(pid)
+            if slot not in self.log:
+                self.log[slot] = winner
+            group_ = self.in_flight.pop(slot, [])
+            if self.log[slot] != value:
+                # lost the slot: the winner is someone else's decree;
+                # our ops rejoin at the head (their invocations are the
+                # oldest) and the pump reproposes at a fresh slot
+                self.queue.extendleft(reversed(group_))
+            self._apply_ready()
+            self._pump()
+
+        def on_switch(switch_value: Hashable) -> None:
+            if settled[0]:
+                return
+            for entry in group:
+                entry.switched += 1
+            backup = BackupClient(
+                ("bcli", sub),
+                coordinators=[
+                    ("coord", slot, j) for j in range(self.n_servers)
+                ],
+                n_acceptors=self.n_servers,
+                on_decide=settle,
+                backoff=self.backoff,
+                on_give_up=on_give_up,
+            )
+            self.transport.register(backup)
+            op_pids.append(backup.pid)
+            for j in range(self.n_servers):
+                self.transport.send(
+                    backup.pid,
+                    ("ctl", 0, j),
+                    ("register-learner", slot, backup.pid),
+                )
+            backup.switch_to_backup(switch_value)
+
+        def on_give_up() -> None:
+            # The slot is unreachable within the retry budget.  The
+            # decree may or may not decide later, so its ops must NOT
+            # be re-proposed (that could decide the value twice);
+            # their fate is unknown — fail them like timeouts.
+            if settled[0]:
+                return
+            settled[0] = True
+            for pid in op_pids:
+                self.transport.unregister(pid)
+            abandoned = self.in_flight.pop(slot, [])
+            for entry in abandoned:
+                self._waiters.pop(entry.tagged, None)
+                if not entry.future.done():
+                    entry.future.set_exception(
+                        DecreeAbandoned(
+                            f"decree at slot {slot} gave up after "
+                            "exhausting Backup retries"
+                        )
+                    )
+            self._pump()
+
+        quorum = QuorumClient(
+            ("qcli", sub),
+            servers=[("qs", slot, j) for j in range(self.n_servers)],
+            on_decide=settle,
+            on_switch=on_switch,
+            timeout=self.quorum_timeout,
+        )
+        self.transport.register(quorum)
+        op_pids.append(quorum.pid)
+        quorum.propose(value)
+
+    # ------------------------------------------------------------------
+    # applying the decided prefix
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _untag(command: Tuple) -> Tuple:
+        return command[:-1]
+
+    def _apply_ready(self) -> None:
+        """Fold newly contiguous decided slots into the running state,
+        resolving the futures of ops this pipeline owns."""
+        while self._applied_upto in self.log:
+            value = self.log[self._applied_upto]
+            for command in batch_commands(value):
+                self._state, output = self.adt.transition(
+                    self._state, self._untag(command)
+                )
+                entry = self._waiters.pop(command, None)
+                if entry is not None and not entry.future.done():
+                    entry.future.set_result(
+                        (output, self._applied_upto,
+                         entry.attempts, entry.switched)
+                    )
+            self._applied_upto += 1
+
+
+class PipelineClient:
+    """One sequential logical client multiplexed onto a pipeline.
+
+    The closed-loop contract and recording discipline are identical to
+    :class:`~repro.net.client.NetClient` — invoke before any effect is
+    possible, respond only with a derived response, leave timed-out ops
+    pending and poison the identity — but ops commit through the shared
+    :class:`SlotPipeline` instead of a private slot probe.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pipeline: SlotPipeline,
+        recorder: HistoryRecorder,
+        op_timeout: float = 5.0,
+    ) -> None:
+        self.name = name
+        self.pipeline = pipeline
+        self.recorder = recorder
+        self.op_timeout = op_timeout
+        self.poisoned = False
+        self.results: List[OpResult] = []
+        self._seq = 0
+        self._incarnation = 0
+
+    def successor(self) -> "PipelineClient":
+        """A fresh identity continuing this client's workload (see
+        :meth:`NetClient.successor` for the Jepsen rationale)."""
+        root = self.name.split("@", 1)[0]
+        heir = PipelineClient(
+            f"{root}@{self._incarnation + 1}",
+            self.pipeline,
+            self.recorder,
+            op_timeout=self.op_timeout,
+        )
+        heir._incarnation = self._incarnation + 1
+        return heir
+
+    async def submit(self, command: Tuple) -> Hashable:
+        """Replicate one KV command; return its derived response.
+
+        Raises :exc:`PayloadTooLarge` for an unframeable op (per-op,
+        pre-invocation, non-poisoning) and :exc:`OperationTimeout` when
+        the op's fate is unknown (op left pending, client poisoned).
+        """
+        if self.poisoned:
+            raise RuntimeError(
+                f"client {self.name!r} is poisoned by a timed-out op"
+            )
+        self._seq += 1
+        tagged = command + (("seq", (self.name, self._seq)),)
+        # the oversize pre-check runs inside enqueue, before anything
+        # is recorded or queued: a PayloadTooLarge ripples out of here
+        # with the history and the client untouched
+        future = self.pipeline.enqueue(tagged)
+        start = self.pipeline.transport.now
+        self.recorder.invoke(self.name, command)
+        try:
+            output, slot, attempts, switched = await asyncio.wait_for(
+                future, self.op_timeout
+            )
+        except (asyncio.TimeoutError, DecreeAbandoned):
+            self.poisoned = True
+            raise OperationTimeout(
+                f"{self.name}: {command!r} still undecided after "
+                f"{self.op_timeout}s"
+            ) from None
+        self.recorder.respond(self.name, command, output)
+        self.results.append(
+            OpResult(
+                client=self.name,
+                command=command,
+                response=output,
+                slot=slot,
+                latency=self.pipeline.transport.now - start,
+                attempts=attempts,
+                switched_slots=switched,
+            )
+        )
+        return output

@@ -42,7 +42,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from ..faults.netfaults import TransportFaults
 from ..mp.sim import NetworkStats
-from .codec import FrameDecoder, FrameError, encode_frame
+from .codec import JSON_CODEC, Codec, FrameDecoder, FrameError
 
 logger = logging.getLogger(__name__)
 
@@ -135,10 +135,14 @@ class AsyncTransport:
         endpoint: str,
         book: AddressBook,
         faults: Optional[TransportFaults] = None,
+        codec: Optional[Codec] = None,
     ) -> None:
         self.endpoint = endpoint
         self.book = book
         self.faults = faults
+        #: outbound wire format; inbound frames self-describe, so peers
+        #: on different codecs interoperate during a rollout
+        self.codec: Codec = codec if codec is not None else JSON_CODEC
         try:
             self.loop = asyncio.get_running_loop()
         except RuntimeError:
@@ -249,7 +253,7 @@ class AsyncTransport:
             return
         link = self.stats.link(self.endpoint, dst_ep)
         try:
-            frame = encode_frame((src, dst, message))
+            frame = self.codec.encode_frame((src, dst, message))
         except FrameError:
             logger.exception("unencodable message from %r to %r", src, dst)
             raise

@@ -55,6 +55,7 @@ dropped prefix).
 
 from __future__ import annotations
 
+import asyncio
 import errno
 import json
 import os
@@ -216,12 +217,18 @@ class WriteAheadLog:
     # writes
     # ------------------------------------------------------------------
 
-    def append(self, value: Any) -> None:
+    def append(self, value: Any, sync: bool = True) -> None:
         """Durably append one record (returns after flush + fsync).
 
         On ``ENOSPC`` the partial frame is truncated away (so the log
         stays a clean prefix of complete records) and
         :exc:`WALFullError` is raised for the caller to retry.
+
+        ``sync=False`` writes the frame without forcing it to disk —
+        the group-commit building block.  Appends are strictly ordered,
+        so a crash before the next :meth:`sync` loses a *suffix* of the
+        unsynced records, never a middle one: replay always recovers a
+        prefix, which is exactly the torn-tail contract.
         """
         body = json.dumps(
             encode_payload(value), separators=(",", ":"), ensure_ascii=True
@@ -238,10 +245,15 @@ class WriteAheadLog:
                     f"log rolled back to {self._valid_bytes} bytes"
                 ) from exc
             raise
-        if self.fsync:
+        if self.fsync and sync:
             self.fs.fsync(self._handle)
         self._valid_bytes += len(frame)
         self.record_count += 1
+
+    def sync(self) -> None:
+        """Force every appended record to disk (one fsync for the lot)."""
+        if self.fsync:
+            self.fs.fsync(self._handle)
 
     def compact(self, snapshot_value: Any) -> None:
         """Atomically install ``snapshot_value`` and truncate the log.
@@ -324,6 +336,14 @@ class NodeWAL:
     accumulated the fold is snapshotted and the log truncated.
     ``recovered`` is the fold as of open time — what a restarting
     :class:`~repro.net.node.ReplicaNode` rebuilds its roles from.
+
+    With ``group_commit=True``, :meth:`record_durable` coalesces every
+    append issued in one event-loop tick into a *single* fsync: records
+    are written unsynced, their ``on_durable`` callbacks queue, and one
+    scheduled flush syncs the batch then releases all callbacks.
+    Persist-before-reply is preserved — no callback (and therefore no
+    buffered reply) fires before the fsync that covers its record — it
+    is only the fsync *count* that drops from N to 1 per tick.
     """
 
     def __init__(
@@ -332,9 +352,17 @@ class NodeWAL:
         fsync: bool = True,
         compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
         fs: Optional[FaultFS] = None,
+        group_commit: bool = False,
     ) -> None:
         self.wal = WriteAheadLog(directory, fsync=fsync, fs=fs)
         self.compact_threshold = compact_threshold
+        self.group_commit = group_commit
+        #: callbacks awaiting the next group fsync
+        self._pending_durable: List[Any] = []
+        self._flush_scheduled = False
+        #: observability: group flushes performed / records they covered
+        self.group_flushes = 0
+        self.group_records = 0
         state = RecoveredState(
             torn_tail=self.wal.torn_tail,
             records_replayed=len(self.wal.records),
@@ -389,6 +417,63 @@ class NodeWAL:
                 self.compact()
             except WALFullError:
                 pass  # deferred: next record retries compaction
+
+    def record_durable(
+        self,
+        kind: str,
+        slot: int,
+        payload: Any,
+        on_durable: Any,
+    ) -> None:
+        """Log one fact and invoke ``on_durable`` once it is on disk.
+
+        Without group commit this is ``record`` + an immediate callback.
+        With it, the record is appended unsynced and the callback joins
+        the batch released by the next scheduled flush — one fsync per
+        event-loop tick, however many roles recorded in it.  Raises
+        :exc:`WALFullError` exactly like :meth:`record` (the callback
+        does not fire; the caller owns the retry).
+        """
+        if not self.group_commit:
+            self.record(kind, slot, payload)
+            on_durable()
+            return
+        record = (kind, slot, payload)
+        self.wal.append(record, sync=False)
+        self._apply(self.state, record)
+        self._pending_durable.append(on_durable)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                self._flush_group()  # no loop: degenerate to sync mode
+            else:
+                loop.call_soon(self._flush_group)
+
+    def _flush_group(self) -> None:
+        """One fsync for every append queued this tick, then release."""
+        self._flush_scheduled = False
+        pending, self._pending_durable = self._pending_durable, []
+        if not pending:
+            return
+        try:
+            self.wal.sync()
+        except OSError:
+            # a failed fsync means durability is unknowable: fail-stop
+            # without releasing any reply (persist-before-reply holds
+            # vacuously; the node wedges rather than lies)
+            self.close()
+            return
+        self.group_flushes += 1
+        self.group_records += len(pending)
+        for callback in pending:
+            callback()
+        if self.wal.record_count >= self.compact_threshold:
+            try:
+                self.compact()
+            except WALFullError:
+                pass  # deferred: next flush retries compaction
 
     def record_acceptor(
         self, slot: int, triple: Tuple[int, int, Optional[Hashable]]

@@ -25,14 +25,16 @@ slot, virtual-time latency) feed experiment E9.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Optional
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
 from ..mp.backoff import BackoffPolicy
 from ..mp.backup import BackupClient
 from ..mp.paxos import PaxosAcceptor, PaxosCoordinator
 from ..mp.quorum import QuorumClient, QuorumServer
 from ..mp.sim import Network, Simulator
+from .universal import make_batch
 
 
 @dataclass
@@ -274,6 +276,140 @@ class SpeculativeSMR:
 
         self.network.call_later(at, start)
         return outcome
+
+    def submit_pipelined(
+        self,
+        client: Hashable,
+        commands: Sequence[Hashable],
+        at: float = 0.0,
+        window: int = 8,
+        max_batch: int = 8,
+    ) -> List[CommandOutcome]:
+        """Replicate ``commands`` through a window of in-flight decrees.
+
+        Where :meth:`submit` probes one slot at a time per command, this
+        keeps up to ``window`` consecutive slots in flight at once, each
+        carrying a batch of up to ``max_batch`` queued commands — the
+        simulator-side mirror of the TCP runtime's
+        :class:`repro.net.pipeline.SlotPipeline`.  A decree that loses
+        its slot re-queues its commands at the head of the line; slots
+        are claimed from a monotonic counter that skips known-decided
+        ones, so the committed log stays a contiguous prefix.
+
+        Safety is :meth:`submit`'s argument verbatim: a batch value is
+        proposed at one slot at a time and re-proposed only after its
+        slot demonstrably decided a different winner, so no value is
+        ever decided twice; and batches carry their commands' unique
+        per-client tags, so distinct groups are distinct decree values.
+        """
+        outcomes = [
+            CommandOutcome(client=client, command=cmd, start=at)
+            for cmd in commands
+        ]
+        self.outcomes.extend(outcomes)
+        queue: deque = deque(outcomes)
+        in_flight = [0]
+        next_slot = [0]
+
+        def claim_slot() -> int:
+            slot = next_slot[0]
+            while slot in self.log or (
+                slot in self.slots and self.slots[slot].decided is not None
+            ):
+                slot += 1
+            next_slot[0] = slot + 1
+            return slot
+
+        def pump() -> None:
+            while in_flight[0] < window and queue:
+                group = [
+                    queue.popleft()
+                    for _ in range(min(max_batch, len(queue)))
+                ]
+                in_flight[0] += 1
+                propose(claim_slot(), group)
+
+        def propose(slot: int, group: List[CommandOutcome]) -> None:
+            instance = self._ensure_slot(slot)
+            value = make_batch(tuple(o.command for o in group))
+            for outcome in group:
+                outcome.attempts += 1
+            self._uid += 1
+            uid = self._uid
+            settled = [False]
+
+            def settle(winner: Hashable, switched: bool) -> None:
+                # one accounting pass per decree, however many of the
+                # quorum/backup callbacks eventually hear the decision
+                if settled[0]:
+                    return
+                settled[0] = True
+                if instance.decided is None:
+                    instance.decided = winner
+                    self.log[slot] = winner
+                won = instance.decided == value
+                if switched:
+                    for outcome in group:
+                        outcome.switched_slots += 1
+                for outcome in group:
+                    if won and outcome.commit_time is None:
+                        outcome.slot = slot
+                        outcome.commit_time = self.network.now
+                        if self.on_commit is not None:
+                            self.on_commit(outcome)
+                if not won:
+                    # losers rejoin at the head: their invocations are
+                    # oldest, and head placement keeps client order
+                    queue.extendleft(reversed(group))
+                in_flight[0] -= 1
+                pump()
+
+            def on_switch(switch_value: Hashable) -> None:
+                backup = BackupClient(
+                    ("bcli", uid),
+                    coordinators=instance.coordinator_pids,
+                    n_acceptors=self.n_servers,
+                    on_decide=lambda winner: settle(winner, switched=True),
+                    backoff=self.backoff,
+                    on_give_up=on_give_up,
+                )
+                self.network.register(backup)
+                instance.register_learner(self, backup.pid)
+                backup.switch_to_backup(switch_value)
+
+            def on_give_up() -> None:
+                if settled[0]:
+                    return
+                settled[0] = True
+                for outcome in group:
+                    outcome.gave_up = True
+                    outcome.give_up_time = self.network.now
+                in_flight[0] -= 1
+
+            timeout = self.quorum_timeout
+            if self.backoff is not None:
+                timeout = self.backoff.delay(0, key=("qcli", uid))
+            quorum = QuorumClient(
+                ("qcli", uid),
+                servers=instance.quorum_pids,
+                on_decide=lambda winner: settle(winner, switched=False),
+                on_switch=on_switch,
+                timeout=timeout,
+            )
+            self.network.register(quorum)
+            quorum.propose(value)
+
+        def start() -> None:
+            for outcome in outcomes:
+                outcome.start = self.network.now
+            slot = 0
+            while slot in self.log:
+                slot += 1
+            next_slot[0] = slot
+            pump()
+
+        self.network.call_later(at, start)
+        return outcomes
 
     def run(self, until: Optional[float] = None, max_events: int = 500000) -> None:
         """Drive the simulation to quiescence (or the given horizon)."""

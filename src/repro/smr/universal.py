@@ -41,6 +41,46 @@ class UniversalFrontend:
         return self.adt.output(tuple(history[:upto]))
 
 
+#: first element of a batch decree value (see :func:`make_batch`)
+BATCH_TAG = "batch"
+
+
+def make_batch(commands: Sequence[Hashable]) -> Tuple:
+    """Pack client commands into one decree value.
+
+    The batching coordinator proposes ``("batch", (cmd, ...))`` as a
+    *single* consensus value: one Quorum/Backup round decides a whole
+    group of operations, which is what lets throughput scale past one
+    op per protocol round trip.  Commands keep their per-client
+    ``("seq", ...)`` tags, so distinct batches are distinct values —
+    the sticky-acceptance and unanimity arguments are untouched because
+    consensus only ever compares decree values for equality.
+    """
+    return (BATCH_TAG, tuple(commands))
+
+
+def is_batch(value: Hashable) -> bool:
+    """True iff ``value`` is a batch decree."""
+    return (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and value[0] == BATCH_TAG
+        and isinstance(value[1], tuple)
+    )
+
+
+def batch_commands(value: Hashable) -> Tuple:
+    """The commands a decided decree carries (a 1-tuple if unbatched).
+
+    Appliers flatten decided slots through this, so a log mixing
+    batched and single-op decrees (e.g. after a codec or config
+    rollout) replays to the same sequential history.
+    """
+    if is_batch(value):
+        return value[1]  # type: ignore[index]
+    return (value,)
+
+
 def kv_put(key: Hashable, value: Hashable) -> Tuple:
     """KV command: bind ``key`` to ``value``; returns the previous value."""
     return ("put", key, value)

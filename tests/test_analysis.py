@@ -284,40 +284,46 @@ def test_every_rule_has_a_failing_fixture():
 
 GOOD_BODY = """\
         self._wal_buffer = []
-        stalled = False
         state = self._wal_persisted
         try:
             super().on_message(src, message)  # type: ignore[misc]
             state = self.durable_state()
-            if state != self._wal_persisted:
-                try:
-                    self._wal.record(self._wal_kind, self._wal_slot, state)
-                except WALFullError:
-                    stalled = True
-                else:
-                    self._wal_persisted = state
         finally:
             buffered, self._wal_buffer = self._wal_buffer, None
-        if stalled:
+        if state == self._wal_persisted:
+            # nothing new to persist; replies promise only already
+            # durable state and may leave at once
+            self._wal_release(buffered)
+            return
+        try:
+            # under group commit the callback fires after the shared
+            # fsync of this event-loop tick — one sync covers every
+            # role that recorded in it, and no reply beats its record
+            self._wal.record_durable(
+                self._wal_kind,
+                self._wal_slot,
+                state,
+                lambda: self._wal_release(buffered),
+            )
+        except WALFullError:
             self._wal_begin_retry(state, buffered)
             return
-        for dst, msg in buffered:
-            super().send(dst, msg)  # type: ignore[misc]
+        self._wal_persisted = state
 """
 
 BUGGED_BODY = """\
         self._wal_buffer = []
+        state = self._wal_persisted
         try:
             super().on_message(src, message)
-            buffered, self._wal_buffer = self._wal_buffer, None
-            for dst, msg in buffered:
-                super().send(dst, msg)
             state = self.durable_state()
-            if state != self._wal_persisted:
-                self._wal.record(self._wal_kind, self._wal_slot, state)
-                self._wal_persisted = state
         finally:
-            pass
+            buffered, self._wal_buffer = self._wal_buffer, None
+        for dst, msg in buffered:
+            super().send(dst, msg)
+        if state != self._wal_persisted:
+            self._wal.record(self._wal_kind, self._wal_slot, state)
+            self._wal_persisted = state
 """
 
 

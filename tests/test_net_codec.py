@@ -1,23 +1,36 @@
-"""Property tests for the wire codec (`repro.net.codec`).
+"""Property tests for the wire codecs (`repro.net.codec`).
 
-The codec's contract is ``decode ∘ encode = id`` over every value the
+The codec contract is ``decode ∘ encode = id`` over every value the
 protocols ever put on the wire: nested tuples (pids, tagged KV
 commands), lists, dicts, and scalars.  Tested three ways — randomized
 payloads via hypothesis, the concrete message family of every protocol
 role, and the framing edges at :data:`MAX_FRAME`.
+
+Two codecs implement that contract (tagged JSON and the struct-packed
+binary format), so on top of each codec's round trip the *parity*
+properties check they agree value-for-value, that one decoder handles
+a mixed-codec stream via the magic-byte dispatch, and that both raise
+the typed :exc:`FrameTooLarge` at the frame bound.
 """
+
+import struct
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net.codec import (
+    BINARY_CODEC,
+    BINARY_MAGIC,
     FrameDecoder,
     FrameError,
+    FrameTooLarge,
+    JSON_CODEC,
     MAX_FRAME,
     decode_payload,
     encode_frame,
     encode_payload,
+    get_codec,
 )
 
 # ---------------------------------------------------------------------------
@@ -181,3 +194,132 @@ def test_unencodable_payload_refused():
 def test_unknown_container_tag_refused():
     with pytest.raises(FrameError, match="unknown container tag"):
         decode_payload({"z": []})
+
+
+# ---------------------------------------------------------------------------
+# JSON / binary parity
+# ---------------------------------------------------------------------------
+
+
+def _decode_one(frame):
+    (value,) = FrameDecoder().feed_all(frame)
+    return value
+
+
+@settings(max_examples=200, deadline=None)
+@given(payloads)
+def test_codec_parity_on_random_payloads(value):
+    """Both codecs round-trip the same value space to the same result."""
+    via_json = _decode_one(JSON_CODEC.encode_frame(value))
+    via_binary = _decode_one(BINARY_CODEC.encode_frame(value))
+    assert via_json == value
+    assert via_binary == value
+
+
+@pytest.mark.parametrize("message", MESSAGES, ids=[m[0] for m in MESSAGES])
+def test_binary_protocol_envelopes_round_trip(message):
+    envelope = (PIDS[0], PIDS[-1], message)
+    decoded = _decode_one(BINARY_CODEC.encode_frame(envelope))
+    assert decoded == envelope
+    # exact container types, same as the JSON test above
+    assert type(decoded) is tuple
+    assert type(decoded[2]) is tuple
+
+
+def test_binary_tuple_list_distinction_survives():
+    value = (("a", 1), ["a", 1], {"k": ("v",)})
+    decoded = _decode_one(BINARY_CODEC.encode_frame(value))
+    assert type(decoded[0]) is tuple
+    assert type(decoded[1]) is list
+    assert type(decoded[2]["k"]) is tuple
+
+
+def test_binary_unicode_round_trips():
+    value = ("ключ", "héllo wörld", "🧪" * 40, "\x00\x7f")
+    assert _decode_one(BINARY_CODEC.encode_frame(value)) == value
+
+
+def test_binary_big_integers_round_trip():
+    # beyond int64 the codec falls back to decimal digits; bools must
+    # not be swallowed by the int path either
+    value = (2 ** 100, -(2 ** 100), 2 ** 63 - 1, -(2 ** 63), True, False)
+    decoded = _decode_one(BINARY_CODEC.encode_frame(value))
+    assert decoded == value
+    assert [type(v) for v in decoded] == [type(v) for v in value]
+
+
+def test_mixed_codec_stream_decodes_uniformly():
+    """One decoder serves peers on either codec (magic-byte dispatch)."""
+    values = [("a", 1), {"k": (2, None)}, [True, "x"]]
+    stream = b"".join(
+        (BINARY_CODEC if i % 2 else JSON_CODEC).encode_frame(v)
+        for i, v in enumerate(values)
+    )
+    assert FrameDecoder().feed_all(stream) == values
+
+
+def test_binary_frames_smaller_on_floats_and_unicode():
+    # where the binary format's fixed-width packing wins: floats are 8
+    # bytes instead of up to 17 decimal digits, and non-ASCII text is
+    # raw UTF-8 instead of six-byte \uXXXX escapes
+    value = (tuple(0.1 * i for i in range(20)), "значение" * 10)
+    assert len(BINARY_CODEC.encode_frame(value)) < len(
+        JSON_CODEC.encode_frame(value)
+    )
+
+
+def test_get_codec_lookup():
+    assert get_codec("json") is JSON_CODEC
+    assert get_codec("binary") is BINARY_CODEC
+    with pytest.raises(FrameError, match="unknown codec"):
+        get_codec("protobuf")
+
+
+def test_binary_magic_never_starts_a_json_body():
+    # the dispatch invariant: every JSON body is ASCII, the magic is not
+    assert BINARY_MAGIC > 0x7F
+    body = JSON_CODEC.encode_frame({"k": ("v",)})[4:]
+    assert body[0] != BINARY_MAGIC
+
+
+# ---------------------------------------------------------------------------
+# binary framing edges
+# ---------------------------------------------------------------------------
+
+
+def test_binary_frame_just_under_limit_round_trips():
+    # binary overhead for a str: magic + tag + u32 length = 6 bytes
+    value = "x" * (MAX_FRAME - 6)
+    assert _decode_one(BINARY_CODEC.encode_frame(value)) == value
+
+
+def test_binary_oversized_frame_raises_typed_error():
+    with pytest.raises(FrameTooLarge, match="exceeds MAX_FRAME"):
+        BINARY_CODEC.encode_frame("x" * MAX_FRAME)
+
+
+def test_json_oversized_frame_raises_typed_error():
+    # FrameTooLarge is a FrameError: old call sites that catch the
+    # broad class keep working, new ones can split-and-retry
+    with pytest.raises(FrameTooLarge, match="exceeds MAX_FRAME"):
+        JSON_CODEC.encode_frame("x" * MAX_FRAME)
+    assert issubclass(FrameTooLarge, FrameError)
+
+
+def test_binary_truncated_body_refused():
+    # magic + tuple header announcing 3 items, but no items follow
+    body = bytes([BINARY_MAGIC]) + b"t" + struct.pack(">I", 3)
+    with pytest.raises(FrameError, match="truncated"):
+        _decode_one(struct.pack(">I", len(body)) + body)
+
+
+def test_binary_trailing_bytes_refused():
+    body = bytes([BINARY_MAGIC]) + b"N" + b"junk"
+    with pytest.raises(FrameError, match="trailing"):
+        _decode_one(struct.pack(">I", len(body)) + body)
+
+
+def test_binary_unknown_tag_refused():
+    body = bytes([BINARY_MAGIC]) + b"Z"
+    with pytest.raises(FrameError, match="unknown binary tag"):
+        _decode_one(struct.pack(">I", len(body)) + body)

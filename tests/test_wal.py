@@ -3,15 +3,20 @@
 The WAL is the stable storage of the TCP runtime: everything here
 exercises the crash cases the runtime's recovery depends on — a clean
 replay, torn tails of every flavour (short header, short body, corrupt
-checksum), and the snapshot-compaction invariant that snapshot + tail
-replays to the same fold as the full history.
+checksum), the snapshot-compaction invariant that snapshot + tail
+replays to the same fold as the full history, and the group-commit
+contract: one fsync covers a tick's appends, no callback fires before
+the fsync that covers its record, and a crash mid-group loses a suffix
+of the group — replay always recovers a prefix, never a hole.
 """
 
+import asyncio
 import os
 import struct
 
 import pytest
 
+from repro.net.faultfs import FaultyFS
 from repro.net.wal import (
     DEFAULT_COMPACT_THRESHOLD,
     NodeWAL,
@@ -213,6 +218,103 @@ class TestNodeWAL:
         assert reopened.recovered.torn_tail
         assert reopened.recovered.decided == {0: "keep"}
         reopened.close()
+
+
+class TestGroupCommit:
+    def test_one_fsync_covers_a_ticks_appends(self, tmp_path):
+        fs = FaultyFS(seed=0)
+        wal = NodeWAL(str(tmp_path), fs=fs, group_commit=True)
+        released = []
+
+        async def tick():
+            for slot in range(5):
+                wal.record_durable(
+                    "dec", slot, f"v{slot}",
+                    lambda slot=slot: released.append(slot),
+                )
+            # persist-before-reply: nothing released before the flush
+            assert released == []
+            before = fs.stats["fsyncs"]
+            await asyncio.sleep(0)  # run the scheduled flush
+            assert released == [0, 1, 2, 3, 4]
+            assert fs.stats["fsyncs"] == before + 1
+
+        asyncio.run(tick())
+        assert wal.group_flushes == 1
+        assert wal.group_records == 5
+        wal.close()
+        reopened = NodeWAL(str(tmp_path))
+        assert reopened.recovered.decided == {
+            s: f"v{s}" for s in range(5)
+        }
+        reopened.close()
+
+    def test_without_a_loop_degenerates_to_per_record_sync(self, tmp_path):
+        wal = NodeWAL(str(tmp_path), group_commit=True)
+        released = []
+        wal.record_durable("dec", 0, "v", lambda: released.append(0))
+        assert released == [0]  # flushed inline, no loop to defer to
+        wal.close()
+
+    def test_group_commit_off_is_record_plus_callback(self, tmp_path):
+        fs = FaultyFS(seed=0)
+        wal = NodeWAL(str(tmp_path), fs=fs, group_commit=False)
+        released = []
+        wal.record_durable("dec", 0, "v", lambda: released.append(0))
+        wal.record_durable("dec", 1, "w", lambda: released.append(1))
+        assert released == [0, 1]
+        assert fs.stats["fsyncs"] == 2  # one per record, the seed path
+        wal.close()
+
+    def test_crash_mid_group_replays_to_prefix_never_a_hole(self, tmp_path):
+        wal = NodeWAL(str(tmp_path), group_commit=True)
+        released = []
+
+        async def crash_before_flush():
+            for slot in range(3):
+                wal.record_durable(
+                    "dec", slot, f"v{slot}",
+                    lambda slot=slot: released.append(slot),
+                )
+            # the process dies before the scheduled flush runs: no
+            # reply was released, so nothing was promised to anyone
+            wal.close()
+
+        asyncio.run(crash_before_flush())
+        assert released == []
+        # appends are strictly ordered: whatever writeback persisted is
+        # a byte prefix — model the worst case, a tear inside record 1
+        path = os.path.join(str(tmp_path), "wal.log")
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) * 2 // 5])
+        reopened = NodeWAL(str(tmp_path))
+        # record 0 survives, records 1 and 2 are gone together — the
+        # decided map is a prefix of the group, not {0, 2}
+        assert reopened.recovered.decided == {0: "v0"}
+        assert reopened.recovered.torn_tail
+        reopened.close()
+
+    def test_fsync_failure_wedges_without_releasing(self, tmp_path):
+        fs = FaultyFS(seed=0)
+        wal = NodeWAL(str(tmp_path), fs=fs, group_commit=True)
+        released = []
+
+        async def tick():
+            wal.record_durable("dec", 0, "v", lambda: released.append(0))
+
+            def broken_fsync(handle):
+                raise OSError("injected fsync failure")
+
+            fs.fsync = broken_fsync
+            await asyncio.sleep(0)
+
+        asyncio.run(tick())
+        # durability unknowable: the node fail-stops, the reply is
+        # withheld forever rather than released without a real fsync
+        assert released == []
+        assert wal.closed
 
 
 class TestRecoveredState:
