@@ -34,6 +34,11 @@ Benchmarks:
   one-op-per-round client; gates on the dimensionless ``speedup``
   (floor 10x) and all-histories-linearizable, reports uniform
   ops/s + p50/p99 latency per configuration.
+* ``monitor`` — the streaming linearizability monitor: monitor-on vs
+  monitor-off on the same pipelined burst (gates on the slowdown
+  ratio and the live verdict) and a 50k-op synthetic concurrent feed
+  whose peak retained-event gauge must stay under a fixed
+  O(concurrent window) bound (gated boolean — the GC invariant).
 
 Throughput-shaped benchmarks report a **uniform metric surface** via
 :func:`throughput_metrics` — ``ops_per_s``, ``latency_p50_ms``,
@@ -452,6 +457,11 @@ def bench_throughput(quick):
     return _delegated("bench_throughput")(quick)
 
 
+def bench_monitor(quick):
+    """Live-monitor overhead + GC bound (delegates to bench_monitor.py)."""
+    return _delegated("bench_monitor")(quick)
+
+
 BENCHES = {
     "pcomp": bench_pcomp,
     "search": bench_search,
@@ -460,6 +470,7 @@ BENCHES = {
     "recovery": bench_recovery,
     "grayfaults": bench_grayfaults,
     "throughput": bench_throughput,
+    "monitor": bench_monitor,
 }
 
 

@@ -12,6 +12,9 @@ Usage::
     python -m repro harness [--quick|--full] [...]      # benchmark harness
     python -m repro serve --replicas 3 --port-base 9000 # TCP cluster
     python -m repro loadgen --replicas 3 --clients 8 --ops 200 --seed 0
+    python -m repro loadgen --shards 2 --monitor        # checked live
+    python -m repro monitor --replay artifact.json      # stream a trace
+    python -m repro monitor --watch --port-base 9000    # probe a cluster
     python -m repro lint [--format text|json] [--baseline] [PATH...]
 
 Each experiment prints the table/series described in EXPERIMENTS.md.
@@ -28,6 +31,12 @@ canary the campaign must catch as a linearizability violation.
 ``serve`` hosts a replica cluster on real TCP ports until interrupted;
 ``loadgen`` drives a closed-loop workload against a fresh cluster and
 checks the recorded wire-level history for linearizability.
+``--monitor`` (on both) additionally streams every event through the
+online :mod:`repro.monitor` checker *during* the run — fail-fast on the
+first violation, bounded memory via GC of decided prefixes — and
+``monitor`` runs the same checker standalone: ``--replay FILE`` streams
+a recorded artifact, ``--watch`` probes a separately-served cluster
+with a recording canary client (see docs/MONITORING.md).
 ``lint`` runs the protocol-aware static analysis pass
 (:mod:`repro.analysis`) — determinism, durability, atomicity,
 async-hygiene and IOA well-formedness rules — over ``src/``, exiting
@@ -75,7 +84,9 @@ EXAMPLES = [
 
 #: names that dispatch to argparse subparsers; anything else is an
 #: experiment key for the implicit ``run`` subcommand
-SUBCOMMANDS = ("run", "nemesis", "harness", "serve", "loadgen", "lint")
+SUBCOMMANDS = (
+    "run", "nemesis", "harness", "serve", "loadgen", "monitor", "lint",
+)
 
 
 def run_bench(module_name: str) -> None:
@@ -136,6 +147,7 @@ def cmd_nemesis(args: argparse.Namespace) -> int:
             pipelined=args.pipelined,
             codec=args.codec,
             group_commit=args.group_commit,
+            monitor=args.monitor,
         )
         print()
         print(report.summary())
@@ -169,7 +181,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.net import LocalCluster, Supervisor
 
-    async def serve() -> None:
+    async def serve() -> int:
         cluster = LocalCluster(
             n_servers=args.replicas,
             host=args.host,
@@ -187,16 +199,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"  WALs under {args.wal_dir}")
         if supervisor is not None:
             print("  supervisor: dead replicas restart from their WALs")
+        probe = tap = None
+        if args.monitor:
+            from repro.monitor import StreamingMonitor
+            from repro.monitor.cli import make_probe
+            from repro.smr.universal import kv_store_adt
+
+            probe, tap = make_probe(
+                cluster.client_transport("monitor-probe"),
+                args.replicas,
+                StreamingMonitor(kv_store_adt()),
+            )
+            print(
+                f"  monitor: streaming canary probes every "
+                f"{args.monitor_interval}s (fail-fast on violation)"
+            )
         print("serving; interrupt to stop")
         try:
+            if probe is not None and tap is not None:
+                from repro.monitor.cli import probe_loop
+
+                report = await probe_loop(
+                    probe, tap, None, args.monitor_interval
+                )
+                print(report.summary())
+                return 1 if report.verdict == "violation" else 0
             await asyncio.Event().wait()
+            return 0
         finally:
             if supervisor is not None:
                 await supervisor.stop()
             await cluster.stop()
 
     try:
-        asyncio.run(serve())
+        return asyncio.run(serve())
     except KeyboardInterrupt:
         print("\nstopped")
     return 0
@@ -224,11 +260,71 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         codec=args.codec,
         group_commit=args.group_commit,
         check=not args.no_check,
+        monitor=args.monitor,
     )
     print(report.summary())
+    if args.monitor and report.monitor_verdict == "violation":
+        return 1
     if args.no_check:
         return 0
     return 0 if report.linearizable else 1
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Run the streaming monitor standalone: replay or live watch."""
+    import asyncio
+    import json
+
+    from repro.monitor.cli import (
+        exit_code,
+        load_history,
+        replay_history,
+        watch_cluster,
+    )
+
+    def write_witness(witness) -> None:
+        if args.witness and witness is not None:
+            with open(args.witness, "w", encoding="utf-8") as handle:
+                json.dump(witness, handle, indent=2, default=repr)
+            print(f"  witness written to {args.witness}")
+
+    if args.replay:
+        shards = load_history(args.replay)
+        verdict, reason, reports = replay_history(
+            shards,
+            node_limit=args.node_limit,
+            config_limit=args.config_limit,
+        )
+        for index, item in enumerate(reports):
+            label = f"shard{index}: " if len(reports) > 1 else ""
+            print(f"  {label}{item.summary()}")
+        line = f"monitor replay: {verdict}"
+        if reason:
+            line += f" -- {reason}"
+        print(line)
+        write_witness(
+            next((r.witness for r in reports if r.witness is not None), None)
+        )
+        return exit_code(verdict)
+
+    if args.watch:
+        report = asyncio.run(
+            watch_cluster(
+                args.host,
+                args.port_base,
+                args.replicas,
+                ops=args.ops,
+                interval=args.interval,
+                node_limit=args.node_limit,
+                config_limit=args.config_limit,
+            )
+        )
+        print(report.summary())
+        write_witness(report.witness)
+        return exit_code(report.verdict)
+
+    print("monitor: pass --replay FILE or --watch (see --help)")
+    return 2
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -306,6 +402,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --net: coalesce WAL appends into shared fsyncs",
     )
+    p_nem.add_argument(
+        "--monitor",
+        action="store_true",
+        help="with --net: stream every run's history through a live "
+        "linearizability monitor (fail-fast, mid-run witness)",
+    )
     p_nem.set_defaults(func=cmd_nemesis)
 
     p_har = sub.add_parser("harness", help="run the benchmark harness")
@@ -325,6 +427,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--supervise",
         action="store_true",
         help="auto-restart dead replicas from their WALs",
+    )
+    p_srv.add_argument(
+        "--monitor",
+        action="store_true",
+        help="run streaming canary probes against the served cluster; "
+        "exit 1 the moment a probe history stops being linearizable",
+    )
+    p_srv.add_argument(
+        "--monitor-interval",
+        type=float,
+        default=0.5,
+        help="seconds between canary probes (with --monitor)",
     )
     p_srv.set_defaults(func=cmd_serve)
 
@@ -399,7 +513,70 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the linearizability verdict (pure benchmarking)",
     )
+    p_load.add_argument(
+        "--monitor",
+        action="store_true",
+        help="check the history online while the run is in flight "
+        "(streaming monitor, fail-fast, bounded memory)",
+    )
     p_load.set_defaults(func=cmd_loadgen)
+
+    p_mon = sub.add_parser(
+        "monitor",
+        help="stream a recorded history or watch a live cluster",
+    )
+    p_mon.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="stream a loadgen/nemesis history artifact through the "
+        "monitor (per-shard monitors for sharded artifacts)",
+    )
+    p_mon.add_argument(
+        "--watch",
+        action="store_true",
+        help="probe a separately-served cluster (see `serve`) with a "
+        "recording canary client checked online",
+    )
+    p_mon.add_argument("--host", default="127.0.0.1")
+    p_mon.add_argument(
+        "--port-base",
+        type=int,
+        default=9000,
+        help="with --watch: first replica port (node i at port-base+i)",
+    )
+    p_mon.add_argument("--replicas", type=int, default=3)
+    p_mon.add_argument(
+        "--ops",
+        type=int,
+        default=40,
+        help="with --watch: number of canary probes to issue",
+    )
+    p_mon.add_argument(
+        "--interval",
+        type=float,
+        default=0.05,
+        help="with --watch: seconds between canary probes",
+    )
+    p_mon.add_argument(
+        "--node-limit",
+        type=int,
+        default=None,
+        help="per-event search budget (exceeding it => unknown)",
+    )
+    p_mon.add_argument(
+        "--config-limit",
+        type=int,
+        default=None,
+        help="frontier-size budget per key (exceeding it => unknown)",
+    )
+    p_mon.add_argument(
+        "--witness",
+        default=None,
+        metavar="OUT",
+        help="write the shrunken violation witness JSON here",
+    )
+    p_mon.set_defaults(func=cmd_monitor)
 
     p_lint = sub.add_parser(
         "lint", help="run the protocol-aware static analysis pass"

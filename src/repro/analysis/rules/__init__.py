@@ -8,6 +8,7 @@ Importing this package registers every rule with
 * :mod:`.rd03_atomicity` — shared-memory cells only via read/write/cas
 * :mod:`.rd04_async` — no orphan tasks or silent broad excepts in net/
 * :mod:`.rd05_ioa` — IOA signatures total, preconditions mutation-free
+* :mod:`.rd06_monitor` — responses recorded only after an awaited reply
 """
 
 from . import (  # noqa: F401
@@ -16,4 +17,5 @@ from . import (  # noqa: F401
     rd03_atomicity,
     rd04_async,
     rd05_ioa,
+    rd06_monitor,
 )

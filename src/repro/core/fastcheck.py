@@ -84,6 +84,34 @@ class _Unpartitionable(Exception):
     """Internal: the trace does not fit the declared partition shape."""
 
 
+def route_action(spec: PartitionSpec, action) -> Tuple[Hashable, object]:
+    """Key one action and rewrite it into the component's alphabet.
+
+    Returns ``(key, projected_action)``.  Raises (``_Unpartitionable``
+    for non-invocation/response actions, or whatever the spec's callables
+    raise on payloads they reject) when the action does not fit the
+    declared partition shape — :func:`partition_trace` turns that into a
+    monolithic fallback, while the streaming monitor turns it into an
+    *unknown* verdict (it cannot fall back mid-stream after GC).
+    """
+    if isinstance(action, Invocation):
+        key = spec.key_of(action.input)
+        return key, Invocation(
+            action.client,
+            action.phase,
+            spec.project_input(key, action.input),
+        )
+    if isinstance(action, Response):
+        key = spec.key_of(action.input)
+        return key, Response(
+            action.client,
+            action.phase,
+            spec.project_input(key, action.input),
+            spec.project_output(key, action.output),
+        )
+    raise _Unpartitionable(action)
+
+
 def partition_trace(
     trace: Trace, spec: PartitionSpec
 ) -> Optional[Dict[Hashable, Trace]]:
@@ -98,27 +126,8 @@ def partition_trace(
     parts: Dict[Hashable, List] = {}
     try:
         for action in trace:
-            if isinstance(action, Invocation):
-                key = spec.key_of(action.input)
-                parts.setdefault(key, []).append(
-                    Invocation(
-                        action.client,
-                        action.phase,
-                        spec.project_input(key, action.input),
-                    )
-                )
-            elif isinstance(action, Response):
-                key = spec.key_of(action.input)
-                parts.setdefault(key, []).append(
-                    Response(
-                        action.client,
-                        action.phase,
-                        spec.project_input(key, action.input),
-                        spec.project_output(key, action.output),
-                    )
-                )
-            else:
-                raise _Unpartitionable(action)
+            key, projected = route_action(spec, action)
+            parts.setdefault(key, []).append(projected)
     except _Unpartitionable:
         return None
     except Exception:

@@ -537,6 +537,117 @@ def linearize(
     )
 
 
+# ---------------------------------------------------------------------------
+# Incremental (streaming) frontier search
+# ---------------------------------------------------------------------------
+
+#: One speculative linearization state of a live stream: the ADT state
+#: reached by the operations linearized so far, plus the *promises* —
+#: operations linearized ahead of their responses, each carrying the
+#: output its eventual response must produce.  A frontier is a set of
+#: these; the stream is linearizable so far iff the set is non-empty.
+FrontierConfig = Tuple[Hashable, FrozenSet[Tuple[Hashable, Hashable]]]
+
+
+class FrontierBudgetExceeded(Exception):
+    """A single :func:`frontier_step` outgrew its node budget.
+
+    The streaming analogue of ``state_limit``: callers treat it as an
+    *unknown* verdict (the monitor degrades instead of thrashing), never
+    as a violation.
+    """
+
+
+def initial_frontier(adt: ADT) -> FrozenSet[FrontierConfig]:
+    """The frontier of the empty stream: initial state, no promises."""
+    return frozenset({(adt.initial_state, frozenset())})
+
+
+def frontier_step(
+    step: "Callable",
+    configs: FrozenSet[FrontierConfig],
+    open_inputs: Mapping[Hashable, Input],
+    respond_id: Hashable,
+    output: Hashable,
+    node_limit: Optional[int] = None,
+) -> FrozenSet[FrontierConfig]:
+    """Advance a linearization frontier past one response event.
+
+    This is the incremental version of :func:`linearize`'s search, in the
+    just-in-time style (Lowe): invocations merely open operations; all
+    search effort happens at responses.  ``open_inputs`` maps the ids of
+    the currently-open operations (invoked, not yet responded) to their
+    ADT inputs, including ``respond_id`` — the operation whose response
+    carrying ``output`` just arrived.  For each configuration the step
+    explores every way to linearize a (possibly empty) sequence of other
+    open operations speculatively — recording each one's output as a
+    promise to be checked against its own later response — culminating
+    in ``respond_id`` itself, whose output must equal ``output`` *now*.
+    Configurations in which ``respond_id`` was already speculatively
+    linearized survive iff the promised output matches.
+
+    Deferring further linearizations to later response events loses no
+    completeness: an open operation stays available for linearization at
+    every later event up to its own response, so any witness order can
+    be replayed lazily.  Real-time order is inherent — an operation can
+    only be linearized between its invocation and its response events.
+
+    Returns the surviving frontier; empty means the stream up to and
+    including this response is **not** linearizable.  The decided prefix
+    is folded into each configuration's ADT state, which is what lets a
+    streaming caller garbage-collect history: memory is the frontier
+    plus the open operations, not the trace.
+
+    ``node_limit`` bounds the configurations explored in this one step;
+    exceeding it raises :class:`FrontierBudgetExceeded` (verdict
+    *unknown*, not a violation).
+    """
+    respond_input = open_inputs[respond_id]
+    survivors: Set[FrontierConfig] = set()
+    nodes = 0
+    for state, promises in configs:
+        already = None
+        for op_id, promised in promises:
+            if op_id == respond_id:
+                already = promised
+                break
+        if already is not None:
+            if already == output:
+                survivors.add(
+                    (state, promises - {(respond_id, already)})
+                )
+            # a mismatched promise kills this configuration only; other
+            # configurations may still explain the response
+            continue
+        # DFS over speculative linearizations of other open operations,
+        # trying to linearize the responder at every node.
+        stack: List[FrontierConfig] = [(state, promises)]
+        seen: Set[FrontierConfig] = {(state, promises)}
+        while stack:
+            base_state, base_promises = stack.pop()
+            nodes += 1
+            if node_limit is not None and nodes > node_limit:
+                raise FrontierBudgetExceeded(
+                    f"frontier step exceeded {node_limit} nodes"
+                )
+            new_state, produced = step(base_state, respond_input)
+            if produced == output:
+                survivors.add((new_state, base_promises))
+            linearized = {op_id for op_id, _ in base_promises}
+            for op_id, payload in open_inputs.items():
+                if op_id == respond_id or op_id in linearized:
+                    continue
+                spec_state, spec_out = step(base_state, payload)
+                candidate = (
+                    spec_state,
+                    base_promises | {(op_id, spec_out)},
+                )
+                if candidate not in seen:
+                    seen.add(candidate)
+                    stack.append(candidate)
+    return frozenset(survivors)
+
+
 def is_linearizable(
     trace: Trace,
     adt: ADT,

@@ -64,6 +64,7 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.fastcheck import check_linearizable
+from ..monitor import MonitorTap, StreamingMonitor
 from ..net.client import (
     DEFAULT_QUORUM_TIMEOUT,
     HistoryRecorder,
@@ -72,7 +73,12 @@ from ..net.client import (
 )
 from ..net.cluster import LocalCluster
 from ..net.faultfs import FaultyFS, flip_record_body, tear_tail
-from ..net.loadgen import DEFAULT_KEYS, _command_stream
+from ..net.loadgen import (
+    DEFAULT_KEYS,
+    MONITOR_CONFIG_LIMIT,
+    MONITOR_NODE_LIMIT,
+    _command_stream,
+)
 from ..net.pipeline import PipelineClient, SlotPipeline
 from ..net.wal import WALCorruptionError
 from ..smr.universal import UniversalFrontend, kv_store_adt
@@ -402,6 +408,11 @@ class NetRunResult:
     pipelined: bool = False
     decrees: int = 0
     batched_ops: int = 0
+    monitored: bool = False
+    monitor_verdict: Optional[str] = None
+    monitor_reason: Optional[str] = None
+    monitor_events: int = 0
+    monitor_witness: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -422,6 +433,8 @@ class NetRunResult:
                 f" pipelined decrees={self.decrees}"
                 f" batched={self.batched_ops}"
             )
+        if self.monitored:
+            extra += f" monitor={self.monitor_verdict}"
         return (
             f"[{tag}] {self.verdict:<13} committed={self.committed:<3} "
             f"pending={self.pending} successors={self.successors} "
@@ -451,6 +464,10 @@ class NetRunResult:
             "pipelined": self.pipelined,
             "decrees": self.decrees,
             "batched_ops": self.batched_ops,
+            "monitored": self.monitored,
+            "monitor_verdict": self.monitor_verdict,
+            "monitor_reason": self.monitor_reason,
+            "monitor_events": self.monitor_events,
         }
 
 
@@ -528,6 +545,11 @@ class _RunConfig:
     window: int = 8
     batch: int = 16
     group_commit: bool = False
+    #: run a live StreamingMonitor on the recorded history: the drivers
+    #: stop as soon as it flips to violation (fail-fast, mid-run), and
+    #: the run result carries the online verdict next to the post-hoc
+    #: one.  The amnesiac-canary campaigns assert the two agree.
+    monitor: bool = False
 
 
 async def _run_schedule(
@@ -561,7 +583,18 @@ async def _run_schedule(
         )
         await cluster.start()
         transport = cluster.client_transport("clients")
-        recorder = HistoryRecorder(clock=lambda: transport.now)
+        tap: Optional[MonitorTap] = None
+        if config.monitor:
+            tap = MonitorTap(
+                StreamingMonitor(
+                    kv_store_adt(),
+                    node_limit=MONITOR_NODE_LIMIT,
+                    config_limit=MONITOR_CONFIG_LIMIT,
+                )
+            )
+        recorder = HistoryRecorder(
+            clock=lambda: transport.now, tap=tap
+        )
         frontend = UniversalFrontend(kv_store_adt())
         all_clients: List[Union[NetClient, PipelineClient]] = []
         late_tasks: List[asyncio.Task] = []
@@ -614,6 +647,8 @@ async def _run_schedule(
             rng = random.Random(f"netload:{schedule.seed}:{index}")
             stream = _command_stream(rng, config.keys)
             for _ in range(config.ops_per_client):
+                if tap is not None and tap.violated:
+                    return  # fail-fast: the monitor already has a witness
                 await asyncio.sleep(rng.uniform(*OP_GAP))
                 command = next(stream)
                 try:
@@ -630,6 +665,8 @@ async def _run_schedule(
             # which is where a recovered-but-amnesiac node forks history.
             client = make_client(f"late{index}")
             for key in config.keys:
+                if tap is not None and tap.violated:
+                    return
                 try:
                     await client.submit(("get", key))
                     result.committed += 1
@@ -745,6 +782,13 @@ async def _run_schedule(
             result.reason = "run exceeded its wall-clock budget"
         result.duration = transport.now - start
         await cluster.stop()
+        if tap is not None:
+            monitor_report = await tap.close()
+            result.monitored = True
+            result.monitor_verdict = monitor_report.verdict
+            result.monitor_reason = monitor_report.reason
+            result.monitor_events = monitor_report.events
+            result.monitor_witness = monitor_report.witness
 
     if pipeline is not None:
         result.pipelined = True
@@ -799,6 +843,7 @@ def run_net_campaign(
     window: int = 8,
     batch: int = 16,
     group_commit: bool = False,
+    monitor: bool = False,
     emit=print,
 ) -> NetCampaignReport:
     """Run seeded chaos campaigns against live localhost clusters.
@@ -821,6 +866,14 @@ def run_net_campaign(
     chaos vocabulary.  Late readers stay on probing ``NetClient``\\ s
     with private decided-slot caches either way — they are the fork
     detectors.
+
+    ``monitor=True`` attaches a live
+    :class:`~repro.monitor.StreamingMonitor` to every run's recorder:
+    drivers stop the moment it flips to violation (the bug is caught
+    *during* the run, not at post-hoc check time), each
+    :class:`NetRunResult` carries the online verdict next to the
+    post-hoc one, and with ``artifact_dir`` a monitor-caught violation
+    writes its shrunken witness as ``net-monitor-witness-{seed}.json``.
     """
     config = _RunConfig(
         replicas=replicas,
@@ -836,6 +889,7 @@ def run_net_campaign(
         window=window,
         batch=batch,
         group_commit=group_commit,
+        monitor=monitor,
     )
     if schedules is None:
         schedules = [
@@ -860,6 +914,18 @@ def run_net_campaign(
                 {
                     "report": result.to_jsonable(),
                     "history": recorder.to_jsonable(),
+                },
+            )
+        if artifact_dir and result.monitor_verdict == "violation":
+            _write_artifact(
+                artifact_dir,
+                f"net-monitor-witness-{schedule.seed}.json",
+                {
+                    "verdict": result.monitor_verdict,
+                    "reason": result.monitor_reason,
+                    "events": result.monitor_events,
+                    "witness": result.monitor_witness,
+                    "schedule": schedule.describe(),
                 },
             )
         if not result.violation:

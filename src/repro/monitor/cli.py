@@ -1,0 +1,190 @@
+"""Entry points behind ``python -m repro monitor``.
+
+Two modes, both built on the same :class:`StreamingMonitor`:
+
+* **replay** — stream a recorded history artifact (the JSON files
+  ``loadgen``/``nemesis`` write) through the monitor event by event,
+  exactly as if the run were live.  Sharded artifacts get one monitor
+  per shard with the composed verdict, mirroring the pipelined data
+  plane.  Exit code 0 = ok, 1 = violation, 2 = unknown.
+* **watch** — actively probe a *separately served* cluster (see
+  ``python -m repro serve``) on a reserved canary key with a recording
+  :class:`~repro.net.client.NetClient` whose history is tapped straight
+  into the monitor.  An external watcher can only check what it
+  observes, so this is canary monitoring: alternating writes and reads
+  whose responses must linearize — exactly the probe discipline the
+  chaos campaigns' late readers use to detect forked histories (an
+  amnesiac replica that forgot a committed prefix fails the canary's
+  next read).
+
+``serve --monitor`` runs the same probe loop in-process next to the
+cluster it hosts, turning the server into a self-checking deployment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, List, Optional, Tuple
+
+from ..net.client import HistoryRecorder, NetClient, OperationTimeout
+from ..net.transport import AddressBook, AsyncTransport
+from ..smr.universal import UniversalFrontend, kv_store_adt
+from .streaming import MonitorReport, StreamingMonitor, compose_verdicts
+from .tap import MonitorTap
+
+#: the reserved canary key probes live on, outside the loadgen keyspace
+CANARY_KEY = "__monitor__"
+
+
+def _detuple(value: Any) -> Any:
+    """Undo JSON's list-ification of recorded tuples, recursively."""
+    if isinstance(value, list):
+        return tuple(_detuple(item) for item in value)
+    return value
+
+
+def _event_from_jsonable(entry: dict) -> Tuple:
+    return (
+        entry["kind"],
+        entry["client"],
+        _detuple(entry["command"]),
+        _detuple(entry["response"]),
+        entry.get("at", 0.0),
+    )
+
+
+def load_history(path: str) -> List[List[Tuple]]:
+    """Read a history artifact; returns one event list per shard.
+
+    Accepts the ``loadgen`` artifact shape (``{"history": ...}`` with a
+    flat event list or a per-shard list of lists), the ``nemesis`` net
+    artifact (``{"events": ...}``), or a bare JSON list of events.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        history = payload.get("history", payload.get("events"))
+    else:
+        history = payload
+    if history is None:
+        raise ValueError(f"{path}: no 'history' or 'events' field")
+    if history and isinstance(history[0], list):
+        shards = history
+    else:
+        shards = [history]
+    return [
+        [_event_from_jsonable(entry) for entry in shard] for shard in shards
+    ]
+
+
+def replay_history(
+    shards: List[List[Tuple]],
+    node_limit: Optional[int] = None,
+    config_limit: Optional[int] = None,
+    witness_limit: Optional[int] = None,
+) -> Tuple[str, Optional[str], List[MonitorReport]]:
+    """Stream each shard's events through its own monitor; compose."""
+    kwargs = {"node_limit": node_limit, "config_limit": config_limit}
+    if witness_limit is not None:
+        kwargs["witness_limit"] = witness_limit
+    reports = []
+    for events in shards:
+        monitor = StreamingMonitor(kv_store_adt(), **kwargs)
+        for event in events:
+            monitor.feed(event)
+        reports.append(monitor.report())
+    verdict, reason = compose_verdicts(reports)
+    return verdict, reason, reports
+
+
+def exit_code(verdict: str) -> int:
+    return {"ok": 0, "violation": 1}.get(verdict, 2)
+
+
+def make_probe(
+    transport: AsyncTransport,
+    replicas: int,
+    monitor: StreamingMonitor,
+    op_timeout: float = 5.0,
+) -> Tuple[NetClient, MonitorTap]:
+    """A recording canary client whose history streams into ``monitor``."""
+    tap = MonitorTap(monitor)
+    recorder = HistoryRecorder(clock=lambda: transport.now, tap=tap)
+    client = NetClient(
+        "monitor-probe",
+        replicas,
+        transport,
+        {},
+        recorder,
+        UniversalFrontend(kv_store_adt()),
+        op_timeout=op_timeout,
+    )
+    return client, tap
+
+
+async def probe_loop(
+    client: NetClient,
+    tap: MonitorTap,
+    ops: Optional[int],
+    interval: float,
+    key: str = CANARY_KEY,
+    emit=print,
+) -> MonitorReport:
+    """Alternate canary writes and reads until done, violated or lost.
+
+    ``ops=None`` probes forever (the ``serve --monitor`` mode) — the
+    loop then only ends on a violation or an unreachable cluster.
+    """
+    issued = 0
+    counter = 0
+    while ops is None or issued < ops:
+        if tap.violated:
+            break
+        command: Tuple
+        if issued % 2 == 0:
+            counter += 1
+            command = ("put", key, counter)
+        else:
+            command = ("get", key)
+        try:
+            await client.submit(command)
+        except OperationTimeout:
+            emit(
+                f"  monitor probe timed out on {command!r}; "
+                f"stopping (op left pending)"
+            )
+            break
+        issued += 1
+        if interval:
+            await asyncio.sleep(interval)
+    return await tap.close()
+
+
+async def watch_cluster(
+    host: str,
+    port_base: int,
+    replicas: int,
+    ops: Optional[int] = 40,
+    interval: float = 0.05,
+    node_limit: Optional[int] = None,
+    config_limit: Optional[int] = None,
+    op_timeout: float = 5.0,
+    emit=print,
+) -> MonitorReport:
+    """Probe a separately-served cluster; return the monitor's report."""
+    book = AddressBook()
+    for index in range(replicas):
+        book.add(f"node{index}", host, port_base + index)
+    transport = AsyncTransport("monitor-watch", book)
+    monitor = StreamingMonitor(
+        kv_store_adt(), node_limit=node_limit, config_limit=config_limit
+    )
+    client, tap = make_probe(
+        transport, replicas, monitor, op_timeout=op_timeout
+    )
+    try:
+        report = await probe_loop(client, tap, ops, interval, emit=emit)
+    finally:
+        await transport.close()
+    return report

@@ -1,0 +1,391 @@
+"""Per-key streaming frontiers: the monitor's unit of incremental search.
+
+A :class:`KeyFrontier` tracks one partition (or the whole object, for
+ADTs without a :class:`~repro.core.adt.PartitionSpec`) of a live stream
+of invocation/response events.  Its state is a *frontier* — the set of
+:data:`~repro.core.linearizability.FrontierConfig` configurations that
+are consistent with every event seen so far — advanced by
+:func:`~repro.core.linearizability.frontier_step` at each response.
+The decided prefix is folded into each configuration's ADT state, so
+the frontier never looks back at old events: memory is
+
+    O(|frontier| + open operations + witness window)
+
+independent of stream length.  That is the GC invariant the monitor's
+bounded-memory claim rests on (``BENCH_monitor`` measures it).
+
+Three outcomes per key:
+
+* **watching** — the frontier is non-empty; every prefix so far is
+  linearizable.
+* **violation** — the frontier emptied at some response: no
+  linearization of the open window explains the observed output.  The
+  frontier then shrinks the *witness window* (the events since the last
+  quiescent point) with a ddmin pass — dropping whole operations while
+  the replay from the quiescent snapshot still empties the frontier —
+  and reports the minimal witness.  Removing complete operations from a
+  history preserves linearizability, so a still-failing subset is a
+  genuine smaller counterexample.
+* **unknown** — a per-event node budget or the frontier-size budget was
+  exceeded.  The frontier degrades instead of thrashing: it keeps
+  tracking open/closed operations (so well-formedness is still policed
+  upstream) and can *resync* from an authoritative snapshot state at
+  the next quiescent point, but the key's final verdict stays
+  ``unknown`` — a gap went unchecked.
+
+Quiescence — no open operations — is when the frontier garbage-collects:
+the surviving configurations become the new replay base, the witness
+window is cleared, and (if degraded and a resync state is staged)
+watching resumes.  If the window outgrows ``witness_limit`` before a
+quiescent point, the oldest events are dropped and the window is marked
+truncated; a truncated window skips the ddmin pass (its replay base is
+stale) and is reported raw.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Hashable, List, Optional
+
+from ..core.adt import ADT
+from ..core.linearizability import (
+    FrontierBudgetExceeded,
+    FrontierConfig,
+    frontier_step,
+    initial_frontier,
+)
+
+WATCHING = "watching"
+VIOLATION = "violation"
+UNKNOWN = "unknown"
+
+#: default cap on the witness window (events retained per key between
+#: quiescent points); beyond it the window truncates oldest-first
+DEFAULT_WITNESS_LIMIT = 512
+
+#: probe budget for the ddmin witness shrink
+DEFAULT_SHRINK_PROBES = 256
+
+
+class RetainedGauge:
+    """Shared counter of retained events, with a high-water mark.
+
+    One gauge is shared by every frontier of a monitor so
+    ``peak`` measures the *total* memory high-water mark, not a per-key
+    one — the number the GC-bound benchmark asserts against.
+    """
+
+    __slots__ = ("value", "peak")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.peak = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+        if self.value > self.peak:
+            self.peak = self.value
+
+    def sub(self, n: int = 1) -> None:
+        self.value -= n
+
+
+def ddmin_ops(
+    candidates: List[Hashable],
+    fails: Callable[[List[Hashable]], bool],
+    max_probes: int = DEFAULT_SHRINK_PROBES,
+) -> List[Hashable]:
+    """Minimize a list of removable items while ``fails`` stays true.
+
+    Classic delta debugging over ``candidates`` (the always-kept failing
+    operation is *not* among them; ``fails`` adds it back internally).
+    ``fails(subset)`` must be true for the full list; the return value is
+    a subset on which it is still true, 1-minimal when the probe budget
+    allows.  Mirrors :func:`repro.faults.shrink.shrink_schedule`, which
+    is typed to fault schedules and so not reusable here.
+    """
+    current = list(candidates)
+    if fails([]):
+        return []
+    granularity = 2
+    probes = 0
+    while len(current) >= 2 and probes < max_probes:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        for start in range(0, len(current), chunk):
+            probes += 1
+            candidate = current[:start] + current[start + chunk:]
+            if fails(candidate):
+                current = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+            if probes >= max_probes:
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+class KeyFrontier:
+    """The incremental linearizability check for one partition key."""
+
+    def __init__(
+        self,
+        key: Hashable,
+        adt: ADT,
+        node_limit: Optional[int] = None,
+        config_limit: Optional[int] = None,
+        witness_limit: Optional[int] = DEFAULT_WITNESS_LIMIT,
+        gauge: Optional[RetainedGauge] = None,
+    ) -> None:
+        self.key = key
+        self.adt = adt
+        self.node_limit = node_limit
+        self.config_limit = config_limit
+        self.witness_limit = witness_limit
+        self.gauge = gauge if gauge is not None else RetainedGauge()
+        self.configs: FrozenSet[FrontierConfig] = initial_frontier(adt)
+        #: replay base: the frontier at the last quiescent point
+        self.base: FrozenSet[FrontierConfig] = self.configs
+        self.open_inputs: Dict[Hashable, Any] = {}
+        #: events since the last quiescent point, for witness replay
+        self.window: List[tuple] = []
+        self.truncated = False
+        self.status = WATCHING
+        self.reason: Optional[str] = None
+        #: sticky: once a budget blew, the final verdict stays unknown
+        self.degraded = False
+        self.gc_drops = 0
+        self.events = 0
+        self.witness: Optional[Dict[str, Any]] = None
+        self._staged_resync: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # event intake
+    # ------------------------------------------------------------------
+
+    def invoke(self, op_id: Hashable, client: Hashable, payload: Any) -> None:
+        """An operation opened: it may linearize at any later response."""
+        self.events += 1
+        if self.status == VIOLATION:
+            return
+        self._retain(("inv", op_id, client, payload))
+        self.open_inputs[op_id] = payload
+
+    def respond(
+        self, op_id: Hashable, client: Hashable, payload: Any, output: Any
+    ) -> None:
+        """An operation closed: advance the frontier past its response."""
+        self.events += 1
+        if self.status == VIOLATION:
+            return
+        self._retain(("res", op_id, client, payload, output))
+        if op_id not in self.open_inputs:
+            # unreachable behind the monitor's well-formedness gate;
+            # defensively a violation, never a crash
+            self._fail(f"response for unknown operation {op_id!r}")
+            return
+        if self.status == UNKNOWN:
+            del self.open_inputs[op_id]
+            self._maybe_quiesce()
+            return
+        try:
+            survivors = frontier_step(
+                self.adt.step,
+                self.configs,
+                self.open_inputs,
+                op_id,
+                output,
+                node_limit=self.node_limit,
+            )
+        except FrontierBudgetExceeded as exc:
+            del self.open_inputs[op_id]
+            self._degrade(f"{exc}; verdict unknown, resync from a snapshot")
+            self._maybe_quiesce()
+            return
+        del self.open_inputs[op_id]
+        if not survivors:
+            self._fail(
+                f"frontier emptied: no linearization of the open window "
+                f"explains {client!r}'s {payload!r} -> {output!r}"
+            )
+            return
+        if (
+            self.config_limit is not None
+            and len(survivors) > self.config_limit
+        ):
+            self._degrade(
+                f"frontier grew past the {self.config_limit}-configuration "
+                f"budget; verdict unknown, resync from a snapshot"
+            )
+            self._maybe_quiesce()
+            return
+        self.configs = survivors
+        self._maybe_quiesce()
+
+    def forget(self, op_id: Hashable, reason: str) -> None:
+        """Drop an open operation without checking it (and degrade).
+
+        Used when a response cannot be projected into this key's
+        alphabet: the monitor cannot fall back to a monolithic check
+        mid-stream (the prefix is garbage-collected), so the honest
+        verdict is *unknown*, not a guess.
+        """
+        self.events += 1
+        self.open_inputs.pop(op_id, None)
+        if self.status != VIOLATION:
+            self._degrade(reason)
+            self._maybe_quiesce()
+
+    def resync(self, state: Hashable) -> None:
+        """Stage an authoritative snapshot state for recovery.
+
+        Applied at the next quiescent point: the frontier re-seeds from
+        ``state`` with no promises and resumes watching.  The key stays
+        ``degraded`` — a gap went unchecked, so its final verdict is
+        ``unknown`` unless a later violation (which dominates) appears.
+        """
+        self._staged_resync = (state,)
+        self._maybe_quiesce()
+
+    # ------------------------------------------------------------------
+    # verdict
+    # ------------------------------------------------------------------
+
+    @property
+    def verdict(self) -> str:
+        if self.status == VIOLATION:
+            return "violation"
+        if self.degraded:
+            return "unknown"
+        return "ok"
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _retain(self, event: tuple) -> None:
+        self.window.append(event)
+        self.gauge.add(1)
+        if (
+            self.witness_limit is not None
+            and len(self.window) > self.witness_limit
+        ):
+            drop = len(self.window) - self.witness_limit
+            del self.window[:drop]
+            self.gauge.sub(drop)
+            self.gc_drops += drop
+            self.truncated = True
+
+    def _clear_window(self) -> None:
+        self.gc_drops += len(self.window)
+        self.gauge.sub(len(self.window))
+        self.window.clear()
+        self.truncated = False
+
+    def _maybe_quiesce(self) -> None:
+        if self.open_inputs:
+            return
+        if self.status == WATCHING:
+            self.base = self.configs
+            self._clear_window()
+        elif self.status == UNKNOWN and self._staged_resync is not None:
+            (state,) = self._staged_resync
+            self._staged_resync = None
+            self.configs = frozenset({(state, frozenset())})
+            self.base = self.configs
+            self._clear_window()
+            self.status = WATCHING
+
+    def _degrade(self, reason: str) -> None:
+        if self.status != WATCHING:
+            return
+        self.status = UNKNOWN
+        self.degraded = True
+        if self.reason is None:
+            self.reason = reason
+        self.configs = frozenset()
+        # the window cannot witness anything across an unchecked gap
+        self._clear_window()
+
+    def _fail(self, reason: str) -> None:
+        self.status = VIOLATION
+        self.reason = reason
+        self.witness = self._shrink_witness()
+
+    # ------------------------------------------------------------------
+    # witness extraction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _jsonable(event: tuple) -> Dict[str, Any]:
+        payload = {
+            "kind": event[0],
+            "op": event[1],
+            "client": event[2],
+            "input": event[3],
+        }
+        if event[0] == "res":
+            payload["output"] = event[4]
+        return payload
+
+    def _replay_fails(self, kept: frozenset) -> bool:
+        """Does the window restricted to ``kept`` ops still violate?"""
+        configs = self.base
+        open_inputs: Dict[Hashable, Any] = {}
+        for event in self.window:
+            if event[1] not in kept:
+                continue
+            if event[0] == "inv":
+                open_inputs[event[1]] = event[3]
+                continue
+            if event[1] not in open_inputs:
+                return False
+            try:
+                configs = frontier_step(
+                    self.adt.step,
+                    configs,
+                    open_inputs,
+                    event[1],
+                    event[4],
+                    node_limit=self.node_limit,
+                )
+            except FrontierBudgetExceeded:
+                return False
+            del open_inputs[event[1]]
+            if not configs:
+                return True
+        return False
+
+    def _shrink_witness(self) -> Dict[str, Any]:
+        window = list(self.window)
+        if self.truncated or not window:
+            return {
+                "partition": self.key,
+                "truncated": True,
+                "shrunk": False,
+                "events": [self._jsonable(e) for e in window],
+            }
+        ordered_ops: List[Hashable] = []
+        seen = set()
+        for event in window:
+            if event[1] not in seen:
+                seen.add(event[1])
+                ordered_ops.append(event[1])
+        failing_op = window[-1][1]
+        removable = [op for op in ordered_ops if op != failing_op]
+        kept = ddmin_ops(
+            removable,
+            lambda subset: self._replay_fails(frozenset(subset) | {failing_op}),
+        )
+        final = frozenset(kept) | {failing_op}
+        return {
+            "partition": self.key,
+            "truncated": False,
+            "shrunk": len(final) < len(ordered_ops),
+            "events": [
+                self._jsonable(e) for e in window if e[1] in final
+            ],
+        }

@@ -1,0 +1,385 @@
+"""`StreamingMonitor`: the online linearizability verdict for one stream.
+
+The monitor consumes invocation/response events *as they happen* and
+maintains, at every instant, the same three-way verdict the post-hoc
+checker (:func:`repro.core.fastcheck.check_linearizable`) would return
+on the history so far:
+
+* ``ok`` — every prefix admits a linearization;
+* ``violation`` — some prefix does not (and, by prefix closure of
+  linearizability, no extension ever will — which is what makes
+  fail-fast sound: the run can stop the moment the verdict flips);
+* ``unknown`` — a search or routing budget was exceeded and the monitor
+  degraded rather than guessed.
+
+Structure mirrors the fast-path checker exactly, which is what makes
+the streaming verdict agree with the post-hoc one (property-tested in
+``tests/test_monitor.py``):
+
+* **Global well-formedness** is tracked at the monitor level — one open
+  invocation per client, response input equal to the invocation input
+  (Definition 14).  Projections cannot police this (a client with two
+  pending invocations on different keys looks fine per key), which is
+  why `fastcheck` checks it globally too.
+* **Globally invalid inputs** (``adt.is_input`` false on the raw
+  payload) are a violation at the event that carries them, matching the
+  monolithic checker's invalid-input rejection — this check runs
+  *before* key routing, because an invalid payload is typically also
+  unroutable and the two checkers must agree on the verdict.
+* **Per-key frontiers** (:class:`~repro.monitor.frontier.KeyFrontier`)
+  do the incremental search, one per partition key via
+  :func:`repro.core.fastcheck.route_action`; without a partition spec a
+  single monolithic frontier watches everything.
+* **Routing failures on globally-valid events** degrade the verdict to
+  ``unknown``.  This is the one honest divergence from the post-hoc
+  checker, which falls back to a monolithic search over the *whole*
+  trace — impossible online after the prefix has been garbage
+  collected.  ``unknown`` never masks a violation: violation dominates.
+
+Composition across shards (one monitor per shard in the pipelined data
+plane) is :func:`compose_verdicts` — the same conjunction `loadgen`
+applies to post-hoc per-shard verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.actions import Invocation, Response
+from ..core.adt import ADT
+from ..core.fastcheck import route_action
+from ..core.traces import Trace
+from .frontier import (
+    DEFAULT_WITNESS_LIMIT,
+    VIOLATION,
+    KeyFrontier,
+    RetainedGauge,
+)
+
+OK = "ok"
+
+
+@dataclass
+class MonitorReport:
+    """A snapshot of the streaming verdict and the monitor's economics."""
+
+    verdict: str
+    reason: Optional[str] = None
+    events: int = 0
+    ops: int = 0
+    frontiers: int = 0
+    #: events currently held across all witness windows
+    retained: int = 0
+    #: high-water mark of retained events — the GC bound
+    peak_retained: int = 0
+    #: events garbage-collected at quiescent points (or truncated)
+    gc_drops: int = 0
+    violation_key: Optional[Hashable] = None
+    witness: Optional[Dict[str, Any]] = None
+    per_key: List[Tuple[Hashable, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == OK
+
+    def summary(self) -> str:
+        line = (
+            f"monitor: {self.verdict} after {self.events} events "
+            f"({self.ops} ops, {self.frontiers} frontier(s); "
+            f"peak retained {self.peak_retained}, gc'd {self.gc_drops})"
+        )
+        if self.reason:
+            line += f" -- {self.reason}"
+        return line
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "events": self.events,
+            "ops": self.ops,
+            "frontiers": self.frontiers,
+            "retained": self.retained,
+            "peak_retained": self.peak_retained,
+            "gc_drops": self.gc_drops,
+            "violation_key": self.violation_key,
+            "witness": self.witness,
+            "per_key": [[key, status] for key, status in self.per_key],
+        }
+
+
+class StreamingMonitor:
+    """Online linearizability monitoring of one event stream."""
+
+    def __init__(
+        self,
+        adt: ADT,
+        node_limit: Optional[int] = None,
+        config_limit: Optional[int] = None,
+        witness_limit: Optional[int] = DEFAULT_WITNESS_LIMIT,
+        on_violation: Optional[Callable[["StreamingMonitor"], None]] = None,
+        name: str = "monitor",
+    ) -> None:
+        self.adt = adt
+        self.spec = adt.partition
+        self.node_limit = node_limit
+        self.config_limit = config_limit
+        self.witness_limit = witness_limit
+        self.on_violation = on_violation
+        self.name = name
+        self.gauge = RetainedGauge()
+        self.frontiers: Dict[Hashable, KeyFrontier] = {}
+        #: client -> raw (unprojected) input of its open invocation
+        self._open_command: Dict[Hashable, Any] = {}
+        #: client -> (op id, partition key); key None = unroutable op
+        self._open_meta: Dict[Hashable, Tuple[int, Optional[Hashable]]] = {}
+        self._op_counter = 0
+        self.events = 0
+        self.status = OK
+        self.reason: Optional[str] = None
+        self.degraded = False
+        self.violation_key: Optional[Hashable] = None
+        self.witness: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # event intake
+    # ------------------------------------------------------------------
+
+    def feed(self, event: Tuple) -> None:
+        """Consume one raw `HistoryRecorder` event tuple.
+
+        ``event`` is ``(kind, client, command, response, at)`` exactly as
+        the recorder appends (and streams through its tap); the phase tag
+        matches the recorder's own ``trace()``.
+        """
+        kind, client, command, response = event[0], event[1], event[2], event[3]
+        if kind == "inv":
+            self.observe(Invocation(client, 1, command))
+        else:
+            self.observe(Response(client, 1, command, response))
+
+    def observe(self, action: Any) -> None:
+        """Consume one interface action (Invocation or Response)."""
+        index = self.events
+        self.events += 1
+        if self.status == VIOLATION:
+            return
+        if isinstance(action, Invocation):
+            self._observe_invocation(action, index)
+        elif isinstance(action, Response):
+            self._observe_response(action, index)
+        else:
+            # anything else (switch actions, garbage) is ill-formed at
+            # the interface; the post-hoc checker rejects it the same way
+            self._fail(None, "trace is not well-formed", witness=None)
+
+    def _observe_invocation(self, action: Invocation, index: int) -> None:
+        client, payload = action.client, action.input
+        if client in self._open_command:
+            self._fail(None, "trace is not well-formed", witness=None)
+            return
+        if not self.adt.is_input(payload):
+            self._fail(
+                None, f"invalid ADT input at index {index}", witness=None
+            )
+            return
+        op_id = self._op_counter
+        self._op_counter += 1
+        self._open_command[client] = payload
+        if self.spec is None:
+            key: Optional[Hashable] = None
+            projected_input = payload
+        else:
+            try:
+                key, projected = route_action(self.spec, action)
+                projected_input = projected.input
+            except Exception:
+                self._degrade(
+                    f"event at index {index} does not fit the partition "
+                    f"spec; verdict unknown"
+                )
+                self._open_meta[client] = (op_id, None)
+                return
+        self._open_meta[client] = (op_id, key)
+        self._frontier(key).invoke(op_id, client, projected_input)
+
+    def _observe_response(self, action: Response, index: int) -> None:
+        client, payload, output = action.client, action.input, action.output
+        if (
+            client not in self._open_command
+            or self._open_command[client] != payload
+        ):
+            self._fail(None, "trace is not well-formed", witness=None)
+            return
+        if not self.adt.is_input(payload):
+            self._fail(
+                None, f"invalid ADT input at index {index}", witness=None
+            )
+            return
+        del self._open_command[client]
+        op_id, key = self._open_meta.pop(client)
+        if key is None and self.spec is not None:
+            # the invocation was unroutable; already degraded there
+            return
+        if self.spec is None:
+            projected_input, projected_output = payload, output
+        else:
+            try:
+                _, projected = route_action(self.spec, action)
+                projected_input = projected.input
+                projected_output = projected.output
+            except Exception:
+                self._degrade(
+                    f"event at index {index} does not fit the partition "
+                    f"spec; verdict unknown"
+                )
+                frontier = self.frontiers.get(key)
+                if frontier is not None:
+                    frontier.forget(
+                        op_id,
+                        "a response on this partition could not be "
+                        "projected; verdict unknown",
+                    )
+                return
+        frontier = self._frontier(key)
+        frontier.respond(op_id, client, projected_input, projected_output)
+        if frontier.status == VIOLATION:
+            reason = (
+                frontier.reason
+                if self.spec is None
+                else f"partition {key!r}: {frontier.reason}"
+            )
+            self._fail(key, reason, witness=frontier.witness)
+        elif frontier.degraded and not self.degraded:
+            self._degrade(
+                frontier.reason
+                if self.spec is None
+                else f"partition {key!r}: {frontier.reason}"
+            )
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def resync(self, key: Optional[Hashable], state: Hashable) -> None:
+        """Stage an authoritative snapshot state for a degraded key.
+
+        The final verdict stays ``unknown`` (a gap went unchecked), but
+        the frontier resumes *watching* from ``state`` at its next
+        quiescent point, so later violations are still caught.
+        """
+        self._frontier(key).resync(state)
+
+    # ------------------------------------------------------------------
+    # verdict
+    # ------------------------------------------------------------------
+
+    @property
+    def verdict(self) -> str:
+        if self.status == VIOLATION:
+            return "violation"
+        if self.degraded:
+            return "unknown"
+        return OK
+
+    @property
+    def violated(self) -> bool:
+        return self.status == VIOLATION
+
+    def report(self) -> MonitorReport:
+        return MonitorReport(
+            verdict=self.verdict,
+            reason=self.reason,
+            events=self.events,
+            ops=self._op_counter,
+            frontiers=len(self.frontiers),
+            retained=self.gauge.value,
+            peak_retained=self.gauge.peak,
+            gc_drops=sum(f.gc_drops for f in self.frontiers.values()),
+            violation_key=self.violation_key,
+            witness=self.witness,
+            per_key=sorted(
+                ((f.key, f.verdict) for f in self.frontiers.values()),
+                key=lambda pair: repr(pair[0]),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _frontier(self, key: Optional[Hashable]) -> KeyFrontier:
+        frontier = self.frontiers.get(key)
+        if frontier is None:
+            component = (
+                self.adt if self.spec is None else self.spec.component(key)
+            )
+            frontier = KeyFrontier(
+                key,
+                component,
+                node_limit=self.node_limit,
+                config_limit=self.config_limit,
+                witness_limit=self.witness_limit,
+                gauge=self.gauge,
+            )
+            self.frontiers[key] = frontier
+        return frontier
+
+    def _degrade(self, reason: str) -> None:
+        if self.status == VIOLATION:
+            return
+        if not self.degraded:
+            self.degraded = True
+            self.reason = reason
+
+    def _fail(
+        self,
+        key: Optional[Hashable],
+        reason: str,
+        witness: Optional[Dict[str, Any]],
+    ) -> None:
+        self.status = VIOLATION
+        self.reason = reason
+        self.violation_key = key
+        self.witness = witness
+        if self.on_violation is not None:
+            self.on_violation(self)
+
+
+def watch_trace(
+    trace: Trace,
+    adt: ADT,
+    node_limit: Optional[int] = None,
+    config_limit: Optional[int] = None,
+    witness_limit: Optional[int] = DEFAULT_WITNESS_LIMIT,
+) -> MonitorReport:
+    """Run the streaming monitor over a finished trace, event by event.
+
+    The replay path of ``python -m repro monitor`` and the reference
+    the equivalence property test drives: the verdict must match
+    :func:`repro.core.fastcheck.check_linearizable` on the same trace.
+    """
+    monitor = StreamingMonitor(
+        adt,
+        node_limit=node_limit,
+        config_limit=config_limit,
+        witness_limit=witness_limit,
+    )
+    for action in trace:
+        monitor.observe(action)
+    return monitor.report()
+
+
+def compose_verdicts(
+    reports: Iterable[MonitorReport],
+) -> Tuple[str, Optional[str]]:
+    """Conjoin per-shard monitor verdicts: violation > unknown > ok."""
+    verdict: str = OK
+    reason: Optional[str] = None
+    for item in reports:
+        if item.verdict == "violation":
+            return "violation", item.reason
+        if item.verdict == "unknown" and verdict == OK:
+            verdict, reason = "unknown", item.reason
+    return verdict, reason

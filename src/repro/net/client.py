@@ -96,17 +96,35 @@ class HistoryRecorder:
     out operation contributes an invocation with no response.
     """
 
-    def __init__(self, clock) -> None:
+    def __init__(self, clock, tap=None) -> None:
         self._clock = clock
+        self._tap = tap
         self.events: List[Tuple[str, Hashable, Tuple, Any, float]] = []
+
+    def attach_tap(self, tap) -> None:
+        """Stream every future event to ``tap`` (a callable of one event).
+
+        This is how the online monitor observes the run: the tap is
+        called synchronously with each raw ``(kind, client, command,
+        response, at)`` tuple *after* it is appended, so the tap sees
+        exactly the history the post-hoc checker will see, in the same
+        order (see :class:`repro.monitor.MonitorTap`).
+        """
+        self._tap = tap
 
     def invoke(self, client: Hashable, command: Tuple) -> None:
         """Record an invocation at the current wall-clock instant."""
-        self.events.append(("inv", client, command, None, self._clock()))
+        event = ("inv", client, command, None, self._clock())
+        self.events.append(event)
+        if self._tap is not None:
+            self._tap(event)
 
     def respond(self, client: Hashable, command: Tuple, response: Any) -> None:
         """Record the matching response."""
-        self.events.append(("res", client, command, response, self._clock()))
+        event = ("res", client, command, response, self._clock())
+        self.events.append(event)
+        if self._tap is not None:
+            self._tap(event)
 
     def trace(self) -> Trace:
         """The recorded history as a checkable interface trace."""

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.fastcheck import check_linearizable
+from ..monitor import MonitorReport, MonitorTap, StreamingMonitor, compose_verdicts
 from ..smr.universal import UniversalFrontend, kv_store_adt
 from .client import HistoryRecorder, NetClient, OperationTimeout
 from .cluster import LocalCluster, ShardedCluster, shard_of
@@ -38,6 +39,19 @@ from .pipeline import PipelineClient, SlotPipeline
 #: slot contention, large enough for the P-compositional checker to
 #: have parts to split
 DEFAULT_KEYS = ("alpha", "beta", "gamma", "delta", "epsilon")
+
+#: per-event search budget for the online monitor — generous for the
+#: loadgen's concurrency, but bounded so a pathological window degrades
+#: the verdict to "unknown" instead of stalling the data plane
+MONITOR_NODE_LIMIT = 200_000
+
+#: cap on surviving frontier configurations per key (same degradation).
+#: Speculation is combinatorial in the *open window*: k concurrent
+#: writers on one key can transiently hold a promise set per
+#: linearization order, so the cap must dominate the closed-loop
+#: client count's worst case (16 clients on one hot key blows 4096)
+#: while still bounding a truly pathological frontier.
+MONITOR_CONFIG_LIMIT = 65_536
 
 
 @dataclass
@@ -70,6 +84,15 @@ class LoadReport:
     #: decrees proposed / ops they carried, summed over shards
     decrees: int = 0
     batched_ops: int = 0
+    #: online streaming monitor (see repro.monitor), when enabled
+    monitored: bool = False
+    monitor_verdict: Optional[str] = None
+    monitor_reason: Optional[str] = None
+    monitor_events: int = 0
+    monitor_peak_retained: int = 0
+    monitor_gc_drops: int = 0
+    monitor_shard_verdicts: List[str] = field(default_factory=list)
+    monitor_witness: Optional[Dict[str, Any]] = None
 
     @property
     def linearizable(self) -> bool:
@@ -116,6 +139,19 @@ class LoadReport:
                 f"batch<={self.batch} codec={self.codec or 'json'}; "
                 f"{self.decrees} decrees, {avg:.1f} ops/decree"
             )
+        if self.monitored:
+            monitor_line = (
+                f"  monitor: {self.monitor_verdict} (live) -- "
+                f"{self.monitor_events} events, peak retained "
+                f"{self.monitor_peak_retained}, gc'd {self.monitor_gc_drops}"
+            )
+            if self.monitor_reason:
+                monitor_line += f"; {self.monitor_reason}"
+            if self.monitor_shard_verdicts:
+                monitor_line += (
+                    f" [shards: {', '.join(self.monitor_shard_verdicts)}]"
+                )
+            lines.append(monitor_line)
         verdict = f"  history: {self.verdict}"
         if self.strategy:
             verdict += f" ({self.strategy})"
@@ -155,6 +191,14 @@ class LoadReport:
             "shard_verdicts": self.shard_verdicts,
             "decrees": self.decrees,
             "batched_ops": self.batched_ops,
+            "monitored": self.monitored,
+            "monitor_verdict": self.monitor_verdict,
+            "monitor_reason": self.monitor_reason,
+            "monitor_events": self.monitor_events,
+            "monitor_peak_retained": self.monitor_peak_retained,
+            "monitor_gc_drops": self.monitor_gc_drops,
+            "monitor_shard_verdicts": self.monitor_shard_verdicts,
+            "monitor_witness": self.monitor_witness,
         }
 
 
@@ -184,12 +228,22 @@ async def _run(
     quorum_timeout: float,
     keys: Tuple[str, ...],
     wal_root: Optional[str],
+    monitor: bool,
     emit,
 ) -> Tuple[LoadReport, HistoryRecorder]:
     cluster = LocalCluster(n_servers=replicas, wal_root=wal_root)
     await cluster.start()
     transport = cluster.client_transport("clients")
-    recorder = HistoryRecorder(clock=lambda: transport.now)
+    tap: Optional[MonitorTap] = None
+    if monitor:
+        tap = MonitorTap(
+            StreamingMonitor(
+                kv_store_adt(),
+                node_limit=MONITOR_NODE_LIMIT,
+                config_limit=MONITOR_CONFIG_LIMIT,
+            )
+        )
+    recorder = HistoryRecorder(clock=lambda: transport.now, tap=tap)
     frontend = UniversalFrontend(kv_store_adt())
     shared_log: Dict[int, Any] = {}
     committed = [0]
@@ -223,6 +277,10 @@ async def _run(
             random.Random(f"loadgen:{seed}:{index}"), keys
         )
         for _ in range(per_client[index]):
+            if tap is not None and tap.violated:
+                # fail fast: a violated prefix never becomes
+                # linearizable again, so further load is wasted work
+                return
             command = next(stream)
             try:
                 await client.submit(command)
@@ -251,6 +309,12 @@ async def _run(
     start = transport.now
     await asyncio.gather(*(drive(i) for i in range(clients)))
     duration = transport.now - start
+
+    monitor_report: Optional[MonitorReport] = None
+    if tap is not None:
+        monitor_report = await tap.close()
+        if monitor_report.verdict == "violation":
+            emit(f"  {monitor_report.summary()}")
 
     endpoint_stats = {}
     for node in cluster.nodes:
@@ -295,6 +359,14 @@ async def _run(
         successors=successors[0],
         endpoint_stats=endpoint_stats,
     )
+    if monitor_report is not None:
+        report.monitored = True
+        report.monitor_verdict = monitor_report.verdict
+        report.monitor_reason = monitor_report.reason
+        report.monitor_events = monitor_report.events
+        report.monitor_peak_retained = monitor_report.peak_retained
+        report.monitor_gc_drops = monitor_report.gc_drops
+        report.monitor_witness = monitor_report.witness
     return report, recorder
 
 
@@ -315,6 +387,7 @@ async def _run_pipelined(
     codec: Optional[str],
     group_commit: bool,
     check: bool,
+    monitor: bool,
     emit,
 ) -> Tuple[LoadReport, List[HistoryRecorder]]:
     """The high-volume data plane: sharded clusters, one batching
@@ -335,9 +408,23 @@ async def _run_pipelined(
     )
     await sharded.start()
     transports = sharded.client_transports("clients")
+    taps: List[Optional[MonitorTap]] = [
+        MonitorTap(
+            StreamingMonitor(
+                kv_store_adt(),
+                node_limit=MONITOR_NODE_LIMIT,
+                config_limit=MONITOR_CONFIG_LIMIT,
+            )
+        )
+        if monitor
+        else None
+        for _ in range(shards)
+    ]
     recorders = [
-        HistoryRecorder(clock=(lambda t: (lambda: t.now))(transport))
-        for transport in transports
+        HistoryRecorder(
+            clock=(lambda t: (lambda: t.now))(transport), tap=taps[s]
+        )
+        for s, transport in enumerate(transports)
     ]
     pipelines = [
         SlotPipeline(
@@ -379,6 +466,11 @@ async def _run_pipelined(
             random.Random(f"loadgen:{seed}:{index}"), keys
         )
         for _ in range(per_client[index]):
+            if monitor and any(
+                tap is not None and tap.violated for tap in taps
+            ):
+                # fail fast (prefix closure: the verdict cannot recover)
+                return
             command = next(stream)
             target = shard_of(command[1], shards)
             try:
@@ -417,6 +509,15 @@ async def _run_pipelined(
     start = transports[0].now
     await asyncio.gather(*(drive(i) for i in range(clients)))
     duration = transports[0].now - start
+
+    monitor_reports: List[MonitorReport] = []
+    if monitor:
+        for tap in taps:
+            assert tap is not None
+            monitor_reports.append(await tap.close())
+        for item in monitor_reports:
+            if item.verdict == "violation":
+                emit(f"  {item.summary()}")
 
     endpoint_stats = {}
     for s, shard in enumerate(sharded.shards):
@@ -472,6 +573,23 @@ async def _run_pipelined(
         decrees=sum(p.decrees for p in pipelines),
         batched_ops=sum(p.batched_ops for p in pipelines),
     )
+    if monitor_reports:
+        composed, composed_reason = compose_verdicts(monitor_reports)
+        report.monitored = True
+        report.monitor_verdict = composed
+        report.monitor_reason = composed_reason
+        report.monitor_events = sum(r.events for r in monitor_reports)
+        report.monitor_peak_retained = max(
+            r.peak_retained for r in monitor_reports
+        )
+        report.monitor_gc_drops = sum(r.gc_drops for r in monitor_reports)
+        report.monitor_shard_verdicts = [
+            r.verdict for r in monitor_reports
+        ]
+        for item in monitor_reports:
+            if item.witness is not None:
+                report.monitor_witness = item.witness
+                break
     return report, recorders
 
 
@@ -494,6 +612,7 @@ def run_loadgen(
     codec: Optional[str] = None,
     group_commit: bool = False,
     check: bool = True,
+    monitor: bool = False,
     emit=print,
 ) -> LoadReport:
     """Run a full closed-loop load against a fresh localhost cluster.
@@ -511,6 +630,16 @@ def run_loadgen(
     ``codec="binary"`` frames and WAL ``group_commit`` — with every
     shard's history checked independently (``check=False`` skips the
     verdict for pure benchmarking).
+
+    ``monitor=True`` additionally streams every recorded event through
+    an online :class:`~repro.monitor.StreamingMonitor` (one per shard,
+    composed verdict) *while the run is in flight*: clients stop
+    issuing load the moment the live verdict flips to violation, and
+    the report carries the monitor's verdict, its retained-event peak
+    (the GC bound) and the shrunken witness.  The post-hoc check still
+    runs (unless ``check=False``) — the property test guarantees the
+    two verdicts agree, so ``monitor`` without ``check`` is the
+    bounded-memory configuration for unbounded runs.
     """
     if shards > 1:
         pipeline = True
@@ -533,6 +662,7 @@ def run_loadgen(
                 codec=codec,
                 group_commit=group_commit,
                 check=check,
+                monitor=monitor,
                 emit=emit,
             )
         )
@@ -550,6 +680,7 @@ def run_loadgen(
                 quorum_timeout=quorum_timeout,
                 keys=keys,
                 wal_root=wal_root,
+                monitor=monitor,
                 emit=emit,
             )
         )
@@ -570,6 +701,7 @@ def run_loadgen(
                 "batch": batch if pipeline else None,
                 "codec": codec,
                 "group_commit": group_commit,
+                "monitor": monitor,
             },
             "report": report.to_jsonable(),
             "history": history,

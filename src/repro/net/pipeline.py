@@ -178,17 +178,26 @@ class SlotPipeline:
             return False
         return max(len(wire), len(journal)) + FRAME_SLACK <= MAX_FRAME
 
-    def enqueue(self, tagged: Tuple) -> asyncio.Future:
-        """Queue one tagged op; the future resolves with its response.
+    def ensure_fits(self, tagged: Tuple) -> None:
+        """Raise :exc:`PayloadTooLarge` unless ``tagged`` can frame alone.
 
-        Raises :exc:`PayloadTooLarge` if the op cannot fit a frame even
-        as a batch of one (nothing is queued or sent in that case).
+        Callers run this *before* recording the invocation: an
+        unframeable op must fail per-op with the history and the client
+        untouched, and nothing of it may ever be queued or sent.
         """
         if not self.fits(make_batch((tagged,))):
             raise PayloadTooLarge(
                 f"operation {tagged[:-1]!r} cannot fit one wire frame "
                 f"(MAX_FRAME={MAX_FRAME})"
             )
+
+    def enqueue(self, tagged: Tuple) -> asyncio.Future:
+        """Queue one tagged op; the future resolves with its response.
+
+        Raises :exc:`PayloadTooLarge` if the op cannot fit a frame even
+        as a batch of one (nothing is queued or sent in that case).
+        """
+        self.ensure_fits(tagged)
         future: asyncio.Future = self.transport.loop.create_future()
         entry = _Entry(tagged, future)
         self.queue.append(entry)
@@ -399,12 +408,17 @@ class PipelineClient:
             )
         self._seq += 1
         tagged = command + (("seq", (self.name, self._seq)),)
-        # the oversize pre-check runs inside enqueue, before anything
-        # is recorded or queued: a PayloadTooLarge ripples out of here
-        # with the history and the client untouched
-        future = self.pipeline.enqueue(tagged)
+        # oversize pre-check first (per-op failure with the history and
+        # the client untouched), then record the invocation, then hand
+        # the op to the pipeline.  The invocation MUST be recorded
+        # before the op is queued anywhere: once enqueued it can decide
+        # and take effect even if this task dies — a submitter
+        # cancelled mid-flight must leave a *pending* invocation in the
+        # history, never an effect with no invocation.
+        self.pipeline.ensure_fits(tagged)
         start = self.pipeline.transport.now
         self.recorder.invoke(self.name, command)
+        future = self.pipeline.enqueue(tagged)
         try:
             output, slot, attempts, switched = await asyncio.wait_for(
                 future, self.op_timeout

@@ -179,6 +179,26 @@ BAD_SNIPPETS = [
         """,
         "repro/ioa/scratch.py",
     ),
+    # RD06: responses recorded before the reply was observably released
+    (
+        "RD06",
+        """\
+        async def submit(self, command):
+            self.recorder.invoke(self.name, command)
+            output = self.cache.get(command)
+            self.recorder.respond(self.name, command, output)
+        """,
+        "repro/net/scratch.py",
+    ),
+    (
+        "RD06",
+        """\
+        async def emit(self, command, output):
+            await self.ready.wait()
+            self._recorder.respond(self.name, command, output)
+        """,
+        "repro/monitor/scratch.py",
+    ),
 ]
 
 GOOD_SNIPPETS = [
@@ -254,6 +274,26 @@ GOOD_SNIPPETS = [
         """,
         "repro/ioa/scratch.py",
     ),
+    # invoke, awaited reply, then respond — the sanctioned shape
+    (
+        """\
+        async def submit(self, command):
+            self.recorder.invoke(self.name, command)
+            output = await self.pipeline.enqueue(command)
+            self.recorder.respond(self.name, command, output)
+        """,
+        "repro/net/scratch.py",
+    ),
+    # a nested callback's respond is its own scope, and the simulation
+    # recorders (mp/, sm/) decide responses in-step — both out of reach
+    (
+        """\
+        def run(self, command):
+            self.recorder.invoke(self.name, command)
+            self.recorder.respond(self.name, command, self.step(command))
+        """,
+        "repro/mp/scratch.py",
+    ),
 ]
 
 
@@ -275,6 +315,7 @@ def test_every_rule_has_a_failing_fixture():
         "RD03",
         "RD04",
         "RD05",
+        "RD06",
     }
 
 

@@ -42,7 +42,7 @@ def resolve(dotted):
 @pytest.mark.parametrize(
     "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/THEORY.md",
             "docs/ALGORITHMS.md", "docs/ANALYSIS.md", "docs/ARCHITECTURE.md",
-            "docs/PERFORMANCE.md", "docs/RESILIENCE.md"]
+            "docs/MONITORING.md", "docs/PERFORMANCE.md", "docs/RESILIENCE.md"]
 )
 def test_dotted_references_resolve(doc):
     text = doc_text(doc)
@@ -57,7 +57,7 @@ def test_dotted_references_resolve(doc):
 @pytest.mark.parametrize(
     "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/THEORY.md",
             "docs/ANALYSIS.md", "docs/ARCHITECTURE.md",
-            "docs/PERFORMANCE.md", "docs/RESILIENCE.md"]
+            "docs/MONITORING.md", "docs/PERFORMANCE.md", "docs/RESILIENCE.md"]
 )
 def test_referenced_files_exist(doc):
     text = doc_text(doc)

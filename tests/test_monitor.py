@@ -1,0 +1,393 @@
+"""The streaming linearizability monitor (`repro.monitor`).
+
+Three contracts under test, mirroring docs/MONITORING.md:
+
+* **agreement** — on any finite trace the streaming verdict must match
+  the post-hoc :func:`~repro.core.fastcheck.check_linearizable`
+  verdict *category* (ok / violation / unknown), including pending
+  invocations, per-key partitioning and the budget-degraded case.
+  Directed traces pin the interesting shapes; a Hypothesis sweep over
+  well-formed random traces (honest and dishonest outputs) pins the
+  equivalence in bulk.
+* **bounded memory** — the retained-event gauge peaks at the size of
+  the concurrent window, never the run length: decided prefixes are
+  garbage-collected at every quiescent cut.
+* **operational wiring** — fail-fast violation reporting with a
+  ddmin-shrunken witness, resync-after-degrade, the async recorder
+  tap, `loadgen --monitor` (single and sharded planes) and the chaos
+  campaign's live monitor must all surface the same verdicts.
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+
+from repro.core.actions import Invocation, Response
+from repro.core.adt import register_adt
+from repro.core.fastcheck import check_linearizable
+from repro.core.strategies import wellformed_traces
+from repro.core.traces import Trace
+from repro.monitor import (
+    MonitorTap,
+    StreamingMonitor,
+    compose_verdicts,
+    ddmin_ops,
+    watch_trace,
+)
+from repro.net.client import HistoryRecorder
+from repro.net.loadgen import run_loadgen
+from repro.smr.universal import kv_store_adt
+
+SILENT = lambda line: None  # noqa: E731
+
+KV = kv_store_adt()
+KV_INPUTS = [
+    ("put", "a", 1),
+    ("put", "a", 2),
+    ("get", "a"),
+    ("delete", "a"),
+    ("put", "b", 1),
+    ("get", "b"),
+]
+REG = register_adt()
+REG_INPUTS = [("write", 1), ("write", 2), ("read",)]
+
+
+def inv(client, payload):
+    return Invocation(client, 1, payload)
+
+
+def res(client, payload, output):
+    return Response(client, 1, payload, output)
+
+
+def posthoc_verdict(trace, adt, **kwargs):
+    check = check_linearizable(trace, adt, **kwargs)
+    if check.unknown:
+        return "unknown"
+    return "ok" if check.ok else "violation"
+
+
+# ---------------------------------------------------------------------------
+# agreement with the post-hoc checker
+# ---------------------------------------------------------------------------
+
+
+class TestDirectedAgreement:
+    def test_sequential_history_is_ok(self):
+        trace = Trace(
+            [
+                inv("c1", ("put", "a", 1)),
+                res("c1", ("put", "a", 1), ("value", None)),
+                inv("c2", ("get", "a")),
+                res("c2", ("get", "a"), ("value", 1)),
+            ]
+        )
+        report = watch_trace(trace, KV)
+        assert report.verdict == posthoc_verdict(trace, KV) == "ok"
+        assert report.ok and report.frontiers == 1
+
+    def test_stale_read_is_a_violation(self):
+        trace = Trace(
+            [
+                inv("c1", ("put", "a", 1)),
+                res("c1", ("put", "a", 1), ("value", None)),
+                inv("c2", ("get", "a")),
+                res("c2", ("get", "a"), ("value", None)),  # forgot the put
+            ]
+        )
+        report = watch_trace(trace, KV)
+        assert report.verdict == posthoc_verdict(trace, KV) == "violation"
+        assert report.violation_key == "a"
+        assert "frontier emptied" in report.reason
+
+    def test_concurrent_overlap_allows_either_order(self):
+        # the get overlaps the put: both old and new value linearize
+        for read_value in (None, 7):
+            trace = Trace(
+                [
+                    inv("c1", ("put", "a", 7)),
+                    inv("c2", ("get", "a")),
+                    res("c2", ("get", "a"), ("value", read_value)),
+                    res("c1", ("put", "a", 7), ("value", None)),
+                ]
+            )
+            assert watch_trace(trace, KV).verdict == "ok"
+            assert posthoc_verdict(trace, KV) == "ok"
+
+    def test_pending_invocations_stay_ok(self):
+        trace = Trace(
+            [
+                inv("c1", ("put", "a", 1)),
+                inv("c2", ("get", "a")),
+                res("c2", ("get", "a"), ("value", 1)),  # c1's put took effect
+            ]
+        )
+        report = watch_trace(trace, KV)
+        assert report.verdict == posthoc_verdict(trace, KV) == "ok"
+
+    def test_ill_formed_trace_is_rejected_like_posthoc(self):
+        trace = Trace(
+            [res("c1", ("get", "a"), ("value", None))]  # respond, no invoke
+        )
+        report = watch_trace(trace, KV)
+        assert report.verdict == posthoc_verdict(trace, KV) == "violation"
+        assert "well-formed" in report.reason
+
+    def test_monolithic_adt_without_partition_spec(self):
+        trace = Trace(
+            [
+                inv("c1", ("write", 1)),
+                res("c1", ("write", 1), ("ok",)),
+                inv("c2", ("read",)),
+                res("c2", ("read",), ("value", 2)),  # never written
+            ]
+        )
+        report = watch_trace(trace, REG)
+        assert report.verdict == posthoc_verdict(trace, REG) == "violation"
+
+
+class TestPropertyAgreement:
+    @given(wellformed_traces(KV, KV_INPUTS, max_steps=14))
+    @settings(max_examples=120, deadline=None)
+    def test_kv_streaming_matches_posthoc(self, trace):
+        # dishonest outputs: a mix of linearizable and violating traces,
+        # partitioned per key — the P-compositional equivalence
+        assert watch_trace(trace, KV).verdict == posthoc_verdict(trace, KV)
+
+    @given(wellformed_traces(KV, KV_INPUTS, max_steps=14, honest=True))
+    @settings(max_examples=60, deadline=None)
+    def test_honest_kv_traces_are_always_ok(self, trace):
+        report = watch_trace(trace, KV)
+        assert report.verdict == posthoc_verdict(trace, KV) == "ok"
+
+    @given(wellformed_traces(REG, REG_INPUTS, max_steps=12))
+    @settings(max_examples=120, deadline=None)
+    def test_register_streaming_matches_posthoc(self, trace):
+        # no partition spec: the whole trace rides one frontier
+        assert watch_trace(trace, REG).verdict == posthoc_verdict(trace, REG)
+
+
+class TestBudgetsAndResync:
+    def ambiguous_burst(self, n_open=5):
+        """Five open puts, then a get answered by one of them: every
+        speculative ordering of a put-subset ending in put-3 survives,
+        so the frontier (and the post-hoc search) genuinely fans out."""
+        actions = [inv(f"c{i}", ("put", "a", i + 1)) for i in range(n_open)]
+        actions += [
+            inv("cg", ("get", "a")),
+            res("cg", ("get", "a"), ("value", 3)),
+        ]
+        # close the puts too, so the stream can quiesce for the resync
+        # test; once degraded these land on the unchecked path
+        actions += [
+            res(f"c{i}", ("put", "a", i + 1), ("value", None))
+            for i in range(n_open)
+        ]
+        return Trace(actions)
+
+    def test_tiny_config_budget_degrades_to_unknown_like_posthoc(self):
+        trace = self.ambiguous_burst()
+        report = watch_trace(trace, KV, config_limit=2)
+        assert report.verdict == "unknown"
+        assert "budget" in report.reason
+        # the post-hoc checker degrades the same way under its budget
+        assert posthoc_verdict(trace, KV, state_limit=1) == "unknown"
+        # ...and neither side guessed: with full budgets the same trace
+        # has a definite verdict on both (here: violation — the get
+        # pins put-3 first, yet every put claims the empty cell)
+        assert (
+            watch_trace(trace, KV).verdict
+            == posthoc_verdict(trace, KV)
+            == "violation"
+        )
+
+    def test_node_budget_degrades_per_event_search(self):
+        report = watch_trace(self.ambiguous_burst(), KV, node_limit=3)
+        assert report.verdict == "unknown"
+
+    def test_resync_resumes_watching_from_a_snapshot(self):
+        monitor = StreamingMonitor(KV, config_limit=2)
+        for action in self.ambiguous_burst():
+            monitor.observe(action)
+        assert monitor.degraded and monitor.verdict == "unknown"
+        # an operator hands the monitor an authoritative snapshot of
+        # the cell ("a" holds 5); watching resumes at quiescence
+        monitor.resync("a", 5)
+        monitor.observe(inv("c9", ("get", "a")))
+        monitor.observe(res("c9", ("get", "a"), ("value", 5)))
+        # the verdict stays unknown (the gap is unobserved forever)...
+        assert monitor.verdict == "unknown"
+        # ...but new violations are still caught from the snapshot
+        monitor.observe(inv("c9", ("get", "a")))
+        monitor.observe(res("c9", ("get", "a"), ("value", 77)))
+        assert monitor.verdict == "violation"
+
+
+# ---------------------------------------------------------------------------
+# the GC bound
+# ---------------------------------------------------------------------------
+
+
+class TestBoundedMemory:
+    def test_long_sequential_run_retains_a_constant_window(self):
+        monitor = StreamingMonitor(KV)
+        value = None
+        for i in range(2000):
+            payload = ("put", "a", i)
+            monitor.observe(inv("c1", payload))
+            monitor.observe(res("c1", payload, ("value", value)))
+            value = i
+        report = monitor.report()
+        assert report.verdict == "ok"
+        assert report.events == 4000
+        # one op in flight at a time: the window never holds more than
+        # one op's events, and every decided prefix was collected
+        assert report.peak_retained <= 2
+        assert report.retained == 0
+        assert report.gc_drops == 4000
+
+    def test_peak_tracks_the_concurrent_window_not_the_run(self):
+        monitor = StreamingMonitor(KV)
+        clients = [f"c{i}" for i in range(6)]
+        store = {}
+        for round_no in range(300):
+            batch = []
+            for i, c in enumerate(clients):
+                key = "ab"[i % 2]
+                payload = ("put", key, round_no * 10 + i)
+                monitor.observe(inv(c, payload))
+                batch.append((c, key, payload))
+            for c, key, payload in batch:
+                output = ("value", store.get(key))
+                store[key] = payload[2]
+                monitor.observe(res(c, payload, output))
+        report = monitor.report()
+        assert report.verdict == "ok"
+        assert report.events == 300 * len(clients) * 2
+        # the bound depends on the 6-client window, not the 300 rounds
+        assert report.peak_retained <= 4 * len(clients)
+        assert report.gc_drops == report.events
+
+
+# ---------------------------------------------------------------------------
+# fail-fast and the shrunken witness
+# ---------------------------------------------------------------------------
+
+
+class TestFailFastAndWitness:
+    def test_violation_fires_the_callback_at_the_event(self):
+        seen = []
+        monitor = StreamingMonitor(KV, on_violation=seen.append)
+        monitor.observe(inv("c1", ("get", "a")))
+        assert not monitor.violated and seen == []
+        monitor.observe(res("c1", ("get", "a"), ("value", 3)))  # from nowhere
+        assert monitor.violated
+        assert len(seen) == 1 and seen[0].verdict == "violation"
+        # later events are ignored, the verdict is final
+        monitor.observe(inv("c2", ("put", "a", 1)))
+        assert monitor.report().verdict == "violation"
+
+    def test_witness_is_shrunk_to_the_relevant_ops(self):
+        # two irrelevant committed ops on key "b" and four open puts on
+        # "a" surround a failing read; ddmin must cut the noise down to
+        # the read itself (no open op is needed to refute ("value", 9))
+        actions = [
+            inv("cb", ("put", "b", 1)),
+            res("cb", ("put", "b", 1), ("value", None)),
+        ]
+        actions += [inv(f"c{i}", ("put", "a", i)) for i in range(4)]
+        actions += [
+            inv("cr", ("get", "a")),
+            res("cr", ("get", "a"), ("value", 9)),  # 9 was never written
+        ]
+        report = watch_trace(Trace(actions), KV)
+        assert report.verdict == "violation"
+        witness = report.witness
+        assert witness is not None and witness["partition"] == "a"
+        assert witness["shrunk"] and not witness["truncated"]
+        ops = {event["op"] for event in witness["events"]}
+        # the failing read survives; the unrelated key never appears
+        assert any(e["client"] == "cr" for e in witness["events"])
+        assert len(ops) == 1
+
+    def test_ddmin_minimizes_a_known_superset(self):
+        fails = lambda kept: {"x", "y"} <= set(kept)  # noqa: E731
+        assert set(ddmin_ops(["a", "x", "b", "y", "c"], fails)) == {"x", "y"}
+
+    def test_compose_verdicts_prefers_violation_over_unknown(self):
+        ok = watch_trace(Trace([]), KV)
+        bad = watch_trace(
+            Trace([res("c1", ("get", "a"), ("value", 1))]), KV
+        )
+        verdict, reason = compose_verdicts([ok, bad])
+        assert verdict == "violation" and reason
+        assert compose_verdicts([ok, ok])[0] == "ok"
+
+
+# ---------------------------------------------------------------------------
+# the async tap and the data-plane integrations
+# ---------------------------------------------------------------------------
+
+
+class TestMonitorTap:
+    def test_tap_drains_recorder_events_in_background(self):
+        async def scenario():
+            tap = MonitorTap(StreamingMonitor(KV))
+            recorder = HistoryRecorder(clock=lambda: 0.0, tap=tap)
+            recorder.invoke("c1", ("put", "a", 1))
+            recorder.respond("c1", ("put", "a", 1), ("value", None))
+            await asyncio.sleep(0.01)
+            assert tap.pending == 0  # the drain task consumed the queue
+            recorder.invoke("c2", ("get", "a"))
+            recorder.respond("c2", ("get", "a"), ("value", 1))
+            return await tap.close()
+
+        report = asyncio.run(scenario())
+        assert report.verdict == "ok" and report.events == 4
+
+    def test_tap_flags_violation_before_close(self):
+        async def scenario():
+            tap = MonitorTap(StreamingMonitor(KV))
+            recorder = HistoryRecorder(clock=lambda: 0.0, tap=tap)
+            recorder.invoke("c1", ("get", "a"))
+            recorder.respond("c1", ("get", "a"), ("value", 41))
+            await asyncio.sleep(0.01)
+            assert tap.violated  # visible mid-run, before close()
+            return await tap.close()
+
+        assert asyncio.run(scenario()).verdict == "violation"
+
+
+class TestLoadgenIntegration:
+    def test_monitored_run_agrees_with_the_posthoc_check(self, tmp_path):
+        report = run_loadgen(
+            replicas=3,
+            clients=4,
+            ops=24,
+            seed=5,
+            wal_root=str(tmp_path),
+            monitor=True,
+            emit=SILENT,
+        )
+        assert report.monitored
+        assert report.linearizable and report.monitor_verdict == "ok"
+        assert report.monitor_events == 2 * report.committed
+        assert 0 < report.monitor_peak_retained < report.monitor_events
+        assert report.monitor_gc_drops == report.monitor_events
+
+    def test_sharded_run_composes_per_shard_monitors(self, tmp_path):
+        report = run_loadgen(
+            replicas=3,
+            clients=6,
+            ops=48,
+            seed=6,
+            shards=2,
+            codec="binary",
+            wal_root=str(tmp_path),
+            monitor=True,
+            emit=SILENT,
+        )
+        assert report.monitored and report.monitor_verdict == "ok"
+        assert report.monitor_shard_verdicts == ["ok", "ok"]
+        assert report.linearizable

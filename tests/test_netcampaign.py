@@ -179,3 +179,45 @@ class TestLiveCampaign:
         )
         assert len(violation.shrunk.actions) <= 2
         assert "violation" in violation.report()
+
+    def test_live_monitor_catches_the_amnesiac_during_the_run(
+        self, tmp_path
+    ):
+        """With ``monitor=True`` the same canary must be caught *while
+        the run is in flight* — the online verdict flips, the drivers
+        stop, and the shrunken witness lands as an artifact — without
+        waiting for the post-hoc check.  Timing-dependent like the
+        post-hoc canary, so a few seeds are tried."""
+        caught = []
+        for seed in (0, 2, 1, 3, 4):
+            report = run_net_campaign(
+                schedules=[CANARY(seed)],
+                amnesiac=2,
+                clients=3,
+                ops_per_client=6,
+                shrink=False,
+                monitor=True,
+                artifact_dir=str(tmp_path),
+                emit=SILENT,
+            )
+            assert all(r.monitored for r in report.runs)
+            caught = [
+                r for r in report.runs if r.monitor_verdict == "violation"
+            ]
+            if caught:
+                break
+        assert caught, (
+            "the live monitor never caught the amnesiac node: fail-fast "
+            "monitoring cannot see the durability bug it exists to catch"
+        )
+        run = caught[0]
+        # the online and post-hoc verdicts agree on the same history
+        assert run.violation
+        assert "frontier emptied" in run.monitor_reason
+        assert run.monitor_witness is not None
+        assert run.monitor_events > 0
+        assert f"monitor={run.monitor_verdict}" in run.line()
+        witness = (
+            tmp_path / f"net-monitor-witness-{run.schedule.seed}.json"
+        )
+        assert witness.exists()

@@ -199,6 +199,49 @@ class TestSlotPipeline:
         assert out == ("value", None)  # first put on the fresh cell
         assert _check(recorder).ok
 
+    def test_cancelled_submit_leaves_a_pending_invocation(self):
+        """A submitter task killed mid-flight must leave the op as a
+        *pending invocation* in the history — never an effect with no
+        invocation.  The op was enqueued before the cancel, so it still
+        decides and takes effect on the replicas; a later reader then
+        observes that effect, and only the recorded open invocation
+        makes the combined history linearizable (regression: recording
+        the invocation only after the enqueue loses the race)."""
+
+        async def scenario():
+            cluster = LocalCluster(n_servers=3, codec="binary")
+            await cluster.start()
+            transport = cluster.client_transport("clients")
+            recorder = HistoryRecorder(clock=lambda: transport.now)
+            pipeline = SlotPipeline(
+                "main", 3, transport, window=4, max_batch=16,
+                quorum_timeout=0.15,
+            )
+            doomed = PipelineClient("c0", pipeline, recorder, op_timeout=5.0)
+            task = asyncio.ensure_future(doomed.submit(("put", "k", "lost")))
+            # one loop tick: the invocation is recorded and the op is in
+            # the pipeline's hands — but the decree has not decided yet
+            await asyncio.sleep(0)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            # the orphaned op still commits; a fresh client reads it
+            reader = PipelineClient("c1", pipeline, recorder, op_timeout=5.0)
+            out = await reader.submit(("get", "k"))
+            await cluster.stop()
+            return recorder, out
+
+        recorder, out = asyncio.run(scenario())
+        # the cancelled op's effect is visible to the reader...
+        assert out == ("value", "lost")
+        # ...and the history explains it: c0's invocation is pending
+        assert recorder.pending_clients() == ("c0",)
+        assert _check(recorder).ok
+        # the streaming monitor sees the same trace the same way
+        from repro.monitor import watch_trace
+
+        assert watch_trace(recorder.trace(), kv_store_adt()).verdict == "ok"
+
 
 # ---------------------------------------------------------------------------
 # the full data plane end to end (loadgen)
