@@ -34,6 +34,11 @@ Benchmarks:
   one-op-per-round client; gates on the dimensionless ``speedup``
   (floor 10x) and all-histories-linearizable, reports uniform
   ops/s + p50/p99 latency per configuration.
+* ``sessions`` — the session-dedup seam (exactly-once client
+  sessions) against the raw unsessioned fold, end to end on the
+  pipelined data plane and in a fold microbench; gates on the
+  ``<= 1.2x`` end-to-end overhead acceptance bound (as a boolean) and
+  all-histories-linearizable.
 * ``monitor`` — the streaming linearizability monitor: monitor-on vs
   monitor-off on the same pipelined burst (gates on the slowdown
   ratio and the live verdict) and a 50k-op synthetic concurrent feed
@@ -462,6 +467,11 @@ def bench_monitor(quick):
     return _delegated("bench_monitor")(quick)
 
 
+def bench_sessions(quick):
+    """Session-dedup seam overhead (delegates to bench_sessions.py)."""
+    return _delegated("bench_sessions")(quick)
+
+
 BENCHES = {
     "pcomp": bench_pcomp,
     "search": bench_search,
@@ -471,6 +481,7 @@ BENCHES = {
     "grayfaults": bench_grayfaults,
     "throughput": bench_throughput,
     "monitor": bench_monitor,
+    "sessions": bench_sessions,
 }
 
 

@@ -9,6 +9,7 @@ Usage::
     python -m repro examples     # run the example scripts
     python -m repro nemesis [N] [BASE_SEED] [--jobs N]  # fault campaign
     python -m repro nemesis 3 0 --net [--amnesiac I]    # live-cluster chaos
+    python -m repro nemesis 3 5 --retry-storm           # exactly-once storm
     python -m repro harness [--quick|--full] [...]      # benchmark harness
     python -m repro serve --replicas 3 --port-base 9000 # TCP cluster
     python -m repro loadgen --replicas 3 --clients 8 --ops 200 --seed 0
@@ -26,6 +27,12 @@ runs across N processes without changing a single output line.
 clusters (kill/restart churn with WAL recovery, loss bursts,
 partitions); ``--amnesiac I`` disables replica I's WAL — the durability
 canary the campaign must catch as a linearizability violation.
+``nemesis --retry-storm`` runs the exactly-once campaign instead:
+duplicate-delivery windows, loss bursts violent enough to force client
+retries and hedges, and a kill/restart pair, all on a replicated
+counter whose applied state must equal the distinct increments;
+``--no-dedup`` disables the session seam and inverts the exit code (the
+mutant must be *caught*).
 ``harness`` runs the benchmark regression harness
 (``benchmarks/harness.py``), writing machine-readable ``BENCH_*.json``.
 ``serve`` hosts a replica cluster on real TCP ports until interrupted;
@@ -67,6 +74,7 @@ EXPERIMENTS = {
     "e11": ("bench_net", "2 vs 3 message delays over real TCP sockets"),
     "e12": ("bench_recovery", "WAL recovery: replay cost + restart dip"),
     "e13": ("bench_grayfaults", "gray failures: fast-path ratio + recovery"),
+    "e14": ("bench_sessions", "exactly-once sessions: storm + overhead"),
     "sweep": (
         "bench_enumeration",
         "exhaustive trace-level Theorem-5 sweeps",
@@ -135,6 +143,27 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_nemesis(args: argparse.Namespace) -> int:
     """Run a fault-injection campaign, one replayable line per run."""
+    if args.retry_storm:
+        from repro.faults import run_retry_storm
+
+        results = run_retry_storm(
+            n_schedules=args.n_schedules,
+            base_seed=args.base_seed,
+            dedup=not args.no_dedup,
+            artifact_dir=args.artifact_dir,
+        )
+        ok = all(r.ok for r in results)
+        caught = sum(1 for r in results if r.caught)
+        print()
+        print(
+            f"retry-storm: {len(results)} run(s), "
+            f"{'all exactly-once' if ok else f'{caught} violation(s) caught'}"
+        )
+        if args.no_dedup:
+            # mutant mode exists to prove the checkers catch the bug
+            return 0 if caught else 1
+        return 0 if ok else 1
+
     if args.net:
         from repro.faults import run_net_campaign
 
@@ -407,6 +436,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --net: stream every run's history through a live "
         "linearizability monitor (fail-fast, mid-run witness)",
+    )
+    p_nem.add_argument(
+        "--retry-storm",
+        action="store_true",
+        help="run the exactly-once campaign instead: duplicated frames, "
+        "timeout-forced retries, hedges and coordinator failover on a "
+        "replicated counter (live clusters)",
+    )
+    p_nem.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="with --retry-storm: disable the session seam (the mutant); "
+        "exit 0 only if the checkers catch the double-apply",
     )
     p_nem.set_defaults(func=cmd_nemesis)
 

@@ -9,6 +9,7 @@ Importing this package registers every rule with
 * :mod:`.rd04_async` — no orphan tasks or silent broad excepts in net/
 * :mod:`.rd05_ioa` — IOA signatures total, preconditions mutation-free
 * :mod:`.rd06_monitor` — responses recorded only after an awaited reply
+* :mod:`.rd07_sessions` — replicated applies route through session dedup
 """
 
 from . import (  # noqa: F401
@@ -18,4 +19,5 @@ from . import (  # noqa: F401
     rd04_async,
     rd05_ioa,
     rd06_monitor,
+    rd07_sessions,
 )

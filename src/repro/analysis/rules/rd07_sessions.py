@@ -1,0 +1,146 @@
+"""RD07 — replicated apply paths route through the session-dedup seam.
+
+Safe retry rests on one invariant: a command that decided in two slots
+(a retried or hedged proposal whose first decree also won) must take
+effect **once**.  The seam that enforces it is
+:mod:`repro.smr.sessions` — :class:`~repro.smr.sessions.SessionedApplier`
+for incremental folds, :func:`~repro.smr.sessions.dedup_commands` for
+prefix replays.  Any code in the replicated data plane that applies
+decided commands to an ADT *directly* reintroduces double-apply: the
+exact bug the dedup-disabled mutant canary exists to demonstrate, now
+hiding in a code path the canary does not toggle.
+
+RD07 scans ``repro/net/`` and ``repro/smr/`` for:
+
+* **direct ADT application** — a call ``<chain>.transition(...)`` or
+  ``<chain>.run(...)`` whose receiver chain names an ADT (a component
+  containing ``adt``).  Decided commands must fold through a
+  :class:`~repro.smr.sessions.SessionedApplier` (which owns the
+  first-occurrence-wins rule) instead;
+* **raw prefix responses** (``repro/net/`` only) — a call
+  ``<chain>.respond(...)`` on a frontend with no ``dedup_commands``
+  call earlier in the same function.  Deriving a response from a log
+  prefix that may carry duplicate decrees applies the retried command
+  twice.
+
+Two modules are exempt by design: ``repro/smr/sessions.py`` is the
+seam itself (its ``transition`` calls *are* the single sanctioned
+application site), and ``repro/smr/lockservice.py`` replays the
+committed log only inside verification helpers (``table``,
+``mutual_exclusion_holds``) that assert invariants over the decided
+history — they serve no client response and no retry path feeds them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from ..findings import Finding
+from ..registry import ModuleContext, Rule, register
+
+Pos = Tuple[int, int]
+
+#: functions and lambdas open a new analysis scope
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+#: direct-application method names on an ADT receiver
+_APPLY_METHODS = ("transition", "run")
+
+
+def _attr_chain(node: ast.AST) -> List[str]:
+    """The dotted names of an attribute chain, outermost last."""
+    names: List[str] = []
+    while isinstance(node, ast.Attribute):
+        names.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.append(node.id)
+    return names
+
+
+def _chain_mentions(call: ast.Call, needle: str) -> bool:
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    chain = _attr_chain(call.func.value)
+    return any(needle in name.lower() for name in chain)
+
+
+def _is_dedup_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "dedup_commands"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "dedup_commands"
+    return False
+
+
+def _shallow_walk(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class Rd07SessionSeam(Rule):
+    """Decided commands applied outside the session-dedup seam."""
+
+    id = "RD07"
+    title = "session-dedup seam discipline"
+    scope = ("repro/net/", "repro/smr/")
+    exclude = ("repro/smr/sessions.py", "repro/smr/lockservice.py")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _APPLY_METHODS
+                and _chain_mentions(node, "adt")
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct ADT application (.{node.func.attr}) in the "
+                    "replicated data plane bypasses session dedup — a "
+                    "retried command that decided twice is applied twice",
+                    "fold decided commands through "
+                    "repro.smr.sessions.SessionedApplier (or "
+                    "dedup_commands for a prefix replay)",
+                )
+        if not ctx.relpath.startswith("repro/net/"):
+            return
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            responds: List[Tuple[Pos, ast.Call]] = []
+            dedups: List[Pos] = []
+            for node in _shallow_walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _is_dedup_call(node):
+                    dedups.append((node.lineno, node.col_offset))
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "respond"
+                    and _chain_mentions(node, "frontend")
+                ):
+                    responds.append(((node.lineno, node.col_offset), node))
+            for pos, call in responds:
+                if not any(p < pos for p in dedups):
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"{func.name} derives a response from a log "
+                        "prefix without dedup_commands — duplicate "
+                        "decrees of a retried op would apply twice",
+                        "pass the prefix through "
+                        "repro.smr.sessions.dedup_commands before "
+                        "untagging and responding",
+                    )

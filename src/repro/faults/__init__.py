@@ -11,7 +11,11 @@ partition-then-heal windows at the TCP transport layer, and
 :mod:`repro.faults.netcampaign` drives the same seeded-schedule /
 check-every-history / shrink-on-violation discipline against the *live*
 socket cluster, including kill/restart churn and the WAL-disabled
-amnesiac-node canary.
+amnesiac-node canary.  :func:`~repro.faults.netcampaign.run_retry_storm`
+is the exactly-once campaign: duplicate-delivery bursts, client
+blackouts and kill/restart churn against retrying/hedging clients on a
+counter object, with a mechanical applied-exactly-once witness and a
+dedup-disabled mutant canary.
 """
 
 from .campaign import (
@@ -55,6 +59,7 @@ _NETCAMPAIGN_NAMES = frozenset(
         "KillNode",
         "NET_ACTION_CLASSES",
         "NetCampaignReport",
+        "NetDupBurst",
         "NetLossBurst",
         "NetPartition",
         "NetRunResult",
@@ -62,12 +67,15 @@ _NETCAMPAIGN_NAMES = frozenset(
         "NetSlowNode",
         "NetViolation",
         "RestartNode",
+        "RetryStormResult",
         "WALBitFlip",
         "WALNoSpace",
         "WALTearTail",
         "asymmetric_bridge",
         "random_net_schedule",
+        "retry_storm_schedule",
         "run_net_campaign",
+        "run_retry_storm",
     }
 )
 
@@ -101,6 +109,7 @@ __all__ = [
     "NET_ACTION_CLASSES",
     "NemesisTarget",
     "NetCampaignReport",
+    "NetDupBurst",
     "NetLossBurst",
     "NetPartition",
     "NetRunResult",
@@ -110,6 +119,7 @@ __all__ = [
     "PartitionServers",
     "RecoverServer",
     "RestartNode",
+    "RetryStormResult",
     "RunResult",
     "SMRTarget",
     "SlowNode",
@@ -123,7 +133,9 @@ __all__ = [
     "asymmetric_bridge",
     "random_net_schedule",
     "random_schedule",
+    "retry_storm_schedule",
     "run_campaign",
     "run_net_campaign",
+    "run_retry_storm",
     "shrink_schedule",
 ]

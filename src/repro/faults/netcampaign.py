@@ -63,6 +63,8 @@ import tempfile
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from ..core.adt import counter_adt
+from ..mp.backoff import BackoffPolicy
 from ..core.fastcheck import check_linearizable
 from ..monitor import MonitorTap, StreamingMonitor
 from ..net.client import (
@@ -79,9 +81,11 @@ from ..net.loadgen import (
     MONITOR_NODE_LIMIT,
     _command_stream,
 )
+from ..net.overload import Overloaded
 from ..net.pipeline import PipelineClient, SlotPipeline
 from ..net.wal import WALCorruptionError
-from ..smr.universal import UniversalFrontend, kv_store_adt
+from ..smr.sessions import dedup_commands, seq_uid
+from ..smr.universal import UniversalFrontend, batch_commands, kv_store_adt
 from .netfaults import TransportFaults
 from .shrink import shrink_schedule
 
@@ -156,6 +160,18 @@ class NetPartition(NetFaultAction):
 
 
 @dataclass(frozen=True)
+class NetDupBurst(NetFaultAction):
+    """Deliver frames *twice* i.i.d. at ``rate`` for ``duration``
+    seconds (``TransportFaults.burst_duplicate``) — at-least-once
+    delivery gone wrong: retransmits after lost acks, a replaying
+    middlebox.  Correctness under this action is exactly the
+    session-dedup guarantee: a redelivered decree folds once."""
+
+    duration: float = 0.5
+    rate: float = 0.2
+
+
+@dataclass(frozen=True)
 class NetSlowNode(NetFaultAction):
     """Make replica ``node`` a slow node for ``duration`` seconds: every
     frame it sends or receives is held ``delay`` seconds before the
@@ -203,6 +219,7 @@ NET_ACTION_CLASSES = (
     KillNode,
     RestartNode,
     NetLossBurst,
+    NetDupBurst,
     NetPartition,
     NetSlowNode,
     WALTearTail,
@@ -726,6 +743,8 @@ async def _run_schedule(
                     )
                 elif isinstance(action, NetLossBurst):
                     faults.burst_loss(action.rate, action.duration)
+                elif isinstance(action, NetDupBurst):
+                    faults.burst_duplicate(action.rate, action.duration)
                 elif isinstance(action, NetPartition):
                     faults.partition(
                         action.a,
@@ -958,3 +977,410 @@ def run_net_campaign(
                 },
             )
     return report
+
+
+# ----------------------------------------------------------------------
+# the retry-storm campaign (exactly-once under duplicates and retries)
+# ----------------------------------------------------------------------
+
+
+def retry_storm_schedule(
+    seed: int, n_servers: int = 3, horizon: float = 3.0
+) -> NetSchedule:
+    """A directed schedule that manufactures every duplicate source at
+    once: a long duplicate-delivery window (redelivered decrees), loss
+    bursts violent enough to force op timeouts → client retries →
+    re-proposed decrees, and one kill/restart pair so retried ops also
+    fail over to a successor coordinator.  Deterministic in ``seed``.
+    """
+    rng = random.Random(f"retrystorm:{seed}")
+    span = min(horizon * 0.5, 1.6)
+    actions: List[NetFaultAction] = [
+        # duplicates run through most of the storm window
+        NetDupBurst(
+            at=0.1,
+            duration=round(span + 0.8, 2),
+            rate=round(rng.uniform(0.15, 0.3), 2),
+        ),
+        NetLossBurst(
+            at=round(rng.uniform(0.15, 0.35), 2),
+            duration=round(rng.uniform(0.4, 0.7), 2),
+            rate=round(rng.uniform(0.3, 0.45), 2),
+        ),
+        NetLossBurst(
+            at=round(rng.uniform(0.8, 1.1), 2),
+            duration=round(rng.uniform(0.3, 0.5), 2),
+            rate=round(rng.uniform(0.25, 0.4), 2),
+        ),
+    ]
+    # a short total blackout of the client endpoint: every in-flight
+    # attempt times out, so clients must retry (and the retried op's
+    # first decree — already on the replicas — often still decides,
+    # manufacturing the duplicate-decree case the session seam folds)
+    blackout_at = round(rng.uniform(0.25, 0.5), 2)
+    blackout = round(rng.uniform(0.25, 0.4), 2)
+    for j in range(n_servers):
+        actions.append(
+            NetPartition(
+                at=blackout_at,
+                a="clients",
+                b=f"node{j}",
+                duration=blackout,
+            )
+        )
+    node = rng.randrange(n_servers)
+    kill_at = round(rng.uniform(0.4, 0.8), 2)
+    actions.append(KillNode(at=kill_at, node=node))
+    actions.append(
+        RestartNode(at=round(kill_at + rng.uniform(0.5, 0.9), 2), node=node)
+    )
+    actions.sort(key=lambda a: a.at)
+    return NetSchedule(seed=seed, actions=tuple(actions), horizon=horizon)
+
+
+@dataclass
+class RetryStormResult:
+    """One retry-storm run on a replicated counter."""
+
+    schedule: NetSchedule
+    dedup: bool = True
+    verdict: str = "unknown"
+    strategy: str = ""
+    reason: Optional[str] = None
+    committed: int = 0
+    pending: int = 0
+    successors: int = 0
+    retries: int = 0
+    hedges: int = 0
+    shed: int = 0
+    kills: int = 0
+    restarts: int = 0
+    #: frames the transport delivered twice
+    dup_frames: int = 0
+    #: duplicate decree occurrences the session seam folded away
+    duplicates_folded: int = 0
+    #: the pipeline's applied counter state at the end of the run
+    applied_count: int = 0
+    #: distinct (session-deduplicated) increments in the decided log
+    distinct_incs: int = 0
+    #: raw increment occurrences in the decided log (≥ distinct_incs)
+    raw_incs: int = 0
+    duration: float = 0.0
+    monitored: bool = False
+    monitor_verdict: Optional[str] = None
+    monitor_reason: Optional[str] = None
+    monitor_events: int = 0
+    monitor_witness: Optional[Dict[str, Any]] = None
+
+    @property
+    def exactly_once(self) -> bool:
+        """The mechanical witness: the applied counter equals the
+        distinct increments decided — every acked increment applied
+        exactly once, however many decrees carried it."""
+        return self.applied_count == self.distinct_incs
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "linearizable" and self.exactly_once
+
+    @property
+    def caught(self) -> bool:
+        """Whether the checker (post-hoc or online) flagged this run —
+        what the dedup-disabled mutant canary must achieve."""
+        return (
+            self.verdict == "violation"
+            or self.monitor_verdict == "violation"
+        )
+
+    def line(self) -> str:
+        tag = "OK " if self.ok else ("BUG" if self.caught else "???")
+        extra = "" if self.dedup else " MUTANT(dedup-off)"
+        if self.monitored:
+            extra += f" monitor={self.monitor_verdict}"
+        return (
+            f"[{tag}] {self.verdict:<13} committed={self.committed:<3} "
+            f"pending={self.pending} retries={self.retries} "
+            f"hedges={self.hedges} shed={self.shed} "
+            f"dup_frames={self.dup_frames} folded={self.duplicates_folded} "
+            f"applied={self.applied_count}/{self.distinct_incs}"
+            f"(raw {self.raw_incs}) t={self.duration:.2f}s{extra} "
+            f":: {self.schedule.describe()}"
+        )
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "schedule": self.schedule.describe(),
+            "dedup": self.dedup,
+            "verdict": self.verdict,
+            "strategy": self.strategy,
+            "reason": self.reason,
+            "committed": self.committed,
+            "pending": self.pending,
+            "successors": self.successors,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "shed": self.shed,
+            "kills": self.kills,
+            "restarts": self.restarts,
+            "dup_frames": self.dup_frames,
+            "duplicates_folded": self.duplicates_folded,
+            "applied_count": self.applied_count,
+            "distinct_incs": self.distinct_incs,
+            "raw_incs": self.raw_incs,
+            "exactly_once": self.exactly_once,
+            "duration": self.duration,
+            "monitored": self.monitored,
+            "monitor_verdict": self.monitor_verdict,
+            "monitor_reason": self.monitor_reason,
+            "monitor_events": self.monitor_events,
+        }
+
+
+async def _run_retry_storm(
+    schedule: NetSchedule,
+    replicas: int = 3,
+    clients: int = 4,
+    ops_per_client: int = 10,
+    op_timeout: float = 2.5,
+    attempt_timeout: float = 0.3,
+    hedge_after: float = 0.2,
+    quorum_timeout: float = 0.08,
+    dedup: bool = True,
+    monitor: bool = True,
+) -> RetryStormResult:
+    """One retry-storm run: a replicated counter under duplicate
+    delivery, forced timeouts with safe retry + hedging, and a
+    coordinator kill/restart.  ``dedup=False`` is the mutant."""
+    loop = asyncio.get_running_loop()
+    result = RetryStormResult(schedule=schedule, dedup=dedup)
+    adt = counter_adt()
+    majority = replicas // 2 + 1
+    with tempfile.TemporaryDirectory(prefix="repro-storm-wal-") as wal_root:
+        faults = TransportFaults(seed=schedule.seed)
+        cluster = LocalCluster(
+            n_servers=replicas, faults=faults, wal_root=wal_root
+        )
+        await cluster.start()
+        transport = cluster.client_transport("clients")
+        tap: Optional[MonitorTap] = None
+        if monitor:
+            tap = MonitorTap(
+                StreamingMonitor(
+                    counter_adt(),
+                    node_limit=MONITOR_NODE_LIMIT,
+                    config_limit=MONITOR_CONFIG_LIMIT,
+                )
+            )
+        recorder = HistoryRecorder(clock=lambda: transport.now, tap=tap)
+        # window sized so retried decrees actually propose while the
+        # originals are still in flight (that concurrency is what
+        # manufactures the duplicate-decree case the seam must fold)
+        pipeline = SlotPipeline(
+            "storm",
+            replicas,
+            transport,
+            adt=adt,
+            window=4 * clients,
+            quorum_timeout=quorum_timeout,
+            dedup=dedup,
+            # snappy per-slot Backup retries: a slot stuck behind the
+            # blackout must decide quickly after the heal, or it
+            # head-of-line-blocks every later response past the gap
+            backoff=BackoffPolicy(
+                base=0.08, factor=2.0, cap=0.5, jitter=0.5, max_retries=14
+            ),
+        )
+        # a deep retry budget: the op deadline is the binding limit,
+        # so a storm-tossed op keeps re-proposing until time runs out
+        storm_backoff = BackoffPolicy(
+            base=0.05, factor=2.0, cap=0.4, jitter=0.5, max_retries=16
+        )
+
+        async def drive(index: int) -> None:
+            client = PipelineClient(
+                f"c{index}",
+                pipeline,
+                recorder,
+                op_timeout=op_timeout,
+                attempt_timeout=attempt_timeout,
+                hedge_after=hedge_after,
+                retry_backoff=storm_backoff,
+            )
+            rng = random.Random(f"storm:{schedule.seed}:{index}")
+            done = 0
+            while done < ops_per_client:
+                if tap is not None and tap.violated:
+                    break
+                await asyncio.sleep(rng.uniform(*OP_GAP))
+                command = (
+                    ("inc", 1) if rng.random() < 0.7 else ("cread",)
+                )
+                try:
+                    await client.submit(command)
+                    result.committed += 1
+                    done += 1
+                except Overloaded:
+                    # honestly shed: not recorded, identity intact —
+                    # yield and try again later
+                    result.shed += 1
+                    await asyncio.sleep(0.05)
+                except OperationTimeout:
+                    result.successors += 1
+                    result.retries += client.retries
+                    result.hedges += client.hedges
+                    client = client.successor()
+                    done += 1  # the op is pending, not retriable
+            result.retries += client.retries
+            result.hedges += client.hedges
+
+        async def nemesis() -> None:
+            start = loop.time()
+            for action in sorted(schedule.actions, key=lambda a: a.at):
+                delay = start + action.at - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                if isinstance(action, NetDupBurst):
+                    faults.burst_duplicate(action.rate, action.duration)
+                elif isinstance(action, NetLossBurst):
+                    faults.burst_loss(action.rate, action.duration)
+                elif isinstance(action, NetPartition):
+                    faults.partition(
+                        action.a,
+                        action.b,
+                        symmetric=not action.one_way,
+                        duration=action.duration,
+                    )
+                elif isinstance(action, KillNode):
+                    alive = cluster.alive()
+                    if (
+                        action.node in alive
+                        and len(alive) - 1 >= majority
+                    ):
+                        await cluster.kill(action.node)
+                        result.kills += 1
+                elif isinstance(action, RestartNode):
+                    if action.node not in cluster.alive():
+                        await cluster.restart(action.node)
+                        result.restarts += 1
+
+        start = transport.now
+        budget = schedule.horizon + op_timeout + RUN_GRACE
+        tasks = [loop.create_task(nemesis())] + [
+            loop.create_task(drive(i)) for i in range(clients)
+        ]
+        try:
+            await asyncio.wait_for(asyncio.gather(*tasks), timeout=budget)
+        except asyncio.TimeoutError:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            result.reason = "run exceeded its wall-clock budget"
+        result.duration = transport.now - start
+        await cluster.stop()
+        if tap is not None:
+            monitor_report = await tap.close()
+            result.monitored = True
+            result.monitor_verdict = monitor_report.verdict
+            result.monitor_reason = monitor_report.reason
+            result.monitor_events = monitor_report.events
+            result.monitor_witness = monitor_report.witness
+
+    result.pending = len(recorder.pending_clients())
+    result.dup_frames = faults.duplicated
+    result.duplicates_folded = pipeline.duplicates
+    # the mechanical exactly-once witness, straight off the *applied*
+    # contiguous decided prefix (slots past a decide gap never folded
+    # into the state, so they don't participate)
+    decided = [
+        c
+        for slot in range(pipeline._applied_upto)
+        for c in batch_commands(pipeline.log[slot])
+    ]
+    incs = [c for c in decided if c[:1] == ("inc",)]
+    result.raw_incs = len(incs)
+    result.distinct_incs = len(
+        {seq_uid(c) or id(c) for c in dedup_commands(incs)}
+    )
+    result.applied_count = pipeline._state
+
+    check = check_linearizable(recorder.trace(), counter_adt())
+    result.strategy = check.strategy
+    if check.unknown:
+        result.verdict = "unknown"
+        result.reason = result.reason or check.result.reason
+    elif check.ok:
+        result.verdict = "linearizable"
+    else:
+        result.verdict = "violation"
+        result.reason = check.result.reason
+    return result
+
+
+def run_retry_storm(
+    n_schedules: int = 3,
+    base_seed: int = 0,
+    replicas: int = 3,
+    clients: int = 4,
+    ops_per_client: int = 10,
+    horizon: float = 3.0,
+    op_timeout: float = 2.5,
+    attempt_timeout: float = 0.3,
+    hedge_after: float = 0.2,
+    dedup: bool = True,
+    monitor: bool = True,
+    artifact_dir: Optional[str] = None,
+    emit=print,
+) -> List[RetryStormResult]:
+    """The exactly-once campaign: seeded retry storms on a counter.
+
+    Each seed boots a live cluster and drives increments/reads through
+    a sessioned :class:`SlotPipeline` while the nemesis duplicates
+    frames, bursts loss hard enough to force op timeouts (and therefore
+    safe retries, hedges and coordinator failover), and kills/restarts
+    a replica.  Every run is monitored live (``monitor=True``) and
+    checked post-hoc against the counter ADT, and additionally carries
+    the mechanical witness ``applied_count == distinct_incs``.
+
+    ``dedup=False`` runs the *mutant*: the session seam disabled, so a
+    duplicate decree double-applies — the campaign then exists to prove
+    the checker **catches** it (``result.caught``), closing the loop
+    from mechanism to end-to-end checked guarantee.
+    """
+    results: List[RetryStormResult] = []
+    for k in range(n_schedules):
+        schedule = retry_storm_schedule(
+            seed=base_seed + k, n_servers=replicas, horizon=horizon
+        )
+        result = asyncio.run(
+            _run_retry_storm(
+                schedule,
+                replicas=replicas,
+                clients=clients,
+                ops_per_client=ops_per_client,
+                op_timeout=op_timeout,
+                attempt_timeout=attempt_timeout,
+                hedge_after=hedge_after,
+                dedup=dedup,
+                monitor=monitor,
+            )
+        )
+        results.append(result)
+        emit(result.line())
+        if artifact_dir:
+            _write_artifact(
+                artifact_dir,
+                f"retry-storm-{schedule.seed}.json",
+                {"report": result.to_jsonable()},
+            )
+            if result.monitor_witness is not None:
+                _write_artifact(
+                    artifact_dir,
+                    f"retry-storm-witness-{schedule.seed}.json",
+                    {
+                        "verdict": result.monitor_verdict,
+                        "reason": result.monitor_reason,
+                        "witness": result.monitor_witness,
+                        "schedule": schedule.describe(),
+                    },
+                )
+    return results

@@ -61,6 +61,10 @@ class TransportFaults:
         self._bursts: List[Tuple[float, float]] = []
         #: slow-node windows: endpoint → (added delay seconds, expiry)
         self._slow: Dict[str, Tuple[float, float]] = {}
+        #: duplicate-delivery windows: (rate, expiry time)
+        self._dup_bursts: List[Tuple[float, float]] = []
+        #: frames delivered twice (observability)
+        self.duplicated = 0
 
     def partition(
         self,
@@ -122,6 +126,39 @@ class TransportFaults:
         return min(
             1.0, self.loss_rate + sum(rate for rate, _ in self._bursts)
         )
+
+    def burst_duplicate(self, rate: float, duration: float) -> None:
+        """Duplicate frames i.i.d. at ``rate`` for ``duration`` seconds.
+
+        The transport analogue of at-least-once delivery gone wrong: a
+        duplicated frame is forwarded *twice* to its destination
+        (retransmit after a lost ack, a replaying middlebox).  A
+        correct replica stack must tolerate this — duplicate decrees
+        fold once through the session seam — which is exactly what the
+        retry-storm campaign and the wire-level duplicate-delivery
+        property tests assert.  Windows compose additively, like
+        :meth:`burst_loss`.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self._dup_bursts.append((rate, self.clock() + duration))
+
+    def effective_duplicate_rate(self) -> float:
+        """Sum of every still-open duplicate-delivery window."""
+        if self._dup_bursts:
+            now = self.clock()
+            self._dup_bursts = [
+                burst for burst in self._dup_bursts if burst[1] > now
+            ]
+        return min(1.0, sum(rate for rate, _ in self._dup_bursts))
+
+    def should_duplicate(self, src_ep: str, dst_ep: str) -> bool:
+        """Whether to deliver this frame a second time (counted)."""
+        rate = self.effective_duplicate_rate()
+        if rate and self.rng.random() < rate:
+            self.duplicated += 1
+            return True
+        return False
 
     def slow(
         self, endpoint: str, delay: float, duration: Optional[float] = None

@@ -136,6 +136,16 @@ class QuorumClient(Process):
             value = next(iter(self.accepts.values()))
             self._finish(None, value)
         else:
-            # Wait for at least one accept message; the next q-accept to
-            # arrive completes the switch.
+            # No accept has arrived.  The paper's client waits for at
+            # least one — switching with a value it has not seen
+            # accepted could contradict a unanimous Quorum decision at
+            # this instance — but the waiting rule assumes quasi-
+            # reliable channels.  On a lossy transport the proposal
+            # itself may be gone, and no server will ever answer a
+            # message it never received: re-broadcast the proposal
+            # (retransmission supplies the reliable-channel assumption)
+            # and keep the timer armed.  The next q-accept to arrive
+            # completes the switch.
             self.timer_expired = True
+            self.broadcast(self.servers, ("q-propose", self.proposal))
+            self.timer = self.set_timer(self.timeout, self._on_timeout)

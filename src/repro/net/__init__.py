@@ -27,9 +27,12 @@ Modules:
 * :mod:`repro.net.cluster` — :class:`LocalCluster`, an in-process
   n-replica launcher with clean shutdown and mid-run kill;
 * :mod:`repro.net.client` — :class:`NetClient`, the client library
-  (slot probing, Quorum fast path, Backup switch, retries via
-  :class:`~repro.mp.backoff.BackoffPolicy`) and the wire-level
+  (slot probing, Quorum fast path, Backup switch, safe retry of the
+  same ``(client, seq)`` op under :class:`~repro.mp.backoff.BackoffPolicy`,
+  coordinator failover, hedging) and the wire-level
   :class:`HistoryRecorder`;
+* :mod:`repro.net.overload` — the typed :exc:`Overloaded` rejection
+  and the :class:`CircuitBreaker` behind admission control;
 * :mod:`repro.net.loadgen` — the closed-loop multi-client load
   generator: latency/throughput accounting and the end-of-run
   :func:`~repro.core.fastcheck.check_linearizable` verdict;
@@ -46,6 +49,7 @@ from .client import (
     NetClient,
     OperationTimeout,
     RequestTooLarge,
+    RetriesExhausted,
 )
 from .cluster import LocalCluster, ShardedCluster, Supervisor, shard_of
 from .codec import (
@@ -62,7 +66,13 @@ from .codec import (
 )
 from .loadgen import LoadReport, run_loadgen
 from .node import ReplicaNode
-from .pipeline import PayloadTooLarge, PipelineClient, SlotPipeline
+from .overload import CircuitBreaker, Overloaded
+from .pipeline import (
+    DecreeAbandoned,
+    PayloadTooLarge,
+    PipelineClient,
+    SlotPipeline,
+)
 from .transport import AddressBook, AsyncTransport
 from .wal import NodeWAL, RecoveredState, WriteAheadLog
 
@@ -70,6 +80,8 @@ __all__ = [
     "AddressBook",
     "AsyncTransport",
     "BINARY_CODEC",
+    "CircuitBreaker",
+    "DecreeAbandoned",
     "FrameDecoder",
     "FrameError",
     "FrameTooLarge",
@@ -81,11 +93,13 @@ __all__ = [
     "NetClient",
     "NodeWAL",
     "OperationTimeout",
+    "Overloaded",
     "PayloadTooLarge",
     "PipelineClient",
     "RecoveredState",
     "ReplicaNode",
     "RequestTooLarge",
+    "RetriesExhausted",
     "ShardedCluster",
     "SlotPipeline",
     "Supervisor",

@@ -33,6 +33,7 @@ from ..monitor import MonitorReport, MonitorTap, StreamingMonitor, compose_verdi
 from ..smr.universal import UniversalFrontend, kv_store_adt
 from .client import HistoryRecorder, NetClient, OperationTimeout
 from .cluster import LocalCluster, ShardedCluster, shard_of
+from .overload import Overloaded
 from .pipeline import PipelineClient, SlotPipeline
 
 #: keys the generated workload touches; small enough to create real
@@ -72,6 +73,12 @@ class LoadReport:
     reason: Optional[str] = None
     killed: Optional[int] = None
     successors: int = 0
+    #: retry/hedge/overload accounting (exactly-once client sessions):
+    #: attempts re-submitted under the same op identity, duplicate
+    #: hedge enqueues, and ops shed pre-invocation by admission control
+    retries: int = 0
+    hedges: int = 0
+    shed: int = 0
     endpoint_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: data-plane configuration (defaults describe the seed path)
     shards: int = 1
@@ -132,6 +139,12 @@ class LoadReport:
                 f"  timeouts: {self.successors} op(s) left pending; "
                 f"load continued under successor client ids"
             )
+        if self.retries or self.hedges or self.shed:
+            lines.append(
+                f"  sessions: {self.retries} retried attempt(s), "
+                f"{self.hedges} hedge(s), {self.shed} op(s) shed "
+                f"pre-invocation"
+            )
         if self.pipelined:
             avg = self.batched_ops / self.decrees if self.decrees else 0.0
             lines.append(
@@ -182,6 +195,9 @@ class LoadReport:
             "latency_p99": self.percentile(0.99),
             "killed": self.killed,
             "successors": self.successors,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "shed": self.shed,
             "endpoint_stats": self.endpoint_stats,
             "shards": self.shards,
             "pipelined": self.pipelined,
@@ -357,6 +373,8 @@ async def _run(
         reason=reason,
         killed=kill if killed[0] else None,
         successors=successors[0],
+        retries=sum(c.retries for c in all_clients),
+        hedges=sum(c.hedges for c in all_clients),
         endpoint_stats=endpoint_stats,
     )
     if monitor_report is not None:
@@ -475,6 +493,11 @@ async def _run_pipelined(
             target = shard_of(command[1], shards)
             try:
                 await routed[target].submit(command)
+            except Overloaded:
+                # shed pre-invocation: no history entry, the identity
+                # is NOT poisoned — drop the op and keep the load going
+                # (the pipeline's own counter carries the tally)
+                continue
             except OperationTimeout:
                 # fate-unknown: the identity is poisoned everywhere (a
                 # sequential client must not continue), successors keep
@@ -563,6 +586,9 @@ async def _run_pipelined(
         reason=reason,
         killed=kill if killed[0] else None,
         successors=successors[0],
+        retries=sum(c.retries for c in all_clients),
+        hedges=sum(c.hedges for c in all_clients),
+        shed=sum(p.shed for p in pipelines),
         endpoint_stats=endpoint_stats,
         shards=shards,
         pipelined=True,

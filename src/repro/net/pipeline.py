@@ -17,18 +17,20 @@ server roles and the consensus protocols untouched:
   their callers by their unique ``("seq", (client, seq))`` tags through
   the pipeline's waiter map, the moral equivalent of correlation ids on
   a multiplexed request/response socket;
-* **incremental responses** — decided slots are applied to a running
-  ADT state with ``adt.transition`` (O(1) amortized per op) instead of
-  re-deriving each response from the whole log prefix (O(n) per op,
-  O(n²) per run — the other half of the seed throughput ceiling).
+* **incremental responses** — decided slots are folded into a running
+  ADT state through the session-dedup seam
+  (:class:`~repro.smr.sessions.SessionedApplier`, O(1) amortized per
+  op) instead of re-deriving each response from the whole log prefix.
 
-Safety rests on the same two arguments as the probing client:
+Safety rests on the same arguments as the probing client, with the
+session rule closing the retry gap:
 
-* *no value decides twice* — a batch is proposed at exactly one slot at
-  a time, and is re-enqueued only after its slot demonstrably decided a
-  different winner (Quorum unanimity makes a learned decision final);
-  distinct batches are distinct values because each carries its ops'
-  unique per-client tags;
+* *exactly-once application* — a retried or hedged op may ride two
+  distinct decrees and decide at two slots; the
+  :class:`~repro.smr.sessions.SessionedApplier` applies the first
+  occurrence in log order and answers every later occurrence with the
+  cached reply, so re-proposing a possibly-decided value is *safe* —
+  the property speculative linearizability's abort-and-relaunch needs;
 * *prefix completeness* — responses are derived only from the applied
   contiguous prefix; a slot is applied only once every lower slot is
   decided, so the derived state reflects exactly the decrees that
@@ -37,6 +39,13 @@ Safety rests on the same two arguments as the probing client:
 Real-time order is preserved: an op invoked after another's response
 enters the queue after the first committed, so it lands in a decree at
 a strictly higher slot.
+
+Overload degrades honestly instead of buffering without bound: the
+intake queue is capped at ``max_queue`` and an op that would overflow
+it — or that arrives while the pipeline's circuit breaker is open
+after repeated decree give-ups — is rejected with the typed
+:exc:`~repro.net.overload.Overloaded` *before* its invocation is
+recorded (shed load leaves no trace in the history).
 
 Oversized work never tears a connection (the typed
 :exc:`~repro.net.codec.FrameTooLarge` discipline): a batch whose frame
@@ -48,22 +57,27 @@ op that cannot fit a frame by itself fails with the per-op
 from __future__ import annotations
 
 import asyncio
+import heapq
 from collections import deque
+from dataclasses import replace
 from typing import Deque, Dict, Hashable, List, Optional, Tuple
 
 from ..core.adt import ADT
 from ..mp.backoff import BackoffPolicy
 from ..mp.backup import BackupClient
 from ..mp.quorum import QuorumClient
+from ..smr.sessions import SessionedApplier
 from ..smr.universal import batch_commands, kv_store_adt, make_batch
 from .client import (
     DEFAULT_BACKOFF,
     DEFAULT_QUORUM_TIMEOUT,
+    DEFAULT_RETRY_BACKOFF,
     HistoryRecorder,
-    OperationTimeout,
     OpResult,
+    RetriesExhausted,
 )
 from .codec import JSON_CODEC, MAX_FRAME, FrameTooLarge
+from .overload import CircuitBreaker, Overloaded
 from .transport import AsyncTransport
 
 #: default number of decrees kept in flight
@@ -71,6 +85,9 @@ DEFAULT_WINDOW = 8
 
 #: default max ops coalesced into one decree
 DEFAULT_MAX_BATCH = 16
+
+#: default admission bound on queued (not yet proposed) ops
+DEFAULT_MAX_QUEUE = 1024
 
 #: headroom between a size-checked frame and MAX_FRAME — covers the
 #: envelope-shape differences between the probe and the server-side
@@ -88,11 +105,14 @@ class PayloadTooLarge(Exception):
 
 
 class DecreeAbandoned(Exception):
-    """The decree carrying this op exhausted its Backup retry budget.
+    """A decree exhausted its Backup retry budget at its slot.
 
-    The op's fate is unknown (it may still decide later), so it must be
-    treated exactly like a timeout: invocation left pending, client
-    poisoned.
+    Since the session seam made re-proposal safe (a second decree of
+    the same op folds once), the pipeline no longer fails waiters with
+    this: an abandoned slot is *reclaimed* — returned to the claimable
+    pool so the apply prefix can never wedge behind a permanent hole —
+    and its ops rejoin the queue for a fresh decree.  The type stays in
+    the module API for callers that still catch it.
     """
 
 
@@ -114,6 +134,14 @@ def _probe_frame(value: Hashable) -> Tuple:
     return (("qcli", ("probe", 0, 0)), ("qs", 0, 0), ("q-propose", value))
 
 
+def _swallow(future: asyncio.Future) -> None:
+    # late failure of an abandoned attempt (e.g. DecreeAbandoned after
+    # its waiter was superseded): retrieve it so asyncio never logs
+    # "exception was never retrieved"
+    if not future.cancelled():
+        future.exception()
+
+
 class SlotPipeline:
     """A windowed, batching proposer shared by many logical clients.
 
@@ -121,7 +149,9 @@ class SlotPipeline:
     enter via :meth:`enqueue`; the pump drains the queue into decree
     batches, keeps up to ``window`` slots in flight, and resolves each
     op's future with its derived response once the op's slot joins the
-    applied contiguous prefix.
+    applied contiguous prefix.  ``dedup=False`` disables the session
+    seam — the mutant knob the retry-storm canary uses to prove the
+    checker catches double-apply.
     """
 
     def __init__(
@@ -134,6 +164,9 @@ class SlotPipeline:
         max_batch: int = DEFAULT_MAX_BATCH,
         quorum_timeout: float = DEFAULT_QUORUM_TIMEOUT,
         backoff: Optional[BackoffPolicy] = None,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        dedup: bool = True,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.name = name
         self.n_servers = n_servers
@@ -142,23 +175,49 @@ class SlotPipeline:
         self.window = window
         self.max_batch = max_batch
         self.quorum_timeout = quorum_timeout
-        self.backoff = backoff or DEFAULT_BACKOFF
+        # own copy: policy objects are never shared between proposers
+        self.backoff = replace(backoff) if backoff else replace(DEFAULT_BACKOFF)
+        self.max_queue = max_queue
+        #: the session-dedup seam every decided command folds through
+        self.applier = SessionedApplier(self.adt, enabled=dedup)
+        #: breaker over this replica group: decree give-ups open it,
+        #: settles close it; while open, admission sheds
+        self.breaker = breaker or CircuitBreaker(
+            clock=lambda: self.transport.now
+        )
         #: slot → decided value (shared decided-log cache; safe by
         #: Quorum unanimity, same argument as NetClient.log)
         self.log: Dict[int, Hashable] = {}
         self.queue: Deque[_Entry] = deque()
         #: slot → the entries riding the decree in flight there
         self.in_flight: Dict[int, List[_Entry]] = {}
-        #: tagged command → entry, the multiplexing correlation map
+        #: tagged command → entry, the multiplexing correlation map.
+        #: A retry/hedge re-enqueue of the same tagged op *supersedes*
+        #: the older entry here; resolution is keyed by the tag, so the
+        #: live waiter is answered whichever copy of the decree decides
+        #: first.
         self._waiters: Dict[Tuple, _Entry] = {}
         self._next_slot = 0
+        #: abandoned slots returned to the claimable pool (min-heap):
+        #: a decree give-up must not leave a permanently-undecided hole
+        #: that head-of-line-blocks the apply prefix forever
+        self._free_slots: List[int] = []
         self._applied_upto = 0
         self._state = self.adt.initial_state
         #: decrees proposed / ops they carried (observability)
         self.decrees = 0
         self.batched_ops = 0
         self.splits = 0
+        #: ops rejected up front by admission control
+        self.shed = 0
+        #: abandoned slots re-claimed for a fresh decree (observability)
+        self.reclaimed = 0
         self._pump_scheduled = False
+
+    @property
+    def duplicates(self) -> int:
+        """Duplicate decree occurrences the session seam suppressed."""
+        return self.applier.duplicates
 
     # ------------------------------------------------------------------
     # intake
@@ -191,11 +250,36 @@ class SlotPipeline:
                 f"(MAX_FRAME={MAX_FRAME})"
             )
 
+    def admit(self) -> None:
+        """Admission control: raise :exc:`Overloaded` instead of queueing.
+
+        Called by submitting clients *before* recording the invocation
+        (shed load leaves no history).  Retry and hedge re-enqueues of
+        an already-admitted op bypass this — shedding a retry would
+        turn backpressure into a fate-unknown failure.
+        """
+        if not self.breaker.allow():
+            self.shed += 1
+            raise Overloaded(
+                f"pipeline {self.name!r}: circuit open after "
+                f"{self.breaker.trips} trip(s) on this replica group"
+            )
+        if len(self.queue) >= self.max_queue:
+            self.shed += 1
+            raise Overloaded(
+                f"pipeline {self.name!r}: admission queue full "
+                f"({self.max_queue} ops waiting)"
+            )
+
     def enqueue(self, tagged: Tuple) -> asyncio.Future:
         """Queue one tagged op; the future resolves with its response.
 
         Raises :exc:`PayloadTooLarge` if the op cannot fit a frame even
         as a batch of one (nothing is queued or sent in that case).
+        Re-enqueueing the same tagged op (a retry or hedge) is safe:
+        the new entry supersedes the old in the waiter map, a still
+        queued older copy is dropped by the pump, and duplicate decrees
+        fold once through the session seam.
         """
         self.ensure_fits(tagged)
         future: asyncio.Future = self.transport.loop.create_future()
@@ -215,6 +299,14 @@ class SlotPipeline:
     # ------------------------------------------------------------------
 
     def _claim_slot(self) -> int:
+        # reclaimed (abandoned) slots first: the lowest undecided slot
+        # gates the apply prefix, so filling holes beats extending the
+        # log.  A pooled slot may have been decided meanwhile by
+        # someone else's decree — skip those.
+        while self._free_slots:
+            slot = heapq.heappop(self._free_slots)
+            if slot not in self.log and slot not in self.in_flight:
+                return slot
         slot = self._next_slot
         while slot in self.log:
             slot += 1
@@ -227,10 +319,16 @@ class SlotPipeline:
 
     def _pump(self) -> None:
         while len(self.in_flight) < self.window and self.queue:
-            group = [
-                self.queue.popleft()
-                for _ in range(min(self.max_batch, len(self.queue)))
-            ]
+            group: List[_Entry] = []
+            while self.queue and len(group) < self.max_batch:
+                entry = self.queue.popleft()
+                if self._waiters.get(entry.tagged) is not entry:
+                    # superseded by a retry/hedge re-enqueue of the
+                    # same op: the newer entry will carry it
+                    continue
+                group.append(entry)
+            if not group:
+                continue
             value = make_batch(tuple(entry.tagged for entry in group))
             while len(group) > 1 and not self.fits(value):
                 # split-and-retry: halve until the batch frames; the
@@ -246,6 +344,19 @@ class SlotPipeline:
             for entry in group:
                 entry.attempts += 1
             self._propose(self._claim_slot(), value, group)
+        # no queued work to ride a reclaimed slot: fill the hole with
+        # an empty decree anyway, or ops already decided *above* it
+        # would wait on the gap forever
+        while (
+            self._free_slots
+            and not self.queue
+            and len(self.in_flight) < self.window
+        ):
+            slot = heapq.heappop(self._free_slots)
+            if slot in self.log or slot in self.in_flight:
+                continue
+            self.decrees += 1
+            self._propose(slot, make_batch(()), [])
 
     def _propose(
         self, slot: int, value: Hashable, group: List[_Entry]
@@ -259,6 +370,7 @@ class SlotPipeline:
             if settled[0]:
                 return
             settled[0] = True
+            self.breaker.record_success()
             for pid in op_pids:
                 self.transport.unregister(pid)
             if slot not in self.log:
@@ -299,24 +411,33 @@ class SlotPipeline:
 
         def on_give_up() -> None:
             # The slot is unreachable within the retry budget.  The
-            # decree may or may not decide later, so its ops must NOT
-            # be re-proposed (that could decide the value twice);
-            # their fate is unknown — fail them like timeouts.
+            # decree may still decide there later — but under the
+            # session seam re-proposing the same ops is safe
+            # (duplicates fold once), and an undecided hole below
+            # ``_applied_upto``'s frontier would block every response
+            # behind it forever.  So: reclaim the slot for a fresh
+            # decree and send the still-waited-on ops back through the
+            # pump.  Feed the breaker: enough give-ups in a row and
+            # admission starts shedding.
             if settled[0]:
                 return
             settled[0] = True
+            self.breaker.record_failure()
+            self.reclaimed += 1
             for pid in op_pids:
                 self.transport.unregister(pid)
             abandoned = self.in_flight.pop(slot, [])
-            for entry in abandoned:
-                self._waiters.pop(entry.tagged, None)
-                if not entry.future.done():
-                    entry.future.set_exception(
-                        DecreeAbandoned(
-                            f"decree at slot {slot} gave up after "
-                            "exhausting Backup retries"
-                        )
-                    )
+            heapq.heappush(self._free_slots, slot)
+            live = [
+                entry
+                for entry in abandoned
+                if self._waiters.get(entry.tagged) is entry
+                and not entry.future.done()
+            ]
+            # oldest invocations rejoin at the head; superseded or
+            # given-up ops are simply dropped (a retry copy or nobody
+            # is waiting)
+            self.queue.extendleft(reversed(live))
             self._pump()
 
         quorum = QuorumClient(
@@ -334,18 +455,18 @@ class SlotPipeline:
     # applying the decided prefix
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _untag(command: Tuple) -> Tuple:
-        return command[:-1]
-
     def _apply_ready(self) -> None:
-        """Fold newly contiguous decided slots into the running state,
-        resolving the futures of ops this pipeline owns."""
+        """Fold newly contiguous decided slots into the running state
+        through the session seam, resolving the futures of ops this
+        pipeline owns.  A duplicate occurrence (retried/hedged op whose
+        earlier decree also decided) leaves the state unchanged and
+        answers its waiter — if one is still live — with the cached
+        reply its first occurrence produced."""
         while self._applied_upto in self.log:
             value = self.log[self._applied_upto]
             for command in batch_commands(value):
-                self._state, output = self.adt.transition(
-                    self._state, self._untag(command)
+                self._state, output, _fresh = self.applier.apply(
+                    self._state, command
                 )
                 entry = self._waiters.pop(command, None)
                 if entry is not None and not entry.future.done():
@@ -361,9 +482,16 @@ class PipelineClient:
 
     The closed-loop contract and recording discipline are identical to
     :class:`~repro.net.client.NetClient` — invoke before any effect is
-    possible, respond only with a derived response, leave timed-out ops
-    pending and poison the identity — but ops commit through the shared
-    :class:`SlotPipeline` instead of a private slot probe.
+    possible, respond only with a derived response — and so is the
+    retry story: an attempt that times out or whose decree is abandoned
+    is *safely re-submitted* with the same ``(client, seq)`` tag
+    (duplicates fold once through the pipeline's session seam), paced
+    by a per-client ``retry_backoff`` copy, with an optional hedged
+    duplicate enqueue after ``hedge_after`` seconds.  All attempts are
+    one invocation; only when the total ``op_timeout`` deadline or the
+    retry budget is spent does the op fail with
+    :exc:`~repro.net.client.RetriesExhausted`, leaving the invocation
+    pending and the identity poisoned.
     """
 
     def __init__(
@@ -372,13 +500,32 @@ class PipelineClient:
         pipeline: SlotPipeline,
         recorder: HistoryRecorder,
         op_timeout: float = 5.0,
+        attempt_timeout: Optional[float] = None,
+        hedge_after: Optional[float] = None,
+        retry_backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         self.name = name
         self.pipeline = pipeline
         self.recorder = recorder
         self.op_timeout = op_timeout
+        self.attempt_timeout = (
+            attempt_timeout
+            if attempt_timeout is not None
+            else max(op_timeout / 4.0, 2.0 * pipeline.quorum_timeout)
+        )
+        self.hedge_after = hedge_after
+        # own copy, never the module template (satellite of the same
+        # rule NetClient follows: policy state must not couple clients)
+        self.retry_backoff = (
+            replace(retry_backoff)
+            if retry_backoff
+            else replace(DEFAULT_RETRY_BACKOFF)
+        )
         self.poisoned = False
         self.results: List[OpResult] = []
+        #: attempt-level re-submissions / hedged duplicate enqueues
+        self.retries = 0
+        self.hedges = 0
         self._seq = 0
         self._incarnation = 0
 
@@ -391,44 +538,128 @@ class PipelineClient:
             self.pipeline,
             self.recorder,
             op_timeout=self.op_timeout,
+            attempt_timeout=self.attempt_timeout,
+            hedge_after=self.hedge_after,
+            retry_backoff=self.retry_backoff,
         )
         heir._incarnation = self._incarnation + 1
         return heir
 
+    def _retire(self, futures: List[asyncio.Future]) -> None:
+        # fate unknown: the op may still decide and take effect, so the
+        # invocation stays pending and the identity is done.  Abandoned
+        # attempt futures may still fail later — swallow those.
+        self.poisoned = True
+        for f in futures:
+            f.add_done_callback(_swallow)
+
     async def submit(self, command: Tuple) -> Hashable:
         """Replicate one KV command; return its derived response.
 
-        Raises :exc:`PayloadTooLarge` for an unframeable op (per-op,
-        pre-invocation, non-poisoning) and :exc:`OperationTimeout` when
-        the op's fate is unknown (op left pending, client poisoned).
+        Raises :exc:`PayloadTooLarge` for an unframeable op and
+        :exc:`~repro.net.overload.Overloaded` when admission sheds it —
+        both per-op, pre-invocation, non-poisoning — and
+        :exc:`~repro.net.client.RetriesExhausted` when every attempt
+        within the deadline failed (op left pending, client poisoned).
         """
         if self.poisoned:
             raise RuntimeError(
-                f"client {self.name!r} is poisoned by a timed-out op"
+                f"client {self.name!r} is poisoned by an op whose fate "
+                f"is unknown (retries exhausted)"
             )
         self._seq += 1
         tagged = command + (("seq", (self.name, self._seq)),)
-        # oversize pre-check first (per-op failure with the history and
-        # the client untouched), then record the invocation, then hand
-        # the op to the pipeline.  The invocation MUST be recorded
-        # before the op is queued anywhere: once enqueued it can decide
-        # and take effect even if this task dies — a submitter
-        # cancelled mid-flight must leave a *pending* invocation in the
-        # history, never an effect with no invocation.
+        # oversize and admission pre-checks first (per-op failures with
+        # the history and the client untouched), then record the
+        # invocation, then hand the op to the pipeline.  The invocation
+        # MUST be recorded before the op is queued anywhere: once
+        # enqueued it can decide and take effect even if this task dies
+        # — a submitter cancelled mid-flight must leave a *pending*
+        # invocation in the history, never an effect with no invocation.
         self.pipeline.ensure_fits(tagged)
+        self.pipeline.admit()
         start = self.pipeline.transport.now
+        deadline = start + self.op_timeout
         self.recorder.invoke(self.name, command)
-        future = self.pipeline.enqueue(tagged)
-        try:
-            output, slot, attempts, switched = await asyncio.wait_for(
-                future, self.op_timeout
+        futures: List[asyncio.Future] = [self.pipeline.enqueue(tagged)]
+        attempt_started = start
+        hedged = False
+        round_no = 0
+        outcome = None
+        while outcome is None:
+            # a future may have resolved while we slept in backoff or
+            # enqueued a new attempt: harvest before waiting again
+            for f in futures:
+                if f.done() and not f.cancelled() and f.exception() is None:
+                    outcome = f.result()
+                    break
+            if outcome is not None:
+                break
+            now = self.pipeline.transport.now
+            if now >= deadline:
+                self._retire(futures)
+                raise RetriesExhausted(
+                    f"{self.name}: {command!r} still undecided after "
+                    f"{self.op_timeout}s across {round_no + 1} attempt(s)"
+                ) from None
+            wake = min(attempt_started + self.attempt_timeout, deadline)
+            if self.hedge_after is not None and not hedged:
+                wake = min(wake, attempt_started + self.hedge_after)
+            pending = [f for f in futures if not f.done()]
+            if pending:
+                done, _ = await asyncio.wait(
+                    pending,
+                    timeout=max(wake - now, 0.0),
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                for f in done:
+                    if f.exception() is None:
+                        outcome = f.result()
+                        break
+                if outcome is not None:
+                    break
+            now = self.pipeline.transport.now
+            all_failed = all(
+                f.done() and f.exception() is not None for f in futures
             )
-        except (asyncio.TimeoutError, DecreeAbandoned):
-            self.poisoned = True
-            raise OperationTimeout(
-                f"{self.name}: {command!r} still undecided after "
-                f"{self.op_timeout}s"
-            ) from None
+            if (
+                not all_failed
+                and self.hedge_after is not None
+                and not hedged
+                and now >= attempt_started + self.hedge_after
+            ):
+                # the attempt looks slow: launch one duplicate enqueue;
+                # whichever decree decides first answers, the other
+                # folds as a duplicate
+                hedged = True
+                self.hedges += 1
+                futures.append(self.pipeline.enqueue(tagged))
+                continue
+            if all_failed or now >= attempt_started + self.attempt_timeout:
+                # attempt over (timed out, or every in-flight copy was
+                # abandoned): re-submit the same tagged op if budget
+                # and deadline allow
+                if self.retry_backoff.exhausted(round_no):
+                    self._retire(futures)
+                    raise RetriesExhausted(
+                        f"{self.name}: {command!r} still undecided after "
+                        f"{round_no + 1} attempt(s); retry budget spent"
+                    ) from None
+                round_no += 1
+                self.retries += 1
+                pause = min(
+                    self.retry_backoff.delay(
+                        round_no, key=(self.name, self._seq)
+                    ),
+                    max(deadline - now, 0.0),
+                )
+                if pause > 0:
+                    await asyncio.sleep(pause)
+                attempt_started = self.pipeline.transport.now
+                futures.append(self.pipeline.enqueue(tagged))
+        for f in futures:
+            f.add_done_callback(_swallow)
+        output, slot, attempts, switched = outcome
         self.recorder.respond(self.name, command, output)
         self.results.append(
             OpResult(

@@ -234,6 +234,14 @@ class AsyncTransport:
                 self.stats.lost += 1
                 link.lost += 1
                 return
+            if self.faults.should_duplicate(self.endpoint, dst_ep):
+                # At-least-once delivery gone wrong: forward a second
+                # copy of the frame next tick (a retransmit after a
+                # lost ack).  Receivers must tolerate it — duplicate
+                # decrees fold once through the session-dedup seam.
+                self.loop.call_soon(
+                    self._forward, src, dst, dst_ep, message
+                )
             hold = self.faults.frame_delay(self.endpoint, dst_ep)
             if hold > 0.0:
                 # Slow-node gray failure: the frame exists but dawdles.

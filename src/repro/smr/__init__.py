@@ -9,6 +9,14 @@ store built on top (:mod:`repro.smr.kvstore`).
 from .kvstore import KVResult, ReplicatedKVStore
 from .lockservice import LockResult, LockService, lock_table_adt
 from .replica import CommandOutcome, SpeculativeSMR
+from .sessions import (
+    SessionTable,
+    SessionedApplier,
+    dedup_commands,
+    sessioned_adt,
+    seq_uid,
+    untag_command,
+)
 from .universal import (
     UniversalFrontend,
     kv_delete,
@@ -23,11 +31,17 @@ __all__ = [
     "LockResult",
     "LockService",
     "ReplicatedKVStore",
+    "SessionTable",
+    "SessionedApplier",
     "SpeculativeSMR",
     "UniversalFrontend",
+    "dedup_commands",
     "kv_delete",
     "kv_get",
     "kv_put",
     "kv_store_adt",
     "lock_table_adt",
+    "seq_uid",
+    "sessioned_adt",
+    "untag_command",
 ]

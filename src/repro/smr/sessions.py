@@ -1,0 +1,247 @@
+"""Exactly-once client sessions: the dedup seam of the replicated fold.
+
+Speculative linearizability's whole point is that a client may abort
+the fast path and *safely relaunch* the operation on the backup
+protocol.  Relaunching is only safe if a command that decides twice —
+a retried proposal whose first decree also landed, a hedged duplicate,
+a replayed frame — **applies** once.  Classical SMR closes this with
+per-client sessions: the replicated state machine carries, per client,
+the highest applied sequence number and the reply it produced, and
+drops any command whose ``(client, seq)`` it has already applied,
+answering the cached reply instead.
+
+In this codebase the replicated state is the decided log and ADT
+application happens in the *appliers* — :class:`~repro.net.pipeline.
+SlotPipeline`'s incremental fold and :class:`~repro.net.client.
+NetClient`'s prefix fold.  The session rule is therefore a property of
+the fold, and it is deterministic across every applier because every
+client op carries a unique ``("seq", (client, seq))`` tag (the same
+tag the pipeline already uses for multiplexing): **the first occurrence
+of a uid in log order applies; every later occurrence is a duplicate
+and answers the cached reply.**  Appliers route through
+:class:`SessionedApplier` (the seam lint rule RD07 enforces) instead of
+calling ``adt.transition`` directly.
+
+Durability is inherited, not reimplemented: the decided log is exactly
+what the node WALs persist (``"dec"`` records) and snapshot on
+compaction (:meth:`repro.net.wal.NodeWAL.compact`), so the session
+table — a pure function of the decided prefix — survives crash,
+restart and compaction with no extra machinery.  A recovering applier
+refolds the replayed log through the same seam and rebuilds the same
+table, which is what the crash-recovery tests assert.
+
+:func:`sessioned_adt` is the specification-level statement of the same
+idea: an :class:`~repro.core.adt.ADT` wrapper whose state embeds the
+``client -> (seq, cached_reply)`` table, usable by the checkers and by
+anyone who wants the session semantics as a first-class replicated
+object.  The ``enabled=False`` escape hatch on :class:`SessionTable` /
+:class:`SessionedApplier` exists for one purpose: the dedup-disabled
+*mutant* the retry-storm canary must catch as a linearizability
+violation (double-applied increments), proving the checker guards this
+exact seam.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.adt import ADT
+
+#: tag key carried as the last element of every client-tagged command
+SEQ_TAG = "seq"
+
+
+def seq_uid(command: Hashable) -> Optional[Tuple]:
+    """The ``(client, seq)`` uid of a tagged command, or None.
+
+    A tagged command ends with ``("seq", (client, seq))`` — the shape
+    :meth:`NetClient.submit`/:meth:`PipelineClient.submit` append.
+    Untagged commands (spec-level inputs) have no session identity.
+    """
+    if not isinstance(command, tuple) or not command:
+        return None
+    tag = command[-1]
+    if (
+        isinstance(tag, tuple)
+        and len(tag) == 2
+        and tag[0] == SEQ_TAG
+        and isinstance(tag[1], tuple)
+        and len(tag[1]) == 2
+    ):
+        return tag[1]
+    return None
+
+
+def untag_command(command: Tuple) -> Tuple:
+    """The command without its session tag (identity if untagged)."""
+    if seq_uid(command) is not None:
+        return command[:-1]
+    return command
+
+
+def dedup_commands(commands: Iterable[Tuple]) -> Iterator[Tuple]:
+    """First-occurrence-wins filter over a log-ordered command stream.
+
+    Yields each command whose uid has not been seen before (untagged
+    commands always pass).  This is the session rule as a pure stream
+    transform — prefix folds (:meth:`NetClient._prefix_response`) use
+    it so a retried command that decided in two slots contributes one
+    application to the derived history.
+    """
+    seen = set()
+    for command in commands:
+        uid = seq_uid(command)
+        if uid is not None:
+            if uid in seen:
+                continue
+            seen.add(uid)
+        yield command
+
+
+class SessionTable:
+    """Per-client ``(last applied seq, cached reply)`` — the dedup table.
+
+    Clients are sequential and their seqs strictly increase, so one
+    ``(seq, reply)`` pair per client suffices: a duplicate occurrence
+    carries ``seq <= last``, and only ``seq == last`` can still have a
+    live waiter needing the cached reply (the client has since moved
+    on past anything older).  ``enabled=False`` is the mutant knob —
+    every command reports fresh, duplicates double-apply, and the
+    checker must catch it.
+    """
+
+    __slots__ = ("enabled", "duplicates", "_sessions")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        #: duplicate occurrences suppressed (observability)
+        self.duplicates = 0
+        self._sessions: Dict[Hashable, Tuple[int, Hashable]] = {}
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def fresh(self, command: Tuple) -> bool:
+        """True iff ``command`` must be applied (first occurrence)."""
+        uid = seq_uid(command)
+        if uid is None or not self.enabled:
+            return True
+        client, seq = uid
+        last = self._sessions.get(client)
+        if last is not None and seq <= last[0]:
+            self.duplicates += 1
+            return False
+        return True
+
+    def record(self, command: Tuple, reply: Hashable) -> None:
+        """Remember the reply the first occurrence of ``command`` made."""
+        uid = seq_uid(command)
+        if uid is None:
+            return
+        client, seq = uid
+        self._sessions[client] = (seq, reply)
+
+    def cached_reply(self, command: Tuple) -> Hashable:
+        """The remembered reply for a duplicate of ``command``.
+
+        Only the client's *current* seq has a live waiter, so the last
+        cached reply is the right answer whenever anyone is listening;
+        older duplicates get it too (no one is waiting on those).
+        """
+        uid = seq_uid(command)
+        if uid is None:
+            return None
+        last = self._sessions.get(uid[0])
+        return last[1] if last is not None else None
+
+    def snapshot(self) -> Tuple:
+        """The table as a canonical hashable value (spec-state embedding)."""
+        return tuple(
+            (client, seq, reply)
+            for client, (seq, reply) in sorted(
+                self._sessions.items(), key=lambda item: repr(item[0])
+            )
+        )
+
+    @classmethod
+    def restore(cls, snapshot: Tuple, enabled: bool = True) -> "SessionTable":
+        """Rebuild a table from :meth:`snapshot`."""
+        table = cls(enabled=enabled)
+        for client, seq, reply in snapshot:
+            table._sessions[client] = (seq, reply)
+        return table
+
+
+class SessionedApplier:
+    """The seam every replicated apply path routes through (RD07).
+
+    Wraps a base ADT with a :class:`SessionTable`: ``apply`` folds one
+    *tagged* decided command into the running state, suppressing
+    duplicate occurrences and answering their cached replies.  The fold
+    stays deterministic in log order, so every applier — pipelines,
+    prefix folds, recovering replicas — derives the same state and the
+    same replies from the same decided log.
+    """
+
+    def __init__(self, adt: ADT, enabled: bool = True) -> None:
+        self.adt = adt
+        self.table = SessionTable(enabled=enabled)
+
+    @property
+    def duplicates(self) -> int:
+        """Duplicate command occurrences suppressed so far."""
+        return self.table.duplicates
+
+    def apply(
+        self, state: Hashable, command: Tuple
+    ) -> Tuple[Hashable, Hashable, bool]:
+        """Fold one decided command: ``(state', reply, fresh)``.
+
+        ``fresh`` is False for a suppressed duplicate — the state is
+        unchanged and the reply is the cached one its first occurrence
+        produced (the waiter of a retried/hedged op still gets the
+        canonical answer).
+        """
+        if not self.table.fresh(command):
+            return state, self.table.cached_reply(command), False
+        state, reply = self.adt.transition(state, untag_command(command))
+        self.table.record(command, reply)
+        return state, reply, True
+
+
+def sessioned_adt(base: ADT) -> ADT:
+    """The ``SessionedADT`` wrapper: sessions embedded in the machine.
+
+    State is ``(inner_state, session_snapshot)``; inputs are the tagged
+    commands the wire carries (untagged inputs pass straight through).
+    A duplicate input leaves the state unchanged and outputs the cached
+    reply — exactly-once semantics as a *specification*, checkable with
+    the same engines as any other ADT and usable wherever a replicated
+    object wants safe retry built in.
+    """
+
+    def is_input(payload: Hashable) -> bool:
+        if not isinstance(payload, tuple):
+            return False
+        return base.is_input(untag_command(payload))
+
+    def transition(state, payload):
+        inner, snapshot = state
+        uid = seq_uid(payload)
+        if uid is None:
+            inner, output = base.transition(inner, payload)
+            return (inner, snapshot), output
+        table = SessionTable.restore(snapshot)
+        if not table.fresh(payload):
+            return state, table.cached_reply(payload)
+        inner, output = base.transition(inner, untag_command(payload))
+        table.record(payload, output)
+        return (inner, table.snapshot()), output
+
+    return ADT(
+        f"sessioned[{base.name}]",
+        (base.initial_state, ()),
+        transition,
+        is_input,
+        base.is_output,
+    )

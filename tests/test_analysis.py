@@ -199,6 +199,25 @@ BAD_SNIPPETS = [
         """,
         "repro/monitor/scratch.py",
     ),
+    # RD07: decided commands applied outside the session-dedup seam
+    (
+        "RD07",
+        """\
+        def apply_ready(self, command):
+            self._state, output = self.adt.transition(self._state, command)
+            return output
+        """,
+        "repro/net/scratch.py",
+    ),
+    (
+        "RD07",
+        """\
+        def prefix_response(self, slot):
+            history = tuple(c[:-1] for c in self.flatten(slot))
+            return self.frontend.respond(history)
+        """,
+        "repro/net/scratch.py",
+    ),
 ]
 
 GOOD_SNIPPETS = [
@@ -294,6 +313,35 @@ GOOD_SNIPPETS = [
         """,
         "repro/mp/scratch.py",
     ),
+    # applying through the session seam is RD07's sanctioned shape, as
+    # is a frontend response derived from a deduplicated prefix
+    (
+        """\
+        def apply_ready(self, command):
+            self._state, output, fresh = self.applier.apply(
+                self._state, command
+            )
+            return output
+
+        def prefix_response(self, commands):
+            history = tuple(
+                untag_command(c) for c in dedup_commands(commands)
+            )
+            return self.frontend.respond(history)
+        """,
+        "repro/net/scratch.py",
+    ),
+    # the checker-side replay in core/ is out of RD07's scope
+    (
+        """\
+        def replay(adt, history):
+            state = adt.initial_state
+            for command in history:
+                state, _ = adt.transition(state, command)
+            return state
+        """,
+        "repro/core/scratch.py",
+    ),
 ]
 
 
@@ -316,6 +364,7 @@ def test_every_rule_has_a_failing_fixture():
         "RD04",
         "RD05",
         "RD06",
+        "RD07",
     }
 
 
