@@ -1,0 +1,98 @@
+"""Deep-lint latency: the interprocedural pass must stay tool-speed.
+
+``python -m repro lint --deep`` runs in CI on every push, so its cost
+is part of the edit-compile-test loop: the budget is **10 seconds**
+wall clock over the full ``src/`` tree (call-graph construction plus
+every CFG/fixpoint rule), enforced as a boolean gate so it transfers
+across machines.  Two measurements:
+
+* **shallow** — the per-module AST pass alone (the pre-engine
+  baseline shape);
+* **deep** — two-phase interprocedural mode: parse everything, build
+  the project call graph with may-suspend summaries, then run the full
+  rule set (RD08 races, path-sensitive RD02) per module.
+
+The ratio ``deep_overhead`` isolates what the dataflow engine itself
+costs on top of parsing and matching; the committed tree must also
+lint *clean* in both modes (the self-hosting gate, duplicated here so
+a perf run cannot pass on a tree the gate would reject).
+
+Run standalone:  python benchmarks/bench_lint.py
+"""
+
+import os
+import sys
+import time
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:  # standalone runs: make repro importable
+    sys.path.insert(0, SRC)
+
+from repro.analysis import run_lint  # noqa: E402
+
+#: the CI budget for the deep pass over src/, in seconds
+DEEP_BUDGET_S = 10.0
+
+
+def time_lint(deep, repeats):
+    """Best-of-``repeats`` wall time and the last report."""
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = run_lint([SRC], deep=deep)
+        best = min(best, time.perf_counter() - start)
+    return best, report
+
+
+def harness_report(quick):
+    """The harness entry: metrics + regression gates for ``lint``."""
+    repeats = 1 if quick else 3
+    shallow_s, shallow = time_lint(deep=False, repeats=repeats)
+    deep_s, deep = time_lint(deep=True, repeats=repeats)
+
+    metrics = {
+        "checked_files": deep.checked_files,
+        "shallow_s": shallow_s,
+        "deep_s": deep_s,
+        "deep_overhead": deep_s / shallow_s if shallow_s else 0.0,
+        "deep_budget_s": DEEP_BUDGET_S,
+        "deep_within_budget": deep_s <= DEEP_BUDGET_S,
+        "tree_clean": shallow.clean and deep.clean,
+        "deep_findings": len(deep.findings),
+    }
+    checks = [
+        {"metric": "deep_within_budget", "mode": "bool"},
+        {"metric": "tree_clean", "mode": "bool"},
+        # wall times vary across runners; the hard gate is the budget
+        # bool above, the ratio check just catches silent blowups
+        {"metric": "deep_s", "mode": "lower_better", "tolerance": 4.0},
+    ]
+    return {
+        "name": "lint",
+        "quick": quick,
+        "metrics": metrics,
+        "checks": checks,
+    }
+
+
+def main():
+    print("deep-lint latency over src/ (budget: "
+          f"{DEEP_BUDGET_S:.0f}s wall clock)")
+    report = harness_report(quick=True)
+    m = report["metrics"]
+    print(
+        f"  {m['checked_files']} files: shallow {m['shallow_s']:.2f}s, "
+        f"deep {m['deep_s']:.2f}s ({m['deep_overhead']:.1f}x)"
+    )
+    assert m["tree_clean"], "the committed tree must deep-lint clean"
+    assert m["deep_within_budget"], (
+        f"deep lint took {m['deep_s']:.2f}s (budget {DEEP_BUDGET_S}s)"
+    )
+    print("  tree clean in both modes; within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -472,6 +472,11 @@ def bench_sessions(quick):
     return _delegated("bench_sessions")(quick)
 
 
+def bench_lint(quick):
+    """Deep-lint latency over src/ (delegates to bench_lint.py)."""
+    return _delegated("bench_lint")(quick)
+
+
 BENCHES = {
     "pcomp": bench_pcomp,
     "search": bench_search,
@@ -482,6 +487,7 @@ BENCHES = {
     "throughput": bench_throughput,
     "monitor": bench_monitor,
     "sessions": bench_sessions,
+    "lint": bench_lint,
 }
 
 

@@ -10,13 +10,15 @@ Usage::
     python -m repro nemesis [N] [BASE_SEED] [--jobs N]  # fault campaign
     python -m repro nemesis 3 0 --net [--amnesiac I]    # live-cluster chaos
     python -m repro nemesis 3 5 --retry-storm           # exactly-once storm
+    python -m repro nemesis 2 0 --net --race-mutant     # sanitizer canary
     python -m repro harness [--quick|--full] [...]      # benchmark harness
     python -m repro serve --replicas 3 --port-base 9000 # TCP cluster
     python -m repro loadgen --replicas 3 --clients 8 --ops 200 --seed 0
     python -m repro loadgen --shards 2 --monitor        # checked live
     python -m repro monitor --replay artifact.json      # stream a trace
     python -m repro monitor --watch --port-base 9000    # probe a cluster
-    python -m repro lint [--format text|json] [--baseline] [PATH...]
+    python -m repro lint [--deep] [--rules IDS] [--baseline] [PATH...]
+    python -m repro lint --explain RD08                 # rule doc + examples
 
 Each experiment prints the table/series described in EXPERIMENTS.md.
 ``nemesis`` prints one line per run — verdict, degradation metrics,
@@ -33,6 +35,10 @@ retries and hedges, and a kill/restart pair, all on a replicated
 counter whose applied state must equal the distinct increments;
 ``--no-dedup`` disables the session seam and inverts the exit code (the
 mutant must be *caught*).
+``nemesis --net --race-mutant`` drives traffic through a pipeline whose
+slot claims suspend mid-critical-section and arms the runtime
+interleaving sanitizer; the exit code inverts (every run must record a
+catch) — the live cross-check of the static RD08 rule.
 ``harness`` runs the benchmark regression harness
 (``benchmarks/harness.py``), writing machine-readable ``BENCH_*.json``.
 ``serve`` hosts a replica cluster on real TCP ports until interrupted;
@@ -47,7 +53,10 @@ with a recording canary client (see docs/MONITORING.md).
 ``lint`` runs the protocol-aware static analysis pass
 (:mod:`repro.analysis`) — determinism, durability, atomicity,
 async-hygiene and IOA well-formedness rules — over ``src/``, exiting
-nonzero on any non-baselined finding (see docs/ANALYSIS.md).
+nonzero on any non-baselined finding; ``--deep`` builds the project
+call graph and adds the interprocedural rules (RD08 interleaving
+races, path-sensitive RD02 durability), ``--rules``/``--explain``
+select and document individual rules (see docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -177,9 +186,19 @@ def cmd_nemesis(args: argparse.Namespace) -> int:
             codec=args.codec,
             group_commit=args.group_commit,
             monitor=args.monitor,
+            race_mutant=args.race_mutant,
+            sanitize=args.sanitize or args.race_mutant,
         )
         print()
         print(report.summary())
+        if args.race_mutant:
+            # mutant mode exists to prove the sanitizer catches the race
+            caught = sum(1 for r in report.runs if r.sanitizer_caught)
+            print(
+                f"race-mutant: sanitizer caught the interleaving in "
+                f"{caught}/{len(report.runs)} run(s)"
+            )
+            return 0 if caught == len(report.runs) and report.runs else 1
         return 0 if report.all_linearizable else 1
 
     from repro.faults import run_campaign
@@ -438,6 +457,20 @@ def build_parser() -> argparse.ArgumentParser:
         "linearizability monitor (fail-fast, mid-run witness)",
     )
     p_nem.add_argument(
+        "--race-mutant",
+        action="store_true",
+        help="with --net: drive traffic through the RacySlotPipeline "
+        "whose slot claims suspend mid-critical-section (implies "
+        "--pipelined and --sanitize); exit 0 only if the runtime "
+        "sanitizer catches the interleaving in every run",
+    )
+    p_nem.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="with --net: arm the runtime interleaving sanitizer "
+        "(repro.analysis.sanitizer) for every run",
+    )
+    p_nem.add_argument(
         "--retry-storm",
         action="store_true",
         help="run the exactly-once campaign instead: duplicated frames, "
@@ -650,4 +683,11 @@ def main(argv) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv[1:]))
+    try:
+        code = main(sys.argv[1:])
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # the consumer (e.g. `| head`) closed the pipe early: not an error
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

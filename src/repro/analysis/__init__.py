@@ -2,17 +2,27 @@
 
 An AST-based lint framework whose rules encode the invariants the type
 system cannot see: seeded determinism in the simulated layers (RD01),
-persist-before-reply durability in the TCP runtime (RD02), atomic-only
-shared-memory access in ``sm/`` (RD03), asyncio hygiene in ``net/``
-(RD04), and I/O-automaton well-formedness in ``ioa/`` (RD05).
+persist-before-reply durability in the TCP runtime (RD02, checked as a
+typestate property over CFG paths), atomic-only shared-memory access in
+``sm/`` (RD03), asyncio hygiene in ``net/`` (RD04), I/O-automaton
+well-formedness in ``ioa/`` (RD05), and — under ``--deep`` — the RD08
+interleaving race detector built on the whole-program dataflow engine
+(:mod:`.cfg` / :mod:`.dataflow` / :mod:`.callgraph`).
 
-Run it as ``python -m repro lint [--format text|json] [--baseline]``;
-findings can be suppressed inline with ``# repro: disable=RD01`` or
-grandfathered in the committed baseline file (kept empty by policy).
+Run it as ``python -m repro lint [--deep] [--format text|json]
+[--rules RD01,RD08] [--explain RDxx] [--baseline]``; findings can be
+suppressed inline with ``# repro: disable=RD01`` (file-wide with
+``# repro: disable-file=RD01``) or grandfathered in the committed
+baseline file (kept empty by policy).  The static pass has a runtime
+counterpart in :mod:`.sanitizer` — a critical-section guard that turns
+actual interleavings into errors under ``REPRO_SANITIZE=1``.
 See ``docs/ANALYSIS.md`` for the rule catalogue.
 """
 
-from .baseline import load_baseline, write_baseline
+from .baseline import BaselineError, load_baseline, write_baseline
+from .callgraph import CallGraph, ProjectContext, build_project
+from .cfg import CFG, CFGNode, build_cfg
+from .dataflow import Analysis, SetUnionAnalysis, solve
 from .engine import (
     LintReport,
     analyze_source,
@@ -21,20 +31,50 @@ from .engine import (
     run_lint,
 )
 from .findings import Finding
-from .registry import ModuleContext, Rule, all_rules, register, rule_ids
+from .registry import (
+    ModuleContext,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+    rule_ids,
+)
+from .sanitizer import (
+    InterleaveError,
+    InterleaveViolation,
+    assert_no_interleave,
+    atomic_section,
+    interleave_token,
+)
 
 __all__ = [
+    "Analysis",
+    "BaselineError",
+    "CFG",
+    "CFGNode",
+    "CallGraph",
     "Finding",
+    "InterleaveError",
+    "InterleaveViolation",
     "LintReport",
     "ModuleContext",
+    "ProjectContext",
     "Rule",
+    "SetUnionAnalysis",
     "all_rules",
     "analyze_source",
+    "assert_no_interleave",
+    "atomic_section",
+    "build_cfg",
+    "build_project",
+    "get_rule",
+    "interleave_token",
     "iter_python_files",
     "load_baseline",
     "package_relpath",
     "register",
     "rule_ids",
     "run_lint",
+    "solve",
     "write_baseline",
 ]

@@ -8,6 +8,13 @@ number — see :meth:`repro.analysis.findings.Finding.key`) with a count,
 so two identical violations in one file need two baseline slots: fixing
 one and adding another elsewhere in the file is still caught.
 
+Written baselines are deterministic: entries sorted by (rule, path,
+message), keys sorted, trailing newline — so ``--baseline`` twice in a
+row is a no-op diff.  Reading validates every entry and raises
+:class:`BaselineError` with the file, the entry, and what is wrong, so
+a hand-edited or stale baseline fails the CLI with one clear line
+instead of a stack trace.
+
 The repo's policy is an **empty** baseline (see ``docs/ANALYSIS.md``);
 the file exists so the mechanism stays exercised and any future
 grandfathering is an explicit, reviewed diff.
@@ -16,6 +23,7 @@ grandfathering is an explicit, reviewed diff.
 from __future__ import annotations
 
 import json
+import re
 from collections import Counter
 from typing import Counter as CounterT, List, Sequence, Tuple
 
@@ -26,18 +34,78 @@ BASELINE_VERSION = 1
 #: the baseline file's name at the repository root
 BASELINE_NAME = "lint-baseline.json"
 
+_RULE_ID_RE = re.compile(r"^RD\d{2,}$")
+
+
+class BaselineError(Exception):
+    """A baseline file is malformed or stale; message names the entry."""
+
+
+def _entry_error(path: str, index: int, problem: str) -> BaselineError:
+    return BaselineError(
+        f"{path}: baseline entry #{index + 1} {problem} — regenerate with "
+        f"'python -m repro lint --baseline' or fix the entry by hand"
+    )
+
 
 def load_baseline(path: str) -> "CounterT[str]":
-    """Read a baseline file into a key → count multiset."""
-    with open(path, encoding="utf-8") as handle:
-        data = json.load(handle)
+    """Read a baseline file into a key → count multiset.
+
+    Raises :class:`BaselineError` on any malformed or stale content.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise BaselineError(
+            f"{path}: expected a JSON object, got {type(data).__name__}"
+        )
     if data.get("version") != BASELINE_VERSION:
-        raise ValueError(f"unsupported baseline version in {path}")
+        raise BaselineError(
+            f"{path}: unsupported baseline version "
+            f"{data.get('version')!r} (expected {BASELINE_VERSION})"
+        )
+    entries = data.get("findings", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"{path}: 'findings' must be a list")
+    known_ids = set(_known_rule_ids())
     counts: CounterT[str] = Counter()
-    for entry in data.get("findings", []):
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise _entry_error(path, index, "is not an object")
+        for field in ("rule", "path", "message"):
+            if not isinstance(entry.get(field), str) or not entry[field]:
+                raise _entry_error(
+                    path, index, f"is missing a string {field!r}"
+                )
+        rule = entry["rule"]
+        if not _RULE_ID_RE.match(rule):
+            raise _entry_error(
+                path, index, f"has a malformed rule id {rule!r}"
+            )
+        if rule not in known_ids:
+            raise _entry_error(
+                path,
+                index,
+                f"names unknown rule {rule!r} (stale baseline? known: "
+                f"{', '.join(sorted(known_ids))})",
+            )
+        count = entry.get("count", 1)
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise _entry_error(
+                path, index, f"has a non-positive count {count!r}"
+            )
         key = f"{entry['rule']}|{entry['path']}|{entry['message']}"
-        counts[key] += int(entry.get("count", 1))
+        counts[key] += count
     return counts
+
+
+def _known_rule_ids() -> List[str]:
+    from .registry import rule_ids
+
+    return rule_ids()
 
 
 def write_baseline(path: str, findings: Sequence[Finding]) -> None:

@@ -3,15 +3,19 @@
 Self-hosted usage (the CI lint job)::
 
     python -m repro lint                      # lint src/, text report
+    python -m repro lint --deep               # + interprocedural rules (RD08)
     python -m repro lint --format json        # machine-readable artifact
+    python -m repro lint --rules RD01,RD08    # run a subset of rules
+    python -m repro lint --explain RD08       # rule doc + bad/good example
     python -m repro lint --baseline           # grandfather current findings
     python -m repro lint path/ other.py       # lint explicit paths
 
 Exit status is 1 iff any non-suppressed, non-baselined finding (or a
-parse error) remains — the gate CI enforces.  ``--baseline`` rewrites
-the baseline file from the current findings and exits 0; the committed
-baseline is empty by policy (``docs/ANALYSIS.md``), so using it is an
-explicit, reviewed decision.
+parse error) remains — the gate CI enforces; 2 on usage errors such as
+a malformed baseline file.  ``--baseline`` rewrites the baseline file
+from the current findings and exits 0; the committed baseline is empty
+by policy (``docs/ANALYSIS.md``), so using it is an explicit, reviewed
+decision.
 """
 
 from __future__ import annotations
@@ -22,8 +26,9 @@ import os
 import sys
 from typing import List, Optional
 
-from .baseline import BASELINE_NAME, write_baseline
+from .baseline import BASELINE_NAME, BaselineError, write_baseline
 from .engine import run_lint
+from .registry import get_rule
 
 #: .../src/repro/analysis/cli.py -> the checkout root
 _REPO_ROOT = os.path.abspath(
@@ -57,6 +62,26 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="report format (json is the CI artifact shape)",
     )
     parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="build the project call graph and run interprocedural "
+        "rules (RD08, path-sensitive RD02)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (e.g. RD01,RD08); "
+        "default: all registered rules",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RDXX",
+        help="print a rule's documentation and a minimal bad/good "
+        "example, then exit",
+    )
+    parser.add_argument(
         "--baseline",
         action="store_true",
         help="rewrite the baseline file from the current findings",
@@ -69,11 +94,39 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _select_rules(spec: Optional[str]):
+    """Resolve a ``--rules`` spec to rule instances (None = all)."""
+    if spec is None:
+        return None
+    return [get_rule(token) for token in spec.split(",") if token.strip()]
+
+
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a lint run described by parsed arguments."""
+    if getattr(args, "explain", None):
+        try:
+            print(get_rule(args.explain).explain())
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return 0
+    try:
+        rules = _select_rules(getattr(args, "rules", None))
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     paths: List[str] = args.paths or [default_src_root()]
     baseline_file: str = args.baseline_file or default_baseline_path()
-    report = run_lint(paths, baseline_path=baseline_file)
+    try:
+        report = run_lint(
+            paths,
+            rules=rules,
+            baseline_path=baseline_file,
+            deep=getattr(args, "deep", False),
+        )
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.baseline:
         write_baseline(baseline_file, report.all_findings())
         print(

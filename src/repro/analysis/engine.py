@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Counter as CounterT, Iterable, List, Optional, Sequence
 
 from .baseline import load_baseline, split_baselined
+from .callgraph import ProjectContext, build_project
 from .findings import Finding
 from .registry import ModuleContext, Rule, all_rules
 from .suppressions import split_suppressed
@@ -64,6 +65,7 @@ class LintReport:
     suppressed: List[Finding] = field(default_factory=list)
     checked_files: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    deep: bool = False  #: whether the interprocedural rules ran
 
     @property
     def clean(self) -> bool:
@@ -101,6 +103,7 @@ class LintReport:
                 "suppressed": len(self.suppressed),
                 "baselined": len(self.baselined),
                 "clean": self.clean,
+                "deep": self.deep,
             },
         }
 
@@ -109,18 +112,26 @@ def analyze_source(
     source: str,
     relpath: str,
     rules: Optional[Sequence[Rule]] = None,
+    project: Optional[ProjectContext] = None,
 ) -> "tuple[List[Finding], List[Finding]]":
     """Lint one module's source; returns (active, suppressed) findings.
 
     ``relpath`` should be package-relative (``repro/...``) — it decides
     which rules run.  Raises ``SyntaxError`` if the source cannot parse.
+    With no ``project``, interprocedural rules (``requires_project``)
+    are skipped; pass ``project`` (or use :func:`run_lint` with
+    ``deep=True``) to run them.
     """
     if rules is None:
         rules = all_rules()
     tree = ast.parse(source, filename=relpath)
-    ctx = ModuleContext(relpath=relpath, source=source, tree=tree)
+    ctx = ModuleContext(
+        relpath=relpath, source=source, tree=tree, project=project
+    )
     raw: List[Finding] = []
     for rule in rules:
+        if rule.requires_project and project is None:
+            continue
         if rule.applies(relpath):
             raw.extend(rule.check(ctx))
     active, suppressed = split_suppressed(sorted(raw), ctx.lines)
@@ -131,30 +142,56 @@ def run_lint(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
     baseline_path: Optional[str] = None,
+    deep: bool = False,
 ) -> LintReport:
     """Lint every python file under ``paths`` against the active rules.
 
     With ``baseline_path`` naming an existing baseline file, findings in
     it are reported separately as grandfathered (:class:`LintReport`'s
     ``baselined``) and do not fail the run.
+
+    ``deep=True`` is the two-phase interprocedural mode: every module is
+    parsed first and folded into a project-wide call graph with
+    may-suspend summaries (:mod:`~repro.analysis.callgraph`), then the
+    full rule set — including ``requires_project`` rules like RD08 —
+    runs per module with that :class:`ProjectContext` in hand.
     """
     if rules is None:
         rules = all_rules()
-    report = LintReport()
-    collected: List[Finding] = []
+    report = LintReport(deep=deep)
+    # Phase 1: parse everything (a parse failure just drops the module
+    # from the call graph; it is still reported as a parse error below).
+    modules: List["tuple[str, str, str]"] = []  #: (path, relpath, source)
+    parsed: List["tuple[str, ast.Module]"] = []
     for root in paths:
         for path in iter_python_files(root):
             relpath = package_relpath(path)
             try:
                 with open(path, encoding="utf-8") as handle:
                     source = handle.read()
-                active, suppressed = analyze_source(source, relpath, rules)
-            except (SyntaxError, OSError, UnicodeDecodeError) as exc:
+            except (OSError, UnicodeDecodeError) as exc:
                 report.parse_errors.append(f"{path}: {exc}")
                 continue
-            report.checked_files += 1
-            collected.extend(active)
-            report.suppressed.extend(suppressed)
+            modules.append((path, relpath, source))
+            if deep:
+                try:
+                    parsed.append((relpath, ast.parse(source, filename=path)))
+                except SyntaxError:
+                    pass  # reported by analyze_source below
+    project = build_project(parsed) if deep else None
+    # Phase 2: per-module rule runs (deep rules see the whole program).
+    collected: List[Finding] = []
+    for path, relpath, source in modules:
+        try:
+            active, suppressed = analyze_source(
+                source, relpath, rules, project=project
+            )
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{path}: {exc}")
+            continue
+        report.checked_files += 1
+        collected.extend(active)
+        report.suppressed.extend(suppressed)
     collected.sort()
     baseline: "CounterT[str]" = Counter()
     if baseline_path is not None and os.path.exists(baseline_path):

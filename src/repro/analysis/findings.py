@@ -24,10 +24,18 @@ class Finding:
     rule: str  #: rule id, e.g. "RD01"
     message: str  #: what invariant is violated, and how
     hint: str = ""  #: how to fix it
+    #: 1-based last line of the offending construct (0 = just ``line``);
+    #: inline suppressions anywhere in line..end_line apply, so a
+    #: ``# repro: disable=…`` on any line of a multi-line await works
+    end_line: int = 0
 
     def key(self) -> str:
         """Baseline identity: stable across unrelated line shifts."""
         return f"{self.rule}|{self.path}|{self.message}"
+
+    def span(self) -> "tuple[int, int]":
+        """The inclusive 1-based line range this finding covers."""
+        return (self.line, max(self.line, self.end_line))
 
     def format(self) -> str:
         """One human-readable report line."""

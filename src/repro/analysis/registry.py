@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Type
 
 from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .callgraph import ProjectContext
 
 
 @dataclass
@@ -25,6 +28,8 @@ class ModuleContext:
     source: str
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
+    #: whole-program context (call graph); set only on ``lint --deep``
+    project: Optional["ProjectContext"] = None
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -45,6 +50,13 @@ class Rule:
     title: str = ""
     scope: Tuple[str, ...] = ()
     exclude: Tuple[str, ...] = ()
+    #: deep rules need the project call graph; the engine only runs them
+    #: when a :class:`~repro.analysis.callgraph.ProjectContext` is built
+    #: (``lint --deep``)
+    requires_project: bool = False
+    #: minimal violating / conforming snippets shown by ``--explain``
+    example_bad: str = ""
+    example_good: str = ""
 
     def applies(self, relpath: str) -> bool:
         """True iff this rule analyzes the module at ``relpath``."""
@@ -61,15 +73,37 @@ class Rule:
     def finding(
         self, ctx: ModuleContext, node: ast.AST, message: str, hint: str = ""
     ) -> Finding:
-        """Build a finding anchored at ``node``."""
+        """Build a finding anchored at ``node`` (spanning its lines)."""
+        line = getattr(node, "lineno", 1)
         return Finding(
             path=ctx.relpath,
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0),
             rule=self.id,
             message=message,
             hint=hint,
+            end_line=getattr(node, "end_lineno", None) or line,
         )
+
+    def explain(self) -> str:
+        """The rule's documentation + minimal bad/good example."""
+        import inspect
+
+        doc = inspect.cleandoc(self.__class__.__doc__ or self.title or "")
+        parts = [f"{self.id} — {self.title}", "", doc]
+        if self.scope:
+            parts += ["", "applies to: " + ", ".join(self.scope)]
+        if self.example_bad:
+            parts += ["", "bad:", _indent(self.example_bad)]
+        if self.example_good:
+            parts += ["", "good:", _indent(self.example_good)]
+        return "\n".join(parts)
+
+
+def _indent(snippet: str) -> str:
+    return "\n".join(
+        "    " + line for line in snippet.strip("\n").splitlines()
+    )
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
@@ -95,3 +129,18 @@ def rule_ids() -> List[str]:
     from . import rules  # noqa: F401
 
     return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """One fresh instance of the rule with ``rule_id``.
+
+    Raises ``KeyError`` with the known ids when the id is unknown.
+    """
+    from . import rules  # noqa: F401
+
+    normalized = rule_id.strip().upper()
+    if normalized not in _REGISTRY:
+        raise KeyError(
+            f"unknown rule {rule_id!r} (known: {', '.join(sorted(_REGISTRY))})"
+        )
+    return _REGISTRY[normalized]()

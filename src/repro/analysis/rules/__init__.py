@@ -10,6 +10,8 @@ Importing this package registers every rule with
 * :mod:`.rd05_ioa` — IOA signatures total, preconditions mutation-free
 * :mod:`.rd06_monitor` — responses recorded only after an awaited reply
 * :mod:`.rd07_sessions` — replicated applies route through session dedup
+* :mod:`.rd08_interleaving` — no read-modify-write of shared state
+  across an await (interprocedural; runs under ``lint --deep``)
 """
 
 from . import (  # noqa: F401
@@ -20,4 +22,5 @@ from . import (  # noqa: F401
     rd05_ioa,
     rd06_monitor,
     rd07_sessions,
+    rd08_interleaving,
 )

@@ -120,6 +120,14 @@ class Rd01Determinism(Rule):
     id = "RD01"
     title = "seeded determinism"
     scope = ("repro/mp/", "repro/sm/", "repro/faults/", "repro/core/")
+    example_bad = """\
+def jitter(self):
+    return time.time() % 1      # wall clock: replay diverges
+"""
+    example_good = """\
+def jitter(self):
+    return self.rng.random()    # rng seeded from the schedule
+"""
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         table = _ImportTable(ctx.tree)

@@ -11,23 +11,38 @@ diff time.
 A class is *durable* when it derives from ``_DurableRole``, is
 ``_DurableRole`` itself, or touches ``self._wal`` or ``self._fs``
 anywhere (roles built straight on the injectable filesystem seam are
-held to the same discipline as WAL-backed ones).  Inside
-each such class RD02 analyzes the handler method (``on_message``) in
-source order:
+held to the same discipline as WAL-backed ones).
+
+Persist-before-reply is a **path** property, and the rule checks it as
+one: the handler's CFG (:mod:`~repro.analysis.cfg`) is run through a
+two-state typestate analysis — every path starts *unpersisted* and
+becomes *persisted* at a persistence point.  Persistence points are
+
+* a WAL append — ``…wal.record(...)`` / ``…wal.record_decided(...)`` /
+  ``…wal.record_durable(...)`` (the group-commit entry point whose
+  callback fires only after the shared fsync) — or a direct
+  :class:`FaultFS` point (``…fs.append(...)`` / ``…fs.fsync(...)``);
+* a call to a ``self.`` method that *transitively* performs one — so
+  the append may live in a helper and still count (method summaries
+  are resolved through module-local base classes);
+* ``super().on_message(...)`` delegation, but only in a handler with
+  no persistence points of its own (the override persists on the
+  subclass's behalf; a handler that also appends is held to the
+  ordering between its own appends and its replies).
+
+And the violations, judged per reachable state rather than source
+order:
 
 * an emit — ``super().send(...)``, the release of buffered frames —
-  before the first WAL append (``…wal.record(...)`` /
-  ``…wal.record_decided(...)`` / ``…wal.record_durable(...)``, the
-  group-commit entry point whose callback fires only after the shared
-  fsync) or direct :class:`FaultFS` persistence point
-  (``…fs.append(...)`` / ``…fs.fsync(...)``) is a
-  persist-before-reply violation;
-* an emit in a handler with *no* append at all is flagged too, unless
-  the handler delegates to ``super().on_message(...)`` (whose override
-  persists) before emitting;
+  reachable in the *unpersisted* state is a persist-before-reply
+  violation: an append that exists in the source but is skipped on
+  some branch no longer hides the bug;
+* an emit in a handler with no persistence point at all is flagged
+  too (unless delegation covered it, per the above);
 * a write to a *durable attribute* — one that the class's own
-  ``durable_state()`` reads — after the first append diverges memory
-  from disk without re-logging, so the next crash recovers stale state.
+  ``durable_state()`` reads — reachable in the *persisted* state
+  diverges memory from disk without re-logging, so the next crash
+  recovers stale state.
 
 The rule is scoped to ``repro/net/``; volatile roles (no WAL contact)
 are never analyzed.
@@ -36,8 +51,10 @@ are never analyzed.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ..cfg import CFG, CFGNode, build_cfg
+from ..dataflow import SetUnionAnalysis, solve
 from ..findings import Finding
 from ..registry import ModuleContext, Rule, register
 
@@ -46,6 +63,9 @@ WAL_APPENDS = frozenset({"record", "record_decided", "record_durable"})
 
 #: FaultFS methods that make bytes durable when called on an fs seam
 FS_PERSISTS = frozenset({"append", "fsync"})
+
+#: typestate values: unpersisted / persisted
+_U, _P = "unpersisted", "persisted"
 
 Pos = Tuple[int, int]
 
@@ -102,6 +122,18 @@ def _is_wal_append(call: ast.Call) -> bool:
     return False
 
 
+def _self_method_call(call: ast.Call) -> Optional[str]:
+    """The method name of a direct ``self.<m>(...)`` call, if any."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return func.attr
+    return None
+
+
 def _references_wal(node: ast.AST) -> bool:
     """True iff the subtree reads or writes ``self._wal``/``self._fs``."""
     for sub in ast.walk(node):
@@ -141,6 +173,98 @@ def _durable_attrs(cls: ast.ClassDef) -> Set[str]:
     return attrs
 
 
+def _own_methods(cls: ast.ClassDef) -> Dict[str, ast.AST]:
+    return {
+        item.name: item
+        for item in cls.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _flattened_methods(
+    cls: ast.ClassDef, classes: Dict[str, ast.ClassDef]
+) -> Dict[str, ast.AST]:
+    """The class's methods, module-local bases included (nearest wins)."""
+    methods: Dict[str, ast.AST] = {}
+    seen: Set[str] = set()
+    stack = [cls]
+    while stack:
+        current = stack.pop(0)
+        if current.name in seen:
+            continue
+        seen.add(current.name)
+        for name, fn in _own_methods(current).items():
+            methods.setdefault(name, fn)
+        for base in current.bases:
+            base_name = None
+            if isinstance(base, ast.Name):
+                base_name = base.id
+            elif isinstance(base, ast.Attribute):
+                base_name = base.attr
+            if base_name is not None and base_name in classes:
+                stack.append(classes[base_name])
+    return methods
+
+
+def _persisting_methods(
+    cls: ast.ClassDef, classes: Dict[str, ast.ClassDef]
+) -> Set[str]:
+    """Methods that transitively reach a WAL append via ``self.`` calls."""
+    methods = _flattened_methods(cls, classes)
+    persisting: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, fn in methods.items():
+            if name in persisting:
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = _self_method_call(node)
+                if _is_wal_append(node) or (
+                    callee is not None and callee in persisting
+                ):
+                    persisting.add(name)
+                    changed = True
+                    break
+    return persisting
+
+
+class _PersistTypestate(SetUnionAnalysis):
+    """Forward typestate: which of {unpersisted, persisted} reach a node."""
+
+    def __init__(self, persisting: Set[str], handler_persists: bool) -> None:
+        self.persisting = persisting
+        self.handler_persists = handler_persists
+
+    def initial(self, cfg: CFG) -> frozenset:
+        return frozenset({_U})
+
+    def node_persists(self, node: CFGNode) -> bool:
+        for expr in node.exprs:
+            for call in ast.walk(expr):
+                if not isinstance(call, ast.Call):
+                    continue
+                if _is_wal_append(call):
+                    return True
+                callee = _self_method_call(call)
+                if callee is not None and callee in self.persisting:
+                    return True
+                # delegation persists on our behalf — but only in a
+                # handler with no persistence points of its own
+                if not self.handler_persists and _is_super_call(
+                    call, "on_message"
+                ):
+                    return True
+        return False
+
+    def transfer(self, node: CFGNode, fact: frozenset) -> frozenset:
+        if fact and self.node_persists(node):
+            return frozenset({_P})
+        return fact
+
+
 @register
 class Rd02Durability(Rule):
     """Replies before WAL appends, and post-persist durable mutations."""
@@ -148,21 +272,40 @@ class Rd02Durability(Rule):
     id = "RD02"
     title = "persist-before-reply durability"
     scope = ("repro/net/",)
+    example_bad = """\
+class Hasty(_DurableRole):
+    def on_message(self, src, message):
+        if message[0] == "fast-read":
+            super().send(src, ("ack",))   # path with no append!
+            return
+        self._wal.record(self._wal_kind, self._wal_slot, self.state)
+        super().send(src, ("ack",))
+"""
+    example_good = """\
+class Careful(_DurableRole):
+    def on_message(self, src, message):
+        self._wal.record(self._wal_kind, self._wal_slot, self.state)
+        super().send(src, ("ack",))       # every path persisted first
+"""
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        for cls in ast.walk(ctx.tree):
-            if not isinstance(cls, ast.ClassDef):
-                continue
+        classes: Dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for cls in classes.values():
             if not self._is_durable(cls):
                 continue
             durable_attrs = _durable_attrs(cls)
+            persisting = _persisting_methods(cls, classes)
             for item in cls.body:
                 if (
                     isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
                     and item.name == "on_message"
                 ):
                     yield from self._check_handler(
-                        ctx, cls, item, durable_attrs
+                        ctx, cls, item, durable_attrs, persisting
                     )
 
     def _is_durable(self, cls: ast.ClassDef) -> bool:
@@ -179,46 +322,61 @@ class Rd02Durability(Rule):
         self,
         ctx: ModuleContext,
         cls: ast.ClassDef,
-        handler: ast.AST,
+        handler: "ast.FunctionDef | ast.AsyncFunctionDef",
         durable_attrs: Set[str],
+        persisting: Set[str],
     ) -> Iterator[Finding]:
-        appends: List[Pos] = []
-        emits: List[Tuple[Pos, ast.Call]] = []
-        delegates: List[Pos] = []
-        mutations: List[Tuple[Pos, ast.AST, str]] = []
+        # Does the handler itself reach a persistence point anywhere?
+        # (Decides whether delegation counts, and which message an
+        # unpersisted emit gets.)
+        handler_persists = False
         for node in ast.walk(handler):
             if isinstance(node, ast.Call):
-                if _is_wal_append(node):
-                    appends.append(_pos(node))
-                elif _is_super_call(node, "send"):
-                    emits.append((_pos(node), node))
-                elif _is_super_call(node, "on_message"):
-                    delegates.append(_pos(node))
-            elif isinstance(node, (ast.Assign, ast.AugAssign)):
-                targets = (
-                    node.targets
-                    if isinstance(node, ast.Assign)
-                    else [node.target]
-                )
-                for target in targets:
-                    for leaf in ast.walk(target):
-                        name = _self_attr_target(leaf)
-                        if name is not None:
-                            mutations.append((_pos(node), node, name))
-        first_append = min(appends) if appends else None
-        for pos, call in sorted(emits, key=lambda item: item[0]):
-            if first_append is None:
-                if delegates and min(delegates) < pos:
-                    continue  # super().on_message persisted on our behalf
-                yield self.finding(
-                    ctx,
-                    call,
-                    f"{cls.name}.on_message releases a reply with no WAL "
-                    "append on the handler path",
-                    "append the changed durable_state() to the WAL "
-                    "(and fsync) before any super().send",
-                )
-            elif pos < first_append:
+                callee = _self_method_call(node)
+                if _is_wal_append(node) or (
+                    callee is not None and callee in persisting
+                ):
+                    handler_persists = True
+                    break
+
+        cfg = build_cfg(handler)
+        analysis = _PersistTypestate(persisting, handler_persists)
+        entry_facts, _exit = solve(cfg, analysis)
+
+        for node in cfg.statement_nodes():
+            states = entry_facts[node.index]
+            if not states:
+                continue  # unreachable
+            yield from self._check_node(
+                ctx, cls, node, states, durable_attrs, handler_persists
+            )
+
+    def _check_node(
+        self,
+        ctx: ModuleContext,
+        cls: ast.ClassDef,
+        node: CFGNode,
+        states: frozenset,
+        durable_attrs: Set[str],
+        handler_persists: bool,
+    ) -> Iterator[Finding]:
+        # in-statement persists that precede an emit in the same node
+        persist_positions: List[Pos] = []
+        emits: List[ast.Call] = []
+        for expr in node.exprs:
+            for call in ast.walk(expr):
+                if not isinstance(call, ast.Call):
+                    continue
+                if _is_wal_append(call):
+                    persist_positions.append(_pos(call))
+                elif _is_super_call(call, "send"):
+                    emits.append(call)
+        for call in sorted(emits, key=_pos):
+            if _U not in states:
+                continue
+            if persist_positions and min(persist_positions) < _pos(call):
+                continue  # this very statement persisted first
+            if handler_persists:
                 yield self.finding(
                     ctx,
                     call,
@@ -227,15 +385,35 @@ class Rd02Durability(Rule):
                     "buffer sends while the handler runs and release "
                     "them only after wal.record(...)",
                 )
-        if first_append is not None and durable_attrs:
-            for pos, node, name in sorted(mutations, key=lambda m: m[0]):
-                if name in durable_attrs and pos > first_append:
-                    yield self.finding(
-                        ctx,
-                        node,
-                        f"{cls.name}.on_message mutates durable attribute "
-                        f"{name!r} after the WAL append — recovery would "
-                        "restore stale state",
-                        "mutate durable attributes before capturing "
-                        "durable_state(), or re-log after the change",
-                    )
+            else:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"{cls.name}.on_message releases a reply with no WAL "
+                    "append on the handler path",
+                    "append the changed durable_state() to the WAL "
+                    "(and fsync) before any super().send",
+                )
+        if durable_attrs and _P in states:
+            for expr in node.exprs:
+                if not isinstance(expr, (ast.Assign, ast.AugAssign)):
+                    continue
+                targets = (
+                    expr.targets
+                    if isinstance(expr, ast.Assign)
+                    else [expr.target]
+                )
+                for target in targets:
+                    for leaf in ast.walk(target):
+                        name = _self_attr_target(leaf)
+                        if name is not None and name in durable_attrs:
+                            yield self.finding(
+                                ctx,
+                                expr,
+                                f"{cls.name}.on_message mutates durable "
+                                f"attribute {name!r} after the WAL append "
+                                "— recovery would restore stale state",
+                                "mutate durable attributes before "
+                                "capturing durable_state(), or re-log "
+                                "after the change",
+                            )

@@ -34,6 +34,13 @@ class Rd03Atomicity(Rule):
     title = "atomic-only shared memory access"
     scope = ("repro/sm/",)
     exclude = ("repro/sm/memory.py",)
+    example_bad = """\
+value = memory._cells[name]          # invisible to the scheduler
+other = memory.peek(name)            # uncounted test helper
+"""
+    example_good = """\
+value = yield ("read", name)         # one serialized, counted step
+"""
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

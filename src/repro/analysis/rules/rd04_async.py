@@ -93,6 +93,20 @@ class Rd04AsyncHygiene(Rule):
     id = "RD04"
     title = "async hygiene"
     scope = ("repro/net/",)
+    example_bad = """\
+asyncio.create_task(self._reader())  # orphan: GC can kill it silently
+try:
+    frame = decode(data)
+except Exception:
+    pass                             # every bug becomes a lost frame
+"""
+    example_good = """\
+self._tasks.append(asyncio.create_task(self._reader()))
+try:
+    frame = decode(data)
+except FrameError:
+    logger.warning("bad frame from %s", src)
+"""
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -108,6 +108,17 @@ class Rd05IoaWellFormedness(Rule):
     id = "RD05"
     title = "IOA well-formedness"
     scope = ("repro/ioa/",)
+    example_bad = """\
+class Chan(IOAutomaton):
+    def transitions(self, state, action):
+        self.count += 1              # exploring mutates the automaton
+        ...                          # (and input_step is missing)
+"""
+    example_good = """\
+class Chan(IOAutomaton):
+    def transitions(self, state, action):
+        return [state.deliver(action)]   # pure observer, all 6 hooks
+"""
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for cls in ast.walk(ctx.tree):

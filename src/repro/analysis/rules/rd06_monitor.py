@@ -92,6 +92,17 @@ class Rd06MonitorEvents(Rule):
     id = "RD06"
     title = "observed-response event emission"
     scope = ("repro/net/", "repro/monitor/")
+    example_bad = """\
+async def submit(self, command):
+    self.recorder.invoke(op)
+    self.recorder.respond(op, value)   # nothing awaited in between
+"""
+    example_good = """\
+async def submit(self, command):
+    self.recorder.invoke(op)
+    value = await self.pipeline.enqueue(command)
+    self.recorder.respond(op, value)
+"""
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for func in ast.walk(ctx.tree):

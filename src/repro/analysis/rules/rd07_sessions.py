@@ -94,6 +94,14 @@ class Rd07SessionSeam(Rule):
     title = "session-dedup seam discipline"
     scope = ("repro/net/", "repro/smr/")
     exclude = ("repro/smr/sessions.py", "repro/smr/lockservice.py")
+    example_bad = """\
+for command in decided_prefix:
+    state = self.adt.transition(state, command)  # double-applies retries
+"""
+    example_good = """\
+for slot, command in enumerate(decided_prefix):
+    state = self.applier.apply(slot, command)    # first-occurrence-wins
+"""
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

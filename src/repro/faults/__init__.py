@@ -16,6 +16,11 @@ is the exactly-once campaign: duplicate-delivery bursts, client
 blackouts and kill/restart churn against retrying/hedging clients on a
 counter object, with a mechanical applied-exactly-once witness and a
 dedup-disabled mutant canary.
+:class:`~repro.faults.netcampaign.RacySlotPipeline` is the
+interleaving-race mutant: its slot claims suspend mid-critical-section,
+and the campaign run with ``race_mutant=True, sanitize=True`` must see
+the runtime interleaving sanitizer catch it live — the dynamic
+cross-check of the static RD08 lint rule.
 """
 
 from .campaign import (
@@ -66,6 +71,7 @@ _NETCAMPAIGN_NAMES = frozenset(
         "NetSchedule",
         "NetSlowNode",
         "NetViolation",
+        "RacySlotPipeline",
         "RestartNode",
         "RetryStormResult",
         "WALBitFlip",
@@ -117,6 +123,7 @@ __all__ = [
     "NetSlowNode",
     "NetViolation",
     "PartitionServers",
+    "RacySlotPipeline",
     "RecoverServer",
     "RestartNode",
     "RetryStormResult",

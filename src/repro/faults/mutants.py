@@ -14,6 +14,12 @@ from typing import Hashable, Optional, Tuple
 
 from ..mp.paxos import PaxosAcceptor
 
+# RacySlotPipeline — the interleaving-race mutant — lives in
+# :mod:`repro.faults.netcampaign` beside the campaign that drives it:
+# it subclasses the live pipeline, and importing repro.net from here
+# would recreate the circular package initialization the lazy
+# netcampaign loader in ``faults/__init__`` exists to avoid.
+
 
 class AmnesiacAcceptor(PaxosAcceptor):
     """A Paxos acceptor that forgets its state on recovery.

@@ -63,6 +63,8 @@ import tempfile
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from ..analysis import sanitizer
+from ..analysis.sanitizer import InterleaveError, atomic_section
 from ..core.adt import counter_adt
 from ..mp.backoff import BackoffPolicy
 from ..core.fastcheck import check_linearizable
@@ -430,6 +432,12 @@ class NetRunResult:
     monitor_reason: Optional[str] = None
     monitor_events: int = 0
     monitor_witness: Optional[Dict[str, Any]] = None
+    #: the run drove the RacySlotPipeline mutant (awaits mid-claim)
+    race_mutant: bool = False
+    #: the runtime interleaving sanitizer was armed for this run
+    sanitized: bool = False
+    #: interleavings the sanitizer recorded during the run
+    sanitizer_violations: int = 0
 
     @property
     def ok(self) -> bool:
@@ -438,6 +446,11 @@ class NetRunResult:
     @property
     def violation(self) -> bool:
         return self.verdict == "violation"
+
+    @property
+    def sanitizer_caught(self) -> bool:
+        """True iff the armed sanitizer observed at least one interleave."""
+        return self.sanitized and self.sanitizer_violations > 0
 
     def line(self) -> str:
         """One replayable report line, campaign.py style."""
@@ -452,6 +465,10 @@ class NetRunResult:
             )
         if self.monitored:
             extra += f" monitor={self.monitor_verdict}"
+        if self.race_mutant:
+            extra += " race-mutant"
+        if self.sanitized:
+            extra += f" sanitizer={self.sanitizer_violations}"
         return (
             f"[{tag}] {self.verdict:<13} committed={self.committed:<3} "
             f"pending={self.pending} successors={self.successors} "
@@ -485,6 +502,9 @@ class NetRunResult:
             "monitor_verdict": self.monitor_verdict,
             "monitor_reason": self.monitor_reason,
             "monitor_events": self.monitor_events,
+            "race_mutant": self.race_mutant,
+            "sanitized": self.sanitized,
+            "sanitizer_violations": self.sanitizer_violations,
         }
 
 
@@ -567,6 +587,71 @@ class _RunConfig:
     #: the run result carries the online verdict next to the post-hoc
     #: one.  The amnesiac-canary campaigns assert the two agree.
     monitor: bool = False
+    #: substitute :class:`RacySlotPipeline` for the main-traffic
+    #: pipeline (implies ``pipelined``): its slot claims suspend
+    #: mid-critical-section, the lost-update shape RD08 flags statically
+    race_mutant: bool = False
+    #: arm the runtime interleaving sanitizer for the run; the result
+    #: reports how many interleavings it recorded
+    sanitize: bool = False
+
+
+class RacySlotPipeline(SlotPipeline):
+    """A :class:`~repro.net.pipeline.SlotPipeline` with a seeded race.
+
+    Every :meth:`enqueue` spawns a pair of claim tasks that read
+    ``_next_slot``, suspend, and write the stale value back — each is a
+    no-op alone, but when two interleave (they always do: the pair
+    starts in the same loop tick) the write-back rolls back slots the
+    real pump claimed meanwhile, so later decrees land on slots already
+    in flight.  The claim sits inside the same ``"slot-claim"``
+    :func:`~repro.analysis.sanitizer.atomic_section` the real pipeline
+    declares, which is the point of the mutant: statically it is an
+    RD08 canary (a copy of this shape is linted in the test suite), and
+    dynamically the armed sanitizer must record the interleave the
+    moment the second task enters the held section.
+
+    This class lives here rather than in :mod:`repro.faults.mutants`
+    because it imports :mod:`repro.net`, which would recreate the
+    circular package initialization the lazy ``netcampaign`` loader in
+    ``faults/__init__`` exists to avoid.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._racy_tasks: List[asyncio.Task] = []
+
+    def enqueue(self, tagged: Tuple) -> asyncio.Future:
+        future = super().enqueue(tagged)
+        for _ in range(2):
+            task = self.transport.loop.create_task(self._racy_claim())
+            self._racy_tasks.append(task)
+            task.add_done_callback(self._racy_tasks.remove)
+        return future
+
+    async def _racy_claim(self) -> None:
+        try:
+            with atomic_section(self, "slot-claim"):
+                claimed = self._next_slot
+                await asyncio.sleep(0)  # the interleaving window
+                self._next_slot = claimed
+        except InterleaveError:
+            # Recorded on the sanitizer's violation list; swallowed so
+            # the run (and the checker's history) survives the catch.
+            pass
+
+    def _claim_slot(self) -> int:
+        try:
+            return super()._claim_slot()
+        except InterleaveError:
+            # The pump barged into a claim a racy task left suspended —
+            # the violation is recorded; fall back to a bare unguarded
+            # bump so the run keeps making progress.
+            slot = self._next_slot
+            while slot in self.log:
+                slot += 1
+            self._next_slot = slot + 1
+            return slot
 
 
 async def _run_schedule(
@@ -574,8 +659,18 @@ async def _run_schedule(
 ) -> Tuple[NetRunResult, HistoryRecorder]:
     """One live run: cluster up, traffic + nemesis, check, tear down."""
     loop = asyncio.get_running_loop()
-    result = NetRunResult(schedule=schedule, amnesiac=config.amnesiac)
+    result = NetRunResult(
+        schedule=schedule,
+        amnesiac=config.amnesiac,
+        race_mutant=config.race_mutant,
+    )
     majority = config.replicas // 2 + 1
+    sanitizer_was_enabled = sanitizer.enabled()
+    if config.sanitize:
+        # Per-run isolation: violations recorded by this run must not
+        # leak into the next schedule's count (or vice versa).
+        sanitizer.reset()
+        sanitizer.enable()
     with tempfile.TemporaryDirectory(prefix="repro-net-wal-") as wal_root:
         faults = TransportFaults(seed=schedule.seed)
         # Nodes targeted by WALNoSpace get a FaultyFS under their WAL so
@@ -616,8 +711,11 @@ async def _run_schedule(
         all_clients: List[Union[NetClient, PipelineClient]] = []
         late_tasks: List[asyncio.Task] = []
         pipeline: Optional[SlotPipeline] = None
-        if config.pipelined:
-            pipeline = SlotPipeline(
+        if config.pipelined or config.race_mutant:
+            pipeline_cls = (
+                RacySlotPipeline if config.race_mutant else SlotPipeline
+            )
+            pipeline = pipeline_cls(
                 "main",
                 config.replicas,
                 transport,
@@ -818,6 +916,12 @@ async def _run_schedule(
     result.fast = sum(1 for r in ops if r.path == "fast")
     result.slow = sum(1 for r in ops if r.path == "slow")
 
+    if config.sanitize:
+        result.sanitized = True
+        result.sanitizer_violations = len(sanitizer.violations())
+        if not sanitizer_was_enabled:
+            sanitizer.disable()
+
     check = check_linearizable(recorder.trace(), kv_store_adt())
     result.strategy = check.strategy
     if check.unknown:
@@ -863,6 +967,8 @@ def run_net_campaign(
     batch: int = 16,
     group_commit: bool = False,
     monitor: bool = False,
+    race_mutant: bool = False,
+    sanitize: bool = False,
     emit=print,
 ) -> NetCampaignReport:
     """Run seeded chaos campaigns against live localhost clusters.
@@ -893,6 +999,14 @@ def run_net_campaign(
     :class:`NetRunResult` carries the online verdict next to the
     post-hoc one, and with ``artifact_dir`` a monitor-caught violation
     writes its shrunken witness as ``net-monitor-witness-{seed}.json``.
+
+    ``race_mutant=True`` swaps the main-traffic pipeline for
+    :class:`RacySlotPipeline` (implying ``pipelined``), whose slot
+    claims suspend inside their critical section; ``sanitize=True``
+    arms the runtime interleaving sanitizer so each result reports the
+    interleavings it recorded (``NetRunResult.sanitizer_caught``).  The
+    CI canary runs both together and demands a catch — the dynamic
+    cross-check of the static RD08 rule.
     """
     config = _RunConfig(
         replicas=replicas,
@@ -903,12 +1017,14 @@ def run_net_campaign(
         quorum_timeout=quorum_timeout,
         amnesiac=amnesiac,
         wal_fsync=wal_fsync,
-        pipelined=pipelined,
+        pipelined=pipelined or race_mutant,
         codec=codec,
         window=window,
         batch=batch,
         group_commit=group_commit,
         monitor=monitor,
+        race_mutant=race_mutant,
+        sanitize=sanitize,
     )
     if schedules is None:
         schedules = [

@@ -48,6 +48,7 @@ from __future__ import annotations
 import logging
 from typing import Any, Dict, Hashable, List, Optional, TYPE_CHECKING, Tuple
 
+from ..analysis.sanitizer import atomic_section
 from ..faults.netfaults import TransportFaults
 from ..mp.backoff import BackoffPolicy
 from ..mp.paxos import PaxosAcceptor, PaxosCoordinator
@@ -136,6 +137,10 @@ class _DurableRole:
         else:
             super().send(dst, message)  # type: ignore[misc]
 
+    # The whole handler is one critical section: buffer, persist,
+    # release must not interleave with another task touching this role.
+    # The guard is free unless REPRO_SANITIZE=1 (nemesis campaigns).
+    @atomic_section
     def on_message(self, src: Hashable, message: Any) -> None:
         if self._wal is None:
             super().on_message(src, message)  # type: ignore[misc]
@@ -195,6 +200,7 @@ class _DurableRole:
             self._wal_retry_tick,
         )
 
+    @atomic_section
     def _wal_retry_tick(self) -> None:
         """Re-attempt the parked persist; release replies on success."""
         if self._wal is None or self._wal.closed or self._wal_retry is None:

@@ -62,6 +62,7 @@ from collections import deque
 from dataclasses import replace
 from typing import Deque, Dict, Hashable, List, Optional, Tuple
 
+from ..analysis.sanitizer import atomic_section
 from ..core.adt import ADT
 from ..mp.backoff import BackoffPolicy
 from ..mp.backup import BackupClient
@@ -299,19 +300,24 @@ class SlotPipeline:
     # ------------------------------------------------------------------
 
     def _claim_slot(self) -> int:
-        # reclaimed (abandoned) slots first: the lowest undecided slot
-        # gates the apply prefix, so filling holes beats extending the
-        # log.  A pooled slot may have been decided meanwhile by
-        # someone else's decree — skip those.
-        while self._free_slots:
-            slot = heapq.heappop(self._free_slots)
-            if slot not in self.log and slot not in self.in_flight:
-                return slot
-        slot = self._next_slot
-        while slot in self.log:
-            slot += 1
-        self._next_slot = slot + 1
-        return slot
+        # The claim is an atomic section: read of _next_slot and the
+        # write-back must not be separated by a suspension, or two
+        # proposers claim the same slot (the runtime sanitizer enforces
+        # this under REPRO_SANITIZE=1; statically it is RD08's job).
+        with atomic_section(self, "slot-claim"):
+            # reclaimed (abandoned) slots first: the lowest undecided
+            # slot gates the apply prefix, so filling holes beats
+            # extending the log.  A pooled slot may have been decided
+            # meanwhile by someone else's decree — skip those.
+            while self._free_slots:
+                slot = heapq.heappop(self._free_slots)
+                if slot not in self.log and slot not in self.in_flight:
+                    return slot
+            slot = self._next_slot
+            while slot in self.log:
+                slot += 1
+            self._next_slot = slot + 1
+            return slot
 
     def _scheduled_pump(self) -> None:
         self._pump_scheduled = False

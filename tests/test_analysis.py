@@ -356,7 +356,10 @@ def test_near_miss_stays_clean(source, relpath):
 
 
 def test_every_rule_has_a_failing_fixture():
-    covered = {rule for rule, _, _ in BAD_SNIPPETS} | {"RD02"}
+    # RD02's failing fixtures are the real-node mutations below; RD08's
+    # live in tests/test_interleaving.py (they need the project call
+    # graph the deep engine builds).
+    covered = {rule for rule, _, _ in BAD_SNIPPETS} | {"RD02", "RD08"}
     assert covered == set(rule_ids()) == {
         "RD01",
         "RD02",
@@ -365,6 +368,7 @@ def test_every_rule_has_a_failing_fixture():
         "RD05",
         "RD06",
         "RD07",
+        "RD08",
     }
 
 
@@ -708,3 +712,148 @@ def test_cli_baseline_write_then_clean(tmp_path):
     result = run_cli(str(tmp_path), "--baseline-file", baseline_file)
     assert result.returncode == 0, result.stdout + result.stderr
     assert "1 baselined" in result.stdout
+
+# ----------------------------------------------------------------------
+# baseline hygiene: malformed / stale files fail with one clear line
+# ----------------------------------------------------------------------
+
+
+def test_malformed_baseline_json_raises_clear_error(tmp_path):
+    from repro.analysis import BaselineError
+
+    path = tmp_path / BASELINE_NAME
+    path.write_text("{not json")
+    with pytest.raises(BaselineError, match="not valid JSON"):
+        load_baseline(str(path))
+
+
+def test_baseline_with_wrong_version_is_rejected(tmp_path):
+    from repro.analysis import BaselineError
+
+    path = tmp_path / BASELINE_NAME
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(BaselineError, match="unsupported baseline version"):
+        load_baseline(str(path))
+
+
+def test_stale_baseline_naming_an_unknown_rule_is_rejected(tmp_path):
+    from repro.analysis import BaselineError
+
+    path = tmp_path / BASELINE_NAME
+    entry = {"rule": "RD99", "path": "repro/x.py", "message": "gone"}
+    path.write_text(json.dumps({"version": 1, "findings": [entry]}))
+    with pytest.raises(BaselineError, match="unknown rule 'RD99'") as exc:
+        load_baseline(str(path))
+    # the error tells the user how to recover, entry by number
+    assert "entry #1" in str(exc.value)
+    assert "regenerate" in str(exc.value)
+
+
+def test_baseline_entry_missing_fields_is_rejected(tmp_path):
+    from repro.analysis import BaselineError
+
+    path = tmp_path / BASELINE_NAME
+    entry = {"rule": "RD01", "path": "repro/x.py"}  # no message
+    path.write_text(json.dumps({"version": 1, "findings": [entry]}))
+    with pytest.raises(BaselineError, match="missing a string 'message'"):
+        load_baseline(str(path))
+
+
+@pytest.mark.parametrize("count", [0, -1, True, "2"])
+def test_baseline_rejects_non_positive_counts(tmp_path, count):
+    from repro.analysis import BaselineError
+
+    path = tmp_path / BASELINE_NAME
+    entry = {
+        "rule": "RD01",
+        "path": "repro/x.py",
+        "message": "m",
+        "count": count,
+    }
+    path.write_text(json.dumps({"version": 1, "findings": [entry]}))
+    with pytest.raises(BaselineError, match="non-positive count"):
+        load_baseline(str(path))
+
+
+def test_cli_malformed_baseline_exits_2_without_traceback(tmp_path):
+    bad = tmp_path / BASELINE_NAME
+    bad.write_text("{not json")
+    result = run_cli(str(tmp_path), "--baseline-file", str(bad))
+    assert result.returncode == 2
+    assert "error:" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+# ----------------------------------------------------------------------
+# the CLI: --rules, --explain, --deep
+# ----------------------------------------------------------------------
+
+
+def test_cli_rules_filter_limits_the_active_set(tmp_path):
+    write_tree(str(tmp_path), {"repro/mp/bad.py": BAD_MODULE})
+    result = run_cli(str(tmp_path), "--rules", "RD03")
+    assert result.returncode == 0, result.stdout + result.stderr
+    result = run_cli(str(tmp_path), "--rules", "RD01,RD03")
+    assert result.returncode == 1
+    assert "RD01" in result.stdout
+
+
+def test_cli_unknown_rule_id_is_a_usage_error(tmp_path):
+    result = run_cli(str(tmp_path), "--rules", "RD42")
+    assert result.returncode == 2
+    assert "unknown rule 'RD42'" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_cli_explain_renders_doc_and_examples():
+    result = run_cli("--explain", "RD08")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "RD08" in result.stdout
+    assert "bad:" in result.stdout
+    assert "good:" in result.stdout
+    assert "applies to:" in result.stdout
+
+
+@pytest.mark.parametrize("rule", sorted(rule_ids()))
+def test_cli_explain_covers_every_rule(rule):
+    result = run_cli("--explain", rule)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert rule in result.stdout
+    assert "bad:" in result.stdout
+
+
+def test_cli_explain_unknown_rule_exits_2():
+    result = run_cli("--explain", "RD42")
+    assert result.returncode == 2
+    assert "unknown rule 'RD42'" in result.stderr
+
+
+def test_cli_deep_reports_interprocedural_findings_as_json(tmp_path):
+    racy = (
+        "class P:\n"
+        "    async def claim(self):\n"
+        "        slot = self._next_slot\n"
+        "        await self._flush()\n"
+        "        self._next_slot = slot + 1\n"
+    )
+    write_tree(str(tmp_path), {"repro/net/racy.py": racy})
+    result = run_cli(str(tmp_path), "--deep", "--format", "json")
+    assert result.returncode == 1
+    data = json.loads(result.stdout)
+    assert data["summary"]["deep"] is True
+    assert [f["rule"] for f in data["findings"]] == ["RD08"]
+
+    # without --deep the interprocedural rule does not run
+    result = run_cli(str(tmp_path), "--format", "json")
+    data = json.loads(result.stdout)
+    assert data["summary"]["deep"] is False
+    assert data["findings"] == []
+
+
+def test_cli_deep_self_hosts_clean():
+    """The deep pass (call graph + RD08 + path-sensitive RD02) finds
+
+    nothing in the committed tree — the self-hosting gate CI enforces."""
+    result = run_cli("--deep")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 findings" in result.stdout
